@@ -1,0 +1,34 @@
+// Command rjload generates TPC-H data, loads it into a fresh simulated
+// cluster, builds every index, and reports the indexing-time and
+// index-size figures — the standalone version of the Fig. 9 experiment.
+//
+// Usage: rjload [-sf 0.01] [-profile ec2|lc] [-buckets 100]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/benchkit"
+	"repro/internal/sim"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
+	profile := flag.String("profile", "ec2", "hardware profile: ec2 or lc")
+	flag.Parse()
+
+	p := sim.EC2()
+	if *profile == "lc" {
+		p = sim.LC()
+	}
+	env, err := benchkit.Setup(p, *sf, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parts, orders, lineitems := env.Counts()
+	fmt.Printf("loaded TPC-H SF %g on %s: %d parts, %d orders, %d lineitems\n\n",
+		*sf, p.Name, parts, orders, lineitems)
+	fmt.Println(env.IndexingReport())
+}

@@ -1,0 +1,115 @@
+// Command tpch runs the paper's evaluation queries (Section 7.1) on
+// generated TPC-H data and prints all algorithms side by side:
+//
+//	Q1: SELECT * FROM Part P, Lineitem L WHERE P.PartKey = L.PartKey
+//	    ORDER BY (P.RetailPrice * L.ExtendedPrice) STOP AFTER k
+//	Q2: SELECT * FROM Orders O, Lineitem L WHERE O.OrderKey = L.OrderKey
+//	    ORDER BY (O.TotalPrice + L.ExtendedPrice) STOP AFTER k
+//
+// Usage: tpch [-sf 0.002] [-k 10] [-profile ec2|lc]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	rankjoin "repro"
+	"repro/internal/sim"
+	"repro/internal/tpch"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.002, "TPC-H scale factor")
+	k := flag.Int("k", 10, "result size")
+	profile := flag.String("profile", "ec2", "hardware profile: ec2 or lc")
+	flag.Parse()
+
+	p := sim.EC2()
+	if *profile == "lc" {
+		p = sim.LC()
+	}
+	db := rankjoin.Open(rankjoin.Config{Profile: &p})
+	data := tpch.Generate(*sf, 1)
+	fmt.Printf("TPC-H SF %g on %s: %d parts, %d orders, %d lineitems\n\n",
+		*sf, p.Name, len(data.Parts), len(data.Orders), len(data.Lineitems))
+
+	// Load each relation through the public API. The lineitem table is
+	// loaded twice with different join attributes (PartKey for Q1,
+	// OrderKey for Q2) — the paper indexes each join column separately.
+	part, err := db.DefineRelation("part")
+	if err != nil {
+		log.Fatal(err)
+	}
+	orders, err := db.DefineRelation("orders")
+	if err != nil {
+		log.Fatal(err)
+	}
+	liByPart, err := db.DefineRelation("lineitem_pk")
+	if err != nil {
+		log.Fatal(err)
+	}
+	liByOrder, err := db.DefineRelation("lineitem_ok")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var pt, ot, lp, lo []rankjoin.Tuple
+	for _, r := range data.Parts {
+		pt = append(pt, rankjoin.Tuple{RowKey: tpch.RowKeyPart(r.PartKey), JoinValue: fmt.Sprint(r.PartKey), Score: r.Score})
+	}
+	for _, r := range data.Orders {
+		ot = append(ot, rankjoin.Tuple{RowKey: tpch.RowKeyOrder(r.OrderKey), JoinValue: fmt.Sprint(r.OrderKey), Score: r.Score})
+	}
+	for _, r := range data.Lineitems {
+		key := tpch.RowKeyLineitem(r.OrderKey, r.LineNumber)
+		lp = append(lp, rankjoin.Tuple{RowKey: key, JoinValue: fmt.Sprint(r.PartKey), Score: r.Score})
+		lo = append(lo, rankjoin.Tuple{RowKey: key, JoinValue: fmt.Sprint(r.OrderKey), Score: r.Score})
+	}
+	for _, ld := range []struct {
+		h *rankjoin.RelationHandle
+		t []rankjoin.Tuple
+	}{{part, pt}, {orders, ot}, {liByPart, lp}, {liByOrder, lo}} {
+		if err := ld.h.BulkLoad(ld.t); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	q1, err := db.NewQuery("part", "lineitem_pk", rankjoin.Product, *k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q2, err := db.NewQuery("orders", "lineitem_ok", rankjoin.Sum, *k)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, qc := range []struct {
+		name string
+		q    rankjoin.Query
+	}{{"Q1 (Part x Lineitem, product)", q1}, {"Q2 (Orders x Lineitem, sum)", q2}} {
+		fmt.Printf("=== %s, k=%d ===\n", qc.name, *k)
+		before := db.Metrics().Snapshot()
+		if err := db.EnsureIndexes(qc.q, rankjoin.Algorithms()...); err != nil {
+			log.Fatal(err)
+		}
+		build := db.Metrics().Snapshot().Sub(before)
+		fmt.Printf("index build: %v, %d KV writes\n", build.SimTime, build.KVWrites)
+		fmt.Printf("%-8s %-16s %-12s %-10s %-8s %s\n",
+			"algo", "time", "net bytes", "kv reads", "dollars", "top-1 score")
+		for _, algo := range rankjoin.Algorithms() {
+			res, err := db.TopK(qc.q, algo, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			top1 := 0.0
+			if len(res.Results) > 0 {
+				top1 = res.Results[0].Score
+			}
+			fmt.Printf("%-8s %-16v %-12d %-10d $%-7.2f %.6f\n",
+				algo, res.Cost.SimTime, res.Cost.NetworkBytes, res.Cost.KVReads,
+				res.Cost.Dollars(), top1)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,317 @@
+// Package benchkit assembles the paper's evaluation workloads (Section
+// 7.1) for the benchmark harness: TPC-H data loaded into a simulated
+// cluster, all four index families built with the paper's parameters,
+// and runners that regenerate every figure's series — query time,
+// network bandwidth, and dollar cost for Q1/Q2 across k, plus indexing
+// time (Fig. 9), index sizes, reducer memory, and the online-update
+// overhead experiment.
+package benchkit
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	rankjoin "repro"
+	"repro/internal/sim"
+	"repro/internal/tpch"
+)
+
+// Env is one loaded evaluation environment (cluster + data + indexes).
+type Env struct {
+	Profile sim.Profile
+	SF      float64
+	DB      *rankjoin.DB
+	Q1      rankjoin.Query // Part x Lineitem ON PartKey, product
+	Q2      rankjoin.Query // Orders x Lineitem ON OrderKey, sum
+	// ISLBatch is 1% of the lineitem row count (the paper's batching).
+	ISLBatch int
+	// BuildCost records the indexing cost per algorithm (Fig. 9).
+	BuildCost map[rankjoin.Algorithm]sim.Snapshot
+	// Data is the generated TPC-H instance (update experiments draw
+	// mutations from it).
+	Data *tpch.Data
+
+	counts struct{ parts, orders, lineitems int }
+}
+
+// KValues are the paper's evaluated result sizes.
+var KValues = []int{1, 10, 100, 1000}
+
+// Algorithms in figure order.
+var Algorithms = []rankjoin.Algorithm{
+	rankjoin.AlgoHive, rankjoin.AlgoPig, rankjoin.AlgoIJLMR,
+	rankjoin.AlgoISL, rankjoin.AlgoBFHM, rankjoin.AlgoDRJN,
+}
+
+// LCAlgorithms is the subset the paper plots for the big-scale lab
+// cluster runs ("for presentation clarity we omit specific results" for
+// IJLMR/PIG/HIVE on LC).
+var LCAlgorithms = []rankjoin.Algorithm{
+	rankjoin.AlgoISL, rankjoin.AlgoBFHM, rankjoin.AlgoDRJN,
+}
+
+// Setup generates TPC-H data at the scale factor, loads it, and builds
+// every index with the paper's parameters (BFHM: 100 buckets, 5% FPP;
+// DRJN: 100 score bands; ISL batch = 1%).
+func Setup(profile sim.Profile, sf float64, seed int64) (*Env, error) {
+	db := rankjoin.Open(rankjoin.Config{Profile: &profile})
+	data := tpch.Generate(sf, seed)
+	env := &Env{
+		Profile:   profile,
+		SF:        sf,
+		DB:        db,
+		Data:      data,
+		BuildCost: map[rankjoin.Algorithm]sim.Snapshot{},
+	}
+	env.counts.parts = len(data.Parts)
+	env.counts.orders = len(data.Orders)
+	env.counts.lineitems = len(data.Lineitems)
+	env.ISLBatch = len(data.Lineitems) / 100
+	if env.ISLBatch < 1 {
+		env.ISLBatch = 1
+	}
+
+	// Load the four relation views (lineitem appears under both join
+	// attributes, as the paper indexes each join column).
+	part, err := db.DefineRelation("part")
+	if err != nil {
+		return nil, err
+	}
+	orders, err := db.DefineRelation("orders")
+	if err != nil {
+		return nil, err
+	}
+	liPK, err := db.DefineRelation("lineitem_pk")
+	if err != nil {
+		return nil, err
+	}
+	liOK, err := db.DefineRelation("lineitem_ok")
+	if err != nil {
+		return nil, err
+	}
+	var pt, ot, lp, lo []rankjoin.Tuple
+	for i := range data.Parts {
+		r := &data.Parts[i]
+		pt = append(pt, rankjoin.Tuple{RowKey: tpch.RowKeyPart(r.PartKey), JoinValue: fmt.Sprint(r.PartKey), Score: r.Score})
+	}
+	for i := range data.Orders {
+		r := &data.Orders[i]
+		ot = append(ot, rankjoin.Tuple{RowKey: tpch.RowKeyOrder(r.OrderKey), JoinValue: fmt.Sprint(r.OrderKey), Score: r.Score})
+	}
+	for i := range data.Lineitems {
+		r := &data.Lineitems[i]
+		key := tpch.RowKeyLineitem(r.OrderKey, r.LineNumber)
+		lp = append(lp, rankjoin.Tuple{RowKey: key, JoinValue: fmt.Sprint(r.PartKey), Score: r.Score})
+		lo = append(lo, rankjoin.Tuple{RowKey: key, JoinValue: fmt.Sprint(r.OrderKey), Score: r.Score})
+	}
+	for _, ld := range []struct {
+		h *rankjoin.RelationHandle
+		t []rankjoin.Tuple
+	}{{part, pt}, {orders, ot}, {liPK, lp}, {liOK, lo}} {
+		if err := ld.h.BulkLoad(ld.t); err != nil {
+			return nil, err
+		}
+	}
+
+	env.Q1, err = db.NewQuery("part", "lineitem_pk", rankjoin.Product, 10)
+	if err != nil {
+		return nil, err
+	}
+	env.Q2, err = db.NewQuery("orders", "lineitem_ok", rankjoin.Sum, 10)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build each index family separately so Fig. 9 gets per-algorithm
+	// indexing costs.
+	m := db.Metrics()
+	for _, algo := range []rankjoin.Algorithm{rankjoin.AlgoIJLMR, rankjoin.AlgoISL, rankjoin.AlgoBFHM, rankjoin.AlgoDRJN} {
+		before := m.Snapshot()
+		if err := db.EnsureIndexes(env.Q1, algo); err != nil {
+			return nil, err
+		}
+		if err := db.EnsureIndexes(env.Q2, algo); err != nil {
+			return nil, err
+		}
+		env.BuildCost[algo] = m.Snapshot().Sub(before)
+	}
+	return env, nil
+}
+
+// Counts reports the loaded table cardinalities.
+func (e *Env) Counts() (parts, orders, lineitems int) {
+	return e.counts.parts, e.counts.orders, e.counts.lineitems
+}
+
+// Run executes one query configuration.
+func (e *Env) Run(q rankjoin.Query, algo rankjoin.Algorithm, k int) (*rankjoin.Result, error) {
+	return e.DB.TopK(q.WithK(k), algo, &rankjoin.QueryOptions{ISLBatch: e.ISLBatch})
+}
+
+// Cell is one figure data point.
+type Cell struct {
+	Algo rankjoin.Algorithm
+	K    int
+	Cost sim.Snapshot
+}
+
+// Series runs a query across algorithms and k values — the underlying
+// measurements for one column of Fig. 7/8 (time, bandwidth, and dollar
+// cost all come from the same runs, as in the paper).
+func (e *Env) Series(q rankjoin.Query, algos []rankjoin.Algorithm, ks []int) ([]Cell, error) {
+	var out []Cell
+	for _, algo := range algos {
+		for _, k := range ks {
+			res, err := e.Run(q, algo, k)
+			if err != nil {
+				return nil, fmt.Errorf("benchkit: %s k=%d: %w", algo, k, err)
+			}
+			out = append(out, Cell{Algo: algo, K: k, Cost: res.Cost})
+		}
+	}
+	return out, nil
+}
+
+// Metric projects one of the paper's three metrics from a snapshot.
+type Metric struct {
+	Name string
+	Unit string
+	Get  func(sim.Snapshot) float64
+}
+
+// The three figure metrics.
+var (
+	MetricTime = Metric{Name: "query time", Unit: "s",
+		Get: func(s sim.Snapshot) float64 { return s.SimTime.Seconds() }}
+	MetricBandwidth = Metric{Name: "network bandwidth", Unit: "bytes",
+		Get: func(s sim.Snapshot) float64 { return float64(s.NetworkBytes) }}
+	MetricDollar = Metric{Name: "dollar cost (KV read units)", Unit: "reads",
+		Get: func(s sim.Snapshot) float64 { return float64(s.KVReads) }}
+)
+
+// FormatTable renders a series as a paper-style table: one row per
+// algorithm, one column per k.
+func FormatTable(title string, cells []Cell, metric Metric) string {
+	ks := map[int]bool{}
+	algos := map[rankjoin.Algorithm]bool{}
+	for _, c := range cells {
+		ks[c.K] = true
+		algos[c.Algo] = true
+	}
+	var kList []int
+	for k := range ks {
+		kList = append(kList, k)
+	}
+	sort.Ints(kList)
+	var algoList []rankjoin.Algorithm
+	for _, a := range Algorithms {
+		if algos[a] {
+			algoList = append(algoList, a)
+		}
+	}
+	out := fmt.Sprintf("%s — %s [%s]\n", title, metric.Name, metric.Unit)
+	out += fmt.Sprintf("%-8s", "algo\\k")
+	for _, k := range kList {
+		out += fmt.Sprintf(" %14d", k)
+	}
+	out += "\n"
+	for _, a := range algoList {
+		out += fmt.Sprintf("%-8s", a)
+		for _, k := range kList {
+			for _, c := range cells {
+				if c.Algo == a && c.K == k {
+					out += fmt.Sprintf(" %14.4g", metric.Get(c.Cost))
+				}
+			}
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// IndexingReport renders Fig. 9 plus the Section 7.2 size/memory lists.
+func (e *Env) IndexingReport() string {
+	out := fmt.Sprintf("Indexing costs (profile %s, SF %g)\n", e.Profile.Name, e.SF)
+	out += fmt.Sprintf("%-8s %-14s %-14s %-12s\n", "index", "build time", "KV writes", "net bytes")
+	for _, algo := range []rankjoin.Algorithm{rankjoin.AlgoIJLMR, rankjoin.AlgoISL, rankjoin.AlgoBFHM, rankjoin.AlgoDRJN} {
+		c := e.BuildCost[algo]
+		out += fmt.Sprintf("%-8s %-14v %-14d %-12d\n", algo, c.SimTime.Round(time.Millisecond), c.KVWrites, c.NetworkBytes)
+	}
+	out += fmt.Sprintf("\nIndex disk sizes (bytes)\n%-8s %-12s %-12s\n", "index", "Q1 pair", "Q2 pair")
+	for _, algo := range []rankjoin.Algorithm{rankjoin.AlgoIJLMR, rankjoin.AlgoISL, rankjoin.AlgoBFHM, rankjoin.AlgoDRJN} {
+		out += fmt.Sprintf("%-8s %-12d %-12d\n", algo,
+			e.DB.IndexDiskSize(e.Q1, algo), e.DB.IndexDiskSize(e.Q2, algo))
+	}
+	base := 0
+	for _, rel := range []string{"part", "orders", "lineitem_pk", "lineitem_ok"} {
+		if h := e.DB.Relation(rel); h != nil {
+			base += int(h.DiskSize())
+		}
+	}
+	out += fmt.Sprintf("\nBase data on disk: %d bytes\n", base)
+	return out
+}
+
+// UpdateExperiment reproduces the Section 7.2 online-updates run:
+// apply one TPC-H update set through the Section 6 interception path,
+// then query with eager write-back; the overhead is reported against the
+// same state with blobs written back offline beforehand.
+func (e *Env) UpdateExperiment(setNo int) (overheadPct float64, applied int, err error) {
+	liOK := e.DB.Relation("lineitem_ok")
+	ordersH := e.DB.Relation("orders")
+	muts := e.Data.UpdateSet(setNo, 12345)
+	for _, mu := range muts {
+		switch {
+		case mu.Table == "orders" && mu.Order != nil:
+			t := rankjoin.Tuple{
+				RowKey:    tpch.RowKeyOrder(mu.Order.OrderKey),
+				JoinValue: fmt.Sprint(mu.Order.OrderKey),
+				Score:     mu.Order.Score,
+			}
+			if mu.Insert {
+				err = ordersH.Insert(t.RowKey, t.JoinValue, t.Score)
+			} else {
+				err = ordersH.Delete(t.RowKey, t.JoinValue, t.Score)
+			}
+		case mu.Table == "lineitem" && mu.Lineitem != nil:
+			t := rankjoin.Tuple{
+				RowKey:    tpch.RowKeyLineitem(mu.Lineitem.OrderKey, mu.Lineitem.LineNumber),
+				JoinValue: fmt.Sprint(mu.Lineitem.OrderKey),
+				Score:     mu.Lineitem.Score,
+			}
+			if mu.Insert {
+				err = liOK.Insert(t.RowKey, t.JoinValue, t.Score)
+			} else {
+				err = liOK.Delete(t.RowKey, t.JoinValue, t.Score)
+			}
+		}
+		if err != nil {
+			return 0, applied, err
+		}
+		applied++
+	}
+
+	// Measured run: eager write-back pays for reconstruction now.
+	res, err := e.DB.TopK(e.Q2.WithK(10), rankjoin.AlgoBFHM, &rankjoin.QueryOptions{
+		ISLBatch:      e.ISLBatch,
+		BFHMWriteBack: rankjoin.WriteBackEager,
+	})
+	if err != nil {
+		return 0, applied, err
+	}
+	dirty := res.Cost.SimTime
+
+	// Baseline: same state, blobs already clean.
+	res2, err := e.DB.TopK(e.Q2.WithK(10), rankjoin.AlgoBFHM, &rankjoin.QueryOptions{
+		ISLBatch: e.ISLBatch,
+	})
+	if err != nil {
+		return 0, applied, err
+	}
+	clean := res2.Cost.SimTime
+	if clean == 0 {
+		return 0, applied, nil
+	}
+	return float64(dirty-clean) / float64(clean) * 100, applied, nil
+}

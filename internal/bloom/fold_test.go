@@ -1,0 +1,148 @@
+package bloom
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestFoldPreservesMembership(t *testing.T) {
+	h := NewHybrid(1 << 14)
+	var items []string
+	for i := 0; i < 300; i++ {
+		it := fmt.Sprintf("item-%d", i)
+		items = append(items, it)
+		h.Insert(it)
+	}
+	for _, newM := range []uint64{1 << 13, 1 << 10, 1 << 7} {
+		f, err := h.Fold(newM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.M() != newM {
+			t.Fatalf("folded width = %d", f.M())
+		}
+		if f.N() != h.N() {
+			t.Fatalf("folded n = %d, want %d", f.N(), h.N())
+		}
+		for _, it := range items {
+			if !f.Contains(it) {
+				t.Fatalf("fold to %d lost item %q (false negative)", newM, it)
+			}
+		}
+	}
+}
+
+func TestFoldCounterConservation(t *testing.T) {
+	h := NewHybrid(1 << 12)
+	for i := 0; i < 500; i++ {
+		h.Insert(fmt.Sprintf("x%d", i%97))
+	}
+	f, err := h.Fold(1 << 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before, after uint64
+	for _, p := range h.SetBits() {
+		before += uint64(h.Counter(p))
+	}
+	for _, p := range f.SetBits() {
+		after += uint64(f.Counter(p))
+	}
+	if before != after {
+		t.Fatalf("counters not conserved: %d -> %d", before, after)
+	}
+}
+
+func TestFoldRejectsNonDivisor(t *testing.T) {
+	h := NewHybrid(1000)
+	if _, err := h.Fold(300); err == nil {
+		t.Error("non-divisor fold accepted")
+	}
+	if _, err := h.Fold(0); err == nil {
+		t.Error("zero fold accepted")
+	}
+}
+
+func TestCommonWidth(t *testing.T) {
+	a := NewHybrid(1 << 10)
+	b := NewHybrid(1 << 14)
+	w, err := CommonWidth(a, b)
+	if err != nil || w != 1<<10 {
+		t.Fatalf("CommonWidth = %d, %v", w, err)
+	}
+	c := NewHybrid(768)
+	if _, err := CommonWidth(a, c); err == nil {
+		t.Error("incompatible widths accepted")
+	}
+}
+
+func TestEstimateJoinFoldedNeverUnderestimates(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 15; trial++ {
+		a := NewHybrid(1 << uint(10+trial%4)) // widths differ per trial
+		b := NewHybrid(1 << 12)
+		countA := map[string]int{}
+		countB := map[string]int{}
+		for i := 0; i < 200; i++ {
+			v := fmt.Sprintf("v%d", rng.Intn(60))
+			a.Insert(v)
+			countA[v]++
+		}
+		for i := 0; i < 200; i++ {
+			v := fmt.Sprintf("v%d", rng.Intn(60))
+			b.Insert(v)
+			countB[v]++
+		}
+		var trueJoin uint64
+		for v, ca := range countA {
+			trueJoin += uint64(ca * countB[v])
+		}
+		est, err := EstimateJoinFolded(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var raw uint64
+		if est != nil {
+			raw = est.RawCardinality
+		}
+		if raw < trueJoin {
+			t.Fatalf("trial %d: folded estimate %d < true join %d", trial, raw, trueJoin)
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[uint64]uint64{0: 64, 1: 64, 64: 64, 65: 128, 1000: 1024, 1 << 20: 1 << 20}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestFoldedBlobSmallerForSparseBuckets(t *testing.T) {
+	// The future-work payoff: a sparse bucket individually sized at the
+	// next power of two needs far fewer blob bytes than one sized for
+	// the heaviest bucket.
+	heavy := SingleHashBits(50000, 0.05)
+	sparse := NewHybrid(NextPow2(SingleHashBits(50, 0.05)))
+	big := NewHybrid(NextPow2(heavy))
+	for i := 0; i < 50; i++ {
+		v := fmt.Sprintf("jv%d", i)
+		sparse.Insert(v)
+		big.Insert(v)
+	}
+	sb, err := sparse.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := big.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sb) >= len(bb) {
+		t.Errorf("individually sized blob (%d B) not smaller than heaviest-bucket sizing (%d B)",
+			len(sb), len(bb))
+	}
+}

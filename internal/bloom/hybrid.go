@@ -1,0 +1,256 @@
+package bloom
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/golomb"
+)
+
+var errTruncated = errors.New("bloom: truncated encoding")
+
+// Hybrid is the paper's fusion of a single-hash-function Bloom filter with
+// a counting Bloom filter: an m-bit membership bitmap plus a hash table of
+// per-bit counters for the non-zero bits (Fig. 4). Both parts are Golomb-
+// compressed by Encode; in memory the structure stays materialized for
+// speed.
+//
+// Because a single hash function is used, an item's join-value maps to
+// exactly one bit, so the counter at that bit is the (collision-inflated)
+// number of tuples with join values hashing there. The product of two
+// filters' counters at a common bit estimates the join cardinality
+// contributed by that bit (Algorithm 7).
+type Hybrid struct {
+	m        uint64
+	n        uint64            // total insertions (non-distinct)
+	counters map[uint64]uint32 // bit position -> count of inserted items
+}
+
+// NewHybrid creates a hybrid filter with an m-bit logical bitmap.
+func NewHybrid(m uint64) *Hybrid {
+	if m < 1 {
+		m = 1
+	}
+	return &Hybrid{m: m, counters: make(map[uint64]uint32)}
+}
+
+// M returns the logical bitmap width in bits.
+func (h *Hybrid) M() uint64 { return h.m }
+
+// N returns the number of items inserted (including duplicates).
+func (h *Hybrid) N() uint64 { return h.n }
+
+// BitPos returns the bit position item maps to.
+func (h *Hybrid) BitPos(item string) uint64 {
+	return Hash64String(item) % h.m
+}
+
+// Insert adds an item and returns the bit position it mapped to, which the
+// BFHM index build records as the reverse-mapping key (Algorithm 5).
+func (h *Hybrid) Insert(item string) uint64 {
+	pos := h.BitPos(item)
+	h.counters[pos]++
+	h.n++
+	return pos
+}
+
+// Remove decrements the counter for item's bit. It reports whether the
+// counter existed; removing below zero is a no-op that returns false.
+func (h *Hybrid) Remove(item string) bool {
+	pos := h.BitPos(item)
+	c, ok := h.counters[pos]
+	if !ok {
+		return false
+	}
+	if c <= 1 {
+		delete(h.counters, pos)
+	} else {
+		h.counters[pos] = c - 1
+	}
+	h.n--
+	return true
+}
+
+// Contains reports whether some inserted item maps to item's bit.
+func (h *Hybrid) Contains(item string) bool {
+	_, ok := h.counters[h.BitPos(item)]
+	return ok
+}
+
+// Counter returns the counter at bit position pos (0 if unset).
+func (h *Hybrid) Counter(pos uint64) uint32 { return h.counters[pos] }
+
+// SetBits returns the sorted non-zero bit positions.
+func (h *Hybrid) SetBits() []uint64 {
+	out := make([]uint64, 0, len(h.counters))
+	for p := range h.counters {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PopCount returns the number of distinct set bits.
+func (h *Hybrid) PopCount() uint64 { return uint64(len(h.counters)) }
+
+// PT returns the probability that an arbitrary bit is set after the
+// observed insertions: PT = 1 - (1 - 1/m)^n for the single-hash filter
+// (Section 5.3). It is computed from the actual fill when available,
+// which is exact rather than probabilistic.
+func (h *Hybrid) PT() float64 {
+	if h.m == 0 {
+		return 0
+	}
+	return float64(len(h.counters)) / float64(h.m)
+}
+
+// TheoreticalPT returns 1 - (1-1/m)^n, the a-priori fill probability the
+// paper's analysis uses.
+func (h *Hybrid) TheoreticalPT() float64 {
+	if h.m == 0 {
+		return 0
+	}
+	return 1 - math.Pow(1-1/float64(h.m), float64(h.n))
+}
+
+// JoinEstimate holds the outcome of intersecting two hybrid filters.
+type JoinEstimate struct {
+	// Bits lists the bit positions set in both filters, sorted.
+	Bits []uint64
+	// Cardinality is the compensated join size estimate:
+	// sum over common bits of cA*cB, scaled by Alpha.
+	Cardinality float64
+	// RawCardinality is the uncompensated sum of counter products.
+	RawCardinality uint64
+	// Alpha is the false-positive compensation factor
+	// (1-PT_A)*(1-PT_B) from Section 5.3.
+	Alpha float64
+}
+
+// EstimateJoin intersects two hybrid filters (they must share m) and
+// returns the join-size estimate of Algorithm 7, or nil when the
+// intersection is empty.
+func EstimateJoin(a, b *Hybrid) (*JoinEstimate, error) {
+	if a.m != b.m {
+		return nil, fmt.Errorf("bloom: mismatched filter sizes %d vs %d", a.m, b.m)
+	}
+	// Iterate over the smaller counter set.
+	small, large := a, b
+	if len(b.counters) < len(a.counters) {
+		small, large = b, a
+	}
+	var bits []uint64
+	var raw uint64
+	for pos, cs := range small.counters {
+		if cl, ok := large.counters[pos]; ok {
+			bits = append(bits, pos)
+			raw += uint64(cs) * uint64(cl)
+		}
+	}
+	if len(bits) == 0 {
+		return nil, nil
+	}
+	sort.Slice(bits, func(i, j int) bool { return bits[i] < bits[j] })
+	alpha := (1 - a.PT()) * (1 - b.PT())
+	if alpha <= 0 {
+		alpha = 1e-9
+	}
+	card := float64(raw) * alpha
+	if card < 1 {
+		// An intersection with at least one common bit represents at
+		// least a potential result; never round the estimate to zero.
+		card = 1
+	}
+	return &JoinEstimate{Bits: bits, Cardinality: card, RawCardinality: raw, Alpha: alpha}, nil
+}
+
+// Encode serializes the hybrid filter as the paper's bucket "blob":
+// a small header, the Golomb-compressed sorted bit positions (GCS), and
+// the Golomb-compressed counters minus one (counters are >= 1 by
+// construction). The Golomb parameters are chosen from the observed
+// densities and stored in the header.
+func (h *Hybrid) Encode() ([]byte, error) {
+	bits := h.SetBits()
+	nbits := uint64(len(bits))
+	// Gap distribution parameter: p = nbits/m.
+	mposParam := golomb.OptimalM(float64(nbits) / float64(h.m))
+	posBuf, err := golomb.EncodeSortedSet(bits, mposParam)
+	if err != nil {
+		return nil, err
+	}
+	// Counter distribution parameter: mean counter value.
+	var sum uint64
+	counts := make([]uint64, nbits)
+	for i, p := range bits {
+		c := uint64(h.counters[p])
+		counts[i] = c - 1
+		sum += c
+	}
+	cntParam := uint64(1)
+	if nbits > 0 {
+		mean := float64(sum) / float64(nbits)
+		if mean > 1 {
+			cntParam = golomb.OptimalM(1 / mean)
+		}
+	}
+	cntBuf := golomb.EncodeAll(counts, cntParam)
+
+	out := make([]byte, 0, 48+len(posBuf)+len(cntBuf))
+	var hdr [48]byte
+	binary.BigEndian.PutUint64(hdr[0:8], h.m)
+	binary.BigEndian.PutUint64(hdr[8:16], h.n)
+	binary.BigEndian.PutUint64(hdr[16:24], nbits)
+	binary.BigEndian.PutUint64(hdr[24:32], mposParam)
+	binary.BigEndian.PutUint64(hdr[32:40], cntParam)
+	binary.BigEndian.PutUint64(hdr[40:48], uint64(len(posBuf)))
+	out = append(out, hdr[:]...)
+	out = append(out, posBuf...)
+	out = append(out, cntBuf...)
+	return out, nil
+}
+
+// DecodeHybrid reverses Encode.
+func DecodeHybrid(data []byte) (*Hybrid, error) {
+	if len(data) < 48 {
+		return nil, errTruncated
+	}
+	m := binary.BigEndian.Uint64(data[0:8])
+	n := binary.BigEndian.Uint64(data[8:16])
+	nbits := binary.BigEndian.Uint64(data[16:24])
+	mposParam := binary.BigEndian.Uint64(data[24:32])
+	cntParam := binary.BigEndian.Uint64(data[32:40])
+	posLen := binary.BigEndian.Uint64(data[40:48])
+	if uint64(len(data)) < 48+posLen {
+		return nil, errTruncated
+	}
+	bits, err := golomb.DecodeSortedSet(data[48:48+posLen], mposParam, int(nbits))
+	if err != nil {
+		return nil, fmt.Errorf("bloom: decoding positions: %w", err)
+	}
+	counts, err := golomb.DecodeAll(data[48+posLen:], cntParam, int(nbits))
+	if err != nil {
+		return nil, fmt.Errorf("bloom: decoding counters: %w", err)
+	}
+	h := NewHybrid(m)
+	h.n = n
+	for i, p := range bits {
+		if p >= m {
+			return nil, fmt.Errorf("bloom: bit position %d out of range %d", p, m)
+		}
+		h.counters[p] = uint32(counts[i]) + 1
+	}
+	return h, nil
+}
+
+// Clone returns a deep copy.
+func (h *Hybrid) Clone() *Hybrid {
+	c := NewHybrid(h.m)
+	c.n = h.n
+	for k, v := range h.counters {
+		c.counters[k] = v
+	}
+	return c
+}

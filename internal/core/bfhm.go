@@ -1,0 +1,883 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/bloom"
+	"repro/internal/histogram"
+	"repro/internal/kvstore"
+	"repro/internal/mapreduce"
+)
+
+// This file implements BFHM — the Bloom Filter Histogram Matrix rank join
+// (Section 5). Per relation, the index is an equi-width histogram over
+// the score axis whose buckets each carry (i) the observed min/max score,
+// (ii) a Golomb-compressed single-hash Bloom filter over the bucket's
+// join values, and (iii) compressed per-bit counters (the hybrid filter of
+// Fig. 4), plus reverse-mapping rows from (bucket, bit) back to the
+// tuples that set the bit (Fig. 5).
+//
+// Query processing is two-phase (Section 5.2): an estimation phase joins
+// bucket filters pairwise (Algorithm 7) inside the Algorithm 6 loop, and
+// a reverse-mapping phase fetches only the tuples behind the surviving
+// estimated results and joins them exactly. The Section 5.3 repair loop
+// re-opens estimation when the exact phase comes up short, which makes
+// the algorithm's recall 100% regardless of Bloom false positives — a
+// property the test suite checks against the naive oracle.
+
+// BFHM index storage layout (per Fig. 5):
+//
+//	table "bfhm_<relation>", family bfhmFamily
+//	  row BucketKey(b):
+//	    "blob" -> hybrid filter encoding
+//	    "min", "max" -> observed score bounds
+//	    "i:<rowKey>" / "d:<rowKey>" -> pending mutation records (Sec. 6)
+//	  row ReverseMapKey(b, bit):
+//	    "<tuple rowKey>" -> EncodeTuple
+const (
+	bfhmFamily   = "m"
+	bfhmBlobQual = "blob"
+	bfhmMinQual  = "min"
+	bfhmMaxQual  = "max"
+	bfhmInsPfx   = "i:"
+	bfhmDelPfx   = "d:"
+)
+
+// BFHMIndex locates one relation's BFHM.
+type BFHMIndex struct {
+	Table  string
+	Layout histogram.Layout
+	// MBits is the shared single-hash Bloom filter width (every bucket
+	// uses the same width so filters can be intersected).
+	MBits uint64
+}
+
+// BFHMOptions configures index construction.
+type BFHMOptions struct {
+	// NumBuckets is the histogram resolution (paper: 100-1000).
+	NumBuckets int
+	// FPP is the false-positive target used to size the filters for the
+	// most heavily populated bucket (paper: 5%).
+	FPP float64
+	// MBits overrides the filter width directly; when zero it is
+	// computed from the heaviest bucket via a counting pass.
+	MBits uint64
+}
+
+func (o *BFHMOptions) defaults() {
+	if o.NumBuckets < 1 {
+		o.NumBuckets = 100
+	}
+	if o.FPP <= 0 || o.FPP >= 1 {
+		o.FPP = 0.05
+	}
+}
+
+// BFHMTableName derives a relation's index table name.
+func BFHMTableName(rel *Relation) string { return "bfhm_" + rel.Name }
+
+// BuildBFHM builds one relation's BFHM index with the MapReduce job of
+// Algorithm 5. When opts.MBits is zero, a counting job first finds the
+// heaviest bucket and sizes the filters for opts.FPP (Section 7.1: "all
+// Bloom filters were configured to contain the most heavily populated of
+// the buckets with a false positive probability of 5%").
+func BuildBFHM(c *kvstore.Cluster, rel Relation, opts BFHMOptions) (*BFHMIndex, []*mapreduce.Result, error) {
+	opts.defaults()
+	layout, err := histogram.NewLayout(0, 1, opts.NumBuckets)
+	if err != nil {
+		return nil, nil, err
+	}
+	var results []*mapreduce.Result
+
+	mbits := opts.MBits
+	if mbits == 0 {
+		counts, res, err := bfhmCountBuckets(c, rel, layout)
+		if err != nil {
+			return nil, nil, err
+		}
+		results = append(results, res)
+		var heaviest uint64
+		for _, n := range counts {
+			if n > heaviest {
+				heaviest = n
+			}
+		}
+		mbits = bloom.SingleHashBits(heaviest, opts.FPP)
+	}
+
+	idx := &BFHMIndex{Table: BFHMTableName(&rel), Layout: layout, MBits: mbits}
+	splits := make([]string, 0, c.Nodes()-1)
+	for i := 1; i < c.Nodes(); i++ {
+		splits = append(splits, kvstore.BucketKey(opts.NumBuckets*i/c.Nodes()))
+	}
+	if _, err := c.CreateTable(idx.Table, []string{bfhmFamily}, splits); err != nil {
+		return nil, nil, err
+	}
+
+	// Algorithm 5: map partitions tuples into buckets; each reduce call
+	// handles one bucket, building its hybrid filter and emitting the
+	// reverse mappings and the blob row.
+	res, err := mapreduce.Run(&mapreduce.Job{
+		Name:    "bfhm-index-" + rel.Name,
+		Cluster: c,
+		Input:   kvstore.Scan{Table: rel.Table, Families: []string{rel.Family}},
+		Mapper: mapreduce.MapperFunc(func(row *kvstore.Row, ctx mapreduce.Context) error {
+			t, ok := TupleFromRow(&rel, row)
+			if !ok {
+				ctx.Counter("skipped", 1)
+				return nil
+			}
+			bucket := layout.BucketOf(t.Score)
+			ctx.Emit(kvstore.BucketKey(bucket), EncodeTuple(t))
+			return nil
+		}),
+		Reducer: mapreduce.ReducerFunc(func(key string, values [][]byte, ctx mapreduce.Context) error {
+			filter := bloom.NewHybrid(mbits)
+			minScore, maxScore := math.Inf(1), math.Inf(-1)
+			for _, v := range values {
+				t, err := DecodeTuple(v)
+				if err != nil {
+					return err
+				}
+				bitPos := filter.Insert(t.JoinValue)
+				if t.Score < minScore {
+					minScore = t.Score
+				}
+				if t.Score > maxScore {
+					maxScore = t.Score
+				}
+				bucketNo, err := bucketFromKey(key)
+				if err != nil {
+					return err
+				}
+				// Reverse mapping entry (Algorithm 5 line 17).
+				ctx.WriteCell(idx.Table, kvstore.Cell{
+					Row:       kvstore.ReverseMapKey(bucketNo, bitPos),
+					Family:    bfhmFamily,
+					Qualifier: t.RowKey,
+					Value:     EncodeTuple(t),
+				})
+			}
+			blob, err := filter.Encode()
+			if err != nil {
+				return err
+			}
+			// Bucket blob row (Algorithm 5 line 19).
+			ctx.WriteCell(idx.Table, kvstore.Cell{Row: key, Family: bfhmFamily, Qualifier: bfhmBlobQual, Value: blob})
+			ctx.WriteCell(idx.Table, kvstore.Cell{Row: key, Family: bfhmFamily, Qualifier: bfhmMinQual, Value: kvstore.FloatValue(minScore)})
+			ctx.WriteCell(idx.Table, kvstore.Cell{Row: key, Family: bfhmFamily, Qualifier: bfhmMaxQual, Value: kvstore.FloatValue(maxScore)})
+			ctx.Counter("buckets", 1)
+			return nil
+		}),
+		NumReducers: c.Nodes(),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	results = append(results, res)
+	return idx, results, nil
+}
+
+// bfhmCountBuckets runs the counting pass sizing the filters.
+func bfhmCountBuckets(c *kvstore.Cluster, rel Relation, layout histogram.Layout) (map[int]uint64, *mapreduce.Result, error) {
+	res, err := mapreduce.Run(&mapreduce.Job{
+		Name:    "bfhm-count-" + rel.Name,
+		Cluster: c,
+		Input:   kvstore.Scan{Table: rel.Table, Families: []string{rel.Family}},
+		Mapper: mapreduce.MapperFunc(func(row *kvstore.Row, ctx mapreduce.Context) error {
+			t, ok := TupleFromRow(&rel, row)
+			if !ok {
+				return nil
+			}
+			ctx.Emit(kvstore.BucketKey(layout.BucketOf(t.Score)), []byte{1})
+			return nil
+		}),
+		Combiner: countReducer(),
+		Reducer:  countReducer(),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	counts := map[int]uint64{}
+	for _, kv := range res.Output {
+		b, err := bucketFromKey(kv.Key)
+		if err != nil {
+			return nil, nil, err
+		}
+		counts[b] += decodeCount(kv.Value)
+	}
+	return counts, res, nil
+}
+
+func countReducer() mapreduce.Reducer {
+	return mapreduce.ReducerFunc(func(key string, values [][]byte, ctx mapreduce.Context) error {
+		var n uint64
+		for _, v := range values {
+			n += decodeCount(v)
+		}
+		ctx.Emit(key, encodeCount(n))
+		return nil
+	})
+}
+
+func encodeCount(n uint64) []byte {
+	return []byte(fmt.Sprintf("%d", n))
+}
+
+func decodeCount(b []byte) uint64 {
+	if len(b) == 1 && b[0] == 1 {
+		return 1
+	}
+	var n uint64
+	fmt.Sscanf(string(b), "%d", &n)
+	return n
+}
+
+func bucketFromKey(key string) (int, error) {
+	var b int
+	if _, err := fmt.Sscanf(key, "%d", &b); err != nil {
+		return 0, fmt.Errorf("bfhm: bad bucket key %q: %w", key, err)
+	}
+	return b, nil
+}
+
+// bfhmBucket is a fetched, decoded bucket.
+type bfhmBucket struct {
+	No       int
+	Min, Max float64
+	Filter   *bloom.Hybrid
+	Empty    bool
+	// Dirty reports pending mutation records were replayed into Filter.
+	Dirty bool
+	// LatestMutTS is the newest replayed mutation timestamp.
+	LatestMutTS int64
+	// mutQuals lists the replayed mutation record qualifiers (for
+	// write-back purging).
+	mutQuals []string
+}
+
+// WriteBackMode selects when reconstructed BFHM blobs are persisted
+// (Section 6: eagerly, lazily, or offline).
+type WriteBackMode int
+
+// Write-back policies.
+const (
+	// WriteBackOff never persists replayed blobs (queries still see
+	// fresh data by replaying mutation records in memory).
+	WriteBackOff WriteBackMode = iota
+	// WriteBackEager persists a reconstructed blob as soon as a dirty
+	// bucket is fetched, before query processing continues.
+	WriteBackEager
+	// WriteBackLazy persists reconstructed blobs after the query's
+	// results are computed.
+	WriteBackLazy
+)
+
+// BFHMQueryOptions tunes query processing.
+type BFHMQueryOptions struct {
+	WriteBack WriteBackMode
+}
+
+// fetchBFHMBucket reads and decodes bucket b, replaying any pending
+// mutation records (insertion/tombstone cells) in timestamp order.
+func fetchBFHMBucket(c *kvstore.Cluster, idx *BFHMIndex, b int) (*bfhmBucket, error) {
+	row, err := c.Get(idx.Table, kvstore.BucketKey(b))
+	if err != nil {
+		return nil, err
+	}
+	if row == nil {
+		return &bfhmBucket{No: b, Empty: true}, nil
+	}
+	out := &bfhmBucket{No: b, Min: math.Inf(1), Max: math.Inf(-1)}
+	var blob []byte
+	type mut struct {
+		ins  bool
+		t    Tuple
+		ts   int64
+		qual string
+	}
+	var muts []mut
+	for i := range row.Cells {
+		cell := &row.Cells[i]
+		switch {
+		case cell.Qualifier == bfhmBlobQual:
+			blob = cell.Value
+		case cell.Qualifier == bfhmMinQual:
+			if v, ok := kvstore.ParseFloatValue(cell.Value); ok {
+				out.Min = v
+			}
+		case cell.Qualifier == bfhmMaxQual:
+			if v, ok := kvstore.ParseFloatValue(cell.Value); ok {
+				out.Max = v
+			}
+		case strings.HasPrefix(cell.Qualifier, bfhmInsPfx), strings.HasPrefix(cell.Qualifier, bfhmDelPfx):
+			t, err := DecodeTuple(cell.Value)
+			if err != nil {
+				return nil, fmt.Errorf("bfhm: bad mutation record %q: %w", cell.Qualifier, err)
+			}
+			muts = append(muts, mut{
+				ins:  strings.HasPrefix(cell.Qualifier, bfhmInsPfx),
+				t:    t,
+				ts:   cell.Timestamp,
+				qual: cell.Qualifier,
+			})
+		}
+	}
+	if blob == nil {
+		if len(muts) == 0 {
+			return &bfhmBucket{No: b, Empty: true}, nil
+		}
+		// Bucket created purely by online inserts: start empty.
+		out.Filter = bloom.NewHybrid(idx.MBits)
+	} else {
+		f, err := bloom.DecodeHybrid(blob)
+		if err != nil {
+			return nil, fmt.Errorf("bfhm: bucket %d blob: %w", b, err)
+		}
+		out.Filter = f
+	}
+	// Replay mutations in timestamp order (Section 6: "replay all row
+	// mutations in timestamp order and reconstruct the up-to-date blob").
+	sort.SliceStable(muts, func(i, j int) bool { return muts[i].ts < muts[j].ts })
+	for _, m := range muts {
+		if m.ins {
+			out.Filter.Insert(m.t.JoinValue)
+			if m.t.Score < out.Min {
+				out.Min = m.t.Score
+			}
+			if m.t.Score > out.Max {
+				out.Max = m.t.Score
+			}
+		} else {
+			out.Filter.Remove(m.t.JoinValue)
+			// Deletions keep Min/Max conservative (cannot shrink
+			// without a rebuild).
+		}
+		out.Dirty = true
+		if m.ts > out.LatestMutTS {
+			out.LatestMutTS = m.ts
+		}
+		out.mutQuals = append(out.mutQuals, m.qual)
+	}
+	if out.Filter.N() == 0 && out.Filter.PopCount() == 0 && blob == nil {
+		out.Empty = true
+	}
+	return out, nil
+}
+
+// writeBackBucket persists a reconstructed blob and purges the replayed
+// mutation records in one atomic row mutation (Section 6).
+func writeBackBucket(c *kvstore.Cluster, idx *BFHMIndex, b *bfhmBucket) error {
+	if !b.Dirty || b.Filter == nil {
+		return nil
+	}
+	blob, err := b.Filter.Encode()
+	if err != nil {
+		return err
+	}
+	ts := b.LatestMutTS
+	cells := []kvstore.Cell{
+		{Row: kvstore.BucketKey(b.No), Family: bfhmFamily, Qualifier: bfhmBlobQual, Value: blob, Timestamp: ts},
+		{Row: kvstore.BucketKey(b.No), Family: bfhmFamily, Qualifier: bfhmMinQual, Value: kvstore.FloatValue(b.Min), Timestamp: ts},
+		{Row: kvstore.BucketKey(b.No), Family: bfhmFamily, Qualifier: bfhmMaxQual, Value: kvstore.FloatValue(b.Max), Timestamp: ts},
+	}
+	for _, q := range b.mutQuals {
+		cells = append(cells, kvstore.Cell{
+			Row: kvstore.BucketKey(b.No), Family: bfhmFamily, Qualifier: q,
+			Timestamp: ts, Tombstone: true,
+		})
+	}
+	if err := c.MutateRow(idx.Table, cells); err != nil {
+		return err
+	}
+	b.Dirty = false
+	b.mutQuals = nil
+	return nil
+}
+
+// estimatedResult is one row of the Fig. 6(c) estimation table: a joined
+// bucket pair.
+type estimatedResult struct {
+	bucketA, bucketB int
+	bits             []uint64
+	cardinality      float64
+	minScore         float64
+	maxScore         float64
+}
+
+// bfhmState carries the query's working state across the repair loop.
+type bfhmState struct {
+	c          *kvstore.Cluster
+	q          *Query
+	idxA, idxB *BFHMIndex
+	opts       BFHMQueryOptions
+
+	bucketsA []*bfhmBucket // fetched, in fetch order (desc score)
+	bucketsB []*bfhmBucket
+	nextA    int // next bucket number to fetch
+	nextB    int
+	est      []estimatedResult
+	estCard  float64
+
+	revCache map[string][]Tuple // "<rel>|<bucket>|<bit>" -> tuples
+	dirty    []*bfhmBucket      // buckets awaiting lazy write-back
+	top      *TopKList
+}
+
+// QueryBFHM runs the two-phase BFHM rank join with the 100%-recall
+// repair loop of Section 5.3.
+func QueryBFHM(c *kvstore.Cluster, q Query, idxA, idxB *BFHMIndex, opts BFHMQueryOptions) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if idxA.MBits != idxB.MBits {
+		return nil, fmt.Errorf("bfhm: filter widths differ (%d vs %d); indexes must be built with matching MBits",
+			idxA.MBits, idxB.MBits)
+	}
+	before := c.Metrics().Snapshot()
+	st := &bfhmState{
+		c: c, q: &q, idxA: idxA, idxB: idxB, opts: opts,
+		revCache: map[string][]Tuple{},
+		top:      NewTopKList(q.K),
+	}
+
+	target := q.K
+	shortRounds := 0
+	for round := 0; ; round++ {
+		if round > 2*(idxA.Layout.Buckets+idxB.Layout.Buckets)+64 {
+			return nil, fmt.Errorf("bfhm: repair loop failed to converge")
+		}
+		fetched, err := st.estimationPhase(target)
+		if err != nil {
+			return nil, err
+		}
+		if err := st.reverseMappingPhase(target); err != nil {
+			return nil, err
+		}
+		if bfhmDebug {
+			fmt.Printf("DBG round=%d target=%d fetched=%d nextA=%d nextB=%d est=%d estCard=%.1f top=%d\n",
+				round, target, fetched, st.nextA, st.nextB, len(st.est), st.estCard, st.top.Len())
+		}
+		// Section 5.3 repair checks.
+		if st.top.Len() < q.K && !st.exhausted() {
+			// k' < k results produced: resume the query processing
+			// algorithm, now looking for the top k + (k - k'). The
+			// raised target loosens BOTH the estimation termination
+			// and the phase-2 purge threshold. Inflated cardinality
+			// estimates can keep k' stagnant, so the increment grows
+			// geometrically with consecutive short rounds.
+			deficit := q.K - st.top.Len()
+			if shortRounds < 24 {
+				target += deficit << uint(shortRounds)
+			} else {
+				target *= 2
+			}
+			shortRounds++
+			if fetched == 0 {
+				// Estimation believes it is done (cardinality
+				// overestimates); force real progress.
+				if err := st.forceFetchNext(); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		if st.top.Len() >= q.K {
+			// k or more actual results: compare the k'th actual score
+			// with the max attainable score of unfetched buckets; any
+			// bucket above it must be examined too.
+			kth := st.top.KthScore()
+			if st.maxUnfetchedScore() > kth {
+				n, err := st.fetchBeyond(kth)
+				if err != nil {
+					return nil, err
+				}
+				if n > 0 {
+					continue // redo the exact phase with new buckets
+				}
+			}
+		}
+		break
+	}
+	if opts.WriteBack == WriteBackLazy {
+		for _, b := range st.dirty {
+			if err := writeBackBucket(c, st.idxFor(b), b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Result{Results: st.top.Results(), Cost: c.Metrics().Snapshot().Sub(before)}, nil
+}
+
+func (st *bfhmState) idxFor(b *bfhmBucket) *BFHMIndex {
+	for _, fb := range st.bucketsA {
+		if fb == b {
+			return st.idxA
+		}
+	}
+	return st.idxB
+}
+
+func (st *bfhmState) exhausted() bool {
+	return st.nextA >= st.idxA.Layout.Buckets && st.nextB >= st.idxB.Layout.Buckets
+}
+
+// maxUnfetchedScore bounds the best join score any unexamined bucket
+// combination could produce, using bucket-boundary bounds as in the
+// worked example of Section 5.2.
+func (st *bfhmState) maxUnfetchedScore() float64 {
+	f := st.q.Score.Fn
+	best := math.Inf(-1)
+	if st.nextA < st.idxA.Layout.Buckets {
+		s := f(st.idxA.Layout.MaxScore(st.nextA), st.idxB.Layout.Hi)
+		if s > best {
+			best = s
+		}
+	}
+	if st.nextB < st.idxB.Layout.Buckets {
+		s := f(st.idxA.Layout.Hi, st.idxB.Layout.MaxScore(st.nextB))
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// kthEstimate walks the estimated results in descending max-score order,
+// accumulating cardinalities, and returns the (maxScore, minScore) of the
+// result containing the k'th estimated tuple. ok is false while fewer
+// than k tuples are estimated.
+func (st *bfhmState) kthEstimate(k int) (maxScore, minScore float64, ok bool) {
+	if st.estCard < float64(k) {
+		return 0, 0, false
+	}
+	idxs := make([]int, len(st.est))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	sort.Slice(idxs, func(a, b int) bool {
+		ea, eb := &st.est[idxs[a]], &st.est[idxs[b]]
+		if ea.maxScore != eb.maxScore {
+			return ea.maxScore > eb.maxScore
+		}
+		return ea.minScore > eb.minScore
+	})
+	var acc float64
+	for _, i := range idxs {
+		acc += st.est[i].cardinality
+		if acc >= float64(k) {
+			return st.est[i].maxScore, st.est[i].minScore, true
+		}
+	}
+	return 0, 0, false
+}
+
+// fetchNext fetches the next bucket of one relation and joins it against
+// the other relation's fetched buckets.
+func (st *bfhmState) fetchNext(isA bool) error {
+	if isA {
+		b, err := st.fetchBucket(st.idxA, st.nextA)
+		if err != nil {
+			return err
+		}
+		st.nextA++
+		st.bucketsA = append(st.bucketsA, b)
+		if !b.Empty {
+			return st.joinBucketAgainst(b, true)
+		}
+		return nil
+	}
+	b, err := st.fetchBucket(st.idxB, st.nextB)
+	if err != nil {
+		return err
+	}
+	st.nextB++
+	st.bucketsB = append(st.bucketsB, b)
+	if !b.Empty {
+		return st.joinBucketAgainst(b, false)
+	}
+	return nil
+}
+
+// forceFetchNext pulls one more bucket from each non-exhausted relation.
+func (st *bfhmState) forceFetchNext() error {
+	if st.nextA < st.idxA.Layout.Buckets {
+		if err := st.fetchNext(true); err != nil {
+			return err
+		}
+	}
+	if st.nextB < st.idxB.Layout.Buckets {
+		if err := st.fetchNext(false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fetchBeyond fetches every remaining bucket whose best attainable join
+// score exceeds threshold, returning how many were fetched.
+func (st *bfhmState) fetchBeyond(threshold float64) (int, error) {
+	f := st.q.Score.Fn
+	n := 0
+	for {
+		progressed := false
+		if st.nextA < st.idxA.Layout.Buckets &&
+			f(st.idxA.Layout.MaxScore(st.nextA), st.idxB.Layout.Hi) > threshold {
+			if err := st.fetchNext(true); err != nil {
+				return n, err
+			}
+			n++
+			progressed = true
+		}
+		if st.nextB < st.idxB.Layout.Buckets &&
+			f(st.idxA.Layout.Hi, st.idxB.Layout.MaxScore(st.nextB)) > threshold {
+			if err := st.fetchNext(false); err != nil {
+				return n, err
+			}
+			n++
+			progressed = true
+		}
+		if !progressed {
+			return n, nil
+		}
+	}
+}
+
+// estimationPhase implements Algorithm 6: fetch buckets alternately,
+// join each new bucket against the other relation's fetched buckets, and
+// stop once k tuples are estimated and no unexamined combination can
+// exceed the k'th estimated tuple's score. It returns the number of
+// buckets fetched in this invocation.
+func (st *bfhmState) estimationPhase(k int) (int, error) {
+	fetched := 0
+	// Resume termination check first — the repair loop may re-enter with
+	// a higher k after estimation already terminated once.
+	if done := st.estimationDone(k); done {
+		return fetched, nil
+	}
+	cur := 0
+	if len(st.bucketsA) > len(st.bucketsB) {
+		cur = 1
+	}
+	for {
+		if cur == 0 && st.nextA < st.idxA.Layout.Buckets {
+			if err := st.fetchNext(true); err != nil {
+				return fetched, err
+			}
+			fetched++
+		} else if cur == 1 && st.nextB < st.idxB.Layout.Buckets {
+			if err := st.fetchNext(false); err != nil {
+				return fetched, err
+			}
+			fetched++
+		}
+		if done := st.estimationDone(k); done {
+			return fetched, nil
+		}
+		if st.exhausted() {
+			return fetched, nil
+		}
+		cur = 1 - cur
+	}
+}
+
+// estimationDone checks the Algorithm 6 termination condition for target
+// k: at least k estimated tuples and no unexamined bucket combination
+// above the k'th estimated tuple's score.
+func (st *bfhmState) estimationDone(k int) bool {
+	if st.exhausted() {
+		return true
+	}
+	kthMax, _, ok := st.kthEstimate(k)
+	if !ok {
+		return false
+	}
+	return st.maxUnfetchedScore() <= kthMax
+}
+
+// fetchBucket fetches and (per the write-back policy) reconstructs one
+// bucket.
+func (st *bfhmState) fetchBucket(idx *BFHMIndex, no int) (*bfhmBucket, error) {
+	b, err := fetchBFHMBucket(st.c, idx, no)
+	if err != nil {
+		return nil, err
+	}
+	if b.Dirty {
+		switch st.opts.WriteBack {
+		case WriteBackEager:
+			if err := writeBackBucket(st.c, idx, b); err != nil {
+				return nil, err
+			}
+		case WriteBackLazy:
+			st.dirty = append(st.dirty, b)
+		}
+	}
+	return b, nil
+}
+
+// joinBucketAgainst joins a newly fetched bucket with every fetched
+// bucket of the other relation (Algorithm 6 lines 19-29, Algorithm 7).
+func (st *bfhmState) joinBucketAgainst(nb *bfhmBucket, newIsA bool) error {
+	others := st.bucketsB
+	if !newIsA {
+		others = st.bucketsA
+	}
+	for _, ob := range others {
+		if ob.Empty {
+			continue
+		}
+		var a, b *bfhmBucket
+		if newIsA {
+			a, b = nb, ob
+		} else {
+			a, b = ob, nb
+		}
+		est, err := bloom.EstimateJoin(a.Filter, b.Filter)
+		if err != nil {
+			return err
+		}
+		if est == nil {
+			continue // empty bitmap intersection (Algorithm 7 line 5)
+		}
+		st.est = append(st.est, estimatedResult{
+			bucketA:     a.No,
+			bucketB:     b.No,
+			bits:        est.Bits,
+			cardinality: est.Cardinality,
+			minScore:    st.q.Score.Fn(a.Min, b.Min),
+			maxScore:    st.q.Score.Fn(a.Max, b.Max),
+		})
+		st.estCard += est.Cardinality
+	}
+	return nil
+}
+
+// reverseMappingPhase implements phase 2 (Section 5.2): purge estimated
+// results that cannot reach the target'th estimated tuple's minimum
+// score, fetch the reverse mappings behind the survivors, and join
+// exactly. The purge threshold combines the estimation-side bound (which
+// inflated cardinalities can push too high — hence the repair target)
+// with the previous round's k'th ACTUAL score, whichever admits more.
+func (st *bfhmState) reverseMappingPhase(target int) error {
+	if len(st.est) == 0 {
+		return nil
+	}
+	kthMin := math.Inf(-1)
+	if _, m, ok := st.kthEstimate(target); ok {
+		kthMin = m
+	}
+	if st.top.Full() {
+		// A full top-k from the previous round bounds the final k'th
+		// score from below; keeping everything above it is always
+		// recall-safe and never tighter than the true final threshold.
+		if ka := st.top.KthScore(); ka < kthMin {
+			kthMin = ka
+		}
+	}
+	// Collect the surviving pairs and batch-fetch their reverse-mapping
+	// rows (one multi-get RPC per batch — the per-row read units are
+	// unchanged, but round trips amortize, as with HBase batched Gets).
+	var cands []*estimatedResult
+	for i := range st.est {
+		er := &st.est[i]
+		if er.maxScore < kthMin {
+			continue // purged (Section 5.3 keep rule)
+		}
+		cands = append(cands, er)
+	}
+	if err := st.prefetchReverse(cands); err != nil {
+		return err
+	}
+	st.top = NewTopKList(st.q.K)
+	for _, er := range cands {
+		for _, bit := range er.bits {
+			tuplesA := st.revCache[revCacheKey("A", er.bucketA, bit)]
+			tuplesB := st.revCache[revCacheKey("B", er.bucketB, bit)]
+			for _, ta := range tuplesA {
+				for _, tb := range tuplesB {
+					if ta.JoinValue != tb.JoinValue {
+						continue // Bloom bit collision, not a join
+					}
+					st.top.Add(JoinResult{
+						Left:  ta,
+						Right: tb,
+						Score: st.q.Score.Fn(ta.Score, tb.Score),
+					})
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func revCacheKey(tag string, bucket int, bit uint64) string {
+	return fmt.Sprintf("%s|%d|%d", tag, bucket, bit)
+}
+
+// revBatchSize rows per multi-get RPC during reverse-mapping fetch.
+const revBatchSize = 128
+
+// prefetchReverse multi-gets every not-yet-cached reverse-mapping row
+// the candidate pairs need.
+func (st *bfhmState) prefetchReverse(cands []*estimatedResult) error {
+	type want struct {
+		cacheKey string
+		rowKey   string
+	}
+	var needA, needB []want
+	seen := map[string]bool{}
+	for _, er := range cands {
+		for _, bit := range er.bits {
+			ka := revCacheKey("A", er.bucketA, bit)
+			if _, ok := st.revCache[ka]; !ok && !seen[ka] {
+				seen[ka] = true
+				needA = append(needA, want{ka, kvstore.ReverseMapKey(er.bucketA, bit)})
+			}
+			kb := revCacheKey("B", er.bucketB, bit)
+			if _, ok := st.revCache[kb]; !ok && !seen[kb] {
+				seen[kb] = true
+				needB = append(needB, want{kb, kvstore.ReverseMapKey(er.bucketB, bit)})
+			}
+		}
+	}
+	fetch := func(idx *BFHMIndex, need []want) error {
+		for start := 0; start < len(need); start += revBatchSize {
+			end := start + revBatchSize
+			if end > len(need) {
+				end = len(need)
+			}
+			keys := make([]string, 0, end-start)
+			for _, w := range need[start:end] {
+				keys = append(keys, w.rowKey)
+			}
+			rows, err := st.c.MultiGet(idx.Table, keys)
+			if err != nil {
+				return err
+			}
+			for i, row := range rows {
+				var out []Tuple
+				if row != nil {
+					for j := range row.Cells {
+						t, err := DecodeTuple(row.Cells[j].Value)
+						if err != nil {
+							return fmt.Errorf("bfhm: bad reverse mapping in %s: %w", row.Key, err)
+						}
+						out = append(out, t)
+					}
+				}
+				st.revCache[need[start+i].cacheKey] = out
+			}
+		}
+		return nil
+	}
+	if err := fetch(st.idxA, needA); err != nil {
+		return err
+	}
+	return fetch(st.idxB, needB)
+}
+
+// bfhmDebug enables repair-loop tracing in tests.
+var bfhmDebug = false

@@ -1,0 +1,366 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/histogram"
+	"repro/internal/kvstore"
+	"repro/internal/mapreduce"
+)
+
+// This file implements DRJN, the comparator from Doulkeridis et al. [8]
+// ("Processing of rank joins in highly distributed systems", ICDE 2012)
+// as the paper adapts it to a NoSQL store (Section 7.1):
+//
+//   - The index is a 2-D equi-width histogram: join-value partitions on
+//     the x-axis, score bands on the y-axis. All cells of one score band
+//     are stored as columns of a single row, so one Get fetches a band.
+//   - Query processing loops: (i) fetch band rows in decreasing score
+//     order, (ii) "join" bands (dot product of partition vectors) to
+//     estimate the result cardinality, (iii) once the cumulative estimate
+//     reaches k, pull every tuple scoring above the last fetched bands'
+//     lower bounds — a map-only job with a server-side filter writing to
+//     a temp table the coordinator then reads — and join exactly,
+//     (iv) stop when the k'th actual score beats the max attainable score
+//     of unexamined bands, else loop.
+//
+// The pull step's full scans are what make DRJN's dollar cost huge (the
+// paper measures up to five orders of magnitude worse than BFHM) even
+// though its histogram rows are tiny.
+
+// DRJNIndex locates one relation's DRJN histogram.
+type DRJNIndex struct {
+	Table     string
+	Layout    histogram.Layout
+	JoinParts int
+}
+
+// DRJNOptions configures index construction.
+type DRJNOptions struct {
+	// NumBuckets is the score-axis resolution (paper: 100-500).
+	NumBuckets int
+	// JoinParts is the join-value-axis resolution.
+	JoinParts int
+}
+
+func (o *DRJNOptions) defaults() {
+	if o.NumBuckets < 1 {
+		o.NumBuckets = 100
+	}
+	if o.JoinParts < 1 {
+		o.JoinParts = 64
+	}
+}
+
+const (
+	drjnFamily   = "m"
+	drjnBandQual = "band"
+)
+
+// DRJNTableName derives a relation's index table name.
+func DRJNTableName(rel *Relation) string { return "drjn_" + rel.Name }
+
+// BuildDRJN builds one relation's DRJN matrix with a MapReduce job: the
+// mapper assigns tuples to score bands, each reducer assembles one band's
+// partition vector and writes it as a single index row.
+func BuildDRJN(c *kvstore.Cluster, rel Relation, opts DRJNOptions) (*DRJNIndex, *mapreduce.Result, error) {
+	opts.defaults()
+	layout, err := histogram.NewLayout(0, 1, opts.NumBuckets)
+	if err != nil {
+		return nil, nil, err
+	}
+	idx := &DRJNIndex{Table: DRJNTableName(&rel), Layout: layout, JoinParts: opts.JoinParts}
+	if _, err := c.CreateTable(idx.Table, []string{drjnFamily}, nil); err != nil {
+		return nil, nil, err
+	}
+	res, err := mapreduce.Run(&mapreduce.Job{
+		Name:    "drjn-index-" + rel.Name,
+		Cluster: c,
+		Input:   kvstore.Scan{Table: rel.Table, Families: []string{rel.Family}},
+		Mapper: mapreduce.MapperFunc(func(row *kvstore.Row, ctx mapreduce.Context) error {
+			t, ok := TupleFromRow(&rel, row)
+			if !ok {
+				ctx.Counter("skipped", 1)
+				return nil
+			}
+			ctx.Emit(kvstore.BucketKey(layout.BucketOf(t.Score)), EncodeTuple(t))
+			return nil
+		}),
+		Reducer: mapreduce.ReducerFunc(func(key string, values [][]byte, ctx mapreduce.Context) error {
+			cells := make([]uint64, opts.JoinParts)
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, v := range values {
+				t, err := DecodeTuple(v)
+				if err != nil {
+					return err
+				}
+				cells[histogram.PartitionOf(t.JoinValue, opts.JoinParts)]++
+				if t.Score < lo {
+					lo = t.Score
+				}
+				if t.Score > hi {
+					hi = t.Score
+				}
+			}
+			ctx.WriteCell(idx.Table, kvstore.Cell{
+				Row:       key,
+				Family:    drjnFamily,
+				Qualifier: drjnBandQual,
+				Value:     histogram.MarshalBandData(cells, lo, hi, true),
+			})
+			return nil
+		}),
+		NumReducers: c.Nodes(),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return idx, res, nil
+}
+
+// drjnBand is one fetched band row.
+type drjnBand struct {
+	no   int
+	data *histogram.BandData
+	// floor is the band's pull threshold: its observed lower bound.
+	floor float64
+}
+
+// fetchDRJNBand fetches band b (nil data if the band row is missing).
+func fetchDRJNBand(c *kvstore.Cluster, idx *DRJNIndex, b int) (*drjnBand, error) {
+	row, err := c.Get(idx.Table, kvstore.BucketKey(b))
+	if err != nil {
+		return nil, err
+	}
+	out := &drjnBand{no: b, floor: idx.Layout.MinScore(b)}
+	if row == nil {
+		return out, nil
+	}
+	cell := row.Cell(drjnFamily, drjnBandQual)
+	if cell == nil {
+		return out, nil
+	}
+	bd, err := histogram.UnmarshalBand(cell.Value)
+	if err != nil {
+		return nil, fmt.Errorf("drjn: band %d: %w", b, err)
+	}
+	out.data = bd
+	if bd.NonEmpty {
+		out.floor = bd.Lo
+	}
+	return out, nil
+}
+
+// drjnPull runs the map-only pull job: every tuple of rel with score >=
+// bound is written to tmpTable (server-side filtered scan; the scan reads
+// everything, the network carries only matches).
+func drjnPull(c *kvstore.Cluster, rel Relation, tmpTable string, bound float64) error {
+	_, err := mapreduce.Run(&mapreduce.Job{
+		Name:    "drjn-pull-" + rel.Name,
+		Cluster: c,
+		Input: kvstore.Scan{
+			Table:    rel.Table,
+			Families: []string{rel.Family},
+			Filter: kvstore.FloatColumnMinFilter{
+				Family:    rel.Family,
+				Qualifier: rel.ScoreQual,
+				Min:       bound,
+			},
+		},
+		Mapper: mapreduce.MapperFunc(func(row *kvstore.Row, ctx mapreduce.Context) error {
+			t, ok := TupleFromRow(&rel, row)
+			if !ok {
+				return nil
+			}
+			ctx.WriteCell(tmpTable, kvstore.Cell{
+				Row:       t.RowKey,
+				Family:    drjnFamily,
+				Qualifier: "t",
+				Value:     EncodeTuple(t),
+			})
+			return nil
+		}),
+	})
+	return err
+}
+
+// readPulled drains a pull temp table at the coordinator.
+func readPulled(c *kvstore.Cluster, tmpTable string) ([]Tuple, error) {
+	rows, err := c.ScanAll(kvstore.Scan{Table: tmpTable, Caching: 1024})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Tuple, 0, len(rows))
+	for i := range rows {
+		cell := rows[i].Cell(drjnFamily, "t")
+		if cell == nil {
+			continue
+		}
+		t, err := DecodeTuple(cell.Value)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// QueryDRJN runs the DRJN rank join.
+func QueryDRJN(c *kvstore.Cluster, q Query, idxA, idxB *DRJNIndex) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if idxA.JoinParts != idxB.JoinParts {
+		return nil, fmt.Errorf("drjn: partition counts differ (%d vs %d)", idxA.JoinParts, idxB.JoinParts)
+	}
+	before := c.Metrics().Snapshot()
+	f := q.Score.Fn
+
+	var bandsA, bandsB []*drjnBand
+	nextA, nextB := 0, 0
+	var estCard uint64
+	top := NewTopKList(q.K)
+	round := 0
+
+	exhausted := func() bool {
+		return nextA >= idxA.Layout.Buckets && nextB >= idxB.Layout.Buckets
+	}
+	// Max attainable score of tuples NOT yet pulled: anything below the
+	// current pull floors.
+	maxUnpulled := func() float64 {
+		floorA, floorB := 1.0, 1.0
+		if len(bandsA) > 0 {
+			floorA = bandsA[len(bandsA)-1].floor
+		}
+		if len(bandsB) > 0 {
+			floorB = bandsB[len(bandsB)-1].floor
+		}
+		if nextA >= idxA.Layout.Buckets {
+			floorA = 0
+		}
+		if nextB >= idxB.Layout.Buckets {
+			floorB = 0
+		}
+		return math.Max(f(floorA, idxB.Layout.Hi), f(idxA.Layout.Hi, floorB))
+	}
+
+	for {
+		round++
+		if round > idxA.Layout.Buckets+idxB.Layout.Buckets+4 {
+			return nil, fmt.Errorf("drjn: failed to converge")
+		}
+		// (i)+(ii): fetch bands alternately until the estimate covers k.
+		for estCard < uint64(q.K) && !exhausted() {
+			if nextA <= nextB && nextA < idxA.Layout.Buckets || nextB >= idxB.Layout.Buckets {
+				nb, err := fetchDRJNBand(c, idxA, nextA)
+				if err != nil {
+					return nil, err
+				}
+				nextA++
+				bandsA = append(bandsA, nb)
+				if nb.data != nil {
+					for _, ob := range bandsB {
+						if ob.data == nil {
+							continue
+						}
+						n, err := histogram.DotProduct(nb.data, ob.data)
+						if err != nil {
+							return nil, err
+						}
+						estCard += n
+					}
+				}
+			} else {
+				nb, err := fetchDRJNBand(c, idxB, nextB)
+				if err != nil {
+					return nil, err
+				}
+				nextB++
+				bandsB = append(bandsB, nb)
+				if nb.data != nil {
+					for _, ob := range bandsA {
+						if ob.data == nil {
+							continue
+						}
+						n, err := histogram.DotProduct(ob.data, nb.data)
+						if err != nil {
+							return nil, err
+						}
+						estCard += n
+					}
+				}
+			}
+		}
+		// (iii): pull all tuples above the current floors and join.
+		floorA, floorB := 0.0, 0.0
+		if len(bandsA) > 0 {
+			floorA = bandsA[len(bandsA)-1].floor
+		}
+		if len(bandsB) > 0 {
+			floorB = bandsB[len(bandsB)-1].floor
+		}
+		tmpA := fmt.Sprintf("tmp_drjn_%s_a_%d_%d", q.ID(), round, c.Now())
+		tmpB := fmt.Sprintf("tmp_drjn_%s_b_%d_%d", q.ID(), round, c.Now())
+		if _, err := c.CreateTable(tmpA, []string{drjnFamily}, nil); err != nil {
+			return nil, err
+		}
+		if _, err := c.CreateTable(tmpB, []string{drjnFamily}, nil); err != nil {
+			return nil, err
+		}
+		if err := drjnPull(c, q.Left, tmpA, floorA); err != nil {
+			return nil, err
+		}
+		if err := drjnPull(c, q.Right, tmpB, floorB); err != nil {
+			return nil, err
+		}
+		pulledA, err := readPulled(c, tmpA)
+		if err != nil {
+			return nil, err
+		}
+		pulledB, err := readPulled(c, tmpB)
+		if err != nil {
+			return nil, err
+		}
+		_ = c.DropTable(tmpA)
+		_ = c.DropTable(tmpB)
+
+		top = NewTopKList(q.K)
+		byJoin := map[string][]Tuple{}
+		for _, t := range pulledA {
+			byJoin[t.JoinValue] = append(byJoin[t.JoinValue], t)
+		}
+		for _, tb := range pulledB {
+			for _, ta := range byJoin[tb.JoinValue] {
+				top.Add(JoinResult{Left: ta, Right: tb, Score: f(ta.Score, tb.Score)})
+			}
+		}
+		// (iv): terminate or loop with more bands.
+		if top.Len() >= q.K && top.KthScore() >= maxUnpulled() {
+			break
+		}
+		if exhausted() {
+			break
+		}
+		// Fetch at least one more band per relation and re-estimate.
+		estCard = 0 // force the fetch loop to deepen
+		if nextA < idxA.Layout.Buckets {
+			nb, err := fetchDRJNBand(c, idxA, nextA)
+			if err != nil {
+				return nil, err
+			}
+			nextA++
+			bandsA = append(bandsA, nb)
+		}
+		if nextB < idxB.Layout.Buckets {
+			nb, err := fetchDRJNBand(c, idxB, nextB)
+			if err != nil {
+				return nil, err
+			}
+			nextB++
+			bandsB = append(bandsB, nb)
+		}
+		estCard = uint64(q.K) // bands already fetched; go straight to pull
+	}
+	return &Result{Results: top.Results(), Cost: c.Metrics().Snapshot().Sub(before)}, nil
+}

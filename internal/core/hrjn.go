@@ -1,0 +1,188 @@
+package core
+
+import "math"
+
+// This file implements the HRJN rank-join operator of Ilyas et al.
+// (Section 4.2.1) in its two-way form. HRJN pulls tuples from two
+// score-descending streams, joins each new tuple against everything seen
+// from the other stream, and stops when the k'th best join score reaches
+// the threshold
+//
+//	S = max( f(sMinA, sMaxB), f(sMaxA, sMinB) )
+//
+// — the best score any future join result could attain. The ISL
+// algorithm (Section 4.2.3) is HRJN with the streams backed by batched
+// scans of the inverse score lists.
+
+// TupleSource is a score-descending stream of tuples. Next returns nil
+// when the stream is exhausted.
+type TupleSource interface {
+	Next() (*Tuple, error)
+}
+
+// SliceSource adapts an in-memory slice (already sorted descending by
+// score) to TupleSource; tests and the quickstart example use it.
+type SliceSource struct {
+	Tuples []Tuple
+	pos    int
+}
+
+// Next implements TupleSource.
+func (s *SliceSource) Next() (*Tuple, error) {
+	if s.pos >= len(s.Tuples) {
+		return nil, nil
+	}
+	t := &s.Tuples[s.pos]
+	s.pos++
+	return t, nil
+}
+
+// HRJN is the pull/bound rank-join operator state.
+type HRJN struct {
+	score ScoreFunc
+	k     int
+
+	seenA map[string][]Tuple // join value -> tuples pulled from A
+	seenB map[string][]Tuple
+	top   *TopKList
+
+	maxA, minA float64 // highest/lowest score pulled from A
+	maxB, minB float64
+	gotA, gotB bool
+	doneA      bool
+	doneB      bool
+
+	pulled int
+}
+
+// NewHRJN creates an operator for top-k with aggregate f.
+func NewHRJN(k int, f ScoreFunc) *HRJN {
+	return &HRJN{
+		score: f,
+		k:     k,
+		seenA: map[string][]Tuple{},
+		seenB: map[string][]Tuple{},
+		top:   NewTopKList(k),
+		minA:  math.Inf(1), maxA: math.Inf(-1),
+		minB: math.Inf(1), maxB: math.Inf(-1),
+	}
+}
+
+// PushA feeds one tuple pulled from stream A (descending order is the
+// caller's contract). It joins the tuple against all B tuples seen.
+func (h *HRJN) PushA(t Tuple) {
+	h.pulled++
+	h.gotA = true
+	if t.Score > h.maxA {
+		h.maxA = t.Score
+	}
+	if t.Score < h.minA {
+		h.minA = t.Score
+	}
+	h.seenA[t.JoinValue] = append(h.seenA[t.JoinValue], t)
+	for _, other := range h.seenB[t.JoinValue] {
+		h.top.Add(JoinResult{Left: t, Right: other, Score: h.score.Fn(t.Score, other.Score)})
+	}
+}
+
+// PushB feeds one tuple pulled from stream B.
+func (h *HRJN) PushB(t Tuple) {
+	h.pulled++
+	h.gotB = true
+	if t.Score > h.maxB {
+		h.maxB = t.Score
+	}
+	if t.Score < h.minB {
+		h.minB = t.Score
+	}
+	h.seenB[t.JoinValue] = append(h.seenB[t.JoinValue], t)
+	for _, other := range h.seenA[t.JoinValue] {
+		h.top.Add(JoinResult{Left: other, Right: t, Score: h.score.Fn(other.Score, t.Score)})
+	}
+}
+
+// ExhaustA marks stream A as drained.
+func (h *HRJN) ExhaustA() { h.doneA = true }
+
+// ExhaustB marks stream B as drained.
+func (h *HRJN) ExhaustB() { h.doneB = true }
+
+// Threshold returns the best join score any future result could have:
+// max(f(minA, maxB), f(maxA, minB)). Before both streams have produced a
+// tuple the threshold is +Inf (nothing can be ruled out).
+func (h *HRJN) Threshold() float64 {
+	if !h.gotA || !h.gotB {
+		if h.doneA || h.doneB {
+			return math.Inf(-1) // one stream empty: no joins can exist
+		}
+		return math.Inf(1)
+	}
+	// If a stream is exhausted its "future" contribution is bounded by
+	// the lowest score it produced; otherwise by the last (lowest) seen.
+	tA := h.score.Fn(h.minA, h.maxB)
+	tB := h.score.Fn(h.maxA, h.minB)
+	if h.doneA && h.doneB {
+		return math.Inf(-1)
+	}
+	if h.doneA {
+		return tB // only B can produce new tuples
+	}
+	if h.doneB {
+		return tA
+	}
+	if tA > tB {
+		return tA
+	}
+	return tB
+}
+
+// Done reports whether the operator can stop: k results are held and the
+// k'th score is at least the threshold.
+func (h *HRJN) Done() bool {
+	if h.doneA && h.doneB {
+		return true
+	}
+	if !h.top.Full() {
+		return false
+	}
+	return h.top.KthScore() >= h.Threshold()
+}
+
+// Results returns the current top-k, best first.
+func (h *HRJN) Results() []JoinResult { return h.top.Results() }
+
+// TuplesPulled returns how many tuples were fed in (the paper's
+// "tuples transferred" cost driver for ISL).
+func (h *HRJN) TuplesPulled() int { return h.pulled }
+
+// RunHRJN drives the operator over two sources with single-tuple
+// alternating pulls (classic HRJN) and returns the top-k.
+func RunHRJN(k int, f ScoreFunc, a, b TupleSource) ([]JoinResult, error) {
+	h := NewHRJN(k, f)
+	pullA := true
+	for !h.Done() {
+		var src TupleSource
+		if (pullA && !h.doneA) || h.doneB {
+			src = a
+		} else {
+			src = b
+		}
+		t, err := src.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t == nil {
+			if src == a {
+				h.ExhaustA()
+			} else {
+				h.ExhaustB()
+			}
+		} else if src == a {
+			h.PushA(*t)
+		} else {
+			h.PushB(*t)
+		}
+		pullA = !pullA
+	}
+	return h.Results(), nil
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"sort"
+	"testing"
+)
+
+// descending sorts tuples by score descending (HRJN input contract).
+func descending(ts []Tuple) []Tuple {
+	out := append([]Tuple(nil), ts...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].RowKey < out[j].RowKey
+	})
+	return out
+}
+
+func TestHRJNPaperExample(t *testing.T) {
+	// Running example (Fig. 1), f = sum, k = 3. Exact answer:
+	// 1.74 (r1_7 b + r2_11), 1.73 (r1_7 b + r2_2), 1.62 (r1_8 b + r2_11).
+	got, err := RunHRJN(3, Sum,
+		&SliceSource{Tuples: descending(paperR1)},
+		&SliceSource{Tuples: descending(paperR2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracleTopK(paperR1, paperR2, Sum, 3)
+	assertScoresEqual(t, "hrjn-paper", scoresOf(got), scoresOf(want))
+	verifyResultsAreRealJoins(t, "hrjn-paper", got, Sum)
+	if got[0].Score != 1.74 || got[1].Score != 1.73 {
+		t.Fatalf("top scores = %v, want [1.74 1.73 1.62]", scoresOf(got))
+	}
+	if got[0].Left.RowKey != "r1_7" || got[0].Right.RowKey != "r2_11" {
+		t.Fatalf("top pair = %s+%s", got[0].Left.RowKey, got[0].Right.RowKey)
+	}
+}
+
+func TestHRJNMatchesOracleRandom(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		left := synthTuples("l", 150, 25, "uniform", seed)
+		right := synthTuples("r", 150, 25, "uniform", seed+1000)
+		for _, k := range []int{1, 5, 30} {
+			for _, f := range []ScoreFunc{Sum, Product} {
+				got, err := RunHRJN(k, f,
+					&SliceSource{Tuples: descending(left)},
+					&SliceSource{Tuples: descending(right)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := oracleTopK(left, right, f, k)
+				assertScoresEqual(t, "hrjn-random", scoresOf(got), scoresOf(want))
+				verifyResultsAreRealJoins(t, "hrjn-random", got, f)
+			}
+		}
+	}
+}
+
+func TestHRJNEarlyTermination(t *testing.T) {
+	// With a huge score gap after the top tuples, HRJN must stop long
+	// before exhausting the inputs.
+	var left, right []Tuple
+	left = append(left, Tuple{RowKey: "L0", JoinValue: "hot", Score: 1.0})
+	right = append(right, Tuple{RowKey: "R0", JoinValue: "hot", Score: 1.0})
+	for i := 0; i < 1000; i++ {
+		left = append(left, Tuple{RowKey: tkey("L", i), JoinValue: "cold", Score: 0.01})
+		right = append(right, Tuple{RowKey: tkey("R", i), JoinValue: "cold", Score: 0.01})
+	}
+	h := NewHRJN(1, Sum)
+	a := &SliceSource{Tuples: descending(left)}
+	b := &SliceSource{Tuples: descending(right)}
+	pulls := 0
+	for !h.Done() {
+		var src *SliceSource
+		if pulls%2 == 0 {
+			src = a
+		} else {
+			src = b
+		}
+		tp, _ := src.Next()
+		if tp == nil {
+			break
+		}
+		if src == a {
+			h.PushA(*tp)
+		} else {
+			h.PushB(*tp)
+		}
+		pulls++
+	}
+	if pulls > 10 {
+		t.Errorf("HRJN pulled %d tuples; expected early termination after a handful", pulls)
+	}
+	rs := h.Results()
+	if len(rs) != 1 || rs[0].Score != 2.0 {
+		t.Fatalf("results = %v", rs)
+	}
+}
+
+func tkey(p string, i int) string {
+	return p + string(rune('a'+i/26/26%26)) + string(rune('a'+i/26%26)) + string(rune('a'+i%26))
+}
+
+func TestHRJNEmptyInputs(t *testing.T) {
+	got, err := RunHRJN(5, Sum, &SliceSource{}, &SliceSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty inputs produced %v", got)
+	}
+	// One-sided emptiness.
+	got, err = RunHRJN(5, Sum,
+		&SliceSource{Tuples: []Tuple{{RowKey: "a", JoinValue: "x", Score: 1}}},
+		&SliceSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("one-sided input produced %v", got)
+	}
+}
+
+func TestHRJNFewerThanKResults(t *testing.T) {
+	left := []Tuple{{RowKey: "a", JoinValue: "x", Score: 0.9}}
+	right := []Tuple{{RowKey: "b", JoinValue: "x", Score: 0.8}}
+	got, err := RunHRJN(10, Sum, &SliceSource{Tuples: left}, &SliceSource{Tuples: right})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d results, want 1", len(got))
+	}
+}
+
+func TestHRJNThresholdMath(t *testing.T) {
+	h := NewHRJN(1, Sum)
+	if th := h.Threshold(); th != h.Threshold() || !(th > 1e308) {
+		t.Fatalf("initial threshold = %g, want +Inf", th)
+	}
+	near := func(a, b float64) bool { d := a - b; return d < 1e-9 && d > -1e-9 }
+	h.PushA(Tuple{RowKey: "a1", JoinValue: "x", Score: 0.9})
+	h.PushB(Tuple{RowKey: "b1", JoinValue: "y", Score: 0.8})
+	// threshold = max(f(minA, maxB), f(maxA, minB)) = max(1.7, 1.7).
+	if th := h.Threshold(); !near(th, 1.7) {
+		t.Fatalf("threshold = %g, want 1.7", th)
+	}
+	h.PushA(Tuple{RowKey: "a2", JoinValue: "x", Score: 0.5})
+	// max(f(0.5, 0.8), f(0.9, 0.8)) = max(1.3, 1.7) = 1.7.
+	if th := h.Threshold(); !near(th, 1.7) {
+		t.Fatalf("threshold = %g, want 1.7", th)
+	}
+	h.PushB(Tuple{RowKey: "b2", JoinValue: "y", Score: 0.2})
+	// max(f(0.5, 0.8), f(0.9, 0.2)) = max(1.3, 1.1) = 1.3.
+	if th := h.Threshold(); !near(th, 1.3) {
+		t.Fatalf("threshold = %g, want 1.3", th)
+	}
+	if h.TuplesPulled() != 4 {
+		t.Fatalf("pulled = %d", h.TuplesPulled())
+	}
+}

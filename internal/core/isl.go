@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/kvstore"
+	"repro/internal/mapreduce"
+)
+
+// This file implements ISL — Inverse Score List rank join (Section 4.2).
+// The index inverts each relation on its (negated) score: one index row
+// per distinct score value, holding {tuple row key -> join value} entries
+// (Fig. 3). A coordinator drives the HRJN operator over the two lists,
+// scanning them alternately in batches (HBase scanner caching), and stops
+// at the HRJN threshold.
+
+// ISLIndex locates a built ISL index.
+type ISLIndex struct {
+	// Table is the shared index table.
+	Table string
+	// LeftFamily / RightFamily are the per-relation column families.
+	LeftFamily  string
+	RightFamily string
+}
+
+// ISLTableName derives the index table name for a query.
+func ISLTableName(q *Query) string { return "isl_" + q.ID() }
+
+// BuildISLRelation indexes one relation (Algorithm 3): a map-only job
+// writing {negated-score: rowKey, joinValue} cells.
+func BuildISLRelation(c *kvstore.Cluster, rel Relation, indexTable, fam string) (*mapreduce.Result, error) {
+	return mapreduce.Run(&mapreduce.Job{
+		Name:    "isl-index-" + rel.Name,
+		Cluster: c,
+		Input:   kvstore.Scan{Table: rel.Table, Families: []string{rel.Family}},
+		Mapper: mapreduce.MapperFunc(func(row *kvstore.Row, ctx mapreduce.Context) error {
+			t, ok := TupleFromRow(&rel, row)
+			if !ok {
+				ctx.Counter("skipped", 1)
+				return nil
+			}
+			// emit(score: rowKey, joinValue) — Algorithm 3 line 5,
+			// with the negated-score key encoding of Section 4.2.2.
+			ctx.WriteCell(indexTable, kvstore.Cell{
+				Row:       kvstore.EncodeScoreDesc(t.Score),
+				Family:    fam,
+				Qualifier: t.RowKey,
+				Value:     []byte(t.JoinValue),
+			})
+			ctx.Counter("indexed", 1)
+			return nil
+		}),
+	})
+}
+
+// BuildISL creates the index table and indexes both relations.
+func BuildISL(c *kvstore.Cluster, q Query) (*ISLIndex, []*mapreduce.Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, nil, err
+	}
+	idx := &ISLIndex{
+		Table:       ISLTableName(&q),
+		LeftFamily:  q.Left.Name,
+		RightFamily: q.Right.Name,
+	}
+	// Score keys are uniform hex; split the key space evenly per node.
+	if _, err := c.CreateTable(idx.Table, []string{idx.LeftFamily, idx.RightFamily}, scoreKeySplits(c.Nodes())); err != nil {
+		return nil, nil, err
+	}
+	left, err := BuildISLRelation(c, q.Left, idx.Table, idx.LeftFamily)
+	if err != nil {
+		return nil, nil, err
+	}
+	right, err := BuildISLRelation(c, q.Right, idx.Table, idx.RightFamily)
+	if err != nil {
+		return nil, nil, err
+	}
+	return idx, []*mapreduce.Result{left, right}, nil
+}
+
+// scoreKeySplits pre-splits the negated-score hex key space. Scores in
+// [0,1] negate into a narrow band of the float key space; splitting on
+// the first hex digits of that band spreads regions across nodes.
+func scoreKeySplits(nodes int) []string {
+	if nodes < 2 {
+		return nil
+	}
+	// Keys for scores in (0,1] range from EncodeFloat(-1) to
+	// EncodeFloat(0); sample boundary scores to build the splits.
+	var out []string
+	for i := 1; i < nodes; i++ {
+		s := 1 - float64(i)/float64(nodes) // descending score boundaries
+		out = append(out, kvstore.EncodeScoreDesc(s))
+	}
+	return out
+}
+
+// ISLOptions tunes the coordinator's batched scans.
+type ISLOptions struct {
+	// BatchLeft / BatchRight are the scanner caching sizes C_A and C_B
+	// of Algorithm 4 (index rows per RPC). The paper configures them as
+	// a fraction of the score domain (1%, 0.1%, ...).
+	BatchLeft  int
+	BatchRight int
+}
+
+// islStream adapts a batched scan over one index family to the HRJN
+// operator's pull interface, expanding index rows (one per distinct
+// score) into tuples.
+type islStream struct {
+	scanner *kvstore.Scanner
+	buf     []Tuple
+	pos     int
+	done    bool
+}
+
+func newISLStream(c *kvstore.Cluster, table, family string, batch int) (*islStream, error) {
+	if batch < 1 {
+		batch = 1
+	}
+	sc, err := c.OpenScanner(kvstore.Scan{
+		Table:    table,
+		Families: []string{family},
+		Caching:  batch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &islStream{scanner: sc}, nil
+}
+
+// Next implements TupleSource.
+func (s *islStream) Next() (*Tuple, error) {
+	for s.pos >= len(s.buf) {
+		if s.done {
+			return nil, nil
+		}
+		row, err := s.scanner.Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			s.done = true
+			return nil, nil
+		}
+		score, err := kvstore.DecodeScoreDesc(row.Key)
+		if err != nil {
+			return nil, fmt.Errorf("isl: bad score key %q: %w", row.Key, err)
+		}
+		s.buf = s.buf[:0]
+		s.pos = 0
+		for i := range row.Cells {
+			c := &row.Cells[i]
+			s.buf = append(s.buf, Tuple{
+				RowKey:    c.Qualifier,
+				JoinValue: string(c.Value),
+				Score:     score,
+			})
+		}
+	}
+	t := &s.buf[s.pos]
+	s.pos++
+	return t, nil
+}
+
+// QueryISL runs the coordinator rank join of Algorithm 4: batched,
+// alternating scans of the two inverse score lists feeding HRJN until the
+// threshold test passes.
+func QueryISL(c *kvstore.Cluster, q Query, idx *ISLIndex, opts ISLOptions) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.BatchLeft < 1 {
+		opts.BatchLeft = 100
+	}
+	if opts.BatchRight < 1 {
+		opts.BatchRight = opts.BatchLeft
+	}
+	before := c.Metrics().Snapshot()
+
+	left, err := newISLStream(c, idx.Table, idx.LeftFamily, opts.BatchLeft)
+	if err != nil {
+		return nil, err
+	}
+	right, err := newISLStream(c, idx.Table, idx.RightFamily, opts.BatchRight)
+	if err != nil {
+		return nil, err
+	}
+
+	h := NewHRJN(q.K, q.Score)
+	cur := 0 // 0 = left, 1 = right (Algorithm 4's CurrentRelation)
+	for !h.Done() {
+		var batch int
+		var src *islStream
+		if cur == 0 {
+			src, batch = left, opts.BatchLeft
+		} else {
+			src, batch = right, opts.BatchRight
+		}
+		if (cur == 0 && left.done && left.pos >= len(left.buf)) ||
+			(cur == 1 && right.done && right.pos >= len(right.buf)) {
+			// This side is exhausted; flip to the other, and if both
+			// are drained HRJN.Done will fire via Exhaust marks.
+			if cur == 0 {
+				h.ExhaustA()
+			} else {
+				h.ExhaustB()
+			}
+			cur = 1 - cur
+			if h.doneA && h.doneB {
+				break
+			}
+			continue
+		}
+		// Consume one batch worth of tuples from the current side,
+		// testing termination after every tuple (Algorithm 4 line 20).
+		for i := 0; i < batch && !h.Done(); i++ {
+			t, err := src.Next()
+			if err != nil {
+				return nil, err
+			}
+			if t == nil {
+				if cur == 0 {
+					h.ExhaustA()
+				} else {
+					h.ExhaustB()
+				}
+				break
+			}
+			if cur == 0 {
+				h.PushA(*t)
+			} else {
+				h.PushB(*t)
+			}
+		}
+		cur = 1 - cur
+	}
+	return &Result{Results: h.Results(), Cost: c.Metrics().Snapshot().Sub(before)}, nil
+}

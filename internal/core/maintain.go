@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bloom"
+	"repro/internal/kvstore"
+)
+
+// bloomBitPos mirrors bloom.Hybrid.BitPos for callers that maintain a
+// filter they cannot decode (the mutation path never reads the blob).
+func bloomBitPos(mbits uint64, joinValue string) uint64 {
+	return bloom.Hash64String(joinValue) % mbits
+}
+
+// This file implements Section 6 — online updates and index maintenance.
+// Base-data insertions and deletions are intercepted at the caller level
+// and augmented to mutate the indexes as well, reusing the original
+// mutation's timestamp everywhere so replicas converge (the paper's
+// eventual-consistency treatment: "key-value timestamps are used to
+// discern between fresh and stale tuples").
+//
+//   - IJLMR and ISL indexes are inverted lists, so a tuple mutation maps
+//     to one index-cell mutation each.
+//   - BFHM blobs cannot be updated in place; mutations append insertion
+//     or tombstone records to the bucket row (same timestamp as the base
+//     mutation) and maintain the reverse mappings directly. Readers
+//     replay the records over the blob; the write-back of reconstructed
+//     blobs happens eagerly, lazily, or offline (see bfhm.go).
+
+// Maintainer intercepts tuple-level mutations for one relation and keeps
+// its indexes synchronized.
+type Maintainer struct {
+	C   *kvstore.Cluster
+	Rel Relation
+	// Any subset of the following may be set.
+	IJLMR       *IJLMRIndex
+	IJLMRFamily string
+	ISL         *ISLIndex
+	ISLFamily   string
+	BFHM        *BFHMIndex
+}
+
+// InsertTuple writes a new base tuple and its index entries, all stamped
+// with one fresh timestamp.
+func (m *Maintainer) InsertTuple(t Tuple, extraCells ...kvstore.Cell) error {
+	if t.RowKey == "" || t.JoinValue == "" {
+		return fmt.Errorf("core: insert needs row key and join value")
+	}
+	ts := m.C.Now()
+
+	// Base data first (the paper's augmented mutation).
+	base := []kvstore.Cell{
+		{Row: t.RowKey, Family: m.Rel.Family, Qualifier: m.Rel.JoinQual, Value: []byte(t.JoinValue), Timestamp: ts},
+		{Row: t.RowKey, Family: m.Rel.Family, Qualifier: m.Rel.ScoreQual, Value: kvstore.FloatValue(t.Score), Timestamp: ts},
+	}
+	for _, c := range extraCells {
+		c.Row = t.RowKey
+		c.Timestamp = ts
+		base = append(base, c)
+	}
+	if err := m.C.MutateRow(m.Rel.Table, base); err != nil {
+		return err
+	}
+
+	if m.IJLMR != nil {
+		if err := m.C.Put(m.IJLMR.Table, kvstore.Cell{
+			Row: t.JoinValue, Family: m.IJLMRFamily, Qualifier: t.RowKey,
+			Value: kvstore.FloatValue(t.Score), Timestamp: ts,
+		}); err != nil {
+			return err
+		}
+	}
+	if m.ISL != nil {
+		if err := m.C.Put(m.ISL.Table, kvstore.Cell{
+			Row: kvstore.EncodeScoreDesc(t.Score), Family: m.ISLFamily, Qualifier: t.RowKey,
+			Value: []byte(t.JoinValue), Timestamp: ts,
+		}); err != nil {
+			return err
+		}
+	}
+	if m.BFHM != nil {
+		if err := m.bfhmInsert(t, ts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeleteTuple removes a base tuple and its index entries. The caller
+// supplies the tuple's current join value and score (the paper's
+// interception point has them at hand).
+func (m *Maintainer) DeleteTuple(t Tuple) error {
+	ts := m.C.Now()
+	if err := m.C.Delete(m.Rel.Table, t.RowKey, m.Rel.Family, m.Rel.JoinQual, ts); err != nil {
+		return err
+	}
+	if err := m.C.Delete(m.Rel.Table, t.RowKey, m.Rel.Family, m.Rel.ScoreQual, ts); err != nil {
+		return err
+	}
+	if m.IJLMR != nil {
+		if err := m.C.Delete(m.IJLMR.Table, t.JoinValue, m.IJLMRFamily, t.RowKey, ts); err != nil {
+			return err
+		}
+	}
+	if m.ISL != nil {
+		if err := m.C.Delete(m.ISL.Table, kvstore.EncodeScoreDesc(t.Score), m.ISLFamily, t.RowKey, ts); err != nil {
+			return err
+		}
+	}
+	if m.BFHM != nil {
+		if err := m.bfhmDelete(t, ts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bfhmInsert appends an insertion record to the bucket row and adds the
+// reverse mapping (Section 6: "each tuple insertion ... will result in an
+// insertion record being added to the bucket row, in addition to an entry
+// being added in the corresponding reverse mapping row").
+func (m *Maintainer) bfhmInsert(t Tuple, ts int64) error {
+	bucket := m.BFHM.Layout.BucketOf(t.Score)
+	bitPos := bloomBitPos(m.BFHM.MBits, t.JoinValue)
+	// Reverse mapping entry.
+	if err := m.C.Put(m.BFHM.Table, kvstore.Cell{
+		Row:       kvstore.ReverseMapKey(bucket, bitPos),
+		Family:    bfhmFamily,
+		Qualifier: t.RowKey,
+		Value:     EncodeTuple(t),
+		Timestamp: ts,
+	}); err != nil {
+		return err
+	}
+	// Insertion record on the bucket row.
+	return m.C.Put(m.BFHM.Table, kvstore.Cell{
+		Row:       kvstore.BucketKey(bucket),
+		Family:    bfhmFamily,
+		Qualifier: bfhmInsPfx + t.RowKey,
+		Value:     EncodeTuple(t),
+		Timestamp: ts,
+	})
+}
+
+// bfhmDelete adds a tombstone record to the bucket row and deletes the
+// reverse mapping directly (Section 6).
+func (m *Maintainer) bfhmDelete(t Tuple, ts int64) error {
+	bucket := m.BFHM.Layout.BucketOf(t.Score)
+	bitPos := bloomBitPos(m.BFHM.MBits, t.JoinValue)
+	if err := m.C.Delete(m.BFHM.Table, kvstore.ReverseMapKey(bucket, bitPos), bfhmFamily, t.RowKey, ts); err != nil {
+		return err
+	}
+	return m.C.Put(m.BFHM.Table, kvstore.Cell{
+		Row:       kvstore.BucketKey(bucket),
+		Family:    bfhmFamily,
+		Qualifier: bfhmDelPfx + t.RowKey,
+		Value:     EncodeTuple(t),
+		Timestamp: ts,
+	})
+}
+
+// WriteBackAll reconstructs and persists every dirty BFHM bucket — the
+// "off-line (by a thread periodically probing bucket rows for mutation
+// records)" write-back mode of Section 6.
+func (m *Maintainer) WriteBackAll() (int, error) {
+	if m.BFHM == nil {
+		return 0, nil
+	}
+	n := 0
+	for b := 0; b < m.BFHM.Layout.Buckets; b++ {
+		bucket, err := fetchBFHMBucket(m.C, m.BFHM, b)
+		if err != nil {
+			return n, err
+		}
+		if bucket.Dirty {
+			if err := writeBackBucket(m.C, m.BFHM, bucket); err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/kvstore"
+)
+
+// maintSetup builds a cluster with all indexes and a Maintainer per
+// relation.
+type maintSetup struct {
+	c      *kvstore.Cluster
+	q      Query
+	ijlmr  *IJLMRIndex
+	isl    *ISLIndex
+	bfhmL  *BFHMIndex
+	bfhmR  *BFHMIndex
+	mL, mR *Maintainer
+	left   []Tuple
+	right  []Tuple
+}
+
+func newMaintSetup(t *testing.T, seed int64) *maintSetup {
+	t.Helper()
+	c := newTestCluster()
+	left := synthTuples("l", 120, 20, "uniform", seed)
+	right := synthTuples("r", 120, 20, "uniform", seed+500)
+	relL := loadRelation(t, c, "L", left)
+	relR := loadRelation(t, c, "R", right)
+	q := Query{Left: relL, Right: relR, Score: Sum, K: 10}
+
+	ijlmr, _, err := BuildIJLMR(c, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isl, _, err := BuildISL(c, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfhmL, _, err := BuildBFHM(c, relL, BFHMOptions{NumBuckets: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfhmR, _, err := BuildBFHM(c, relR, BFHMOptions{NumBuckets: 8, MBits: bfhmL.MBits})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &maintSetup{
+		c: c, q: q, ijlmr: ijlmr, isl: isl, bfhmL: bfhmL, bfhmR: bfhmR,
+		mL: &Maintainer{C: c, Rel: relL, IJLMR: ijlmr, IJLMRFamily: ijlmr.LeftFamily,
+			ISL: isl, ISLFamily: isl.LeftFamily, BFHM: bfhmL},
+		mR: &Maintainer{C: c, Rel: relR, IJLMR: ijlmr, IJLMRFamily: ijlmr.RightFamily,
+			ISL: isl, ISLFamily: isl.RightFamily, BFHM: bfhmR},
+		left: left, right: right,
+	}
+}
+
+// checkAll verifies every index-based algorithm against the oracle for
+// the current logical contents.
+func (s *maintSetup) checkAll(t *testing.T, wb WriteBackMode) {
+	t.Helper()
+	want := scoresOf(oracleTopK(s.left, s.right, s.q.Score, s.q.K))
+
+	ij, err := QueryIJLMR(s.c, s.q, s.ijlmr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertScoresEqual(t, "ijlmr-after-updates", scoresOf(ij.Results), want)
+
+	isl, err := QueryISL(s.c, s.q, s.isl, ISLOptions{BatchLeft: 10, BatchRight: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertScoresEqual(t, "isl-after-updates", scoresOf(isl.Results), want)
+
+	bf, err := QueryBFHM(s.c, s.q, s.bfhmL, s.bfhmR, BFHMQueryOptions{WriteBack: wb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertScoresEqual(t, "bfhm-after-updates", scoresOf(bf.Results), want)
+}
+
+func (s *maintSetup) insertLeft(t *testing.T, tp Tuple) {
+	t.Helper()
+	if err := s.mL.InsertTuple(tp); err != nil {
+		t.Fatal(err)
+	}
+	s.left = append(s.left, tp)
+}
+
+func (s *maintSetup) insertRight(t *testing.T, tp Tuple) {
+	t.Helper()
+	if err := s.mR.InsertTuple(tp); err != nil {
+		t.Fatal(err)
+	}
+	s.right = append(s.right, tp)
+}
+
+func (s *maintSetup) deleteLeft(t *testing.T, i int) {
+	t.Helper()
+	tp := s.left[i]
+	if err := s.mL.DeleteTuple(tp); err != nil {
+		t.Fatal(err)
+	}
+	s.left = append(s.left[:i], s.left[i+1:]...)
+}
+
+func TestMaintenanceInsertions(t *testing.T) {
+	s := newMaintSetup(t, 1)
+	// Insert tuples that land at the very top of the ranking — the
+	// queries MUST see them.
+	s.insertLeft(t, Tuple{RowKey: "lnew1", JoinValue: "j3", Score: 0.999})
+	s.insertRight(t, Tuple{RowKey: "rnew1", JoinValue: "j3", Score: 0.998})
+	s.insertLeft(t, Tuple{RowKey: "lnew2", JoinValue: "j7", Score: 0.42})
+	s.checkAll(t, WriteBackOff)
+}
+
+func TestMaintenanceDeletions(t *testing.T) {
+	s := newMaintSetup(t, 2)
+	// Delete the tuples participating in the current top result.
+	want := oracleTopK(s.left, s.right, s.q.Score, 1)
+	if len(want) == 0 {
+		t.Skip("no joins in workload")
+	}
+	for i, tp := range s.left {
+		if tp.RowKey == want[0].Left.RowKey {
+			s.deleteLeft(t, i)
+			break
+		}
+	}
+	s.checkAll(t, WriteBackOff)
+}
+
+func TestMaintenanceMixedWorkload(t *testing.T) {
+	s := newMaintSetup(t, 3)
+	for i := 0; i < 30; i++ {
+		s.insertLeft(t, Tuple{
+			RowKey:    fmt.Sprintf("lmix%03d", i),
+			JoinValue: fmt.Sprintf("j%d", i%20),
+			Score:     float64((i*37)%1000) / 1000,
+		})
+		if i%3 == 0 && len(s.left) > 5 {
+			s.deleteLeft(t, i%len(s.left))
+		}
+		if i%4 == 0 {
+			s.insertRight(t, Tuple{
+				RowKey:    fmt.Sprintf("rmix%03d", i),
+				JoinValue: fmt.Sprintf("j%d", (i*3)%20),
+				Score:     float64((i*53)%1000) / 1000,
+			})
+		}
+	}
+	for _, wb := range []WriteBackMode{WriteBackOff, WriteBackEager, WriteBackLazy} {
+		s.checkAll(t, wb)
+	}
+}
+
+func TestBFHMWriteBackPurgesMutationRecords(t *testing.T) {
+	s := newMaintSetup(t, 4)
+	tp := Tuple{RowKey: "lwb", JoinValue: "j1", Score: 0.95}
+	s.insertLeft(t, tp)
+
+	bucket := s.bfhmL.Layout.BucketOf(tp.Score)
+	countMutCells := func() int {
+		row, err := s.c.Get(s.bfhmL.Table, kvstore.BucketKey(bucket))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row == nil {
+			return 0
+		}
+		n := 0
+		for _, cell := range row.Cells {
+			if len(cell.Qualifier) > 2 && (cell.Qualifier[:2] == bfhmInsPfx || cell.Qualifier[:2] == bfhmDelPfx) {
+				n++
+			}
+		}
+		return n
+	}
+	if countMutCells() == 0 {
+		t.Fatal("insertion record missing before write-back")
+	}
+	// Eager query must write back and purge the records.
+	if _, err := QueryBFHM(s.c, s.q, s.bfhmL, s.bfhmR, BFHMQueryOptions{WriteBack: WriteBackEager}); err != nil {
+		t.Fatal(err)
+	}
+	if n := countMutCells(); n != 0 {
+		t.Fatalf("%d mutation records survive eager write-back", n)
+	}
+	// Results must still be correct after the write-back.
+	s.checkAll(t, WriteBackOff)
+}
+
+func TestBFHMOfflineWriteBack(t *testing.T) {
+	s := newMaintSetup(t, 5)
+	for i := 0; i < 10; i++ {
+		s.insertLeft(t, Tuple{
+			RowKey:    fmt.Sprintf("loff%02d", i),
+			JoinValue: fmt.Sprintf("j%d", i%20),
+			Score:     float64(i) / 10,
+		})
+	}
+	n, err := s.mL.WriteBackAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("offline write-back found no dirty buckets")
+	}
+	// Second pass: everything clean.
+	n, err = s.mL.WriteBackAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("second write-back still found %d dirty buckets", n)
+	}
+	s.checkAll(t, WriteBackOff)
+}
+
+func TestMaintenanceTimestampsShared(t *testing.T) {
+	// The base row and the index entries of one insertion must carry the
+	// same timestamp (Section 6's consistency treatment).
+	s := newMaintSetup(t, 6)
+	tp := Tuple{RowKey: "lts", JoinValue: "j2", Score: 0.5}
+	s.insertLeft(t, tp)
+
+	baseRow, err := s.c.Get(s.q.Left.Table, tp.RowKey)
+	if err != nil || baseRow == nil {
+		t.Fatalf("base row: %v %v", baseRow, err)
+	}
+	baseTS := baseRow.Cells[0].Timestamp
+
+	idxRow, err := s.c.Get(s.ijlmr.Table, tp.JoinValue)
+	if err != nil || idxRow == nil {
+		t.Fatalf("ijlmr row: %v %v", idxRow, err)
+	}
+	cell := idxRow.Cell(s.ijlmr.LeftFamily, tp.RowKey)
+	if cell == nil {
+		t.Fatal("ijlmr entry missing")
+	}
+	if cell.Timestamp != baseTS {
+		t.Fatalf("ijlmr ts %d != base ts %d", cell.Timestamp, baseTS)
+	}
+
+	islRow, err := s.c.Get(s.isl.Table, kvstore.EncodeScoreDesc(tp.Score))
+	if err != nil || islRow == nil {
+		t.Fatalf("isl row: %v %v", islRow, err)
+	}
+	icell := islRow.Cell(s.isl.LeftFamily, tp.RowKey)
+	if icell == nil || icell.Timestamp != baseTS {
+		t.Fatalf("isl ts mismatch: %+v vs %d", icell, baseTS)
+	}
+}
+
+func TestMaintainerValidation(t *testing.T) {
+	s := newMaintSetup(t, 7)
+	if err := s.mL.InsertTuple(Tuple{}); err == nil {
+		t.Error("empty tuple accepted")
+	}
+}

@@ -1,0 +1,448 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/kvstore"
+	"repro/internal/mapreduce"
+	"repro/internal/sim"
+)
+
+// This file extends the two-way algorithms to n-way rank joins, the
+// generalization Section 3 declares straightforward: all n relations
+// equi-join on a common attribute and the result score is a monotonic
+// aggregate of the n tuple scores —
+//
+//	SELECT * FROM R1, ..., Rn WHERE R1.join = ... = Rn.join
+//	ORDER BY f(R1.score, ..., Rn.score) STOP AFTER k
+//
+// The HRJN operator generalizes directly (Section 4.2.1 presents it for
+// n inputs): the threshold becomes
+//
+//	S = max_i f(smax_1, ..., smin_i, ..., smax_n)
+//
+// and ISL drives it with one inverse-score-list scan per relation.
+
+// NScoreFunc is a monotonic aggregate over n tuple scores.
+type NScoreFunc struct {
+	Name string
+	Fn   func(scores []float64) float64
+}
+
+// SumN adds all scores.
+var SumN = NScoreFunc{Name: "sum", Fn: func(s []float64) float64 {
+	var t float64
+	for _, v := range s {
+		t += v
+	}
+	return t
+}}
+
+// ProductN multiplies all scores (monotonic on [0,1] inputs).
+var ProductN = NScoreFunc{Name: "product", Fn: func(s []float64) float64 {
+	t := 1.0
+	for _, v := range s {
+		t *= v
+	}
+	return t
+}}
+
+// MultiQuery is an n-way top-k equi-join.
+type MultiQuery struct {
+	Relations []Relation
+	Score     NScoreFunc
+	K         int
+}
+
+// Validate rejects malformed queries.
+func (q *MultiQuery) Validate() error {
+	if len(q.Relations) < 2 {
+		return fmt.Errorf("core: multi-way join needs >= 2 relations, got %d", len(q.Relations))
+	}
+	if q.K < 1 {
+		return fmt.Errorf("core: k = %d, want >= 1", q.K)
+	}
+	if q.Score.Fn == nil {
+		return fmt.Errorf("core: multi-way query needs a score function")
+	}
+	for i := range q.Relations {
+		r := &q.Relations[i]
+		if r.Table == "" || r.Family == "" || r.JoinQual == "" || r.ScoreQual == "" {
+			return fmt.Errorf("core: relation %q underspecified", r.Name)
+		}
+	}
+	return nil
+}
+
+// ID derives the query's identifier.
+func (q *MultiQuery) ID() string {
+	id := ""
+	for i := range q.Relations {
+		id += q.Relations[i].Name + "_"
+	}
+	return id + q.Score.Name
+}
+
+// NJoinResult is one n-way join result.
+type NJoinResult struct {
+	Tuples []Tuple // one per relation, in query order
+	Score  float64
+}
+
+func (a *NJoinResult) less(b *NJoinResult) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	for i := range a.Tuples {
+		if i >= len(b.Tuples) {
+			return false
+		}
+		if a.Tuples[i].RowKey != b.Tuples[i].RowKey {
+			return a.Tuples[i].RowKey < b.Tuples[i].RowKey
+		}
+	}
+	return false
+}
+
+// NTopKList keeps the k best n-way results.
+type NTopKList struct {
+	k    int
+	list []NJoinResult
+}
+
+// NewNTopKList returns an empty list with capacity k.
+func NewNTopKList(k int) *NTopKList { return &NTopKList{k: k} }
+
+// Add inserts a result, keeping only the top k.
+func (t *NTopKList) Add(r NJoinResult) bool {
+	pos := sort.Search(len(t.list), func(i int) bool { return r.less(&t.list[i]) })
+	if pos >= t.k {
+		return false
+	}
+	t.list = append(t.list, NJoinResult{})
+	copy(t.list[pos+1:], t.list[pos:])
+	t.list[pos] = r
+	if len(t.list) > t.k {
+		t.list = t.list[:t.k]
+	}
+	return true
+}
+
+// Len returns the current size.
+func (t *NTopKList) Len() int { return len(t.list) }
+
+// Full reports whether k results are held.
+func (t *NTopKList) Full() bool { return len(t.list) >= t.k }
+
+// KthScore returns the k'th score, or -Inf while not full.
+func (t *NTopKList) KthScore() float64 {
+	if !t.Full() {
+		return math.Inf(-1)
+	}
+	return t.list[len(t.list)-1].Score
+}
+
+// Results returns the held results, best first.
+func (t *NTopKList) Results() []NJoinResult {
+	return append([]NJoinResult(nil), t.list...)
+}
+
+// NResult is an executed multi-way query.
+type NResult struct {
+	Results []NJoinResult
+	Cost    sim.Snapshot
+}
+
+// HRJNN is the n-way HRJN operator.
+type HRJNN struct {
+	score NScoreFunc
+	n     int
+	seen  []map[string][]Tuple
+	top   *NTopKList
+	maxS  []float64
+	minS  []float64
+	got   []bool
+	done  []bool
+}
+
+// NewHRJNN creates an n-way operator.
+func NewHRJNN(k, n int, f NScoreFunc) *HRJNN {
+	h := &HRJNN{
+		score: f,
+		n:     n,
+		seen:  make([]map[string][]Tuple, n),
+		top:   NewNTopKList(k),
+		maxS:  make([]float64, n),
+		minS:  make([]float64, n),
+		got:   make([]bool, n),
+		done:  make([]bool, n),
+	}
+	for i := range h.seen {
+		h.seen[i] = map[string][]Tuple{}
+		h.maxS[i] = math.Inf(-1)
+		h.minS[i] = math.Inf(1)
+	}
+	return h
+}
+
+// Push feeds one tuple pulled from relation i (descending score order is
+// the caller's contract) and joins it against all combinations of seen
+// tuples from the other relations sharing its join value.
+func (h *HRJNN) Push(i int, t Tuple) {
+	h.got[i] = true
+	if t.Score > h.maxS[i] {
+		h.maxS[i] = t.Score
+	}
+	if t.Score < h.minS[i] {
+		h.minS[i] = t.Score
+	}
+	h.seen[i][t.JoinValue] = append(h.seen[i][t.JoinValue], t)
+
+	// Enumerate the cross product of the other relations' matches.
+	combo := make([]Tuple, h.n)
+	combo[i] = t
+	h.enumerate(0, i, t.JoinValue, combo)
+}
+
+func (h *HRJNN) enumerate(rel, fixed int, joinValue string, combo []Tuple) {
+	if rel == h.n {
+		scores := make([]float64, h.n)
+		tuples := make([]Tuple, h.n)
+		for j := range combo {
+			scores[j] = combo[j].Score
+			tuples[j] = combo[j]
+		}
+		h.top.Add(NJoinResult{Tuples: tuples, Score: h.score.Fn(scores)})
+		return
+	}
+	if rel == fixed {
+		h.enumerate(rel+1, fixed, joinValue, combo)
+		return
+	}
+	for _, other := range h.seen[rel][joinValue] {
+		combo[rel] = other
+		h.enumerate(rel+1, fixed, joinValue, combo)
+	}
+}
+
+// Exhaust marks relation i's stream as drained.
+func (h *HRJNN) Exhaust(i int) { h.done[i] = true }
+
+// Threshold returns max_i f(max_1, ..., min_i, ..., max_n).
+func (h *HRJNN) Threshold() float64 {
+	allDone := true
+	for i := 0; i < h.n; i++ {
+		if !h.done[i] {
+			allDone = false
+		}
+		if !h.got[i] {
+			if h.done[i] {
+				return math.Inf(-1) // an empty stream: no joins exist
+			}
+			return math.Inf(1)
+		}
+	}
+	if allDone {
+		return math.Inf(-1)
+	}
+	best := math.Inf(-1)
+	scores := make([]float64, h.n)
+	for i := 0; i < h.n; i++ {
+		if h.done[i] {
+			continue // relation i produces no further tuples
+		}
+		for j := 0; j < h.n; j++ {
+			if j == i {
+				scores[j] = h.minS[j]
+			} else {
+				scores[j] = h.maxS[j]
+			}
+		}
+		if s := h.score.Fn(scores); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// Done reports whether the operator can stop.
+func (h *HRJNN) Done() bool {
+	all := true
+	for i := range h.done {
+		if !h.done[i] {
+			all = false
+			break
+		}
+	}
+	if all {
+		return true
+	}
+	if !h.top.Full() {
+		return false
+	}
+	return h.top.KthScore() >= h.Threshold()
+}
+
+// Results returns the current top-k.
+func (h *HRJNN) Results() []NJoinResult { return h.top.Results() }
+
+// RunHRJNN drives the operator over n sources with round-robin pulls.
+func RunHRJNN(k int, f NScoreFunc, sources []TupleSource) ([]NJoinResult, error) {
+	h := NewHRJNN(k, len(sources), f)
+	for !h.Done() {
+		progressed := false
+		for i, src := range sources {
+			if h.done[i] {
+				continue
+			}
+			t, err := src.Next()
+			if err != nil {
+				return nil, err
+			}
+			if t == nil {
+				h.Exhaust(i)
+			} else {
+				h.Push(i, *t)
+				progressed = true
+			}
+			if h.Done() {
+				break
+			}
+		}
+		if !progressed {
+			allDone := true
+			for i := range h.done {
+				if !h.done[i] {
+					allDone = false
+				}
+			}
+			if allDone {
+				break
+			}
+		}
+	}
+	return h.Results(), nil
+}
+
+// NaiveTopKN is the n-way reference: full scans, hash join on the common
+// attribute, exact ranking.
+func NaiveTopKN(c *kvstore.Cluster, q MultiQuery) (*NResult, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	before := c.Metrics().Snapshot()
+	byJoin := make([]map[string][]Tuple, len(q.Relations))
+	for i := range q.Relations {
+		tuples, err := scanRelation(c, &q.Relations[i])
+		if err != nil {
+			return nil, err
+		}
+		byJoin[i] = map[string][]Tuple{}
+		for _, t := range tuples {
+			byJoin[i][t.JoinValue] = append(byJoin[i][t.JoinValue], t)
+		}
+	}
+	top := NewNTopKList(q.K)
+	var rec func(v string, i int, combo []Tuple)
+	rec = func(v string, i int, combo []Tuple) {
+		if i == len(q.Relations) {
+			scores := make([]float64, len(combo))
+			for j, t := range combo {
+				scores[j] = t.Score
+			}
+			top.Add(NJoinResult{Tuples: append([]Tuple(nil), combo...), Score: q.Score.Fn(scores)})
+			return
+		}
+		for _, t := range byJoin[i][v] {
+			rec(v, i+1, append(combo, t))
+		}
+	}
+	for v := range byJoin[0] {
+		rec(v, 0, nil)
+	}
+	return &NResult{Results: top.Results(), Cost: c.Metrics().Snapshot().Sub(before)}, nil
+}
+
+// ISLNIndex is an n-way ISL index: one column family per relation in a
+// shared inverse-score-list table.
+type ISLNIndex struct {
+	Table    string
+	Families []string // one per relation, in query order
+}
+
+// BuildISLN builds the n-way ISL index (Algorithm 3 per relation).
+func BuildISLN(c *kvstore.Cluster, q MultiQuery) (*ISLNIndex, []*mapreduce.Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, nil, err
+	}
+	idx := &ISLNIndex{Table: "isln_" + q.ID()}
+	for i := range q.Relations {
+		idx.Families = append(idx.Families, q.Relations[i].Name)
+	}
+	if _, err := c.CreateTable(idx.Table, idx.Families, scoreKeySplits(c.Nodes())); err != nil {
+		return nil, nil, err
+	}
+	var results []*mapreduce.Result
+	for i := range q.Relations {
+		res, err := BuildISLRelation(c, q.Relations[i], idx.Table, idx.Families[i])
+		if err != nil {
+			return nil, nil, err
+		}
+		results = append(results, res)
+	}
+	return idx, results, nil
+}
+
+// QueryISLN runs the n-way coordinator rank join: one batched scan per
+// relation feeding HRJNN, alternating round-robin (Algorithm 4
+// generalized).
+func QueryISLN(c *kvstore.Cluster, q MultiQuery, idx *ISLNIndex, batch int) (*NResult, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if len(idx.Families) != len(q.Relations) {
+		return nil, fmt.Errorf("core: index has %d families, query %d relations", len(idx.Families), len(q.Relations))
+	}
+	if batch < 1 {
+		batch = 100
+	}
+	before := c.Metrics().Snapshot()
+	streams := make([]*islStream, len(q.Relations))
+	for i := range q.Relations {
+		s, err := newISLStream(c, idx.Table, idx.Families[i], batch)
+		if err != nil {
+			return nil, err
+		}
+		streams[i] = s
+	}
+	h := NewHRJNN(q.K, len(q.Relations), q.Score)
+	for !h.Done() {
+		progressed := false
+		for i, s := range streams {
+			if h.done[i] {
+				continue
+			}
+			for pulled := 0; pulled < batch && !h.Done(); pulled++ {
+				t, err := s.Next()
+				if err != nil {
+					return nil, err
+				}
+				if t == nil {
+					h.Exhaust(i)
+					break
+				}
+				h.Push(i, *t)
+				progressed = true
+			}
+			if h.Done() {
+				break
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return &NResult{Results: h.Results(), Cost: c.Metrics().Snapshot().Sub(before)}, nil
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// oracleTopKN computes the exact n-way top-k in memory.
+func oracleTopKN(rels [][]Tuple, f NScoreFunc, k int) []NJoinResult {
+	byJoin := make([]map[string][]Tuple, len(rels))
+	for i, ts := range rels {
+		byJoin[i] = map[string][]Tuple{}
+		for _, t := range ts {
+			byJoin[i][t.JoinValue] = append(byJoin[i][t.JoinValue], t)
+		}
+	}
+	var all []NJoinResult
+	var rec func(v string, i int, combo []Tuple)
+	rec = func(v string, i int, combo []Tuple) {
+		if i == len(rels) {
+			scores := make([]float64, len(combo))
+			for j, t := range combo {
+				scores[j] = t.Score
+			}
+			all = append(all, NJoinResult{Tuples: append([]Tuple(nil), combo...), Score: f.Fn(scores)})
+			return
+		}
+		for _, t := range byJoin[i][v] {
+			rec(v, i+1, append(combo, t))
+		}
+	}
+	for v := range byJoin[0] {
+		rec(v, 0, nil)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].less(&all[j]) })
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+func nscoresOf(rs []NJoinResult) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.Score
+	}
+	return out
+}
+
+func TestHRJNNThreeWayMatchesOracle(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		r1 := synthTuples("a", 80, 12, "uniform", seed)
+		r2 := synthTuples("b", 80, 12, "uniform", seed+100)
+		r3 := synthTuples("c", 80, 12, "uniform", seed+200)
+		for _, k := range []int{1, 5, 25} {
+			for _, f := range []NScoreFunc{SumN, ProductN} {
+				got, err := RunHRJNN(k, f, []TupleSource{
+					&SliceSource{Tuples: descending(r1)},
+					&SliceSource{Tuples: descending(r2)},
+					&SliceSource{Tuples: descending(r3)},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := oracleTopKN([][]Tuple{r1, r2, r3}, f, k)
+				assertScoresEqual(t, fmt.Sprintf("hrjnn seed=%d k=%d %s", seed, k, f.Name),
+					nscoresOf(got), nscoresOf(want))
+			}
+		}
+	}
+}
+
+func TestHRJNNTwoWayAgreesWithHRJN(t *testing.T) {
+	left := synthTuples("l", 150, 20, "uniform", 3)
+	right := synthTuples("r", 150, 20, "uniform", 4)
+	two, err := RunHRJN(10, Sum,
+		&SliceSource{Tuples: descending(left)},
+		&SliceSource{Tuples: descending(right)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nway, err := RunHRJNN(10, SumN, []TupleSource{
+		&SliceSource{Tuples: descending(left)},
+		&SliceSource{Tuples: descending(right)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertScoresEqual(t, "hrjnn-vs-hrjn", nscoresOf(nway), scoresOf(two))
+}
+
+func TestHRJNNEarlyTermination(t *testing.T) {
+	mk := func(prefix string) []Tuple {
+		out := []Tuple{{RowKey: prefix + "hot", JoinValue: "hot", Score: 1.0}}
+		for i := 0; i < 500; i++ {
+			out = append(out, Tuple{RowKey: tkey(prefix, i), JoinValue: "cold", Score: 0.01})
+		}
+		return out
+	}
+	srcs := []TupleSource{
+		&SliceSource{Tuples: descending(mk("a"))},
+		&SliceSource{Tuples: descending(mk("b"))},
+		&SliceSource{Tuples: descending(mk("c"))},
+	}
+	got, err := RunHRJNN(1, SumN, srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Score != 3.0 {
+		t.Fatalf("results = %v", got)
+	}
+	pulled := srcs[0].(*SliceSource).pos + srcs[1].(*SliceSource).pos + srcs[2].(*SliceSource).pos
+	if pulled > 30 {
+		t.Errorf("pulled %d tuples; expected early termination", pulled)
+	}
+}
+
+func TestMultiQueryValidate(t *testing.T) {
+	rel := Relation{Name: "r", Table: "t", Family: "d", JoinQual: "j", ScoreQual: "s"}
+	q := MultiQuery{Relations: []Relation{rel, rel, rel}, Score: SumN, K: 5}
+	if err := q.Validate(); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+	bad := q
+	bad.Relations = bad.Relations[:1]
+	if err := bad.Validate(); err == nil {
+		t.Error("single relation accepted")
+	}
+	bad = q
+	bad.K = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("k=0 accepted")
+	}
+	bad = q
+	bad.Score = NScoreFunc{}
+	if err := bad.Validate(); err == nil {
+		t.Error("nil score accepted")
+	}
+}
+
+func TestISLNThreeWayEndToEnd(t *testing.T) {
+	c := newTestCluster()
+	r1 := synthTuples("a", 120, 15, "uniform", 11)
+	r2 := synthTuples("b", 120, 15, "uniform", 12)
+	r3 := synthTuples("c", 120, 15, "zipfish", 13)
+	relA := loadRelation(t, c, "A", r1)
+	relB := loadRelation(t, c, "B", r2)
+	relC := loadRelation(t, c, "C", r3)
+	q := MultiQuery{Relations: []Relation{relA, relB, relC}, Score: SumN, K: 12}
+
+	idx, _, err := BuildISLN(c, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracleTopKN([][]Tuple{r1, r2, r3}, SumN, q.K)
+
+	// Store-backed naive agrees with the in-memory oracle.
+	naive, err := NaiveTopKN(c, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertScoresEqual(t, "naive-n", nscoresOf(naive.Results), nscoresOf(want))
+
+	for _, batch := range []int{1, 10, 100} {
+		res, err := QueryISLN(c, q, idx, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertScoresEqual(t, fmt.Sprintf("isln batch=%d", batch), nscoresOf(res.Results), nscoresOf(want))
+		// Every result must be a genuine same-join-value combination.
+		for _, r := range res.Results {
+			for i := 1; i < len(r.Tuples); i++ {
+				if r.Tuples[i].JoinValue != r.Tuples[0].JoinValue {
+					t.Fatalf("result mixes join values: %v", r.Tuples)
+				}
+			}
+		}
+	}
+	// ISL must not scan everything for small k at this scale.
+	res, err := QueryISLN(c, q, idx, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.KVReads >= 360 {
+		t.Errorf("ISLN read %d KVs of 360; no early termination", res.Cost.KVReads)
+	}
+}
+
+func TestISLNFourWay(t *testing.T) {
+	c := newTestCluster()
+	var rels []Relation
+	var data [][]Tuple
+	for i := 0; i < 4; i++ {
+		ts := synthTuples(fmt.Sprintf("r%d", i), 60, 8, "uniform", int64(40+i))
+		data = append(data, ts)
+		rels = append(rels, loadRelation(t, c, fmt.Sprintf("W%d", i), ts))
+	}
+	q := MultiQuery{Relations: rels, Score: ProductN, K: 7}
+	idx, _, err := BuildISLN(c, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := QueryISLN(c, q, idx, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracleTopKN(data, ProductN, q.K)
+	assertScoresEqual(t, "isln-4way", nscoresOf(res.Results), nscoresOf(want))
+}
+
+func TestNTopKList(t *testing.T) {
+	top := NewNTopKList(2)
+	add := func(score float64, keys ...string) bool {
+		var ts []Tuple
+		for _, k := range keys {
+			ts = append(ts, Tuple{RowKey: k})
+		}
+		return top.Add(NJoinResult{Tuples: ts, Score: score})
+	}
+	if !add(0.5, "a", "b") || !add(0.9, "c", "d") {
+		t.Fatal("adds rejected")
+	}
+	if add(0.1, "e", "f") {
+		t.Fatal("below-k accepted")
+	}
+	if top.KthScore() != 0.5 {
+		t.Fatalf("KthScore = %g", top.KthScore())
+	}
+	rs := top.Results()
+	if rs[0].Score != 0.9 || rs[1].Score != 0.5 {
+		t.Fatalf("order = %v", nscoresOf(rs))
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/kvstore"
+)
+
+// NaiveTopK is the Section 1.1 strawman: compute the full join result,
+// then rank and keep k. It scans both relations through the metered
+// client, hash-joins them at the coordinator, and sorts. It exists as
+// the correctness oracle for every other algorithm and as the upper
+// bound on shipped data.
+func NaiveTopK(c *kvstore.Cluster, q Query) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	before := c.Metrics().Snapshot()
+
+	left, err := scanRelation(c, &q.Left)
+	if err != nil {
+		return nil, fmt.Errorf("core: naive scan of %s: %w", q.Left.Table, err)
+	}
+	right, err := scanRelation(c, &q.Right)
+	if err != nil {
+		return nil, fmt.Errorf("core: naive scan of %s: %w", q.Right.Table, err)
+	}
+
+	byJoin := map[string][]Tuple{}
+	for _, t := range left {
+		byJoin[t.JoinValue] = append(byJoin[t.JoinValue], t)
+	}
+	top := NewTopKList(q.K)
+	for _, rt := range right {
+		for _, lt := range byJoin[rt.JoinValue] {
+			top.Add(JoinResult{Left: lt, Right: rt, Score: q.Score.Fn(lt.Score, rt.Score)})
+		}
+	}
+	return &Result{
+		Results: top.Results(),
+		Cost:    c.Metrics().Snapshot().Sub(before),
+	}, nil
+}
+
+// scanRelation drains a relation through the metered scanner.
+func scanRelation(c *kvstore.Cluster, rel *Relation) ([]Tuple, error) {
+	rows, err := c.ScanAll(kvstore.Scan{
+		Table:    rel.Table,
+		Families: []string{rel.Family},
+		Caching:  1024,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Tuple, 0, len(rows))
+	for i := range rows {
+		if t, ok := TupleFromRow(rel, &rows[i]); ok {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,301 @@
+// Package core implements the paper's rank-join algorithms over the
+// kvstore/mapreduce substrate:
+//
+//   - Naive / Hive / Pig baselines (Section 3)
+//   - IJLMR: Inverse Join List MapReduce rank join (Section 4.1)
+//   - ISL: Inverse Score List rank join, an HRJN adaptation (Section 4.2)
+//   - BFHM: the Bloom Filter Histogram Matrix rank join (Section 5)
+//   - DRJN: the 2-D histogram comparator of Doulkeridis et al. (Section 7.1)
+//
+// plus online index maintenance for all of them (Section 6).
+//
+// All algorithms answer the same query form (Section 1.1):
+//
+//	SELECT * FROM R1, R2 WHERE R1.join = R2.join
+//	ORDER BY f(R1.score, R2.score) STOP AFTER k
+//
+// with f a monotonic aggregate. Results are returned highest-score first
+// with deterministic tie-breaking on (left row key, right row key).
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/kvstore"
+	"repro/internal/sim"
+)
+
+// Relation identifies one rank-join input stored in the NoSQL store: a
+// table whose rows each carry a join value and a normalized score.
+type Relation struct {
+	// Name tags the relation in index table names ("part", "lineitem").
+	Name string
+	// Table is the base-data table.
+	Table string
+	// Family is the column family holding the data columns.
+	Family string
+	// JoinQual / ScoreQual are the qualifiers of the join-attribute and
+	// score-attribute columns.
+	JoinQual  string
+	ScoreQual string
+}
+
+// Tuple is the algorithm-facing view of one base row.
+type Tuple struct {
+	RowKey    string
+	JoinValue string
+	Score     float64
+}
+
+// TupleFromRow extracts a Tuple, reporting ok=false when the row lacks
+// the relation's join or score column.
+func TupleFromRow(rel *Relation, r *kvstore.Row) (Tuple, bool) {
+	jc := r.Cell(rel.Family, rel.JoinQual)
+	sc := r.Cell(rel.Family, rel.ScoreQual)
+	if jc == nil || sc == nil {
+		return Tuple{}, false
+	}
+	score, ok := kvstore.ParseFloatValue(sc.Value)
+	if !ok {
+		return Tuple{}, false
+	}
+	return Tuple{RowKey: r.Key, JoinValue: string(jc.Value), Score: score}, true
+}
+
+// JoinResult is one joined pair with its aggregate score.
+type JoinResult struct {
+	Left  Tuple
+	Right Tuple
+	Score float64
+}
+
+// less orders results descending by score with deterministic tie-breaks.
+func (a *JoinResult) less(b *JoinResult) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	if a.Left.RowKey != b.Left.RowKey {
+		return a.Left.RowKey < b.Left.RowKey
+	}
+	return a.Right.RowKey < b.Right.RowKey
+}
+
+// ScoreFunc is a named monotonic aggregate over two tuple scores.
+type ScoreFunc struct {
+	Name string
+	Fn   func(a, b float64) float64
+}
+
+// Sum is the paper's Q2 aggregate (TotalPrice + ExtendedPrice).
+var Sum = ScoreFunc{Name: "sum", Fn: func(a, b float64) float64 { return a + b }}
+
+// Product is the paper's Q1 aggregate (RetailPrice * ExtendedPrice).
+// Monotonic for non-negative scores, which the [0,1] domain guarantees.
+var Product = ScoreFunc{Name: "product", Fn: func(a, b float64) float64 { return a * b }}
+
+// Query is a two-way top-k equi-join.
+type Query struct {
+	Left  Relation
+	Right Relation
+	Score ScoreFunc
+	K     int
+}
+
+// ID derives a short deterministic identifier used in temp/index table
+// names.
+func (q *Query) ID() string {
+	return fmt.Sprintf("%s_%s_%s", q.Left.Name, q.Right.Name, q.Score.Name)
+}
+
+// Validate rejects malformed queries.
+func (q *Query) Validate() error {
+	if q.K < 1 {
+		return fmt.Errorf("core: k = %d, want >= 1", q.K)
+	}
+	if q.Score.Fn == nil {
+		return fmt.Errorf("core: query needs a score function")
+	}
+	for _, r := range []*Relation{&q.Left, &q.Right} {
+		if r.Table == "" || r.Family == "" || r.JoinQual == "" || r.ScoreQual == "" {
+			return fmt.Errorf("core: relation %q underspecified", r.Name)
+		}
+	}
+	return nil
+}
+
+// Result is an executed query: the top-k list plus the resources it
+// consumed (the paper's three metrics are all in Cost).
+type Result struct {
+	Results []JoinResult
+	// Cost is the metrics delta attributable to this execution.
+	Cost sim.Snapshot
+}
+
+// TopKList maintains the k best join results seen so far, ordered
+// descending by score (ties broken on row keys for determinism).
+type TopKList struct {
+	k    int
+	list []JoinResult
+}
+
+// NewTopKList returns an empty list with capacity k.
+func NewTopKList(k int) *TopKList {
+	return &TopKList{k: k}
+}
+
+// Add inserts a result, keeping only the top k. It reports whether the
+// result made the list.
+func (t *TopKList) Add(r JoinResult) bool {
+	pos := sort.Search(len(t.list), func(i int) bool { return r.less(&t.list[i]) })
+	if pos >= t.k {
+		return false
+	}
+	t.list = append(t.list, JoinResult{})
+	copy(t.list[pos+1:], t.list[pos:])
+	t.list[pos] = r
+	if len(t.list) > t.k {
+		t.list = t.list[:t.k]
+	}
+	return true
+}
+
+// Len returns the current size.
+func (t *TopKList) Len() int { return len(t.list) }
+
+// Full reports whether k results are held.
+func (t *TopKList) Full() bool { return len(t.list) >= t.k }
+
+// KthScore returns the k'th (lowest retained) score, or -Inf while the
+// list is not yet full. HRJN-style termination tests compare thresholds
+// against this.
+func (t *TopKList) KthScore() float64 {
+	if !t.Full() {
+		return math.Inf(-1)
+	}
+	return t.list[len(t.list)-1].Score
+}
+
+// MinScore returns the lowest score currently held, or -Inf when empty.
+func (t *TopKList) MinScore() float64 {
+	if len(t.list) == 0 {
+		return math.Inf(-1)
+	}
+	return t.list[len(t.list)-1].Score
+}
+
+// Results returns the held results, best first.
+func (t *TopKList) Results() []JoinResult {
+	return append([]JoinResult(nil), t.list...)
+}
+
+// ---- Wire encoding of tuples and join pairs (MR values, temp tables) ----
+
+func putString(buf []byte, s string) []byte {
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(s)))
+	buf = append(buf, l[:]...)
+	return append(buf, s...)
+}
+
+func getString(buf []byte) (string, []byte, error) {
+	if len(buf) < 4 {
+		return "", nil, fmt.Errorf("core: truncated string field")
+	}
+	n := int(binary.BigEndian.Uint32(buf[:4]))
+	if len(buf) < 4+n {
+		return "", nil, fmt.Errorf("core: truncated string payload")
+	}
+	return string(buf[4 : 4+n]), buf[4+n:], nil
+}
+
+func putFloat(buf []byte, f float64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], math.Float64bits(f))
+	return append(buf, b[:]...)
+}
+
+func getFloat(buf []byte) (float64, []byte, error) {
+	if len(buf) < 8 {
+		return 0, nil, fmt.Errorf("core: truncated float field")
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(buf[:8])), buf[8:], nil
+}
+
+// EncodeTuple serializes a Tuple.
+func EncodeTuple(t Tuple) []byte {
+	buf := putString(nil, t.RowKey)
+	buf = putString(buf, t.JoinValue)
+	return putFloat(buf, t.Score)
+}
+
+// DecodeTuple reverses EncodeTuple.
+func DecodeTuple(b []byte) (Tuple, error) {
+	var t Tuple
+	var err error
+	t.RowKey, b, err = getString(b)
+	if err != nil {
+		return t, err
+	}
+	t.JoinValue, b, err = getString(b)
+	if err != nil {
+		return t, err
+	}
+	t.Score, _, err = getFloat(b)
+	return t, err
+}
+
+// EncodeJoinResult serializes a JoinResult.
+func EncodeJoinResult(r JoinResult) []byte {
+	buf := EncodeTuple(r.Left)
+	buf = append(buf, EncodeTuple(r.Right)...)
+	return putFloat(buf, r.Score)
+}
+
+// DecodeJoinResult reverses EncodeJoinResult.
+func DecodeJoinResult(b []byte) (JoinResult, error) {
+	var r JoinResult
+	var err error
+	r.Left.RowKey, b, err = getString(b)
+	if err != nil {
+		return r, err
+	}
+	r.Left.JoinValue, b, err = getString(b)
+	if err != nil {
+		return r, err
+	}
+	r.Left.Score, b, err = getFloat(b)
+	if err != nil {
+		return r, err
+	}
+	r.Right.RowKey, b, err = getString(b)
+	if err != nil {
+		return r, err
+	}
+	r.Right.JoinValue, b, err = getString(b)
+	if err != nil {
+		return r, err
+	}
+	r.Right.Score, b, err = getFloat(b)
+	if err != nil {
+		return r, err
+	}
+	r.Score, _, err = getFloat(b)
+	return r, err
+}
+
+// mergeTopK folds many encoded top-k lists into one TopKList (the single
+// reducer of Algorithm 2 and Pig's final stage).
+func mergeTopK(k int, values [][]byte) (*TopKList, error) {
+	top := NewTopKList(k)
+	for _, v := range values {
+		r, err := DecodeJoinResult(v)
+		if err != nil {
+			return nil, err
+		}
+		top.Add(r)
+	}
+	return top, nil
+}

@@ -1,0 +1,145 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Cell is one key-value pair: the paper's quadruplet {key, column name,
+// column value, timestamp}. Column names are split into family and
+// qualifier as in BigTable/HBase.
+type Cell struct {
+	Row       string
+	Family    string
+	Qualifier string
+	Value     []byte
+	Timestamp int64
+	// Tombstone marks a deletion of the column as of Timestamp.
+	Tombstone bool
+}
+
+// cellOverhead approximates per-cell storage overhead (key lengths,
+// timestamp, flags) used for size accounting, mirroring HBase's KeyValue
+// framing.
+const cellOverhead = 24
+
+// StoredSize returns the bytes this cell occupies on disk / on the wire.
+func (c *Cell) StoredSize() uint64 {
+	return uint64(len(c.Row) + len(c.Family) + len(c.Qualifier) + len(c.Value) + cellOverhead)
+}
+
+// Column returns the printable column name "family:qualifier".
+func (c *Cell) Column() string { return c.Family + ":" + c.Qualifier }
+
+func (c *Cell) String() string {
+	if c.Tombstone {
+		return fmt.Sprintf("%s/%s:%s@%d <tombstone>", c.Row, c.Family, c.Qualifier, c.Timestamp)
+	}
+	return fmt.Sprintf("%s/%s:%s@%d=%q", c.Row, c.Family, c.Qualifier, c.Timestamp, c.Value)
+}
+
+// Row is a materialized row: all live cells sharing a row key, sorted by
+// (family, qualifier).
+type Row struct {
+	Key   string
+	Cells []Cell
+}
+
+// Size returns the stored size of all cells in the row.
+func (r *Row) Size() uint64 {
+	var s uint64
+	for i := range r.Cells {
+		s += r.Cells[i].StoredSize()
+	}
+	return s
+}
+
+// Cell returns the cell for family:qualifier, or nil.
+func (r *Row) Cell(family, qualifier string) *Cell {
+	for i := range r.Cells {
+		if r.Cells[i].Family == family && r.Cells[i].Qualifier == qualifier {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// FamilyCells returns the cells of one column family, preserving order.
+func (r *Row) FamilyCells(family string) []Cell {
+	var out []Cell
+	for i := range r.Cells {
+		if r.Cells[i].Family == family {
+			out = append(out, r.Cells[i])
+		}
+	}
+	return out
+}
+
+// cellKey builds the internal sort key for a cell version. Layout:
+//
+//	row \x00 family \x00 qualifier \x00 ^timestamp ^seq
+//
+// Timestamps and sequence numbers are bit-inverted big-endian so newer
+// versions sort FIRST within a column, making "latest version" the first
+// cell encountered during an ascending scan.
+func cellKey(row, family, qualifier string, ts int64, seq uint64) string {
+	b := make([]byte, 0, len(row)+len(family)+len(qualifier)+3+16)
+	b = append(b, row...)
+	b = append(b, 0)
+	b = append(b, family...)
+	b = append(b, 0)
+	b = append(b, qualifier...)
+	b = append(b, 0)
+	var n [16]byte
+	binary.BigEndian.PutUint64(n[0:8], ^uint64(ts))
+	binary.BigEndian.PutUint64(n[8:16], ^seq)
+	b = append(b, n[:]...)
+	return string(b)
+}
+
+// columnPrefix returns the cellKey prefix shared by all versions of a
+// column.
+func columnPrefix(row, family, qualifier string) string {
+	b := make([]byte, 0, len(row)+len(family)+len(qualifier)+3)
+	b = append(b, row...)
+	b = append(b, 0)
+	b = append(b, family...)
+	b = append(b, 0)
+	b = append(b, qualifier...)
+	b = append(b, 0)
+	return string(b)
+}
+
+// rowPrefix returns the cellKey prefix shared by all cells of a row.
+func rowPrefix(row string) string { return row + "\x00" }
+
+// parseCellKey splits an internal key back into coordinates.
+func parseCellKey(k string) (row, family, qualifier string, ts int64, seq uint64, err error) {
+	// Find the three NUL separators from the left.
+	i1 := indexByte(k, 0, 0)
+	if i1 < 0 {
+		return "", "", "", 0, 0, fmt.Errorf("kvstore: malformed cell key")
+	}
+	i2 := indexByte(k, i1+1, 0)
+	if i2 < 0 {
+		return "", "", "", 0, 0, fmt.Errorf("kvstore: malformed cell key")
+	}
+	i3 := indexByte(k, i2+1, 0)
+	if i3 < 0 || len(k)-i3-1 != 16 {
+		return "", "", "", 0, 0, fmt.Errorf("kvstore: malformed cell key")
+	}
+	row, family, qualifier = k[:i1], k[i1+1:i2], k[i2+1:i3]
+	rest := []byte(k[i3+1:])
+	ts = int64(^binary.BigEndian.Uint64(rest[0:8]))
+	seq = ^binary.BigEndian.Uint64(rest[8:16])
+	return row, family, qualifier, ts, seq, nil
+}
+
+func indexByte(s string, from int, c byte) int {
+	for i := from; i < len(s); i++ {
+		if s[i] == c {
+			return i
+		}
+	}
+	return -1
+}

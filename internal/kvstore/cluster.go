@@ -1,0 +1,411 @@
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Cluster is a simulated NoSQL deployment: a set of nodes hosting the
+// regions of any number of tables, fronted by a metered client API. All
+// client operations charge the cluster's sim.Metrics according to its
+// hardware Profile; region-local access for MapReduce goes through
+// TableRegions and is charged by the job runner instead.
+type Cluster struct {
+	mu      sync.RWMutex
+	profile sim.Profile
+	metrics *sim.Metrics
+	tables  map[string]*Table
+	nextID  int
+	clock   int64
+	seed    int64
+}
+
+// Table is a named collection of regions with a declared column-family
+// set.
+type Table struct {
+	Name     string
+	families map[string]bool
+	regions  []*Region // sorted by StartKey
+}
+
+// NewCluster creates a cluster with the given hardware profile. Metrics
+// may be shared across clusters (e.g. to total a multi-stage workload).
+func NewCluster(profile sim.Profile, metrics *sim.Metrics) *Cluster {
+	if metrics == nil {
+		metrics = &sim.Metrics{}
+	}
+	return &Cluster{
+		profile: profile,
+		metrics: metrics,
+		tables:  make(map[string]*Table),
+		seed:    1,
+	}
+}
+
+// Metrics returns the cluster's metric collector.
+func (c *Cluster) Metrics() *sim.Metrics { return c.metrics }
+
+// Profile returns the cluster's hardware profile.
+func (c *Cluster) Profile() sim.Profile { return c.profile }
+
+// Nodes returns the node count.
+func (c *Cluster) Nodes() int { return c.profile.Nodes }
+
+// Now returns a fresh, strictly increasing logical timestamp. The paper's
+// update protocol (Section 6) stamps base-data and index mutations with
+// the same timestamp; callers obtain one here and reuse it.
+func (c *Cluster) Now() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock++
+	return c.clock
+}
+
+// CreateTable declares a table with column families and optional split
+// keys. With n split keys the table starts with n+1 regions, assigned
+// round-robin to nodes (HBase pre-splitting).
+func (c *Cluster) CreateTable(name string, families []string, splitKeys []string) (*Table, error) {
+	if err := ValidateKeyComponent(name); err != nil {
+		return nil, err
+	}
+	if len(families) == 0 {
+		return nil, fmt.Errorf("kvstore: table %q needs at least one column family", name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[name]; ok {
+		return nil, fmt.Errorf("kvstore: table %q already exists", name)
+	}
+	t := &Table{Name: name, families: make(map[string]bool)}
+	for _, f := range families {
+		if err := ValidateKeyComponent(f); err != nil {
+			return nil, fmt.Errorf("kvstore: bad family: %w", err)
+		}
+		t.families[f] = true
+	}
+	keys := append([]string(nil), splitKeys...)
+	sort.Strings(keys)
+	bounds := append([]string{""}, keys...)
+	for i, start := range bounds {
+		end := ""
+		if i+1 < len(bounds) {
+			end = bounds[i+1]
+		}
+		c.nextID++
+		c.seed++
+		r := newRegion(c.nextID, name, start, end, (c.nextID-1)%c.profile.Nodes, c.seed)
+		t.regions = append(t.regions, r)
+	}
+	c.tables[name] = t
+	return t, nil
+}
+
+// DropTable removes a table.
+func (c *Cluster) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[name]; !ok {
+		return fmt.Errorf("kvstore: no table %q", name)
+	}
+	delete(c.tables, name)
+	return nil
+}
+
+// TableNames lists tables in sorted order.
+func (c *Cluster) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var names []string
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// table fetches a table or errors.
+func (c *Cluster) table(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("kvstore: no table %q", name)
+	}
+	return t, nil
+}
+
+// HasFamily reports whether the table declares the family.
+func (t *Table) HasFamily(f string) bool { return t.families[f] }
+
+// Families returns the table's column families, sorted.
+func (t *Table) Families() []string {
+	var out []string
+	for f := range t.families {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// regionFor locates the region containing row.
+func (t *Table) regionFor(row string) *Region {
+	// Regions are sorted by StartKey; find the last region whose start
+	// is <= row.
+	idx := sort.Search(len(t.regions), func(i int) bool {
+		return t.regions[i].StartKey() > row
+	}) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return t.regions[idx]
+}
+
+// Regions returns the table's regions in key order (read-only use).
+func (t *Table) Regions() []*Region { return append([]*Region(nil), t.regions...) }
+
+// DiskSize totals the table's stored bytes.
+func (t *Table) DiskSize() uint64 {
+	var s uint64
+	for _, r := range t.regions {
+		s += r.DiskSize()
+	}
+	return s
+}
+
+// TableRegions exposes a table's regions for locality-aware consumers
+// (the MapReduce runner schedules one mapper per region, on its node).
+func (c *Cluster) TableRegions(name string) ([]*Region, error) {
+	t, err := c.table(name)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]*Region(nil), t.regions...), nil
+}
+
+// TableDiskSize returns the table's total stored bytes.
+func (c *Cluster) TableDiskSize(name string) (uint64, error) {
+	t, err := c.table(name)
+	if err != nil {
+		return 0, err
+	}
+	return t.DiskSize(), nil
+}
+
+// requestOverhead approximates the fixed wire size of one RPC request.
+const requestOverhead = 64
+
+// chargeRPC meters one client round trip: latency, request+response
+// bytes, and the server-side disk work.
+func (c *Cluster) chargeRPC(stats OpStats) {
+	c.metrics.AddRPC()
+	c.metrics.AddNetwork(requestOverhead + stats.BytesReturned)
+	c.metrics.AddKVReads(stats.CellsExamined)
+	c.metrics.AddDiskRead(stats.BytesRead)
+	d := c.profile.RPCLatency +
+		c.profile.ScanTime(stats.BytesRead) +
+		c.profile.TransferTime(requestOverhead+stats.BytesReturned) +
+		c.profile.CPUTime(stats.CellsExamined)
+	c.metrics.Advance(d)
+}
+
+// chargeWrite meters a mutation RPC.
+func (c *Cluster) chargeWrite(bytes uint64, cells int) {
+	c.metrics.AddRPC()
+	c.metrics.AddNetwork(requestOverhead + bytes)
+	c.metrics.AddKVWrites(uint64(cells))
+	c.metrics.Advance(c.profile.RPCLatency + c.profile.TransferTime(requestOverhead+bytes))
+}
+
+// Put writes one cell (timestamp 0 means "stamp with Now()").
+func (c *Cluster) Put(table string, cell Cell) error {
+	t, err := c.table(table)
+	if err != nil {
+		return err
+	}
+	if !t.HasFamily(cell.Family) {
+		return fmt.Errorf("kvstore: table %q has no family %q", table, cell.Family)
+	}
+	if cell.Timestamp == 0 {
+		cell.Timestamp = c.Now()
+	}
+	cell.Tombstone = false
+	r := t.regionFor(cell.Row)
+	if err := r.mutateRow([]Cell{cell}); err != nil {
+		return err
+	}
+	c.chargeWrite(cell.StoredSize(), 1)
+	return nil
+}
+
+// Delete writes a tombstone for one column.
+func (c *Cluster) Delete(table, row, family, qualifier string, ts int64) error {
+	t, err := c.table(table)
+	if err != nil {
+		return err
+	}
+	if ts == 0 {
+		ts = c.Now()
+	}
+	cell := Cell{Row: row, Family: family, Qualifier: qualifier, Timestamp: ts, Tombstone: true}
+	r := t.regionFor(row)
+	if err := r.mutateRow([]Cell{cell}); err != nil {
+		return err
+	}
+	c.chargeWrite(cell.StoredSize(), 1)
+	return nil
+}
+
+// MutateRow applies several cells of one row atomically (one RPC, one
+// WAL append batch, one region lock), the primitive Section 6's index
+// maintenance builds on.
+func (c *Cluster) MutateRow(table string, cells []Cell) error {
+	if len(cells) == 0 {
+		return nil
+	}
+	t, err := c.table(table)
+	if err != nil {
+		return err
+	}
+	var bytes uint64
+	for i := range cells {
+		if !t.HasFamily(cells[i].Family) {
+			return fmt.Errorf("kvstore: table %q has no family %q", table, cells[i].Family)
+		}
+		if cells[i].Timestamp == 0 {
+			cells[i].Timestamp = c.Now()
+		}
+		bytes += cells[i].StoredSize()
+	}
+	r := t.regionFor(cells[0].Row)
+	if err := r.mutateRow(cells); err != nil {
+		return err
+	}
+	c.chargeWrite(bytes, len(cells))
+	return nil
+}
+
+// Get fetches one row (nil if absent). families==nil fetches all.
+func (c *Cluster) Get(table, row string, families ...string) (*Row, error) {
+	t, err := c.table(table)
+	if err != nil {
+		return nil, err
+	}
+	r := t.regionFor(row)
+	got, stats, err := r.get(row, families)
+	if err != nil {
+		return nil, err
+	}
+	// A keyed read costs one seek rather than a scan of the region.
+	stats.BytesRead = stats.BytesReturned
+	c.chargeRPC(stats)
+	c.metrics.Advance(c.profile.SeekLatency)
+	return got, nil
+}
+
+// BatchPut loads many cells efficiently (one logical bulk RPC per region
+// batch), used by data generators and index builders. It bypasses
+// per-cell RPC latency but still meters bytes and write counts.
+func (c *Cluster) BatchPut(table string, cells []Cell) error {
+	t, err := c.table(table)
+	if err != nil {
+		return err
+	}
+	var bytes uint64
+	byRegion := map[*Region][]Cell{}
+	for i := range cells {
+		if !t.HasFamily(cells[i].Family) {
+			return fmt.Errorf("kvstore: table %q has no family %q", table, cells[i].Family)
+		}
+		if cells[i].Timestamp == 0 {
+			cells[i].Timestamp = c.Now()
+		}
+		bytes += cells[i].StoredSize()
+		r := t.regionFor(cells[i].Row)
+		byRegion[r] = append(byRegion[r], cells[i])
+	}
+	for r, batch := range byRegion {
+		// Group into per-row atomic mutations.
+		byRow := map[string][]Cell{}
+		var order []string
+		for _, cell := range batch {
+			if _, ok := byRow[cell.Row]; !ok {
+				order = append(order, cell.Row)
+			}
+			byRow[cell.Row] = append(byRow[cell.Row], cell)
+		}
+		sort.Strings(order)
+		for _, row := range order {
+			if err := r.mutateRow(byRow[row]); err != nil {
+				return err
+			}
+		}
+	}
+	c.metrics.AddRPC()
+	c.metrics.AddNetwork(requestOverhead + bytes)
+	c.metrics.AddKVWrites(uint64(len(cells)))
+	c.metrics.Advance(c.profile.RPCLatency + c.profile.TransferTime(requestOverhead+bytes))
+	return nil
+}
+
+// SplitRegion splits the region containing row at its middle key.
+func (c *Cluster) SplitRegion(table, row string) error {
+	t, err := c.table(table)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := t.regionFor(row)
+	mid := r.splitPoint()
+	if mid == "" || mid == r.StartKey() {
+		return fmt.Errorf("kvstore: region %d too small to split", r.ID())
+	}
+	cells := r.allCells()
+	c.nextID++
+	c.seed++
+	left := newRegion(c.nextID, table, r.StartKey(), mid, r.Node(), c.seed)
+	c.nextID++
+	c.seed++
+	right := newRegion(c.nextID, table, mid, r.EndKey(), c.nextID%c.profile.Nodes, c.seed)
+	for i := range cells {
+		dst := left
+		if cells[i].Row >= mid {
+			dst = right
+		}
+		if err := dst.mutateRow([]Cell{cells[i]}); err != nil {
+			return err
+		}
+	}
+	// Replace r in the table's sorted region list.
+	for i, reg := range t.regions {
+		if reg == r {
+			t.regions = append(t.regions[:i], append([]*Region{left, right}, t.regions[i+1:]...)...)
+			return nil
+		}
+	}
+	return fmt.Errorf("kvstore: region %d not found in table %q", r.ID(), table)
+}
+
+// MoveRegion reassigns the region containing row to another node
+// (failure-injection and balance tests).
+func (c *Cluster) MoveRegion(table, row string, node int) error {
+	t, err := c.table(table)
+	if err != nil {
+		return err
+	}
+	if node < 0 || node >= c.profile.Nodes {
+		return fmt.Errorf("kvstore: node %d out of range", node)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := t.regionFor(row)
+	r.mu.Lock()
+	r.node = node
+	r.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,102 @@
+// Package kvstore implements the NoSQL substrate the paper's algorithms
+// run on: an embedded, deterministic, HBase-like distributed sorted
+// key-value store.
+//
+// The data model follows Section 1 of the paper: a key-value pair is the
+// quadruplet {row key, column name, column value, timestamp}; a table is
+// an ordered collection of key-value pairs; a row is the set of pairs
+// sharing a key; column families partition a table vertically. Tables are
+// horizontally sharded into key-range regions, each hosted by one node of
+// a simulated cluster. The store supports efficient point gets, ascending
+// keyed scans (with client-side batching, like HBase scanner caching),
+// server-side filters, and row-level atomic mutations — and nothing more,
+// which is exactly the contract the paper's algorithms are designed for.
+package kvstore
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// KeySep separates logical components inside composite row keys (e.g. the
+// BFHM's "bucketNo|bitPos" reverse-mapping keys).
+const KeySep = "|"
+
+// EncodeFloat encodes a float64 as a 16-character lowercase-hex string
+// whose lexicographic order equals the numeric order of the input.
+// The standard trick: flip the sign bit of non-negative values, flip all
+// bits of negative values.
+func EncodeFloat(f float64) string {
+	bits := math.Float64bits(f)
+	if bits&(1<<63) != 0 {
+		bits = ^bits
+	} else {
+		bits |= 1 << 63
+	}
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], bits)
+	return hex.EncodeToString(b[:])
+}
+
+// DecodeFloat reverses EncodeFloat.
+func DecodeFloat(s string) (float64, error) {
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != 8 {
+		return 0, fmt.Errorf("kvstore: bad float key %q", s)
+	}
+	bits := binary.BigEndian.Uint64(raw)
+	if bits&(1<<63) != 0 {
+		bits &^= 1 << 63
+	} else {
+		bits = ^bits
+	}
+	return math.Float64frombits(bits), nil
+}
+
+// EncodeScoreDesc encodes a score so that HIGHER scores sort FIRST under
+// the store's ascending-only scans. Like the paper's ISL index ("we have
+// used the negated score values as the index keys", Section 4.2.2) this
+// is EncodeFloat of the negated score.
+func EncodeScoreDesc(score float64) string {
+	return EncodeFloat(-score)
+}
+
+// DecodeScoreDesc reverses EncodeScoreDesc.
+func DecodeScoreDesc(s string) (float64, error) {
+	f, err := DecodeFloat(s)
+	if err != nil {
+		return 0, err
+	}
+	return -f, nil
+}
+
+// EncodeUint encodes n as fixed-width zero-padded decimal so that
+// lexicographic order equals numeric order for values below 10^width.
+func EncodeUint(n uint64, width int) string {
+	return fmt.Sprintf("%0*d", width, n)
+}
+
+// BucketKey builds a BFHM/DRJN bucket row key: zero-padded bucket number.
+func BucketKey(bucket int) string { return EncodeUint(uint64(bucket), 6) }
+
+// ReverseMapKey builds the BFHM reverse-mapping row key "bucket|bitpos"
+// (Section 5.1: "the key consists of the concatenation of the bucket
+// number and bit position").
+func ReverseMapKey(bucket int, bitPos uint64) string {
+	return BucketKey(bucket) + KeySep + EncodeUint(bitPos, 12)
+}
+
+// ValidateKeyComponent rejects strings that would break composite-key
+// parsing or the store's internal cell encoding.
+func ValidateKeyComponent(s string) error {
+	if s == "" {
+		return fmt.Errorf("kvstore: empty key component")
+	}
+	if strings.ContainsRune(s, 0) {
+		return fmt.Errorf("kvstore: key component %q contains NUL", s)
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package kvstore
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeFloatOrderPreserving(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ea, eb := EncodeFloat(a), EncodeFloat(b)
+		switch {
+		case a < b:
+			return ea < eb
+		case a > b:
+			return ea > eb
+		default:
+			return ea == eb
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeFloatRoundTrip(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) {
+			return true
+		}
+		got, err := DecodeFloat(EncodeFloat(a))
+		return err == nil && got == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	for _, v := range []float64{0, 1, -1, 0.5, -0.5, math.Inf(1), math.Inf(-1), math.MaxFloat64, -math.MaxFloat64} {
+		got, err := DecodeFloat(EncodeFloat(v))
+		if err != nil || got != v {
+			t.Errorf("round trip %g -> %g (%v)", v, got, err)
+		}
+	}
+}
+
+func TestDecodeFloatErrors(t *testing.T) {
+	if _, err := DecodeFloat("zz"); err == nil {
+		t.Error("bad hex must fail")
+	}
+	if _, err := DecodeFloat("00ff"); err == nil {
+		t.Error("short key must fail")
+	}
+}
+
+func TestEncodeScoreDescOrdering(t *testing.T) {
+	// Higher scores must sort lexicographically FIRST.
+	scores := []float64{1.0, 0.93, 0.92, 0.91, 0.82, 0.79, 0.35, 0.31, 0.0}
+	for i := 1; i < len(scores); i++ {
+		hi, lo := EncodeScoreDesc(scores[i-1]), EncodeScoreDesc(scores[i])
+		if hi >= lo {
+			t.Errorf("EncodeScoreDesc(%g)=%s not before EncodeScoreDesc(%g)=%s",
+				scores[i-1], hi, scores[i], lo)
+		}
+	}
+	got, err := DecodeScoreDesc(EncodeScoreDesc(0.73))
+	if err != nil || got != 0.73 {
+		t.Errorf("DecodeScoreDesc round trip = %g, %v", got, err)
+	}
+}
+
+func TestEncodeUintOrdering(t *testing.T) {
+	prev := ""
+	for n := uint64(0); n < 1000; n += 7 {
+		s := EncodeUint(n, 6)
+		if len(s) != 6 {
+			t.Fatalf("EncodeUint(%d, 6) = %q, want width 6", n, s)
+		}
+		if s <= prev && prev != "" {
+			t.Fatalf("ordering broken at %d: %q <= %q", n, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestBucketAndReverseMapKeys(t *testing.T) {
+	if BucketKey(3) >= BucketKey(10) {
+		t.Error("bucket keys must sort numerically")
+	}
+	k := ReverseMapKey(2, 12345)
+	if k != "000002|000000012345" {
+		t.Errorf("ReverseMapKey = %q", k)
+	}
+	// All reverse-mapping keys of bucket b sort after the bucket row key
+	// and before bucket b+1's row key.
+	if !(BucketKey(2) < k && k < BucketKey(3)) {
+		t.Error("reverse map keys must nest between bucket keys")
+	}
+}
+
+func TestValidateKeyComponent(t *testing.T) {
+	if err := ValidateKeyComponent("ok-key"); err != nil {
+		t.Errorf("valid key rejected: %v", err)
+	}
+	if err := ValidateKeyComponent(""); err == nil {
+		t.Error("empty key accepted")
+	}
+	if err := ValidateKeyComponent("a\x00b"); err == nil {
+		t.Error("NUL key accepted")
+	}
+}
+
+func TestCellKeyRoundTrip(t *testing.T) {
+	key := cellKey("row1", "cf", "col", 42, 7)
+	row, fam, qual, ts, seq, err := parseCellKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row != "row1" || fam != "cf" || qual != "col" || ts != 42 || seq != 7 {
+		t.Fatalf("parsed (%q,%q,%q,%d,%d)", row, fam, qual, ts, seq)
+	}
+	if _, _, _, _, _, err := parseCellKey("garbage"); err == nil {
+		t.Error("malformed key accepted")
+	}
+}
+
+func TestCellKeyNewestFirst(t *testing.T) {
+	older := cellKey("r", "f", "q", 1, 1)
+	newer := cellKey("r", "f", "q", 2, 2)
+	if newer >= older {
+		t.Error("newer version must sort before older")
+	}
+	// Same timestamp: higher seq sorts first.
+	a := cellKey("r", "f", "q", 5, 10)
+	b := cellKey("r", "f", "q", 5, 11)
+	if b >= a {
+		t.Error("higher seq must sort before lower at equal ts")
+	}
+}
+
+func TestCellStoredSizeAndColumn(t *testing.T) {
+	c := Cell{Row: "r", Family: "f", Qualifier: "q", Value: []byte("hello")}
+	if c.StoredSize() != uint64(1+1+1+5+cellOverhead) {
+		t.Errorf("StoredSize = %d", c.StoredSize())
+	}
+	if c.Column() != "f:q" {
+		t.Errorf("Column = %q", c.Column())
+	}
+	if c.String() == "" {
+		t.Error("String empty")
+	}
+	c.Tombstone = true
+	if c.String() == "" {
+		t.Error("tombstone String empty")
+	}
+}

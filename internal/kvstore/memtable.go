@@ -1,0 +1,121 @@
+package kvstore
+
+import "math/rand"
+
+// memtable is the mutable, sorted in-memory write buffer of a region: a
+// skip list keyed by the internal cell key, mirroring HBase's memstore.
+// Entries are never updated in place — every Put/Delete appends a new
+// version keyed by (timestamp, sequence), and flush materializes the
+// list into an immutable segment.
+type memtable struct {
+	head     *skipNode
+	level    int
+	size     uint64 // accumulated StoredSize of entries
+	count    int
+	rng      *rand.Rand
+	maxLevel int
+}
+
+type skipNode struct {
+	key  string
+	cell *Cell // the full cell (Value may be nil for tombstones)
+	next []*skipNode
+}
+
+const memtableMaxLevel = 20
+
+// newMemtable returns an empty memtable. The skip list uses a seeded
+// PRNG so region behaviour is deterministic run to run.
+func newMemtable(seed int64) *memtable {
+	return &memtable{
+		head:     &skipNode{next: make([]*skipNode, memtableMaxLevel)},
+		level:    1,
+		rng:      rand.New(rand.NewSource(seed)),
+		maxLevel: memtableMaxLevel,
+	}
+}
+
+func (m *memtable) randomLevel() int {
+	lvl := 1
+	for lvl < m.maxLevel && m.rng.Intn(4) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// put inserts a cell version. Keys are unique because every mutation
+// carries a fresh sequence number; equal keys overwrite (idempotent WAL
+// replay).
+func (m *memtable) put(key string, c *Cell) {
+	update := make([]*skipNode, m.maxLevel)
+	x := m.head
+	for i := m.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	if n := x.next[0]; n != nil && n.key == key {
+		m.size -= n.cell.StoredSize()
+		n.cell = c
+		m.size += c.StoredSize()
+		return
+	}
+	lvl := m.randomLevel()
+	if lvl > m.level {
+		for i := m.level; i < lvl; i++ {
+			update[i] = m.head
+		}
+		m.level = lvl
+	}
+	n := &skipNode{key: key, cell: c, next: make([]*skipNode, lvl)}
+	for i := 0; i < lvl; i++ {
+		n.next[i] = update[i].next[i]
+		update[i].next[i] = n
+	}
+	m.size += c.StoredSize()
+	m.count++
+}
+
+// seek returns the first node with key >= k.
+func (m *memtable) seek(k string) *skipNode {
+	x := m.head
+	for i := m.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < k {
+			x = x.next[i]
+		}
+	}
+	return x.next[0]
+}
+
+// iterator walks entries in ascending key order starting at >= start.
+func (m *memtable) iterator(start string) *memtableIter {
+	return &memtableIter{node: m.seek(start)}
+}
+
+type memtableIter struct {
+	node *skipNode
+}
+
+func (it *memtableIter) valid() bool { return it.node != nil }
+func (it *memtableIter) key() string { return it.node.key }
+func (it *memtableIter) cell() *Cell { return it.node.cell }
+func (it *memtableIter) next()       { it.node = it.node.next[0] }
+
+// entries returns all cells in key order (used by flush).
+func (m *memtable) entries() []*Cell {
+	out := make([]*Cell, 0, m.count)
+	for n := m.head.next[0]; n != nil; n = n.next[0] {
+		out = append(out, n.cell)
+	}
+	return out
+}
+
+// keys returns all internal keys in order (used by flush).
+func (m *memtable) keys() []string {
+	out := make([]string, 0, m.count)
+	for n := m.head.next[0]; n != nil; n = n.next[0] {
+		out = append(out, n.key)
+	}
+	return out
+}

@@ -1,0 +1,391 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Region is one horizontal shard of a table: the half-open row-key range
+// [StartKey, EndKey), hosted by a single node. Each region owns an LSM
+// pipeline — WAL, memtable, immutable segments — and a mutex providing
+// the row-level atomicity HBase guarantees (Section 6 relies on it).
+type Region struct {
+	mu       sync.RWMutex
+	id       int
+	table    string
+	startKey string // inclusive; "" = unbounded low
+	endKey   string // exclusive; "" = unbounded high
+	node     int
+
+	mem      *memtable
+	segments []*segment // newest first
+	log      *wal
+	seq      uint64
+
+	flushThreshold   uint64
+	compactThreshold int
+}
+
+const (
+	defaultFlushThreshold   = 4 << 20 // 4 MB memstore, scaled-down HBase default
+	defaultCompactThreshold = 4
+)
+
+func newRegion(id int, table, startKey, endKey string, node int, seed int64) *Region {
+	return &Region{
+		id:               id,
+		table:            table,
+		startKey:         startKey,
+		endKey:           endKey,
+		node:             node,
+		mem:              newMemtable(seed),
+		log:              &wal{},
+		flushThreshold:   defaultFlushThreshold,
+		compactThreshold: defaultCompactThreshold,
+	}
+}
+
+// ID returns the region's identifier.
+func (r *Region) ID() int { return r.id }
+
+// Node returns the hosting node index.
+func (r *Region) Node() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.node
+}
+
+// StartKey returns the inclusive low bound ("" = unbounded).
+func (r *Region) StartKey() string { return r.startKey }
+
+// EndKey returns the exclusive high bound ("" = unbounded).
+func (r *Region) EndKey() string { return r.endKey }
+
+// contains reports whether row falls in this region's range.
+func (r *Region) contains(row string) bool {
+	if r.startKey != "" && row < r.startKey {
+		return false
+	}
+	if r.endKey != "" && row >= r.endKey {
+		return false
+	}
+	return true
+}
+
+// OpStats reports the physical work one operation performed, so callers
+// (the metered client, the MapReduce runner) can charge the right costs
+// in the right places.
+type OpStats struct {
+	CellsExamined uint64 // logical KV pairs touched (read units)
+	BytesRead     uint64 // bytes read from disk (all versions scanned)
+	BytesReturned uint64 // payload bytes leaving the region server
+	CellsReturned uint64
+}
+
+func (s *OpStats) add(o OpStats) {
+	s.CellsExamined += o.CellsExamined
+	s.BytesRead += o.BytesRead
+	s.BytesReturned += o.BytesReturned
+	s.CellsReturned += o.CellsReturned
+}
+
+// applyMutation validates, logs, and inserts one cell version.
+// Caller holds r.mu.
+func (r *Region) applyMutation(c Cell) error {
+	if err := ValidateKeyComponent(c.Row); err != nil {
+		return err
+	}
+	if err := ValidateKeyComponent(c.Family); err != nil {
+		return fmt.Errorf("kvstore: bad family: %w", err)
+	}
+	if c.Qualifier != "" {
+		if err := ValidateKeyComponent(c.Qualifier); err != nil {
+			return fmt.Errorf("kvstore: bad qualifier: %w", err)
+		}
+	}
+	if !r.contains(c.Row) {
+		return fmt.Errorf("kvstore: row %q outside region [%q, %q)", c.Row, r.startKey, r.endKey)
+	}
+	r.seq++
+	cp := c // private copy
+	key := cellKey(cp.Row, cp.Family, cp.Qualifier, cp.Timestamp, r.seq)
+	r.log.append(key, &cp)
+	r.mem.put(key, &cp)
+	if r.mem.size > r.flushThreshold {
+		r.flushLocked()
+	}
+	return nil
+}
+
+// mutateRow applies several cells of ONE row atomically.
+func (r *Region) mutateRow(cells []Cell) error {
+	if len(cells) == 0 {
+		return nil
+	}
+	row := cells[0].Row
+	for i := range cells {
+		if cells[i].Row != row {
+			return fmt.Errorf("kvstore: mutateRow spans rows %q and %q", row, cells[i].Row)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range cells {
+		if err := r.applyMutation(cells[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushLocked materializes the memtable into a new segment and truncates
+// the WAL. Caller holds r.mu.
+func (r *Region) flushLocked() {
+	if r.mem.count == 0 {
+		return
+	}
+	seg := newSegment(r.mem.keys(), r.mem.entries())
+	r.segments = append([]*segment{seg}, r.segments...)
+	r.mem = newMemtable(int64(r.id)<<32 | int64(r.seq))
+	r.log.truncate()
+	if len(r.segments) > r.compactThreshold {
+		r.compactLocked()
+	}
+}
+
+// Flush forces a memtable flush (tests and admin use).
+func (r *Region) Flush() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.flushLocked()
+}
+
+// compactLocked merges all segments into one, keeping only the newest
+// version of each column and dropping columns whose newest version is a
+// tombstone. Caller holds r.mu.
+func (r *Region) compactLocked() {
+	iters := make([]cellIter, 0, len(r.segments))
+	for _, s := range r.segments {
+		iters = append(iters, s.iterator(""))
+	}
+	merged := newMergedIter(iters...)
+	var keys []string
+	var cells []*Cell
+	lastCol := ""
+	for merged.valid() {
+		k := merged.key()
+		c := merged.cell()
+		col := columnPrefix(c.Row, c.Family, c.Qualifier)
+		if col != lastCol {
+			lastCol = col
+			if !c.Tombstone {
+				keys = append(keys, k)
+				cells = append(cells, c)
+			}
+		}
+		merged.next()
+	}
+	r.segments = []*segment{newSegment(keys, cells)}
+}
+
+// Compact forces a major compaction.
+func (r *Region) Compact() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.flushLocked()
+	r.compactLocked()
+}
+
+// iterators returns merged read sources, newest first. Caller holds a
+// read lock.
+func (r *Region) iteratorsLocked(start string) *mergedIter {
+	its := make([]cellIter, 0, len(r.segments)+1)
+	its = append(its, r.mem.iterator(start))
+	for _, s := range r.segments {
+		its = append(its, s.iterator(start))
+	}
+	return newMergedIter(its...)
+}
+
+// scan reads rows in [startRow, endRow) (endRow "" = region end), at most
+// limit rows (0 = unlimited), visible at readTs (0 = latest), restricted
+// to the given families (nil = all), filtered by f (nil = none).
+func (r *Region) scan(startRow, endRow string, limit int, families []string, readTs int64, f Filter) ([]Row, OpStats, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+
+	famSet := map[string]bool{}
+	for _, fam := range families {
+		famSet[fam] = true
+	}
+
+	start := startRow
+	if start == "" || (r.startKey != "" && start < r.startKey) {
+		start = r.startKey
+	}
+	var stats OpStats
+	var rows []Row
+	it := r.iteratorsLocked(rowPrefix(start))
+	if start == "" {
+		it = r.iteratorsLocked("")
+	}
+
+	var cur *Row
+	lastCol := ""
+	flushRow := func() {
+		if cur == nil {
+			return
+		}
+		if len(cur.Cells) > 0 && (f == nil || f.FilterRow(cur)) {
+			stats.CellsReturned += uint64(len(cur.Cells))
+			stats.BytesReturned += cur.Size()
+			rows = append(rows, *cur)
+		}
+		cur = nil
+	}
+
+	for it.valid() {
+		c := it.cell()
+		// Region bound / request bound checks.
+		if r.endKey != "" && c.Row >= r.endKey {
+			break
+		}
+		if endRow != "" && c.Row >= endRow {
+			break
+		}
+		if len(famSet) > 0 && !famSet[c.Family] {
+			// Column families are physically separate stores (HBase
+			// HFiles): a family-restricted scan never touches — or
+			// pays for — other families' cells.
+			it.next()
+			continue
+		}
+		stats.BytesRead += c.StoredSize()
+		if cur == nil || cur.Key != c.Row {
+			flushRow()
+			if limit > 0 && len(rows) >= limit {
+				return rows, stats, nil
+			}
+			cur = &Row{Key: c.Row}
+			lastCol = ""
+		}
+		col := columnPrefix(c.Row, c.Family, c.Qualifier)
+		visible := readTs == 0 || c.Timestamp <= readTs
+		if col != lastCol && visible {
+			lastCol = col
+			stats.CellsExamined++
+			if !c.Tombstone {
+				cur.Cells = append(cur.Cells, *c)
+			}
+		}
+		it.next()
+	}
+	flushRow()
+	return rows, stats, nil
+}
+
+// get reads a single row (all families, latest versions).
+func (r *Region) get(row string, families []string) (*Row, OpStats, error) {
+	rows, stats, err := r.scan(row, row+"\x01", 1, families, 0, nil)
+	if err != nil {
+		return nil, stats, err
+	}
+	if len(rows) == 0 || rows[0].Key != row {
+		return nil, stats, nil
+	}
+	return &rows[0], stats, nil
+}
+
+// DiskSize returns the bytes held by this region (memtable + segments).
+func (r *Region) DiskSize() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	size := r.mem.size
+	for _, s := range r.segments {
+		size += s.size
+	}
+	return size
+}
+
+// CellCount returns the number of stored cell versions.
+func (r *Region) CellCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := r.mem.count
+	for _, s := range r.segments {
+		n += s.len()
+	}
+	return n
+}
+
+// recover rebuilds the memtable from the WAL, simulating a region server
+// crash after segments were persisted but before the memstore was
+// flushed. It returns the number of replayed records.
+func (r *Region) recover() (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	replayLog := r.log
+	r.mem = newMemtable(int64(r.id) << 16)
+	r.log = &wal{}
+	n := 0
+	err := replayLog.replay(func(key string, value []byte, tombstone bool) error {
+		row, family, qualifier, ts, _, err := parseCellKey(key)
+		if err != nil {
+			return err
+		}
+		c := &Cell{Row: row, Family: family, Qualifier: qualifier, Value: value, Timestamp: ts, Tombstone: tombstone}
+		r.mem.put(key, c)
+		n++
+		return nil
+	})
+	if err != nil {
+		return n, err
+	}
+	// Re-log the recovered state so a second crash still recovers.
+	r.log = replayLog
+	return n, nil
+}
+
+// splitPoint picks the middle row key, or "" if the region is too small
+// to split.
+func (r *Region) splitPoint() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var rows []string
+	last := ""
+	it := r.iteratorsLocked("")
+	for it.valid() {
+		c := it.cell()
+		if c.Row != last {
+			rows = append(rows, c.Row)
+			last = c.Row
+		}
+		it.next()
+	}
+	if len(rows) < 2 {
+		return ""
+	}
+	return rows[len(rows)/2]
+}
+
+// allCells snapshots every live (latest-version, non-tombstone) cell, for
+// region splits.
+func (r *Region) allCells() []Cell {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []Cell
+	lastCol := ""
+	it := r.iteratorsLocked("")
+	for it.valid() {
+		c := it.cell()
+		col := columnPrefix(c.Row, c.Family, c.Qualifier)
+		if col != lastCol {
+			lastCol = col
+			if !c.Tombstone {
+				out = append(out, *c)
+			}
+		}
+		it.next()
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package kvstore
+
+import (
+	"fmt"
+	"time"
+)
+
+// Scan describes a client scan request.
+type Scan struct {
+	Table    string
+	StartRow string // inclusive; "" = table start
+	StopRow  string // exclusive; "" = table end
+	Families []string
+	Filter   Filter
+	// Caching is the scanner batch size: rows fetched per RPC, HBase's
+	// scanner-caching knob. The paper's ISL batching (Section 4.2.3:
+	// "batched scans ... with a non-zero rowcache size") maps here.
+	Caching int
+	// ReadTs, when non-zero, hides cells newer than this timestamp
+	// (snapshot reads used by index maintenance tests).
+	ReadTs int64
+}
+
+// Scanner streams rows of a table in ascending key order across region
+// boundaries, fetching Caching rows per RPC and charging the client
+// metrics accordingly.
+type Scanner struct {
+	c       *Cluster
+	scan    Scan
+	buf     []Row
+	bufPos  int
+	nextRow string
+	done    bool
+	err     error
+}
+
+// OpenScanner starts a scan.
+func (c *Cluster) OpenScanner(s Scan) (*Scanner, error) {
+	if _, err := c.table(s.Table); err != nil {
+		return nil, err
+	}
+	if s.Caching < 1 {
+		s.Caching = 1
+	}
+	return &Scanner{c: c, scan: s, nextRow: s.StartRow}, nil
+}
+
+// Next returns the next row, or nil when the scan is exhausted.
+func (sc *Scanner) Next() (*Row, error) {
+	if sc.err != nil {
+		return nil, sc.err
+	}
+	for sc.bufPos >= len(sc.buf) {
+		if sc.done {
+			return nil, nil
+		}
+		if err := sc.fetchBatch(); err != nil {
+			sc.err = err
+			return nil, err
+		}
+	}
+	r := &sc.buf[sc.bufPos]
+	sc.bufPos++
+	return r, nil
+}
+
+// fetchBatch issues one RPC pulling up to Caching rows starting at
+// nextRow, possibly spanning multiple regions server-side.
+func (sc *Scanner) fetchBatch() error {
+	t, err := sc.c.table(sc.scan.Table)
+	if err != nil {
+		return err
+	}
+	sc.buf = sc.buf[:0]
+	sc.bufPos = 0
+	var stats OpStats
+	want := sc.scan.Caching
+
+	sc.c.mu.RLock()
+	regions := append([]*Region(nil), t.regions...)
+	sc.c.mu.RUnlock()
+
+	start := sc.nextRow
+	for _, r := range regions {
+		if r.EndKey() != "" && start != "" && start >= r.EndKey() {
+			continue // region entirely before the cursor
+		}
+		if sc.scan.StopRow != "" && r.StartKey() != "" && r.StartKey() >= sc.scan.StopRow {
+			break // region entirely after the stop row
+		}
+		rows, st, err := r.scan(start, sc.scan.StopRow, want-len(sc.buf), sc.scan.Families, sc.scan.ReadTs, sc.scan.Filter)
+		if err != nil {
+			return err
+		}
+		stats.add(st)
+		sc.buf = append(sc.buf, rows...)
+		if len(sc.buf) >= want {
+			break
+		}
+	}
+
+	sc.c.chargeRPC(stats)
+	if len(sc.buf) < want {
+		sc.done = true
+	}
+	if len(sc.buf) > 0 {
+		last := sc.buf[len(sc.buf)-1].Key
+		sc.nextRow = last + "\x01" // resume strictly after the last row
+	}
+	if len(sc.buf) == 0 {
+		sc.done = true
+	}
+	return nil
+}
+
+// ScanAll is a convenience that drains a scan into memory.
+func (c *Cluster) ScanAll(s Scan) ([]Row, error) {
+	sc, err := c.OpenScanner(s)
+	if err != nil {
+		return nil, err
+	}
+	var out []Row
+	for {
+		r, err := sc.Next()
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			return out, nil
+		}
+		out = append(out, *r)
+	}
+}
+
+// GetRows is a batched multi-get, charging one RPC per row (as HBase
+// multi-gets are billed per row read).
+func (c *Cluster) GetRows(table string, rows []string, families ...string) ([]*Row, error) {
+	out := make([]*Row, 0, len(rows))
+	for _, row := range rows {
+		r, err := c.Get(table, row, families...)
+		if err != nil {
+			return nil, fmt.Errorf("kvstore: multi-get %q: %w", row, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// MultiGet fetches several rows in ONE client RPC (HBase's batched Get).
+// Read units and server-side seeks are still paid per row, but the RPC
+// round-trip latency is amortized across the batch — the cost profile
+// BFHM's reverse-mapping phase relies on. Missing rows yield nil entries.
+func (c *Cluster) MultiGet(table string, rows []string, families ...string) ([]*Row, error) {
+	t, err := c.table(table)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Row, len(rows))
+	var stats OpStats
+	for i, row := range rows {
+		r := t.regionFor(row)
+		got, st, err := r.get(row, families)
+		if err != nil {
+			return nil, fmt.Errorf("kvstore: multi-get %q: %w", row, err)
+		}
+		st.BytesRead = st.BytesReturned // keyed read, not a range scan
+		stats.add(st)
+		out[i] = got
+	}
+	c.metrics.AddRPC()
+	c.metrics.AddNetwork(requestOverhead + uint64(len(rows))*16 + stats.BytesReturned)
+	c.metrics.AddKVReads(stats.CellsExamined)
+	c.metrics.AddDiskRead(stats.BytesRead)
+	c.metrics.Advance(c.profile.RPCLatency +
+		time.Duration(len(rows))*c.profile.SeekLatency +
+		c.profile.TransferTime(requestOverhead+stats.BytesReturned) +
+		c.profile.CPUTime(stats.CellsExamined))
+	return out, nil
+}

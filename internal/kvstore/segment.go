@@ -1,0 +1,92 @@
+package kvstore
+
+import "sort"
+
+// segment is an immutable sorted run of cell versions, the in-memory
+// analogue of an HBase HFile: produced by flushing a memtable or by
+// compaction, searched by binary search, scanned sequentially.
+type segment struct {
+	keys  []string
+	cells []*Cell
+	size  uint64
+}
+
+// newSegment builds a segment from parallel sorted key/cell slices.
+func newSegment(keys []string, cells []*Cell) *segment {
+	var size uint64
+	for _, c := range cells {
+		size += c.StoredSize()
+	}
+	return &segment{keys: keys, cells: cells, size: size}
+}
+
+// seek returns the index of the first entry with key >= k.
+func (s *segment) seek(k string) int {
+	return sort.SearchStrings(s.keys, k)
+}
+
+func (s *segment) len() int { return len(s.keys) }
+
+// iterator walks entries in ascending key order from >= start.
+func (s *segment) iterator(start string) *segmentIter {
+	return &segmentIter{seg: s, idx: s.seek(start)}
+}
+
+type segmentIter struct {
+	seg *segment
+	idx int
+}
+
+func (it *segmentIter) valid() bool { return it.idx < len(it.seg.keys) }
+func (it *segmentIter) key() string { return it.seg.keys[it.idx] }
+func (it *segmentIter) cell() *Cell { return it.seg.cells[it.idx] }
+func (it *segmentIter) next()       { it.idx++ }
+
+// cellIter is the common interface of memtable and segment iterators.
+type cellIter interface {
+	valid() bool
+	key() string
+	cell() *Cell
+	next()
+}
+
+// mergedIter merges several sorted iterators into one ascending stream.
+// On equal keys the iterator added FIRST wins (callers order sources
+// newest-first), though equal internal keys cannot occur across sources
+// because sequence numbers are globally unique per region.
+type mergedIter struct {
+	sources []cellIter
+}
+
+func newMergedIter(sources ...cellIter) *mergedIter {
+	live := make([]cellIter, 0, len(sources))
+	for _, s := range sources {
+		if s.valid() {
+			live = append(live, s)
+		}
+	}
+	return &mergedIter{sources: live}
+}
+
+func (m *mergedIter) valid() bool { return len(m.sources) > 0 }
+
+func (m *mergedIter) pick() int {
+	best := 0
+	for i := 1; i < len(m.sources); i++ {
+		if m.sources[i].key() < m.sources[best].key() {
+			best = i
+		}
+	}
+	return best
+}
+
+func (m *mergedIter) key() string { return m.sources[m.pick()].key() }
+func (m *mergedIter) cell() *Cell { return m.sources[m.pick()].cell() }
+
+func (m *mergedIter) next() {
+	i := m.pick()
+	m.sources[i].next()
+	if !m.sources[i].valid() {
+		m.sources = append(m.sources[:i], m.sources[i+1:]...)
+	}
+}

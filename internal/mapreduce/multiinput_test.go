@@ -1,0 +1,155 @@
+package mapreduce
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/kvstore"
+	"repro/internal/sim"
+)
+
+// TestMultipleInputs exercises Hadoop-style MultipleInputs: two tables
+// mapped by different mappers into one shuffle (the Hive/Pig join jobs'
+// shape).
+func TestMultipleInputs(t *testing.T) {
+	c := kvstore.NewCluster(sim.LC(), nil)
+	for _, tbl := range []string{"users", "orders"} {
+		if _, err := c.CreateTable(tbl, []string{"cf"}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Put("users", kvstore.Cell{Row: "u1", Family: "cf", Qualifier: "name", Value: []byte("ada")})
+	c.Put("users", kvstore.Cell{Row: "u2", Family: "cf", Qualifier: "name", Value: []byte("bob")})
+	c.Put("orders", kvstore.Cell{Row: "o1", Family: "cf", Qualifier: "user", Value: []byte("u1")})
+	c.Put("orders", kvstore.Cell{Row: "o2", Family: "cf", Qualifier: "user", Value: []byte("u1")})
+	c.Put("orders", kvstore.Cell{Row: "o3", Family: "cf", Qualifier: "user", Value: []byte("u2")})
+
+	res, err := Run(&Job{
+		Name:    "join",
+		Cluster: c,
+		Inputs: []TableInput{
+			{
+				Scan: kvstore.Scan{Table: "users"},
+				Mapper: MapperFunc(func(row *kvstore.Row, ctx Context) error {
+					ctx.Emit(row.Key, append([]byte("U:"), row.Cells[0].Value...))
+					return nil
+				}),
+			},
+			{
+				Scan: kvstore.Scan{Table: "orders"},
+				Mapper: MapperFunc(func(row *kvstore.Row, ctx Context) error {
+					ctx.Emit(string(row.Cells[0].Value), []byte("O:"+row.Key))
+					return nil
+				}),
+			},
+		},
+		Reducer: ReducerFunc(func(key string, values [][]byte, ctx Context) error {
+			var user string
+			var orders int
+			for _, v := range values {
+				switch v[0] {
+				case 'U':
+					user = string(v[2:])
+				case 'O':
+					orders++
+				}
+			}
+			ctx.Emit(key, []byte(fmt.Sprintf("%s:%d", user, orders)))
+			return nil
+		}),
+		NumReducers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, kv := range res.Output {
+		got[kv.Key] = string(kv.Value)
+	}
+	if got["u1"] != "ada:2" || got["u2"] != "bob:1" {
+		t.Fatalf("join output = %v", got)
+	}
+}
+
+// TestMultipleInputsStatefulFactories gives each input its own mapper
+// factory and checks per-task isolation.
+func TestMultipleInputsStatefulFactories(t *testing.T) {
+	c := kvstore.NewCluster(sim.LC(), nil)
+	if _, err := c.CreateTable("t", []string{"cf"}, []string{"m"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		c.Put("t", kvstore.Cell{Row: fmt.Sprintf("%c%02d", 'a'+i%2*12, i), Family: "cf", Qualifier: "v", Value: []byte{1}})
+	}
+	type counting struct{ n int }
+	makeMapper := func() Mapper {
+		st := &counting{}
+		return MapperFunc(func(row *kvstore.Row, ctx Context) error {
+			st.n++
+			ctx.Counter("rows", 1)
+			if st.n > 20 {
+				return fmt.Errorf("mapper state shared across tasks")
+			}
+			return nil
+		})
+	}
+	res, err := Run(&Job{
+		Name:    "stateful",
+		Cluster: c,
+		Inputs: []TableInput{
+			{Scan: kvstore.Scan{Table: "t"}, MapperFactory: makeMapper},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters["rows"] != 20 {
+		t.Fatalf("rows counter = %d", res.Counters["rows"])
+	}
+}
+
+// TestFinisherHook verifies Finish runs once per task after its rows.
+func TestFinisherHook(t *testing.T) {
+	c := kvstore.NewCluster(sim.LC(), nil)
+	if _, err := c.CreateTable("t", []string{"cf"}, []string{"k10"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		c.Put("t", kvstore.Cell{Row: fmt.Sprintf("k%02d", i), Family: "cf", Qualifier: "v", Value: []byte{1}})
+	}
+	res, err := Run(&Job{
+		Name:          "finisher",
+		Cluster:       c,
+		Input:         kvstore.Scan{Table: "t"},
+		MapperFactory: func() Mapper { return &finisherMapper{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two regions -> two tasks -> two "done" emissions, each carrying
+	// that task's row count.
+	if len(res.Output) != 2 {
+		t.Fatalf("finish emissions = %d, want 2", len(res.Output))
+	}
+	total := 0
+	for _, kv := range res.Output {
+		n := 0
+		fmt.Sscanf(string(kv.Value), "%d", &n)
+		total += n
+	}
+	if total != 20 {
+		t.Fatalf("summed task rows = %d, want 20", total)
+	}
+}
+
+type finisherMapper struct{ rows int }
+
+func (m *finisherMapper) Map(row *kvstore.Row, ctx Context) error {
+	m.rows++
+	return nil
+}
+
+func (m *finisherMapper) Finish(ctx Context) error {
+	ctx.Emit("done", []byte(fmt.Sprint(m.rows)))
+	return nil
+}

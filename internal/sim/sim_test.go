@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestProfilesSane(t *testing.T) {
+	for _, p := range []Profile{EC2(), LC()} {
+		if p.Nodes < 1 {
+			t.Errorf("%s: nodes = %d", p.Name, p.Nodes)
+		}
+		if p.DiskBandwidth <= 0 || p.NetBandwidth <= 0 {
+			t.Errorf("%s: non-positive bandwidth", p.Name)
+		}
+		if p.RPCLatency <= 0 || p.MRJobStartup <= 0 {
+			t.Errorf("%s: non-positive latencies", p.Name)
+		}
+	}
+	// LC must be strictly faster than EC2 in every dimension the paper
+	// relies on.
+	ec2, lc := EC2(), LC()
+	if lc.DiskBandwidth <= ec2.DiskBandwidth {
+		t.Error("LC disk must beat EC2")
+	}
+	if lc.NetBandwidth <= ec2.NetBandwidth {
+		t.Error("LC network must beat EC2")
+	}
+	if lc.RPCLatency >= ec2.RPCLatency {
+		t.Error("LC RPC latency must beat EC2")
+	}
+}
+
+func TestScanTransferRPC(t *testing.T) {
+	p := Profile{DiskBandwidth: 1e6, NetBandwidth: 2e6, RPCLatency: time.Millisecond}
+	if got := p.ScanTime(1e6); got != time.Second {
+		t.Errorf("ScanTime(1MB) = %v, want 1s", got)
+	}
+	if got := p.TransferTime(2e6); got != time.Second {
+		t.Errorf("TransferTime(2MB) = %v, want 1s", got)
+	}
+	if got := p.RPCTime(0); got != time.Millisecond {
+		t.Errorf("RPCTime(0) = %v, want 1ms", got)
+	}
+	if got := p.RPCTime(2e6); got != time.Second+time.Millisecond {
+		t.Errorf("RPCTime(2MB) = %v, want 1.001s", got)
+	}
+}
+
+func TestMetricsAccumulate(t *testing.T) {
+	var m Metrics
+	m.Advance(time.Second)
+	m.Advance(time.Second)
+	m.AddNetwork(100)
+	m.AddKVReads(7)
+	m.AddKVWrites(3)
+	m.AddRPC()
+	m.AddDiskRead(50)
+	m.AddTuplesShipped(2)
+	if m.SimTime() != 2*time.Second {
+		t.Errorf("SimTime = %v", m.SimTime())
+	}
+	if m.NetworkBytes() != 100 || m.KVReads() != 7 || m.KVWrites() != 3 ||
+		m.RPCCalls() != 1 || m.DiskBytesRead() != 50 || m.TuplesShipped() != 2 {
+		t.Errorf("counter mismatch: %+v", m.Snapshot())
+	}
+	m.Advance(-time.Hour) // negative advances are ignored
+	if m.SimTime() != 2*time.Second {
+		t.Error("negative Advance must be a no-op")
+	}
+	m.Reset()
+	if m.Snapshot() != (Snapshot{}) {
+		t.Error("Reset did not zero counters")
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	var m Metrics
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				m.AddKVReads(1)
+				m.AddNetwork(2)
+				m.Advance(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if m.KVReads() != 5000 {
+		t.Errorf("KVReads = %d, want 5000", m.KVReads())
+	}
+	if m.NetworkBytes() != 10000 {
+		t.Errorf("NetworkBytes = %d, want 10000", m.NetworkBytes())
+	}
+	if m.SimTime() != 5000*time.Microsecond {
+		t.Errorf("SimTime = %v, want 5ms", m.SimTime())
+	}
+}
+
+func TestDollars(t *testing.T) {
+	var m Metrics
+	m.AddKVReads(1)
+	if d := m.Dollars(); d != 0.01 {
+		t.Errorf("1 read = $%g, want $0.01 (1 capacity unit-hour)", d)
+	}
+	m.AddKVReads(49)
+	if d := m.Dollars(); d != 0.01 {
+		t.Errorf("50 reads = $%g, want $0.01", d)
+	}
+	m.AddKVReads(1)
+	if d := m.Dollars(); d != 0.02 {
+		t.Errorf("51 reads = $%g, want $0.02", d)
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	var m Metrics
+	m.AddKVReads(10)
+	before := m.Snapshot()
+	m.AddKVReads(5)
+	m.Advance(time.Second)
+	delta := m.Snapshot().Sub(before)
+	if delta.KVReads != 5 {
+		t.Errorf("delta reads = %d, want 5", delta.KVReads)
+	}
+	if delta.SimTime != time.Second {
+		t.Errorf("delta time = %v, want 1s", delta.SimTime)
+	}
+	if delta.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestParallelTimerLeastLoaded(t *testing.T) {
+	pt := NewParallelTimer(2)
+	pt.Assign(3 * time.Second)
+	pt.Assign(1 * time.Second)
+	pt.Assign(1 * time.Second)
+	// Worker 0: 3s; worker 1: 1+1 = 2s.
+	if got := pt.Makespan(); got != 3*time.Second {
+		t.Errorf("makespan = %v, want 3s", got)
+	}
+	pt.Assign(2 * time.Second) // goes to worker 1 (2s) -> 4s
+	if got := pt.Makespan(); got != 4*time.Second {
+		t.Errorf("makespan = %v, want 4s", got)
+	}
+}
+
+func TestParallelTimerLocality(t *testing.T) {
+	pt := NewParallelTimer(3)
+	pt.AssignTo(0, time.Second)
+	pt.AssignTo(3, time.Second) // wraps to worker 0
+	pt.AssignTo(1, time.Second)
+	if got := pt.Makespan(); got != 2*time.Second {
+		t.Errorf("makespan = %v, want 2s (two tasks pinned to worker 0)", got)
+	}
+}
+
+func TestParallelTimerDegenerate(t *testing.T) {
+	pt := NewParallelTimer(0) // clamps to 1
+	pt.Assign(time.Second)
+	pt.Assign(time.Second)
+	if got := pt.Makespan(); got != 2*time.Second {
+		t.Errorf("single-worker makespan = %v, want 2s", got)
+	}
+}

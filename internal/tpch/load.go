@@ -1,0 +1,145 @@
+package tpch
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/kvstore"
+)
+
+// Table and column layout used when loading TPC-H data into the store.
+// Every base-data row carries its join value and normalized score in the
+// "d" family, the shape all the paper's algorithms consume.
+const (
+	DataFamily   = "d"
+	JoinQual     = "join"
+	ScoreQual    = "score"
+	PartTable    = "part"
+	OrdersTable  = "orders"
+	LineitemT    = "lineitem"
+	loadBatchLen = 2000
+)
+
+// RowKeyPart builds the row key of a part tuple.
+func RowKeyPart(pk int) string { return "p" + kvstore.EncodeUint(uint64(pk), 10) }
+
+// RowKeyOrder builds the row key of an order tuple.
+func RowKeyOrder(ok int) string { return "o" + kvstore.EncodeUint(uint64(ok), 10) }
+
+// RowKeyLineitem builds the row key of a lineitem tuple.
+func RowKeyLineitem(ok, ln int) string {
+	return "l" + kvstore.EncodeUint(uint64(ok), 10) + "-" + kvstore.EncodeUint(uint64(ln), 2)
+}
+
+// PartCells renders a part as store cells.
+func PartCells(p *Part) []kvstore.Cell {
+	row := RowKeyPart(p.PartKey)
+	return []kvstore.Cell{
+		{Row: row, Family: DataFamily, Qualifier: JoinQual, Value: []byte(strconv.Itoa(p.PartKey))},
+		{Row: row, Family: DataFamily, Qualifier: ScoreQual, Value: kvstore.FloatValue(p.Score)},
+		{Row: row, Family: DataFamily, Qualifier: "name", Value: []byte(p.Name)},
+		{Row: row, Family: DataFamily, Qualifier: "retailprice", Value: kvstore.FloatValue(p.RetailPrice)},
+	}
+}
+
+// OrderCells renders an order as store cells.
+func OrderCells(o *Order) []kvstore.Cell {
+	row := RowKeyOrder(o.OrderKey)
+	return []kvstore.Cell{
+		{Row: row, Family: DataFamily, Qualifier: JoinQual, Value: []byte(strconv.Itoa(o.OrderKey))},
+		{Row: row, Family: DataFamily, Qualifier: ScoreQual, Value: kvstore.FloatValue(o.Score)},
+		{Row: row, Family: DataFamily, Qualifier: "totalprice", Value: kvstore.FloatValue(o.TotalPrice)},
+	}
+}
+
+// LineitemCells renders a lineitem as store cells. joinOn selects the
+// join attribute exposed in the JoinQual column: "partkey" for Q1 joins,
+// "orderkey" for Q2 joins.
+func LineitemCells(l *Lineitem, joinOn string) ([]kvstore.Cell, error) {
+	var join string
+	switch joinOn {
+	case "partkey":
+		join = strconv.Itoa(l.PartKey)
+	case "orderkey":
+		join = strconv.Itoa(l.OrderKey)
+	default:
+		return nil, fmt.Errorf("tpch: unknown join attribute %q", joinOn)
+	}
+	row := RowKeyLineitem(l.OrderKey, l.LineNumber)
+	return []kvstore.Cell{
+		{Row: row, Family: DataFamily, Qualifier: JoinQual, Value: []byte(join)},
+		{Row: row, Family: DataFamily, Qualifier: ScoreQual, Value: kvstore.FloatValue(l.Score)},
+		{Row: row, Family: DataFamily, Qualifier: "quantity", Value: []byte(strconv.Itoa(l.Quantity))},
+		{Row: row, Family: DataFamily, Qualifier: "extendedprice", Value: kvstore.FloatValue(l.ExtendedPrice)},
+	}, nil
+}
+
+// Load creates and fills the part, orders, and lineitem tables on the
+// cluster, pre-split so each table spans all nodes. The lineitem table's
+// join column is set per lineitemJoin ("partkey" or "orderkey").
+func Load(c *kvstore.Cluster, d *Data, lineitemJoin string) error {
+	families := []string{DataFamily}
+	mkSplits := func(prefix string, n, max int) []string {
+		// n split points spread uniformly over the key space.
+		var out []string
+		for i := 1; i <= n; i++ {
+			out = append(out, prefix+kvstore.EncodeUint(uint64(max*i/(n+1)), 10))
+		}
+		return out
+	}
+	nodes := c.Nodes()
+	if _, err := c.CreateTable(PartTable, families, mkSplits("p", nodes-1, len(d.Parts))); err != nil {
+		return err
+	}
+	if _, err := c.CreateTable(OrdersTable, families, mkSplits("o", nodes-1, len(d.Orders))); err != nil {
+		return err
+	}
+	if _, err := c.CreateTable(LineitemT, families, mkSplits("l", nodes-1, len(d.Orders))); err != nil {
+		return err
+	}
+
+	var batch []kvstore.Cell
+	flush := func(table string) error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := c.BatchPut(table, batch)
+		batch = batch[:0]
+		return err
+	}
+	for i := range d.Parts {
+		batch = append(batch, PartCells(&d.Parts[i])...)
+		if len(batch) >= loadBatchLen {
+			if err := flush(PartTable); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(PartTable); err != nil {
+		return err
+	}
+	for i := range d.Orders {
+		batch = append(batch, OrderCells(&d.Orders[i])...)
+		if len(batch) >= loadBatchLen {
+			if err := flush(OrdersTable); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(OrdersTable); err != nil {
+		return err
+	}
+	for i := range d.Lineitems {
+		cells, err := LineitemCells(&d.Lineitems[i], lineitemJoin)
+		if err != nil {
+			return err
+		}
+		batch = append(batch, cells...)
+		if len(batch) >= loadBatchLen {
+			if err := flush(LineitemT); err != nil {
+				return err
+			}
+		}
+	}
+	return flush(LineitemT)
+}

@@ -1,0 +1,108 @@
+package rankjoin
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Multi-way rank joins (the Section 3 generalization): n relations
+// equi-joined on a common attribute, ranked by an n-ary monotonic
+// aggregate. Supported algorithms: AlgoNaive and AlgoISL (the
+// coordinator-based HRJN generalization).
+
+// N-ary re-exports.
+type (
+	// NScoreFunc is a monotonic aggregate over n tuple scores.
+	NScoreFunc = core.NScoreFunc
+	// NJoinResult is one n-way join result.
+	NJoinResult = core.NJoinResult
+	// NResult is an executed multi-way query.
+	NResult = core.NResult
+)
+
+// N-ary score aggregates.
+var (
+	// SumN adds all n scores.
+	SumN = core.SumN
+	// ProductN multiplies all n scores.
+	ProductN = core.ProductN
+)
+
+// MultiQuery is an n-way top-k equi-join over defined relations.
+type MultiQuery struct {
+	q core.MultiQuery
+}
+
+// NewMultiQuery builds an n-way query over previously defined relations.
+func (db *DB) NewMultiQuery(relations []string, f NScoreFunc, k int) (MultiQuery, error) {
+	var rels []core.Relation
+	db.mu.Lock()
+	for _, name := range relations {
+		h, ok := db.relations[name]
+		if !ok {
+			db.mu.Unlock()
+			return MultiQuery{}, fmt.Errorf("rankjoin: relation %q not defined", name)
+		}
+		rels = append(rels, h.rel)
+	}
+	db.mu.Unlock()
+	q := core.MultiQuery{Relations: rels, Score: f, K: k}
+	if err := q.Validate(); err != nil {
+		return MultiQuery{}, err
+	}
+	return MultiQuery{q: q}, nil
+}
+
+// WithK derives a query with a different k.
+func (q MultiQuery) WithK(k int) MultiQuery {
+	out := q
+	out.q.K = k
+	return out
+}
+
+// ID returns the query's deterministic identifier.
+func (q MultiQuery) ID() string { return q.q.ID() }
+
+// EnsureMultiIndexes builds the n-way ISL index for the query
+// (idempotent).
+func (db *DB) EnsureMultiIndexes(q MultiQuery) error {
+	db.mu.Lock()
+	_, ok := db.isln[q.ID()]
+	db.mu.Unlock()
+	if ok {
+		return nil
+	}
+	idx, _, err := core.BuildISLN(db.cluster, q.q)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	db.isln[q.ID()] = idx
+	db.mu.Unlock()
+	return nil
+}
+
+// TopKN executes the n-way query. AlgoNaive needs no index; AlgoISL
+// requires a prior EnsureMultiIndexes call.
+func (db *DB) TopKN(q MultiQuery, algo Algorithm, opts *QueryOptions) (*NResult, error) {
+	switch algo {
+	case AlgoNaive:
+		return core.NaiveTopKN(db.cluster, q.q)
+	case AlgoISL:
+		db.mu.Lock()
+		idx, ok := db.isln[q.ID()]
+		db.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("rankjoin: no n-way ISL index for %s; call EnsureMultiIndexes first", q.ID())
+		}
+		batch := 100
+		if opts != nil && opts.ISLBatch > 0 {
+			batch = opts.ISLBatch
+		}
+		return core.QueryISLN(db.cluster, q.q, idx, batch)
+	default:
+		return nil, fmt.Errorf("rankjoin: algorithm %q does not support multi-way joins (use %s or %s)",
+			algo, AlgoNaive, AlgoISL)
+	}
+}

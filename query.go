@@ -1,0 +1,260 @@
+package rankjoin
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Query is a two-way top-k equi-join over two defined relations.
+type Query struct {
+	q core.Query
+}
+
+// NewQuery builds a query joining two defined relations on their join
+// attributes, ranking by the monotonic aggregate f, keeping k results.
+func (db *DB) NewQuery(left, right string, f ScoreFunc, k int) (Query, error) {
+	db.mu.Lock()
+	l, lok := db.relations[left]
+	r, rok := db.relations[right]
+	db.mu.Unlock()
+	if !lok {
+		return Query{}, fmt.Errorf("rankjoin: relation %q not defined", left)
+	}
+	if !rok {
+		return Query{}, fmt.Errorf("rankjoin: relation %q not defined", right)
+	}
+	q := core.Query{Left: l.rel, Right: r.rel, Score: f, K: k}
+	if err := q.Validate(); err != nil {
+		return Query{}, err
+	}
+	return Query{q: q}, nil
+}
+
+// WithK derives a query with a different k (indexes are shared).
+func (q Query) WithK(k int) Query {
+	out := q
+	out.q.K = k
+	return out
+}
+
+// K returns the query's result size target.
+func (q Query) K() int { return q.q.K }
+
+// ID returns the query's deterministic identifier.
+func (q Query) ID() string { return q.q.ID() }
+
+// EnsureIndexes builds (idempotently) the index structures the listed
+// algorithms need for this query. Index build costs are charged to the
+// DB's metrics — snapshot before/after to measure them (Fig. 9).
+func (db *DB) EnsureIndexes(q Query, algos ...Algorithm) error {
+	cfg := db.idxCfg
+	if cfg.BFHMBuckets == 0 {
+		cfg.BFHMBuckets = 100
+	}
+	if cfg.BFHMFPP == 0 {
+		cfg.BFHMFPP = 0.05
+	}
+	if cfg.DRJNBuckets == 0 {
+		cfg.DRJNBuckets = 100
+	}
+	if cfg.DRJNJoinParts == 0 {
+		cfg.DRJNJoinParts = 64
+	}
+	for _, algo := range algos {
+		switch algo {
+		case AlgoNaive, AlgoHive, AlgoPig:
+			// No index needed.
+		case AlgoIJLMR:
+			if _, ok := db.ijlmr[q.ID()]; ok {
+				continue
+			}
+			idx, _, err := core.BuildIJLMR(db.cluster, q.q)
+			if err != nil {
+				return err
+			}
+			db.mu.Lock()
+			db.ijlmr[q.ID()] = idx
+			db.mu.Unlock()
+		case AlgoISL:
+			if _, ok := db.isl[q.ID()]; ok {
+				continue
+			}
+			idx, _, err := core.BuildISL(db.cluster, q.q)
+			if err != nil {
+				return err
+			}
+			db.mu.Lock()
+			db.isl[q.ID()] = idx
+			db.mu.Unlock()
+		case AlgoBFHM:
+			if err := db.ensureBFHMPair(q, cfg); err != nil {
+				return err
+			}
+		case AlgoDRJN:
+			for _, rel := range []core.Relation{q.q.Left, q.q.Right} {
+				if _, ok := db.drjn[rel.Name]; ok {
+					continue
+				}
+				idx, _, err := core.BuildDRJN(db.cluster, rel, core.DRJNOptions{
+					NumBuckets: cfg.DRJNBuckets,
+					JoinParts:  cfg.DRJNJoinParts,
+				})
+				if err != nil {
+					return err
+				}
+				db.mu.Lock()
+				db.drjn[rel.Name] = idx
+				db.mu.Unlock()
+			}
+		default:
+			return fmt.Errorf("rankjoin: unknown algorithm %q", algo)
+		}
+	}
+	return nil
+}
+
+// ensureBFHMPair builds both relations' BFHM indexes with a shared
+// filter width (intersection requires equal widths; the first build
+// auto-sizes from its heaviest bucket, the second inherits).
+func (db *DB) ensureBFHMPair(q Query, cfg IndexConfig) error {
+	var shared uint64
+	db.mu.Lock()
+	if idx, ok := db.bfhm[q.q.Left.Name]; ok {
+		shared = idx.MBits
+	} else if idx, ok := db.bfhm[q.q.Right.Name]; ok {
+		shared = idx.MBits
+	}
+	db.mu.Unlock()
+	for _, rel := range []core.Relation{q.q.Left, q.q.Right} {
+		db.mu.Lock()
+		_, ok := db.bfhm[rel.Name]
+		db.mu.Unlock()
+		if ok {
+			continue
+		}
+		idx, _, err := core.BuildBFHM(db.cluster, rel, core.BFHMOptions{
+			NumBuckets: cfg.BFHMBuckets,
+			FPP:        cfg.BFHMFPP,
+			MBits:      shared,
+		})
+		if err != nil {
+			return err
+		}
+		shared = idx.MBits
+		db.mu.Lock()
+		db.bfhm[rel.Name] = idx
+		db.mu.Unlock()
+	}
+	return nil
+}
+
+// SetIndexConfig overrides index-construction defaults for subsequent
+// EnsureIndexes calls.
+func (db *DB) SetIndexConfig(cfg IndexConfig) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.idxCfg = cfg
+}
+
+// IndexDiskSize reports the stored bytes of the named algorithm's
+// index(es) for a query (the Section 7.2 index-size experiment). It
+// returns zero for index-free algorithms.
+func (db *DB) IndexDiskSize(q Query, algo Algorithm) uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	switch algo {
+	case AlgoIJLMR:
+		if idx, ok := db.ijlmr[q.ID()]; ok {
+			sz, _ := db.cluster.TableDiskSize(idx.Table)
+			return sz
+		}
+	case AlgoISL:
+		if idx, ok := db.isl[q.ID()]; ok {
+			sz, _ := db.cluster.TableDiskSize(idx.Table)
+			return sz
+		}
+	case AlgoBFHM:
+		var total uint64
+		for _, name := range []string{q.q.Left.Name, q.q.Right.Name} {
+			if idx, ok := db.bfhm[name]; ok {
+				sz, _ := db.cluster.TableDiskSize(idx.Table)
+				total += sz
+			}
+		}
+		return total
+	case AlgoDRJN:
+		var total uint64
+		for _, name := range []string{q.q.Left.Name, q.q.Right.Name} {
+			if idx, ok := db.drjn[name]; ok {
+				sz, _ := db.cluster.TableDiskSize(idx.Table)
+				total += sz
+			}
+		}
+		return total
+	}
+	return 0
+}
+
+// TopK executes the query with the chosen algorithm. Index-based
+// algorithms require a prior EnsureIndexes call. The Result carries both
+// the ranked pairs and the resources consumed (the paper's three
+// metrics: Cost.SimTime, Cost.NetworkBytes, Cost.KVReads / Dollars()).
+func (db *DB) TopK(q Query, algo Algorithm, opts *QueryOptions) (*Result, error) {
+	o := QueryOptions{ISLBatch: 100}
+	if opts != nil {
+		o = *opts
+		if o.ISLBatch == 0 {
+			o.ISLBatch = 100
+		}
+	}
+	switch algo {
+	case AlgoNaive:
+		return core.NaiveTopK(db.cluster, q.q)
+	case AlgoHive:
+		return core.QueryHive(db.cluster, q.q)
+	case AlgoPig:
+		return core.QueryPig(db.cluster, q.q)
+	case AlgoIJLMR:
+		db.mu.Lock()
+		idx, ok := db.ijlmr[q.ID()]
+		db.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("rankjoin: no IJLMR index for %s; call EnsureIndexes first", q.ID())
+		}
+		return core.QueryIJLMR(db.cluster, q.q, idx)
+	case AlgoISL:
+		db.mu.Lock()
+		idx, ok := db.isl[q.ID()]
+		db.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("rankjoin: no ISL index for %s; call EnsureIndexes first", q.ID())
+		}
+		return core.QueryISL(db.cluster, q.q, idx, core.ISLOptions{
+			BatchLeft:  o.ISLBatch,
+			BatchRight: o.ISLBatch,
+		})
+	case AlgoBFHM:
+		db.mu.Lock()
+		idxA, okA := db.bfhm[q.q.Left.Name]
+		idxB, okB := db.bfhm[q.q.Right.Name]
+		db.mu.Unlock()
+		if !okA || !okB {
+			return nil, fmt.Errorf("rankjoin: missing BFHM index for %s; call EnsureIndexes first", q.ID())
+		}
+		return core.QueryBFHM(db.cluster, q.q, idxA, idxB, core.BFHMQueryOptions{
+			WriteBack: o.BFHMWriteBack,
+		})
+	case AlgoDRJN:
+		db.mu.Lock()
+		idxA, okA := db.drjn[q.q.Left.Name]
+		idxB, okB := db.drjn[q.q.Right.Name]
+		db.mu.Unlock()
+		if !okA || !okB {
+			return nil, fmt.Errorf("rankjoin: missing DRJN index for %s; call EnsureIndexes first", q.ID())
+		}
+		return core.QueryDRJN(db.cluster, q.q, idxA, idxB)
+	default:
+		return nil, fmt.Errorf("rankjoin: unknown algorithm %q", algo)
+	}
+}

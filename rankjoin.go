@@ -1,0 +1,299 @@
+// Package rankjoin is a Go implementation of "Rank Join Queries in NoSQL
+// Databases" (Ntarmos, Patlakas, Triantafillou — PVLDB 7(7), 2014): top-k
+// equi-join processing over a BigTable/HBase-style NoSQL store.
+//
+// The library bundles an embedded, deterministic NoSQL cluster (sorted
+// key-value tables, column families, range-sharded regions, batched
+// scans, server-side filters), a locality-aware MapReduce runtime, and
+// the paper's full algorithm suite:
+//
+//   - Naive, Hive-style, and Pig-style baselines (Section 3)
+//   - IJLMR — Inverse Join List MapReduce rank join (Section 4.1)
+//   - ISL — Inverse Score List rank join over HRJN (Section 4.2)
+//   - BFHM — Bloom Filter Histogram Matrix rank join with a guaranteed
+//     100% recall (Section 5)
+//   - DRJN — the 2-D histogram comparator (Section 7.1)
+//
+// plus online index maintenance (Section 6) and a cost model reporting
+// the paper's three evaluation metrics for every query: simulated
+// turnaround time, network bytes, and dollar cost (key-value read units).
+//
+// # Quick start
+//
+//	db := rankjoin.Open(rankjoin.Config{})
+//	docs, _ := db.DefineRelation("docs")
+//	imgs, _ := db.DefineRelation("imgs")
+//	docs.Insert("d1", "apple", 0.9)
+//	imgs.Insert("i7", "apple", 0.8)
+//	q, _ := db.NewQuery("docs", "imgs", rankjoin.Sum, 10)
+//	db.EnsureIndexes(q, rankjoin.AlgoBFHM)
+//	res, _ := db.TopK(q, rankjoin.AlgoBFHM, nil)
+//	for _, r := range res.Results {
+//	    fmt.Println(r.Left.RowKey, r.Right.RowKey, r.Score)
+//	}
+package rankjoin
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/kvstore"
+	"repro/internal/sim"
+)
+
+// Re-exported data types. These alias the engine types so values flow
+// between the public API and the algorithm layer without copying.
+type (
+	// Tuple is one relation row: a unique row key, a join value, and a
+	// normalized score in [0, 1].
+	Tuple = core.Tuple
+	// JoinResult is one joined pair with its aggregate score.
+	JoinResult = core.JoinResult
+	// Result is a completed query: the top-k list plus consumed
+	// resources (simulated time, network bytes, KV read units).
+	Result = core.Result
+	// ScoreFunc is a named monotonic score aggregate.
+	ScoreFunc = core.ScoreFunc
+	// Profile describes simulated cluster hardware.
+	Profile = sim.Profile
+	// Metrics accumulates the paper's three evaluation metrics.
+	Metrics = sim.Metrics
+	// WriteBackMode selects when reconstructed BFHM blobs persist.
+	WriteBackMode = core.WriteBackMode
+)
+
+// Score aggregates.
+var (
+	// Sum adds the two tuple scores (the paper's Q2).
+	Sum = core.Sum
+	// Product multiplies them (the paper's Q1).
+	Product = core.Product
+)
+
+// BFHM write-back policies (Section 6).
+const (
+	WriteBackOff   = core.WriteBackOff
+	WriteBackEager = core.WriteBackEager
+	WriteBackLazy  = core.WriteBackLazy
+)
+
+// Algorithm selects a rank-join strategy.
+type Algorithm string
+
+// Available algorithms.
+const (
+	AlgoNaive Algorithm = "naive"
+	AlgoHive  Algorithm = "hive"
+	AlgoPig   Algorithm = "pig"
+	AlgoIJLMR Algorithm = "ijlmr"
+	AlgoISL   Algorithm = "isl"
+	AlgoBFHM  Algorithm = "bfhm"
+	AlgoDRJN  Algorithm = "drjn"
+)
+
+// Algorithms lists every implemented strategy in evaluation order.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgoHive, AlgoPig, AlgoIJLMR, AlgoISL, AlgoBFHM, AlgoDRJN}
+}
+
+// Config configures a DB.
+type Config struct {
+	// Profile selects the simulated hardware; default sim.LC().
+	Profile *Profile
+	// Metrics optionally shares a collector across DBs.
+	Metrics *Metrics
+}
+
+// IndexConfig tunes index construction in EnsureIndexes.
+type IndexConfig struct {
+	// BFHMBuckets is the histogram resolution (default 100).
+	BFHMBuckets int
+	// BFHMFPP is the Bloom false-positive target (default 0.05).
+	BFHMFPP float64
+	// DRJNBuckets is the DRJN score-band count (default 100).
+	DRJNBuckets int
+	// DRJNJoinParts is the DRJN join-partition count (default 64).
+	DRJNJoinParts int
+}
+
+// QueryOptions tunes query execution.
+type QueryOptions struct {
+	// ISLBatch is the scanner caching size for ISL (default 100).
+	ISLBatch int
+	// BFHMWriteBack selects the blob write-back policy (default off).
+	BFHMWriteBack WriteBackMode
+}
+
+// DB is a handle to an embedded NoSQL cluster with rank-join support.
+type DB struct {
+	mu        sync.Mutex
+	cluster   *kvstore.Cluster
+	relations map[string]*RelationHandle
+	ijlmr     map[string]*core.IJLMRIndex
+	isl       map[string]*core.ISLIndex
+	isln      map[string]*core.ISLNIndex
+	bfhm      map[string]*core.BFHMIndex
+	drjn      map[string]*core.DRJNIndex
+	idxCfg    IndexConfig
+}
+
+// Open creates a DB over a fresh simulated cluster.
+func Open(cfg Config) *DB {
+	p := sim.LC()
+	if cfg.Profile != nil {
+		p = *cfg.Profile
+	}
+	return &DB{
+		cluster:   kvstore.NewCluster(p, cfg.Metrics),
+		relations: map[string]*RelationHandle{},
+		ijlmr:     map[string]*core.IJLMRIndex{},
+		isl:       map[string]*core.ISLIndex{},
+		isln:      map[string]*core.ISLNIndex{},
+		bfhm:      map[string]*core.BFHMIndex{},
+		drjn:      map[string]*core.DRJNIndex{},
+	}
+}
+
+// Metrics returns the DB's metric collector (cumulative across all
+// operations; use Snapshot/Sub or the per-query Result.Cost for deltas).
+func (db *DB) Metrics() *Metrics { return db.cluster.Metrics() }
+
+// Cluster exposes the underlying store for advanced use (examples and
+// the bench harness inspect region layouts and table sizes through it).
+func (db *DB) Cluster() *kvstore.Cluster { return db.cluster }
+
+// RelationHandle wraps one rank-join input relation.
+type RelationHandle struct {
+	db  *DB
+	rel core.Relation
+}
+
+// DefineRelation creates the backing table for a new relation. Relation
+// names must be unique and become part of index table names.
+func (db *DB) DefineRelation(name string) (*RelationHandle, error) {
+	if err := kvstore.ValidateKeyComponent(name); err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.relations[name]; dup {
+		return nil, fmt.Errorf("rankjoin: relation %q already defined", name)
+	}
+	rel := core.Relation{
+		Name:      name,
+		Table:     "rel_" + name,
+		Family:    "d",
+		JoinQual:  "join",
+		ScoreQual: "score",
+	}
+	if _, err := db.cluster.CreateTable(rel.Table, []string{rel.Family}, nil); err != nil {
+		return nil, err
+	}
+	h := &RelationHandle{db: db, rel: rel}
+	db.relations[name] = h
+	return h, nil
+}
+
+// Relation returns a previously defined relation handle, or nil.
+func (db *DB) Relation(name string) *RelationHandle {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.relations[name]
+}
+
+// RelationNames lists defined relations in sorted order.
+func (db *DB) RelationNames() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var out []string
+	for n := range db.relations {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Name returns the relation's name.
+func (h *RelationHandle) Name() string { return h.rel.Name }
+
+// maintainer assembles the Section 6 update interceptor for the indexes
+// currently built over this relation.
+func (h *RelationHandle) maintainer() *core.Maintainer {
+	h.db.mu.Lock()
+	defer h.db.mu.Unlock()
+	m := &core.Maintainer{C: h.db.cluster, Rel: h.rel}
+	for id, idx := range h.db.ijlmr {
+		if fam, ok := familyFor(id, h.rel.Name, idx.LeftFamily, idx.RightFamily); ok {
+			m.IJLMR, m.IJLMRFamily = idx, fam
+		}
+	}
+	for id, idx := range h.db.isl {
+		if fam, ok := familyFor(id, h.rel.Name, idx.LeftFamily, idx.RightFamily); ok {
+			m.ISL, m.ISLFamily = idx, fam
+		}
+	}
+	if idx, ok := h.db.bfhm[h.rel.Name]; ok {
+		m.BFHM = idx
+	}
+	return m
+}
+
+// familyFor matches a relation name against an index's two families.
+func familyFor(_, relName, leftFam, rightFam string) (string, bool) {
+	if relName == leftFam {
+		return leftFam, true
+	}
+	if relName == rightFam {
+		return rightFam, true
+	}
+	return "", false
+}
+
+// Insert adds one tuple, synchronously maintaining every index built
+// over this relation (Section 6 semantics). DRJN indexes, like in the
+// paper, are rebuilt offline rather than maintained online.
+func (h *RelationHandle) Insert(rowKey, joinValue string, score float64) error {
+	return h.maintainer().InsertTuple(Tuple{RowKey: rowKey, JoinValue: joinValue, Score: score})
+}
+
+// Delete removes a tuple (the caller supplies its current join value and
+// score, as at the paper's interception point).
+func (h *RelationHandle) Delete(rowKey, joinValue string, score float64) error {
+	return h.maintainer().DeleteTuple(Tuple{RowKey: rowKey, JoinValue: joinValue, Score: score})
+}
+
+// BulkLoad inserts tuples efficiently WITHOUT index maintenance — load
+// data first, then build indexes with EnsureIndexes.
+func (h *RelationHandle) BulkLoad(tuples []Tuple) error {
+	var cells []kvstore.Cell
+	for _, t := range tuples {
+		cells = append(cells,
+			kvstore.Cell{Row: t.RowKey, Family: h.rel.Family, Qualifier: h.rel.JoinQual, Value: []byte(t.JoinValue)},
+			kvstore.Cell{Row: t.RowKey, Family: h.rel.Family, Qualifier: h.rel.ScoreQual, Value: kvstore.FloatValue(t.Score)},
+		)
+		if len(cells) >= 4096 {
+			if err := h.db.cluster.BatchPut(h.rel.Table, cells); err != nil {
+				return err
+			}
+			cells = cells[:0]
+		}
+	}
+	if len(cells) > 0 {
+		return h.db.cluster.BatchPut(h.rel.Table, cells)
+	}
+	return nil
+}
+
+// DiskSize returns the relation's stored bytes.
+func (h *RelationHandle) DiskSize() uint64 {
+	sz, _ := h.db.cluster.TableDiskSize(h.rel.Table)
+	return sz
+}
+
+// WriteBackBFHM runs the offline BFHM blob write-back for this relation,
+// returning how many buckets were reconstructed.
+func (h *RelationHandle) WriteBackBFHM() (int, error) {
+	return h.maintainer().WriteBackAll()
+}

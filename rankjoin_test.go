@@ -1,0 +1,255 @@
+package rankjoin
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func loadTwoRelations(t testing.TB, db *DB, n int) ([]Tuple, []Tuple) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	mk := func(prefix string) []Tuple {
+		var out []Tuple
+		for i := 0; i < n; i++ {
+			out = append(out, Tuple{
+				RowKey:    fmt.Sprintf("%s%04d", prefix, i),
+				JoinValue: fmt.Sprintf("j%d", rng.Intn(30)),
+				Score:     float64(rng.Intn(1000)) / 1000,
+			})
+		}
+		return out
+	}
+	left, right := mk("l"), mk("r")
+	lh, err := db.DefineRelation("left")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := db.DefineRelation("right")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lh.BulkLoad(left); err != nil {
+		t.Fatal(err)
+	}
+	if err := rh.BulkLoad(right); err != nil {
+		t.Fatal(err)
+	}
+	return left, right
+}
+
+func refTopK(left, right []Tuple, f ScoreFunc, k int) []float64 {
+	var scores []float64
+	for _, lt := range left {
+		for _, rt := range right {
+			if lt.JoinValue == rt.JoinValue {
+				scores = append(scores, f.Fn(lt.Score, rt.Score))
+			}
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+	if len(scores) > k {
+		scores = scores[:k]
+	}
+	return scores
+}
+
+func TestPublicAPIAllAlgorithmsAgree(t *testing.T) {
+	db := Open(Config{})
+	left, right := loadTwoRelations(t, db, 200)
+	q, err := db.NewQuery("left", "right", Sum, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.EnsureIndexes(q, Algorithms()...); err != nil {
+		t.Fatal(err)
+	}
+	want := refTopK(left, right, Sum, 15)
+	for _, algo := range append(Algorithms(), AlgoNaive) {
+		res, err := db.TopK(q, algo, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if len(res.Results) != len(want) {
+			t.Fatalf("%s: %d results, want %d", algo, len(res.Results), len(want))
+		}
+		for i, r := range res.Results {
+			if d := r.Score - want[i]; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("%s: score[%d] = %f, want %f", algo, i, r.Score, want[i])
+			}
+		}
+		if res.Cost.KVReads == 0 && algo != AlgoNaive {
+			t.Errorf("%s: zero KV reads reported", algo)
+		}
+	}
+}
+
+func TestPublicAPIWithK(t *testing.T) {
+	db := Open(Config{})
+	left, right := loadTwoRelations(t, db, 150)
+	q, err := db.NewQuery("left", "right", Product, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.EnsureIndexes(q, AlgoISL, AlgoBFHM); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 3, 25} {
+		qk := q.WithK(k)
+		if qk.K() != k {
+			t.Fatalf("WithK(%d).K() = %d", k, qk.K())
+		}
+		want := refTopK(left, right, Product, k)
+		for _, algo := range []Algorithm{AlgoISL, AlgoBFHM} {
+			res, err := db.TopK(qk, algo, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Results) != len(want) {
+				t.Fatalf("%s k=%d: %d results, want %d", algo, k, len(res.Results), len(want))
+			}
+		}
+	}
+}
+
+func TestPublicAPIOnlineUpdates(t *testing.T) {
+	db := Open(Config{})
+	left, right := loadTwoRelations(t, db, 100)
+	q, err := db.NewQuery("left", "right", Sum, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.EnsureIndexes(q, AlgoIJLMR, AlgoISL, AlgoBFHM); err != nil {
+		t.Fatal(err)
+	}
+	// A new top pair must appear in every index-based algorithm.
+	lh, rh := db.Relation("left"), db.Relation("right")
+	if lh == nil || rh == nil {
+		t.Fatal("relations lost")
+	}
+	if err := lh.Insert("lHOT", "hotkey", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := rh.Insert("rHOT", "hotkey", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	left = append(left, Tuple{RowKey: "lHOT", JoinValue: "hotkey", Score: 1.0})
+	right = append(right, Tuple{RowKey: "rHOT", JoinValue: "hotkey", Score: 1.0})
+	want := refTopK(left, right, Sum, 5)
+	if want[0] != 2.0 {
+		t.Fatal("setup broken")
+	}
+	for _, algo := range []Algorithm{AlgoIJLMR, AlgoISL, AlgoBFHM} {
+		res, err := db.TopK(q, algo, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Results[0].Score != 2.0 {
+			t.Fatalf("%s: top score %f after insert, want 2.0", algo, res.Results[0].Score)
+		}
+	}
+	// Delete the pair; it must vanish everywhere.
+	if err := lh.Delete("lHOT", "hotkey", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algorithm{AlgoIJLMR, AlgoISL, AlgoBFHM} {
+		res, err := db.TopK(q, algo, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Results[0].Score == 2.0 {
+			t.Fatalf("%s: deleted pair still ranked first", algo)
+		}
+	}
+	// Offline write-back must report reconstructed buckets.
+	if n, err := lh.WriteBackBFHM(); err != nil || n == 0 {
+		t.Fatalf("WriteBackBFHM = %d, %v", n, err)
+	}
+}
+
+func TestPublicAPIErrors(t *testing.T) {
+	db := Open(Config{})
+	if _, err := db.NewQuery("none", "none", Sum, 5); err == nil {
+		t.Error("undefined relation accepted")
+	}
+	if _, err := db.DefineRelation(""); err == nil {
+		t.Error("empty relation name accepted")
+	}
+	if _, err := db.DefineRelation("dup"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.DefineRelation("dup"); err == nil {
+		t.Error("duplicate relation accepted")
+	}
+	if _, err := db.DefineRelation("other"); err != nil {
+		t.Fatal(err)
+	}
+	q, err := db.NewQuery("dup", "other", Sum, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.TopK(q, AlgoBFHM, nil); err == nil {
+		t.Error("query without index accepted")
+	}
+	if _, err := db.TopK(q, Algorithm("bogus"), nil); err == nil {
+		t.Error("bogus algorithm accepted")
+	}
+	if err := db.EnsureIndexes(q, Algorithm("bogus")); err == nil {
+		t.Error("bogus algorithm index accepted")
+	}
+	if names := db.RelationNames(); len(names) != 2 || names[0] != "dup" {
+		t.Errorf("RelationNames = %v", names)
+	}
+}
+
+func TestIndexDiskSizes(t *testing.T) {
+	db := Open(Config{})
+	loadTwoRelations(t, db, 300)
+	// The DRJN matrix is data-independent (buckets x partitions); size
+	// it for the test's tiny data volume the way the paper sizes it for
+	// billions of rows (where 500 buckets = 8.5 MB vs 85 GB ISL lists).
+	db.SetIndexConfig(IndexConfig{DRJNBuckets: 20, DRJNJoinParts: 8})
+	q, err := db.NewQuery("left", "right", Sum, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.EnsureIndexes(q, AlgoIJLMR, AlgoISL, AlgoBFHM, AlgoDRJN); err != nil {
+		t.Fatal(err)
+	}
+	sizes := map[Algorithm]uint64{}
+	for _, algo := range []Algorithm{AlgoIJLMR, AlgoISL, AlgoBFHM, AlgoDRJN} {
+		sizes[algo] = db.IndexDiskSize(q, algo)
+		if sizes[algo] == 0 {
+			t.Errorf("%s index size = 0", algo)
+		}
+	}
+	// Section 7.2: DRJN's histogram is far smaller than the full
+	// inverted lists; BFHM (with reverse mappings) is the largest.
+	if !(sizes[AlgoDRJN] < sizes[AlgoISL]) {
+		t.Errorf("DRJN (%d) should be smaller than ISL (%d)", sizes[AlgoDRJN], sizes[AlgoISL])
+	}
+	if !(sizes[AlgoBFHM] > sizes[AlgoISL]) {
+		t.Errorf("BFHM (%d) should exceed ISL (%d) — it adds reverse mappings", sizes[AlgoBFHM], sizes[AlgoISL])
+	}
+	if db.IndexDiskSize(q, AlgoHive) != 0 {
+		t.Error("index-free algorithm reported a size")
+	}
+}
+
+func TestEnsureIndexesIdempotent(t *testing.T) {
+	db := Open(Config{})
+	loadTwoRelations(t, db, 100)
+	q, _ := db.NewQuery("left", "right", Sum, 5)
+	if err := db.EnsureIndexes(q, AlgoISL, AlgoBFHM); err != nil {
+		t.Fatal(err)
+	}
+	before := db.Metrics().Snapshot()
+	if err := db.EnsureIndexes(q, AlgoISL, AlgoBFHM); err != nil {
+		t.Fatal(err)
+	}
+	delta := db.Metrics().Snapshot().Sub(before)
+	if delta.KVWrites != 0 {
+		t.Errorf("second EnsureIndexes rebuilt indexes (%d writes)", delta.KVWrites)
+	}
+}
