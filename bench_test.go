@@ -278,6 +278,53 @@ func BenchmarkAblation_ISLBatching(b *testing.B) {
 	}
 }
 
+// ---- Concurrent serving: the parallel client read path ----
+
+// BenchmarkParallelReadPath compares simulated turnaround of the
+// sequential client read path against the fanned-out one (Parallelism 4)
+// for the two coordinator-driven algorithms: BFHM's reverse-mapping
+// multi-gets issue per-region RPCs concurrently, and ISL's left/right
+// streams prefetch so their round trips overlap.
+func BenchmarkParallelReadPath(b *testing.B) {
+	e := env(b, sim.EC2(), benchSFEC2)
+	for i := 0; i < b.N; i++ {
+		for _, algo := range []rankjoin.Algorithm{rankjoin.AlgoBFHM, rankjoin.AlgoISL} {
+			seq, err := e.DB.TopK(e.Q2.WithK(100), algo, &rankjoin.QueryOptions{ISLBatch: e.ISLBatch})
+			if err != nil {
+				b.Fatal(err)
+			}
+			par, err := e.DB.TopK(e.Q2.WithK(100), algo, &rankjoin.QueryOptions{
+				ISLBatch:    e.ISLBatch,
+				Parallelism: 4,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(seq.Cost.SimTime.Seconds()*1000, string(algo)+"_seq_ms")
+			b.ReportMetric(par.Cost.SimTime.Seconds()*1000, string(algo)+"_par4_ms")
+		}
+	}
+}
+
+// BenchmarkConcurrentTopKThroughput measures real wall-clock throughput
+// of one shared DB serving BFHM top-k queries from all available cores —
+// the rjserve workload. Per-query metric isolation keeps the reported
+// costs exact under this concurrency.
+func BenchmarkConcurrentTopKThroughput(b *testing.B) {
+	e := env(b, sim.EC2(), benchSFEC2)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := e.DB.TopK(e.Q2.WithK(100), rankjoin.AlgoBFHM,
+				&rankjoin.QueryOptions{Parallelism: 4}); err != nil {
+				// b.Fatal must not run on a RunParallel worker goroutine.
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
 // BenchmarkAblation_BFHMBuckets sweeps the histogram resolution (the
 // paper evaluates 100 vs 1000 buckets on EC2): more buckets mean tighter
 // score bounds (fewer tuples fetched) but more bucket-row fetches.

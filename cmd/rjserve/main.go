@@ -1,0 +1,212 @@
+// Command rjserve exposes top-k rank-join queries over HTTP as a JSON
+// API, serving concurrent clients from one shared DB — the concurrent
+// query path DB.TopK's per-query metering enables. Data is generated
+// TPC-H at a configurable scale factor with all index families prebuilt.
+//
+// Usage:
+//
+//	rjserve [-addr :8080] [-profile ec2|lc] [-sf 0.02] [-parallelism 4]
+//
+// Endpoints:
+//
+//	GET /topk?query=q1&algo=bfhm&k=10[&parallelism=4]
+//	    Run one query; returns ranked results plus the per-query cost
+//	    metrics (simulated time, network bytes, KV read units, dollars).
+//	GET /algorithms   List available algorithms.
+//	GET /metrics      DB-wide cumulative metrics.
+//	GET /healthz      Liveness probe.
+//
+// Example:
+//
+//	curl 'localhost:8080/topk?query=q2&algo=isl&k=5'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	rankjoin "repro"
+	"repro/internal/benchkit"
+	"repro/internal/sim"
+)
+
+// server holds the shared query environment.
+type server struct {
+	env                *benchkit.Env
+	defaultParallelism int
+}
+
+// costJSON is the wire form of a sim.Snapshot.
+type costJSON struct {
+	SimTime      string  `json:"sim_time"`
+	SimTimeSecs  float64 `json:"sim_time_seconds"`
+	NetworkBytes uint64  `json:"network_bytes"`
+	KVReads      uint64  `json:"kv_read_units"`
+	RPCCalls     uint64  `json:"rpc_calls"`
+	Dollars      float64 `json:"dollars"`
+}
+
+func toCostJSON(s sim.Snapshot) costJSON {
+	return costJSON{
+		SimTime:      s.SimTime.String(),
+		SimTimeSecs:  s.SimTime.Seconds(),
+		NetworkBytes: s.NetworkBytes,
+		KVReads:      s.KVReads,
+		RPCCalls:     s.RPCCalls,
+		Dollars:      s.Dollars(),
+	}
+}
+
+type resultJSON struct {
+	LeftRow   string  `json:"left_row"`
+	RightRow  string  `json:"right_row"`
+	JoinValue string  `json:"join_value"`
+	Score     float64 `json:"score"`
+}
+
+type topkResponse struct {
+	Query       string       `json:"query"`
+	Algorithm   string       `json:"algorithm"`
+	K           int          `json:"k"`
+	Parallelism int          `json:"parallelism"`
+	Results     []resultJSON `json:"results"`
+	Cost        costJSON     `json:"cost"`
+	WallTime    string       `json:"wall_time"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	qv := r.URL.Query()
+
+	var q rankjoin.Query
+	queryName := strings.ToLower(qv.Get("query"))
+	switch queryName {
+	case "", "q1":
+		q, queryName = s.env.Q1, "q1"
+	case "q2":
+		q = s.env.Q2
+	default:
+		writeError(w, http.StatusBadRequest, "unknown query %q (want q1 or q2)", queryName)
+		return
+	}
+
+	algoName := strings.ToLower(qv.Get("algo"))
+	if algoName == "" {
+		algoName = string(rankjoin.AlgoBFHM)
+	}
+	algo := rankjoin.Algorithm(algoName)
+
+	k := 10
+	if ks := qv.Get("k"); ks != "" {
+		n, err := strconv.Atoi(ks)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "bad k %q", ks)
+			return
+		}
+		k = n
+	}
+
+	parallelism := s.defaultParallelism
+	if ps := qv.Get("parallelism"); ps != "" {
+		n, err := strconv.Atoi(ps)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad parallelism %q", ps)
+			return
+		}
+		parallelism = n
+	}
+
+	start := time.Now()
+	res, err := s.env.DB.TopK(q.WithK(k), algo, &rankjoin.QueryOptions{
+		ISLBatch:    s.env.ISLBatch,
+		Parallelism: parallelism,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	resp := topkResponse{
+		Query:       queryName,
+		Algorithm:   string(algo),
+		K:           k,
+		Parallelism: parallelism,
+		Results:     make([]resultJSON, 0, len(res.Results)),
+		Cost:        toCostJSON(res.Cost),
+		WallTime:    time.Since(start).String(),
+	}
+	for _, jr := range res.Results {
+		resp.Results = append(resp.Results, resultJSON{
+			LeftRow:   jr.Left.RowKey,
+			RightRow:  jr.Right.RowKey,
+			JoinValue: jr.Left.JoinValue,
+			Score:     jr.Score,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
+	algos := []string{string(rankjoin.AlgoNaive)}
+	for _, a := range rankjoin.Algorithms() {
+		algos = append(algos, string(a))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"algorithms": algos})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cumulative": toCostJSON(s.env.DB.Metrics().Snapshot()),
+	})
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	profileName := flag.String("profile", "lc", "hardware profile: ec2 or lc")
+	sf := flag.Float64("sf", 0.02, "TPC-H scale factor")
+	seed := flag.Int64("seed", 1, "data generator seed")
+	parallelism := flag.Int("parallelism", 4, "default client read-path parallelism")
+	flag.Parse()
+
+	profile := sim.LC()
+	if strings.EqualFold(*profileName, "ec2") {
+		profile = sim.EC2()
+	}
+
+	log.Printf("loading TPC-H SF %g on the %s profile and building indexes...", *sf, profile.Name)
+	env, err := benchkit.Setup(profile, *sf, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parts, orders, lineitems := env.Counts()
+	log.Printf("ready: %d parts, %d orders, %d lineitems", parts, orders, lineitems)
+
+	s := &server{env: env, defaultParallelism: *parallelism}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /topk", s.handleTopK)
+	mux.HandleFunc("GET /algorithms", s.handleAlgorithms)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	log.Printf("serving top-k rank joins on %s (default parallelism %d)", *addr, *parallelism)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}

@@ -279,6 +279,10 @@ const (
 // BFHMQueryOptions tunes query processing.
 type BFHMQueryOptions struct {
 	WriteBack WriteBackMode
+	// Parallelism >= 2 fans the reverse-mapping multi-get batches out
+	// over that many concurrent lanes (per-region RPCs, grouped by
+	// node), instead of issuing them strictly sequentially.
+	Parallelism int
 }
 
 // fetchBFHMBucket reads and decodes bucket b, replaying any pending
@@ -853,7 +857,7 @@ func (st *bfhmState) prefetchReverse(cands []*estimatedResult) error {
 			for _, w := range need[start:end] {
 				keys = append(keys, w.rowKey)
 			}
-			rows, err := st.c.MultiGet(idx.Table, keys)
+			rows, err := st.c.ParallelMultiGet(idx.Table, keys, st.opts.Parallelism)
 			if err != nil {
 				return err
 			}

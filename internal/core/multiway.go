@@ -411,7 +411,7 @@ func QueryISLN(c *kvstore.Cluster, q MultiQuery, idx *ISLNIndex, batch int) (*NR
 	before := c.Metrics().Snapshot()
 	streams := make([]*islStream, len(q.Relations))
 	for i := range q.Relations {
-		s, err := newISLStream(c, idx.Table, idx.Families[i], batch)
+		s, err := newISLStream(c, idx.Table, idx.Families[i], batch, false)
 		if err != nil {
 			return nil, err
 		}

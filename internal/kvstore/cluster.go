@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/sim"
 )
@@ -13,14 +14,25 @@ import (
 // client operations charge the cluster's sim.Metrics according to its
 // hardware Profile; region-local access for MapReduce goes through
 // TableRegions and is charged by the job runner instead.
+//
+// A Cluster value is a *view*: the table/region state lives in a shared
+// clusterState, while the metric collector is per-view. WithMetrics
+// derives a view over the same store that charges a different collector —
+// the mechanism behind per-query cost isolation (concurrent queries each
+// meter their own lane) and parallel-lane time accounting.
 type Cluster struct {
-	mu      sync.RWMutex
+	state   *clusterState
 	profile sim.Profile
 	metrics *sim.Metrics
-	tables  map[string]*Table
-	nextID  int
-	clock   int64
-	seed    int64
+}
+
+// clusterState is the store shared by every view of one deployment.
+type clusterState struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	nextID int
+	clock  int64
+	seed   int64
 }
 
 // Table is a named collection of regions with a declared column-family
@@ -38,11 +50,23 @@ func NewCluster(profile sim.Profile, metrics *sim.Metrics) *Cluster {
 		metrics = &sim.Metrics{}
 	}
 	return &Cluster{
+		state: &clusterState{
+			tables: make(map[string]*Table),
+			seed:   1,
+		},
 		profile: profile,
 		metrics: metrics,
-		tables:  make(map[string]*Table),
-		seed:    1,
 	}
+}
+
+// WithMetrics returns a view of the same cluster (shared tables, regions,
+// and logical clock) whose operations charge m instead of this view's
+// collector. Views are cheap and safe for concurrent use.
+func (c *Cluster) WithMetrics(m *sim.Metrics) *Cluster {
+	if m == nil {
+		m = &sim.Metrics{}
+	}
+	return &Cluster{state: c.state, profile: c.profile, metrics: m}
 }
 
 // Metrics returns the cluster's metric collector.
@@ -58,10 +82,11 @@ func (c *Cluster) Nodes() int { return c.profile.Nodes }
 // update protocol (Section 6) stamps base-data and index mutations with
 // the same timestamp; callers obtain one here and reuse it.
 func (c *Cluster) Now() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.clock++
-	return c.clock
+	s := c.state
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clock++
+	return s.clock
 }
 
 // CreateTable declares a table with column families and optional split
@@ -74,9 +99,15 @@ func (c *Cluster) CreateTable(name string, families []string, splitKeys []string
 	if len(families) == 0 {
 		return nil, fmt.Errorf("kvstore: table %q needs at least one column family", name)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.tables[name]; ok {
+	for _, k := range splitKeys {
+		if k == "" {
+			return nil, fmt.Errorf("kvstore: table %q has an empty split key", name)
+		}
+	}
+	s := c.state
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; ok {
 		return nil, fmt.Errorf("kvstore: table %q already exists", name)
 	}
 	t := &Table{Name: name, families: make(map[string]bool)}
@@ -88,38 +119,50 @@ func (c *Cluster) CreateTable(name string, families []string, splitKeys []string
 	}
 	keys := append([]string(nil), splitKeys...)
 	sort.Strings(keys)
+	// Deduplicate: a repeated split key would create a degenerate,
+	// unreachable region ["m", "m") that wastes one MapReduce mapper and
+	// skews task-startup costs.
+	uniq := keys[:0]
+	for i, k := range keys {
+		if i == 0 || k != keys[i-1] {
+			uniq = append(uniq, k)
+		}
+	}
+	keys = uniq
 	bounds := append([]string{""}, keys...)
 	for i, start := range bounds {
 		end := ""
 		if i+1 < len(bounds) {
 			end = bounds[i+1]
 		}
-		c.nextID++
-		c.seed++
-		r := newRegion(c.nextID, name, start, end, (c.nextID-1)%c.profile.Nodes, c.seed)
+		s.nextID++
+		s.seed++
+		r := newRegion(s.nextID, name, start, end, (s.nextID-1)%c.profile.Nodes, s.seed)
 		t.regions = append(t.regions, r)
 	}
-	c.tables[name] = t
+	s.tables[name] = t
 	return t, nil
 }
 
 // DropTable removes a table.
 func (c *Cluster) DropTable(name string) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.tables[name]; !ok {
+	s := c.state
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; !ok {
 		return fmt.Errorf("kvstore: no table %q", name)
 	}
-	delete(c.tables, name)
+	delete(s.tables, name)
 	return nil
 }
 
 // TableNames lists tables in sorted order.
 func (c *Cluster) TableNames() []string {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	s := c.state
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var names []string
-	for n := range c.tables {
+	for n := range s.tables {
 		names = append(names, n)
 	}
 	sort.Strings(names)
@@ -128,9 +171,10 @@ func (c *Cluster) TableNames() []string {
 
 // table fetches a table or errors.
 func (c *Cluster) table(name string) (*Table, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	t, ok := c.tables[name]
+	s := c.state
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[name]
 	if !ok {
 		return nil, fmt.Errorf("kvstore: no table %q", name)
 	}
@@ -182,8 +226,8 @@ func (c *Cluster) TableRegions(name string) ([]*Region, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.state.mu.RLock()
+	defer c.state.mu.RUnlock()
 	return append([]*Region(nil), t.regions...), nil
 }
 
@@ -199,18 +243,30 @@ func (c *Cluster) TableDiskSize(name string) (uint64, error) {
 // requestOverhead approximates the fixed wire size of one RPC request.
 const requestOverhead = 64
 
-// chargeRPC meters one client round trip: latency, request+response
-// bytes, and the server-side disk work.
-func (c *Cluster) chargeRPC(stats OpStats) {
+// rpcCost returns the simulated duration of one client round trip with
+// the given server-side work, without charging anything.
+func (c *Cluster) rpcCost(stats OpStats) time.Duration {
+	return c.profile.RPCLatency +
+		c.profile.ScanTime(stats.BytesRead) +
+		c.profile.TransferTime(requestOverhead+stats.BytesReturned) +
+		c.profile.CPUTime(stats.CellsExamined)
+}
+
+// chargeRPCCounters meters the resource counters of one round trip
+// (bytes, read units, RPC count) without advancing the clock — callers
+// doing parallel-lane accounting advance it themselves.
+func (c *Cluster) chargeRPCCounters(stats OpStats) {
 	c.metrics.AddRPC()
 	c.metrics.AddNetwork(requestOverhead + stats.BytesReturned)
 	c.metrics.AddKVReads(stats.CellsExamined)
 	c.metrics.AddDiskRead(stats.BytesRead)
-	d := c.profile.RPCLatency +
-		c.profile.ScanTime(stats.BytesRead) +
-		c.profile.TransferTime(requestOverhead+stats.BytesReturned) +
-		c.profile.CPUTime(stats.CellsExamined)
-	c.metrics.Advance(d)
+}
+
+// chargeRPC meters one client round trip: latency, request+response
+// bytes, and the server-side disk work.
+func (c *Cluster) chargeRPC(stats OpStats) {
+	c.chargeRPCCounters(stats)
+	c.metrics.Advance(c.rpcCost(stats))
 }
 
 // chargeWrite meters a mutation RPC.
@@ -358,20 +414,21 @@ func (c *Cluster) SplitRegion(table, row string) error {
 	if err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	s := c.state
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	r := t.regionFor(row)
 	mid := r.splitPoint()
 	if mid == "" || mid == r.StartKey() {
 		return fmt.Errorf("kvstore: region %d too small to split", r.ID())
 	}
 	cells := r.allCells()
-	c.nextID++
-	c.seed++
-	left := newRegion(c.nextID, table, r.StartKey(), mid, r.Node(), c.seed)
-	c.nextID++
-	c.seed++
-	right := newRegion(c.nextID, table, mid, r.EndKey(), c.nextID%c.profile.Nodes, c.seed)
+	s.nextID++
+	s.seed++
+	left := newRegion(s.nextID, table, r.StartKey(), mid, r.Node(), s.seed)
+	s.nextID++
+	s.seed++
+	right := newRegion(s.nextID, table, mid, r.EndKey(), s.nextID%c.profile.Nodes, s.seed)
 	for i := range cells {
 		dst := left
 		if cells[i].Row >= mid {
@@ -401,8 +458,8 @@ func (c *Cluster) MoveRegion(table, row string, node int) error {
 	if node < 0 || node >= c.profile.Nodes {
 		return fmt.Errorf("kvstore: node %d out of range", node)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.state.mu.Lock()
+	defer c.state.mu.Unlock()
 	r := t.regionFor(row)
 	r.mu.Lock()
 	r.node = node

@@ -106,8 +106,19 @@ const ReadUnitDollarsPerHour = 0.01
 
 // Metrics accumulates the three paper metrics plus supporting detail. It
 // is safe for concurrent use; MapReduce tasks update it from goroutines.
+//
+// A Metrics may be a *lane* of a parent collector (see NewLane): resource
+// counters — bytes, read units, RPC counts — forward to the parent as they
+// accrue, because parallel work still consumes the sum of its lanes'
+// resources, while clock advances stay local, because parallel work takes
+// only as long as its slowest lane. The coordinator of a fan-out folds
+// lane times back into the parent clock with AdvanceParallel.
 type Metrics struct {
 	mu sync.Mutex
+
+	// parent, when non-nil, receives a forwarded copy of every counter
+	// update (but never clock advances).
+	parent *Metrics
 
 	simTime       time.Duration
 	networkBytes  uint64
@@ -116,6 +127,15 @@ type Metrics struct {
 	rpcCalls      uint64
 	diskBytesRead uint64
 	tuplesShipped uint64
+}
+
+// NewLane returns a child collector for one lane of a concurrent fan-out.
+// Counter updates forward to parent immediately; Advance accumulates on
+// the lane only. After the fan-out joins, fold the lanes' clocks into the
+// parent with parent.AdvanceParallel(laneDurations...). Lanes nest: a
+// lane's counters forward transitively to the root collector.
+func NewLane(parent *Metrics) *Metrics {
+	return &Metrics{parent: parent}
 }
 
 // Reset zeroes all counters.
@@ -131,7 +151,9 @@ func (m *Metrics) Reset() {
 	m.tuplesShipped = 0
 }
 
-// Advance moves the virtual clock forward by d (sequential work).
+// Advance moves the virtual clock forward by d (sequential work). On a
+// lane, the advance stays local — it reaches the parent only through
+// AdvanceParallel at the fan-out join point.
 func (m *Metrics) Advance(d time.Duration) {
 	if d < 0 {
 		return
@@ -141,11 +163,28 @@ func (m *Metrics) Advance(d time.Duration) {
 	m.mu.Unlock()
 }
 
+// AdvanceParallel folds a joined fan-out into the clock: the parallel
+// phase took as long as its slowest lane, so the clock advances by the
+// maximum of the lane durations (the convention the MapReduce runner's
+// task waves already use via ParallelTimer.Makespan).
+func (m *Metrics) AdvanceParallel(lanes ...time.Duration) {
+	var max time.Duration
+	for _, d := range lanes {
+		if d > max {
+			max = d
+		}
+	}
+	m.Advance(max)
+}
+
 // AddNetwork records n bytes moved across the network.
 func (m *Metrics) AddNetwork(n uint64) {
 	m.mu.Lock()
 	m.networkBytes += n
 	m.mu.Unlock()
+	if m.parent != nil {
+		m.parent.AddNetwork(n)
+	}
 }
 
 // AddKVReads records n key-value pairs read from the store (each is one
@@ -154,6 +193,9 @@ func (m *Metrics) AddKVReads(n uint64) {
 	m.mu.Lock()
 	m.kvReads += n
 	m.mu.Unlock()
+	if m.parent != nil {
+		m.parent.AddKVReads(n)
+	}
 }
 
 // AddKVWrites records n key-value pairs written.
@@ -161,6 +203,9 @@ func (m *Metrics) AddKVWrites(n uint64) {
 	m.mu.Lock()
 	m.kvWrites += n
 	m.mu.Unlock()
+	if m.parent != nil {
+		m.parent.AddKVWrites(n)
+	}
 }
 
 // AddRPC records one RPC round trip.
@@ -168,6 +213,9 @@ func (m *Metrics) AddRPC() {
 	m.mu.Lock()
 	m.rpcCalls++
 	m.mu.Unlock()
+	if m.parent != nil {
+		m.parent.AddRPC()
+	}
 }
 
 // AddDiskRead records n bytes read from disk.
@@ -175,6 +223,9 @@ func (m *Metrics) AddDiskRead(n uint64) {
 	m.mu.Lock()
 	m.diskBytesRead += n
 	m.mu.Unlock()
+	if m.parent != nil {
+		m.parent.AddDiskRead(n)
+	}
 }
 
 // AddTuplesShipped records n data tuples sent to the query coordinator.
@@ -182,6 +233,9 @@ func (m *Metrics) AddTuplesShipped(n uint64) {
 	m.mu.Lock()
 	m.tuplesShipped += n
 	m.mu.Unlock()
+	if m.parent != nil {
+		m.parent.AddTuplesShipped(n)
+	}
 }
 
 // SimTime returns the accumulated virtual clock.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/kvstore"
+	"repro/internal/sim"
 )
 
 // Multi-way rank joins (the Section 3 generalization): n relations
@@ -84,11 +86,24 @@ func (db *DB) EnsureMultiIndexes(q MultiQuery) error {
 }
 
 // TopKN executes the n-way query. AlgoNaive needs no index; AlgoISL
-// requires a prior EnsureMultiIndexes call.
+// requires a prior EnsureMultiIndexes call. Like TopK, it meters a
+// private per-query collector, so concurrent callers get isolated costs.
 func (db *DB) TopKN(q MultiQuery, algo Algorithm, opts *QueryOptions) (*NResult, error) {
+	qm := sim.NewLane(db.cluster.Metrics())
+	qc := db.cluster.WithMetrics(qm)
+	res, err := db.topKNOn(qc, q, algo, opts)
+	if err != nil {
+		db.cluster.Metrics().Advance(qm.SimTime())
+		return nil, err
+	}
+	db.cluster.Metrics().Advance(res.Cost.SimTime)
+	return res, nil
+}
+
+func (db *DB) topKNOn(c *kvstore.Cluster, q MultiQuery, algo Algorithm, opts *QueryOptions) (*NResult, error) {
 	switch algo {
 	case AlgoNaive:
-		return core.NaiveTopKN(db.cluster, q.q)
+		return core.NaiveTopKN(c, q.q)
 	case AlgoISL:
 		db.mu.Lock()
 		idx, ok := db.isln[q.ID()]
@@ -100,7 +115,7 @@ func (db *DB) TopKN(q MultiQuery, algo Algorithm, opts *QueryOptions) (*NResult,
 		if opts != nil && opts.ISLBatch > 0 {
 			batch = opts.ISLBatch
 		}
-		return core.QueryISLN(db.cluster, q.q, idx, batch)
+		return core.QueryISLN(c, q.q, idx, batch)
 	default:
 		return nil, fmt.Errorf("rankjoin: algorithm %q does not support multi-way joins (use %s or %s)",
 			algo, AlgoNaive, AlgoISL)

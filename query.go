@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/kvstore"
+	"repro/internal/sim"
 )
 
 // Query is a two-way top-k equi-join over two defined relations.
@@ -200,6 +202,11 @@ func (db *DB) IndexDiskSize(q Query, algo Algorithm) uint64 {
 // algorithms require a prior EnsureIndexes call. The Result carries both
 // the ranked pairs and the resources consumed (the paper's three
 // metrics: Cost.SimTime, Cost.NetworkBytes, Cost.KVReads / Dollars()).
+//
+// TopK is safe for concurrent callers sharing one DB: each execution
+// meters a private per-query collector (so Result.Cost never includes a
+// concurrent query's work) and folds its totals back into the DB-wide
+// Metrics when it completes.
 func (db *DB) TopK(q Query, algo Algorithm, opts *QueryOptions) (*Result, error) {
 	o := QueryOptions{ISLBatch: 100}
 	if opts != nil {
@@ -208,13 +215,30 @@ func (db *DB) TopK(q Query, algo Algorithm, opts *QueryOptions) (*Result, error)
 			o.ISLBatch = 100
 		}
 	}
+	// Per-query metrics lane: resource counters forward to the DB-wide
+	// collector as they accrue; the query's clock stays isolated and is
+	// folded in once, below, keeping the global clock a cumulative
+	// busy-time total even when queries overlap.
+	qm := sim.NewLane(db.cluster.Metrics())
+	qc := db.cluster.WithMetrics(qm)
+	res, err := db.topKOn(qc, q, algo, o)
+	if err != nil {
+		db.cluster.Metrics().Advance(qm.SimTime())
+		return nil, err
+	}
+	db.cluster.Metrics().Advance(res.Cost.SimTime)
+	return res, nil
+}
+
+// topKOn dispatches the query on the given cluster view.
+func (db *DB) topKOn(c *kvstore.Cluster, q Query, algo Algorithm, o QueryOptions) (*Result, error) {
 	switch algo {
 	case AlgoNaive:
-		return core.NaiveTopK(db.cluster, q.q)
+		return core.NaiveTopK(c, q.q)
 	case AlgoHive:
-		return core.QueryHive(db.cluster, q.q)
+		return core.QueryHive(c, q.q)
 	case AlgoPig:
-		return core.QueryPig(db.cluster, q.q)
+		return core.QueryPig(c, q.q)
 	case AlgoIJLMR:
 		db.mu.Lock()
 		idx, ok := db.ijlmr[q.ID()]
@@ -222,7 +246,7 @@ func (db *DB) TopK(q Query, algo Algorithm, opts *QueryOptions) (*Result, error)
 		if !ok {
 			return nil, fmt.Errorf("rankjoin: no IJLMR index for %s; call EnsureIndexes first", q.ID())
 		}
-		return core.QueryIJLMR(db.cluster, q.q, idx)
+		return core.QueryIJLMR(c, q.q, idx)
 	case AlgoISL:
 		db.mu.Lock()
 		idx, ok := db.isl[q.ID()]
@@ -230,9 +254,10 @@ func (db *DB) TopK(q Query, algo Algorithm, opts *QueryOptions) (*Result, error)
 		if !ok {
 			return nil, fmt.Errorf("rankjoin: no ISL index for %s; call EnsureIndexes first", q.ID())
 		}
-		return core.QueryISL(db.cluster, q.q, idx, core.ISLOptions{
-			BatchLeft:  o.ISLBatch,
-			BatchRight: o.ISLBatch,
+		return core.QueryISL(c, q.q, idx, core.ISLOptions{
+			BatchLeft:   o.ISLBatch,
+			BatchRight:  o.ISLBatch,
+			Parallelism: o.Parallelism,
 		})
 	case AlgoBFHM:
 		db.mu.Lock()
@@ -242,8 +267,9 @@ func (db *DB) TopK(q Query, algo Algorithm, opts *QueryOptions) (*Result, error)
 		if !okA || !okB {
 			return nil, fmt.Errorf("rankjoin: missing BFHM index for %s; call EnsureIndexes first", q.ID())
 		}
-		return core.QueryBFHM(db.cluster, q.q, idxA, idxB, core.BFHMQueryOptions{
-			WriteBack: o.BFHMWriteBack,
+		return core.QueryBFHM(c, q.q, idxA, idxB, core.BFHMQueryOptions{
+			WriteBack:   o.BFHMWriteBack,
+			Parallelism: o.Parallelism,
 		})
 	case AlgoDRJN:
 		db.mu.Lock()
@@ -253,7 +279,7 @@ func (db *DB) TopK(q Query, algo Algorithm, opts *QueryOptions) (*Result, error)
 		if !okA || !okB {
 			return nil, fmt.Errorf("rankjoin: missing DRJN index for %s; call EnsureIndexes first", q.ID())
 		}
-		return core.QueryDRJN(db.cluster, q.q, idxA, idxB)
+		return core.QueryDRJN(c, q.q, idxA, idxB)
 	default:
 		return nil, fmt.Errorf("rankjoin: unknown algorithm %q", algo)
 	}

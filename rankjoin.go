@@ -124,6 +124,14 @@ type QueryOptions struct {
 	ISLBatch int
 	// BFHMWriteBack selects the blob write-back policy (default off).
 	BFHMWriteBack WriteBackMode
+	// Parallelism fans the client read path out: BFHM's reverse-mapping
+	// multi-gets issue per-region RPCs over that many concurrent lanes,
+	// and at any value >= 2 ISL's left/right streams prefetch so their
+	// round trips overlap (ISL's fan-out is the two streams, so higher
+	// values change nothing there). The simulated clock advances by the
+	// slowest lane; resource counters sum over every consumed batch.
+	// 0 or 1 means sequential.
+	Parallelism int
 }
 
 // DB is a handle to an embedded NoSQL cluster with rank-join support.
