@@ -2,7 +2,7 @@
 // a chosen algorithm and prints the ranked results plus the three paper
 // metrics — a one-shot exploration tool.
 //
-// Usage: rjquery [-q q1|q2] [-algo bfhm] [-k 10] [-sf 0.005] [-profile ec2|lc]
+// Usage: rjquery [-q q1|q2] [-algo auto] [-k 10] [-sf 0.005] [-profile ec2|lc]
 package main
 
 import (
@@ -18,7 +18,7 @@ import (
 
 func main() {
 	queryName := flag.String("q", "q1", "query: q1 (Part x Lineitem, product) or q2 (Orders x Lineitem, sum)")
-	algoName := flag.String("algo", "bfhm", "algorithm: hive, pig, ijlmr, isl, bfhm, drjn, naive")
+	algoName := flag.String("algo", "auto", "algorithm: auto, hive, pig, ijlmr, isl, bfhm, drjn, naive")
 	k := flag.Int("k", 10, "result size")
 	sf := flag.Float64("sf", 0.005, "TPC-H scale factor")
 	profile := flag.String("profile", "ec2", "hardware profile: ec2 or lc")
@@ -41,7 +41,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%s via %s, k=%d on %s (SF %g):\n\n", strings.ToUpper(*queryName), algo, *k, p.Name, *sf)
+	ran := res.Algorithm
+	if algo == rankjoin.AlgoAuto {
+		ran = fmt.Sprintf("%s (planner-chosen)", res.Algorithm)
+	}
+	fmt.Printf("%s via %s, k=%d on %s (SF %g):\n\n", strings.ToUpper(*queryName), ran, *k, p.Name, *sf)
 	for i, r := range res.Results {
 		fmt.Printf("%3d. %s + %s  (join %s)  score %.6f\n",
 			i+1, r.Left.RowKey, r.Right.RowKey, r.Left.JoinValue, r.Score)
@@ -49,4 +53,8 @@ func main() {
 	fmt.Printf("\nquery time : %v\n", res.Cost.SimTime)
 	fmt.Printf("network    : %d bytes\n", res.Cost.NetworkBytes)
 	fmt.Printf("dollar cost: %d KV read units ($%.2f)\n", res.Cost.KVReads, res.Cost.Dollars())
+	if res.Estimate != nil {
+		fmt.Printf("planned    : est time %v, est net %d bytes, est %d read units\n",
+			res.Estimate.SimTime, res.Estimate.NetworkBytes, res.Estimate.KVReads)
+	}
 }

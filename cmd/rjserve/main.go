@@ -9,16 +9,23 @@
 //
 // Endpoints:
 //
-//	GET /topk?query=q1&algo=bfhm&k=10[&parallelism=4]
+//	GET /topk?query=q1&algo=auto&k=10[&parallelism=4][&objective=time]
 //	    Run one query; returns ranked results plus the per-query cost
 //	    metrics (simulated time, network bytes, KV read units, dollars).
+//	    algo defaults to "auto": the cost-based planner picks the
+//	    executor, and the response carries the chosen algorithm plus
+//	    the planner's estimate next to the measured cost.
+//	POST /explain     Plan a query without running it; body (JSON):
+//	    {"query":"q1","k":10,"objective":"time"} — returns every
+//	    registered executor ranked by predicted cost.
 //	GET /algorithms   List available algorithms.
 //	GET /metrics      DB-wide cumulative metrics.
 //	GET /healthz      Liveness probe.
 //
-// Example:
+// Examples:
 //
-//	curl 'localhost:8080/topk?query=q2&algo=isl&k=5'
+//	curl 'localhost:8080/topk?query=q2&k=5'
+//	curl -X POST localhost:8080/explain -d '{"query":"q2","k":100,"objective":"dollars"}'
 package main
 
 import (
@@ -77,7 +84,29 @@ type topkResponse struct {
 	Parallelism int          `json:"parallelism"`
 	Results     []resultJSON `json:"results"`
 	Cost        costJSON     `json:"cost"`
-	WallTime    string       `json:"wall_time"`
+	// Estimate is the planner's predicted cost (algo=auto only);
+	// comparing it with cost gives the per-query estimation error.
+	Estimate *estimateJSON `json:"estimate,omitempty"`
+	WallTime string        `json:"wall_time"`
+}
+
+// estimateJSON is the wire form of a planner cost estimate.
+type estimateJSON struct {
+	SimTime      string  `json:"sim_time"`
+	SimTimeSecs  float64 `json:"sim_time_seconds"`
+	NetworkBytes uint64  `json:"network_bytes"`
+	KVReads      uint64  `json:"kv_read_units"`
+	Dollars      float64 `json:"dollars"`
+}
+
+func toEstimateJSON(e rankjoin.CostEstimate) *estimateJSON {
+	return &estimateJSON{
+		SimTime:      e.SimTime.String(),
+		SimTimeSecs:  e.SimTime.Seconds(),
+		NetworkBytes: e.NetworkBytes,
+		KVReads:      e.KVReads,
+		Dollars:      e.Dollars(),
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -107,11 +136,15 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The planner is the default: with no algo parameter, auto picks
+	// the cheapest executor whose indexes are built.
 	algoName := strings.ToLower(qv.Get("algo"))
 	if algoName == "" {
-		algoName = string(rankjoin.AlgoBFHM)
+		algoName = string(rankjoin.AlgoAuto)
 	}
 	algo := rankjoin.Algorithm(algoName)
+
+	objective := rankjoin.Objective(strings.ToLower(qv.Get("objective")))
 
 	k := 10
 	if ks := qv.Get("k"); ks != "" {
@@ -137,6 +170,7 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	res, err := s.env.DB.TopK(q.WithK(k), algo, &rankjoin.QueryOptions{
 		ISLBatch:    s.env.ISLBatch,
 		Parallelism: parallelism,
+		Objective:   objective,
 	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -145,12 +179,15 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 
 	resp := topkResponse{
 		Query:       queryName,
-		Algorithm:   string(algo),
+		Algorithm:   res.Algorithm,
 		K:           k,
 		Parallelism: parallelism,
 		Results:     make([]resultJSON, 0, len(res.Results)),
 		Cost:        toCostJSON(res.Cost),
 		WallTime:    time.Since(start).String(),
+	}
+	if res.Estimate != nil {
+		resp.Estimate = toEstimateJSON(*res.Estimate)
 	}
 	for _, jr := range res.Results {
 		resp.Results = append(resp.Results, resultJSON{
@@ -163,8 +200,104 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// explainRequest is the POST /explain body. Parallelism is optional
+// and defaults to the server's -parallelism flag — pass the same value
+// a later /topk will use so the plan matches the execution.
+type explainRequest struct {
+	Query       string `json:"query"`
+	K           int    `json:"k"`
+	Objective   string `json:"objective"`
+	Parallelism *int   `json:"parallelism"`
+}
+
+// candidateJSON is one ranked plan candidate.
+type candidateJSON struct {
+	Executor   string       `json:"executor"`
+	IndexReady bool         `json:"index_ready"`
+	IndexBytes uint64       `json:"index_bytes"`
+	Estimate   estimateJSON `json:"estimate"`
+}
+
+type explainResponse struct {
+	Query      string          `json:"query"`
+	K          int             `json:"k"`
+	Objective  string          `json:"objective"`
+	Chosen     string          `json:"chosen"`
+	Best       string          `json:"best"`
+	StatSource string          `json:"stat_source"`
+	Candidates []candidateJSON `json:"candidates"`
+	Planner    costJSON        `json:"planner_cost"`
+}
+
+func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req explainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad explain body: %v", err)
+		return
+	}
+	var q rankjoin.Query
+	queryName := strings.ToLower(req.Query)
+	switch queryName {
+	case "", "q1":
+		q, queryName = s.env.Q1, "q1"
+	case "q2":
+		q = s.env.Q2
+	default:
+		writeError(w, http.StatusBadRequest, "unknown query %q (want q1 or q2)", req.Query)
+		return
+	}
+	k := req.K
+	if k == 0 {
+		k = 10
+	}
+	if k < 1 {
+		writeError(w, http.StatusBadRequest, "bad k %d", req.K)
+		return
+	}
+
+	parallelism := s.defaultParallelism
+	if req.Parallelism != nil {
+		if *req.Parallelism < 0 {
+			writeError(w, http.StatusBadRequest, "bad parallelism %d", *req.Parallelism)
+			return
+		}
+		parallelism = *req.Parallelism
+	}
+
+	p, err := s.env.DB.Explain(q.WithK(k), &rankjoin.ExplainOptions{
+		Objective: rankjoin.Objective(strings.ToLower(req.Objective)),
+		Query: rankjoin.QueryOptions{
+			ISLBatch:    s.env.ISLBatch,
+			Parallelism: parallelism,
+		},
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	resp := explainResponse{
+		Query:      queryName,
+		K:          k,
+		Objective:  string(p.Objective),
+		Chosen:     p.Chosen,
+		Best:       p.Best,
+		StatSource: p.Stats.Source,
+		Planner:    toCostJSON(p.PlannerCost),
+	}
+	for _, cand := range p.Candidates {
+		resp.Candidates = append(resp.Candidates, candidateJSON{
+			Executor:   cand.Executor,
+			IndexReady: cand.IndexReady,
+			IndexBytes: cand.IndexBytes,
+			Estimate:   *toEstimateJSON(cand.Estimate),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
-	algos := []string{string(rankjoin.AlgoNaive)}
+	algos := []string{string(rankjoin.AlgoAuto), string(rankjoin.AlgoNaive)}
 	for _, a := range rankjoin.Algorithms() {
 		algos = append(algos, string(a))
 	}
@@ -201,6 +334,7 @@ func main() {
 	s := &server{env: env, defaultParallelism: *parallelism}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /topk", s.handleTopK)
+	mux.HandleFunc("POST /explain", s.handleExplain)
 	mux.HandleFunc("GET /algorithms", s.handleAlgorithms)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,51 @@
+// Package rankjoin is a Go implementation of "Rank Join Queries in NoSQL
+// Databases" (Ntarmos, Patlakas, Triantafillou — PVLDB 7(7), 2014): top-k
+// equi-join processing over a BigTable/HBase-style NoSQL store.
+//
+// The library bundles an embedded, deterministic NoSQL cluster (sorted
+// key-value tables, column families, range-sharded regions, batched
+// scans, server-side filters), a locality-aware MapReduce runtime, and
+// the paper's full algorithm suite:
+//
+//   - Naive, Hive-style, and Pig-style baselines (Section 3)
+//   - IJLMR — Inverse Join List MapReduce rank join (Section 4.1)
+//   - ISL — Inverse Score List rank join over HRJN (Section 4.2)
+//   - BFHM — Bloom Filter Histogram Matrix rank join with a guaranteed
+//     100% recall (Section 5)
+//   - DRJN — the 2-D histogram comparator (Section 7.1)
+//
+// plus online index maintenance (Section 6) and a cost model reporting
+// the paper's three evaluation metrics for every query: simulated
+// turnaround time, network bytes, and dollar cost (key-value read units).
+//
+// # Quick start
+//
+//	db := rankjoin.Open(rankjoin.Config{})
+//	docs, _ := db.DefineRelation("docs")
+//	imgs, _ := db.DefineRelation("imgs")
+//	docs.Insert("d1", "apple", 0.9)
+//	imgs.Insert("i7", "apple", 0.8)
+//	q, _ := db.NewQuery("docs", "imgs", rankjoin.Sum, 10)
+//	res, _ := db.TopK(q, rankjoin.AlgoAuto, nil)
+//	for _, r := range res.Results {
+//	    fmt.Println(r.Left.RowKey, r.Right.RowKey, r.Score)
+//	}
+//
+// # Executors and the planner
+//
+// Every algorithm implements the core.Executor interface and lives in a
+// registry; the old switch-based dispatch (one switch each in TopK,
+// EnsureIndexes, and IndexDiskSize) is gone, so adding a strategy means
+// registering one executor, not editing three switches. On top of the
+// registry sits a cost-based planner: AlgoAuto plans each query against
+// live table statistics, DRJN 2-D histograms, and BFHM Bloom-filter
+// join estimates, then runs the cheapest strategy whose indexes exist.
+// DB.Explain exposes the ranked candidate plans without running the
+// query, and planned Results carry the estimate next to the measured
+// cost so the estimator's error is visible per query:
+//
+//	p, _ := db.Explain(q, nil)
+//	fmt.Print(p) // ranked candidates with predicted time/bytes/reads
+//	res, _ := db.TopK(q, rankjoin.AlgoAuto, nil)
+//	fmt.Println(res.Algorithm, res.Estimate.SimTime, res.Cost.SimTime)
+package rankjoin

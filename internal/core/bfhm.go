@@ -372,6 +372,21 @@ func fetchBFHMBucket(c *kvstore.Cluster, idx *BFHMIndex, b int) (*bfhmBucket, er
 	return out, nil
 }
 
+// FetchBucketFilter reads one BFHM bucket and returns its hybrid filter
+// with any pending online mutations replayed (nil when the bucket is
+// empty). The query planner's statistics walk uses it; the read is
+// metered like any other client access.
+func FetchBucketFilter(c *kvstore.Cluster, idx *BFHMIndex, b int) (*bloom.Hybrid, error) {
+	bk, err := fetchBFHMBucket(c, idx, b)
+	if err != nil {
+		return nil, err
+	}
+	if bk.Empty || bk.Filter == nil {
+		return nil, nil
+	}
+	return bk.Filter, nil
+}
+
 // writeBackBucket persists a reconstructed blob and purges the replayed
 // mutation records in one atomic row mutation (Section 6).
 func writeBackBucket(c *kvstore.Cluster, idx *BFHMIndex, b *bfhmBucket) error {

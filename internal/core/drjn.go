@@ -152,6 +152,39 @@ func fetchDRJNBand(c *kvstore.Cluster, idx *DRJNIndex, b int) (*drjnBand, error)
 	return out, nil
 }
 
+// FetchAllBands scans the whole DRJN index table — Layout.Buckets tiny
+// rows — and returns the decoded bands indexed by band number (nil for
+// empty bands). One batched scan replaces per-band point reads when a
+// caller (the planner's statistics walk) wants the full matrix; the
+// scan is metered like any other client access.
+func FetchAllBands(c *kvstore.Cluster, idx *DRJNIndex) ([]*histogram.BandData, error) {
+	rows, err := c.ScanAll(kvstore.Scan{
+		Table:    idx.Table,
+		Families: []string{drjnFamily},
+		Caching:  256,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*histogram.BandData, idx.Layout.Buckets)
+	for i := range rows {
+		no, err := bucketFromKey(rows[i].Key)
+		if err != nil || no < 0 || no >= len(out) {
+			continue
+		}
+		cell := rows[i].Cell(drjnFamily, drjnBandQual)
+		if cell == nil {
+			continue
+		}
+		bd, err := histogram.UnmarshalBand(cell.Value)
+		if err != nil {
+			return nil, fmt.Errorf("drjn: band %d: %w", no, err)
+		}
+		out[no] = bd
+	}
+	return out, nil
+}
+
 // drjnPull runs the map-only pull job: every tuple of rel with score >=
 // bound is written to tmpTable (server-side filtered scan; the scan reads
 // everything, the network carries only matches).

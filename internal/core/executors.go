@@ -1,0 +1,300 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/kvstore"
+)
+
+// The seven paper algorithms as registry executors. This file is the
+// single dispatch surface: what used to be three parallel switch
+// statements (TopK, EnsureIndexes, IndexDiskSize) is now one Executor
+// implementation per strategy.
+
+func init() {
+	Register(naiveExec{})
+	Register(hiveExec{})
+	Register(pigExec{})
+	Register(ijlmrExec{})
+	Register(islExec{})
+	Register(bfhmExec{})
+	Register(drjnExec{})
+}
+
+// tableSize returns a table's stored bytes, 0 when it does not exist.
+func tableSize(c *kvstore.Cluster, table string) uint64 {
+	sz, _ := c.TableDiskSize(table)
+	return sz
+}
+
+// ---- Naive ----
+
+type naiveExec struct{}
+
+func (naiveExec) Name() string     { return "naive" }
+func (naiveExec) NeedsIndex() bool { return false }
+func (naiveExec) EnsureIndex(*kvstore.Cluster, Query, *IndexStore, IndexBuildConfig) error {
+	return nil
+}
+func (naiveExec) HasIndex(Query, *IndexStore) bool                      { return true }
+func (naiveExec) IndexSize(*kvstore.Cluster, Query, *IndexStore) uint64 { return 0 }
+func (naiveExec) Estimate(st *PlanStats) CostEstimate                   { return estimateNaive(st) }
+func (naiveExec) Run(c *kvstore.Cluster, q Query, _ *IndexStore, _ ExecOptions) (*Result, error) {
+	return NaiveTopK(c, q)
+}
+
+// ---- Hive ----
+
+type hiveExec struct{}
+
+func (hiveExec) Name() string     { return "hive" }
+func (hiveExec) NeedsIndex() bool { return false }
+func (hiveExec) EnsureIndex(*kvstore.Cluster, Query, *IndexStore, IndexBuildConfig) error {
+	return nil
+}
+func (hiveExec) HasIndex(Query, *IndexStore) bool                      { return true }
+func (hiveExec) IndexSize(*kvstore.Cluster, Query, *IndexStore) uint64 { return 0 }
+func (hiveExec) Estimate(st *PlanStats) CostEstimate                   { return estimateHive(st) }
+func (hiveExec) Run(c *kvstore.Cluster, q Query, _ *IndexStore, _ ExecOptions) (*Result, error) {
+	return QueryHive(c, q)
+}
+
+// ---- Pig ----
+
+type pigExec struct{}
+
+func (pigExec) Name() string     { return "pig" }
+func (pigExec) NeedsIndex() bool { return false }
+func (pigExec) EnsureIndex(*kvstore.Cluster, Query, *IndexStore, IndexBuildConfig) error {
+	return nil
+}
+func (pigExec) HasIndex(Query, *IndexStore) bool                      { return true }
+func (pigExec) IndexSize(*kvstore.Cluster, Query, *IndexStore) uint64 { return 0 }
+func (pigExec) Estimate(st *PlanStats) CostEstimate                   { return estimatePig(st) }
+func (pigExec) Run(c *kvstore.Cluster, q Query, _ *IndexStore, _ ExecOptions) (*Result, error) {
+	return QueryPig(c, q)
+}
+
+// ---- IJLMR ----
+
+type ijlmrExec struct{}
+
+func (ijlmrExec) Name() string     { return "ijlmr" }
+func (ijlmrExec) NeedsIndex() bool { return true }
+
+func (ijlmrExec) EnsureIndex(c *kvstore.Cluster, q Query, store *IndexStore, _ IndexBuildConfig) error {
+	lock := store.BuildScope("ijlmr/" + q.ID())
+	lock.Lock()
+	defer lock.Unlock()
+	if _, ok := store.IJLMR(q.ID()); ok {
+		return nil
+	}
+	idx, _, err := BuildIJLMR(c, q)
+	if err != nil {
+		return err
+	}
+	store.PutIJLMR(q.ID(), idx)
+	return nil
+}
+
+func (ijlmrExec) HasIndex(q Query, store *IndexStore) bool {
+	_, ok := store.IJLMR(q.ID())
+	return ok
+}
+
+func (ijlmrExec) IndexSize(c *kvstore.Cluster, q Query, store *IndexStore) uint64 {
+	idx, ok := store.IJLMR(q.ID())
+	if !ok {
+		return 0
+	}
+	return tableSize(c, idx.Table)
+}
+
+func (ijlmrExec) Estimate(st *PlanStats) CostEstimate { return estimateIJLMR(st) }
+
+func (ijlmrExec) Run(c *kvstore.Cluster, q Query, store *IndexStore, _ ExecOptions) (*Result, error) {
+	idx, ok := store.IJLMR(q.ID())
+	if !ok {
+		return nil, fmt.Errorf("rankjoin: no IJLMR index for %s; call EnsureIndexes first", q.ID())
+	}
+	return QueryIJLMR(c, q, idx)
+}
+
+// ---- ISL ----
+
+type islExec struct{}
+
+func (islExec) Name() string     { return "isl" }
+func (islExec) NeedsIndex() bool { return true }
+
+func (islExec) EnsureIndex(c *kvstore.Cluster, q Query, store *IndexStore, _ IndexBuildConfig) error {
+	lock := store.BuildScope("isl/" + q.ID())
+	lock.Lock()
+	defer lock.Unlock()
+	if _, ok := store.ISL(q.ID()); ok {
+		return nil
+	}
+	idx, _, err := BuildISL(c, q)
+	if err != nil {
+		return err
+	}
+	store.PutISL(q.ID(), idx)
+	return nil
+}
+
+func (islExec) HasIndex(q Query, store *IndexStore) bool {
+	_, ok := store.ISL(q.ID())
+	return ok
+}
+
+func (islExec) IndexSize(c *kvstore.Cluster, q Query, store *IndexStore) uint64 {
+	idx, ok := store.ISL(q.ID())
+	if !ok {
+		return 0
+	}
+	return tableSize(c, idx.Table)
+}
+
+func (islExec) Estimate(st *PlanStats) CostEstimate { return estimateISL(st) }
+
+func (islExec) Run(c *kvstore.Cluster, q Query, store *IndexStore, opts ExecOptions) (*Result, error) {
+	idx, ok := store.ISL(q.ID())
+	if !ok {
+		return nil, fmt.Errorf("rankjoin: no ISL index for %s; call EnsureIndexes first", q.ID())
+	}
+	opts = opts.WithDefaults()
+	return QueryISL(c, q, idx, ISLOptions{
+		BatchLeft:   opts.ISLBatch,
+		BatchRight:  opts.ISLBatch,
+		Parallelism: opts.Parallelism,
+	})
+}
+
+// ---- BFHM ----
+
+type bfhmExec struct{}
+
+func (bfhmExec) Name() string     { return "bfhm" }
+func (bfhmExec) NeedsIndex() bool { return true }
+
+// EnsureIndex builds both relations' BFHM indexes with a shared filter
+// width (intersection requires equal widths; the first build auto-sizes
+// from its heaviest bucket, the second inherits). All BFHM builds
+// serialize on one family-wide scope: concurrent EnsureIndex calls for
+// overlapping relation pairs would otherwise race the width handshake
+// and persist filters that can never be intersected.
+func (bfhmExec) EnsureIndex(c *kvstore.Cluster, q Query, store *IndexStore, cfg IndexBuildConfig) error {
+	cfg = cfg.WithDefaults()
+	lock := store.BuildScope("bfhm")
+	lock.Lock()
+	defer lock.Unlock()
+	var shared uint64
+	if idx, ok := store.BFHM(q.Left.Name); ok {
+		shared = idx.MBits
+	} else if idx, ok := store.BFHM(q.Right.Name); ok {
+		shared = idx.MBits
+	}
+	for _, rel := range []Relation{q.Left, q.Right} {
+		if _, ok := store.BFHM(rel.Name); ok {
+			continue
+		}
+		idx, _, err := BuildBFHM(c, rel, BFHMOptions{
+			NumBuckets: cfg.BFHMBuckets,
+			FPP:        cfg.BFHMFPP,
+			MBits:      shared,
+		})
+		if err != nil {
+			return err
+		}
+		shared = idx.MBits
+		store.PutBFHM(rel.Name, idx)
+	}
+	return nil
+}
+
+func (bfhmExec) HasIndex(q Query, store *IndexStore) bool {
+	_, okA := store.BFHM(q.Left.Name)
+	_, okB := store.BFHM(q.Right.Name)
+	return okA && okB
+}
+
+func (bfhmExec) IndexSize(c *kvstore.Cluster, q Query, store *IndexStore) uint64 {
+	var total uint64
+	for _, name := range []string{q.Left.Name, q.Right.Name} {
+		if idx, ok := store.BFHM(name); ok {
+			total += tableSize(c, idx.Table)
+		}
+	}
+	return total
+}
+
+func (bfhmExec) Estimate(st *PlanStats) CostEstimate { return estimateBFHM(st) }
+
+func (bfhmExec) Run(c *kvstore.Cluster, q Query, store *IndexStore, opts ExecOptions) (*Result, error) {
+	idxA, okA := store.BFHM(q.Left.Name)
+	idxB, okB := store.BFHM(q.Right.Name)
+	if !okA || !okB {
+		return nil, fmt.Errorf("rankjoin: missing BFHM index for %s; call EnsureIndexes first", q.ID())
+	}
+	return QueryBFHM(c, q, idxA, idxB, BFHMQueryOptions{
+		WriteBack:   opts.BFHMWriteBack,
+		Parallelism: opts.Parallelism,
+	})
+}
+
+// ---- DRJN ----
+
+type drjnExec struct{}
+
+func (drjnExec) Name() string     { return "drjn" }
+func (drjnExec) NeedsIndex() bool { return true }
+
+func (drjnExec) EnsureIndex(c *kvstore.Cluster, q Query, store *IndexStore, cfg IndexBuildConfig) error {
+	cfg = cfg.WithDefaults()
+	// One family-wide scope: both relations' matrices must agree on the
+	// join-partition count for the band dot products.
+	lock := store.BuildScope("drjn")
+	lock.Lock()
+	defer lock.Unlock()
+	for _, rel := range []Relation{q.Left, q.Right} {
+		if _, ok := store.DRJN(rel.Name); ok {
+			continue
+		}
+		idx, _, err := BuildDRJN(c, rel, DRJNOptions{
+			NumBuckets: cfg.DRJNBuckets,
+			JoinParts:  cfg.DRJNJoinParts,
+		})
+		if err != nil {
+			return err
+		}
+		store.PutDRJN(rel.Name, idx)
+	}
+	return nil
+}
+
+func (drjnExec) HasIndex(q Query, store *IndexStore) bool {
+	_, okA := store.DRJN(q.Left.Name)
+	_, okB := store.DRJN(q.Right.Name)
+	return okA && okB
+}
+
+func (drjnExec) IndexSize(c *kvstore.Cluster, q Query, store *IndexStore) uint64 {
+	var total uint64
+	for _, name := range []string{q.Left.Name, q.Right.Name} {
+		if idx, ok := store.DRJN(name); ok {
+			total += tableSize(c, idx.Table)
+		}
+	}
+	return total
+}
+
+func (drjnExec) Estimate(st *PlanStats) CostEstimate { return estimateDRJN(st) }
+
+func (drjnExec) Run(c *kvstore.Cluster, q Query, store *IndexStore, _ ExecOptions) (*Result, error) {
+	idxA, okA := store.DRJN(q.Left.Name)
+	idxB, okB := store.DRJN(q.Right.Name)
+	if !okA || !okB {
+		return nil, fmt.Errorf("rankjoin: missing DRJN index for %s; call EnsureIndexes first", q.ID())
+	}
+	return QueryDRJN(c, q, idxA, idxB)
+}

@@ -132,6 +132,15 @@ type Result struct {
 	Results []JoinResult
 	// Cost is the metrics delta attributable to this execution.
 	Cost sim.Snapshot
+	// Algorithm names the executor that produced the result.
+	Algorithm string
+	// Estimate is the planner's predicted cost when the execution was
+	// planned (AlgoAuto); nil for hand-picked algorithms. Comparing it
+	// against Cost gives the per-query estimated-vs-actual error.
+	Estimate *CostEstimate
+	// PlannerCost is the statistics-gathering overhead the planner
+	// spent choosing this execution (already included in Cost).
+	PlannerCost sim.Snapshot
 }
 
 // TopKList maintains the k best join results seen so far, ordered

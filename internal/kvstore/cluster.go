@@ -231,6 +231,32 @@ func (c *Cluster) TableRegions(name string) ([]*Region, error) {
 	return append([]*Region(nil), t.regions...), nil
 }
 
+// TableStats summarizes a table for the query planner: region count,
+// stored cell versions, and stored bytes. Like TableDiskSize it is free
+// introspection — cluster metadata a client caches — and charges no
+// metrics.
+type TableStats struct {
+	Regions int
+	Cells   uint64
+	Bytes   uint64
+}
+
+// TableStats returns planner statistics for a table.
+func (c *Cluster) TableStats(name string) (TableStats, error) {
+	t, err := c.table(name)
+	if err != nil {
+		return TableStats{}, err
+	}
+	c.state.mu.RLock()
+	defer c.state.mu.RUnlock()
+	st := TableStats{Regions: len(t.regions)}
+	for _, r := range t.regions {
+		st.Cells += uint64(r.CellCount())
+		st.Bytes += r.DiskSize()
+	}
+	return st, nil
+}
+
 // TableDiskSize returns the table's total stored bytes.
 func (c *Cluster) TableDiskSize(name string) (uint64, error) {
 	t, err := c.table(name)

@@ -1,0 +1,100 @@
+package plan
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// maxCacheEntries bounds the cache: (query, k) keys are client
+// controlled (the HTTP server accepts arbitrary k), so the map must
+// not grow without limit.
+const maxCacheEntries = 1024
+
+// Cache memoizes gathered PlanStats per (query, k) so a hot query path
+// (e.g. the HTTP server defaulting to AlgoAuto) does not re-read
+// histogram statistics on every request. Entries are validated against
+// the live table cell counts — TableStats is free cluster metadata —
+// so any insert or delete on either input invalidates the entry.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]cacheEntry
+}
+
+type cacheEntry struct {
+	leftCells  uint64
+	rightCells uint64
+	// sources fingerprints which statistics structures existed when
+	// the entry was gathered — building a DRJN or BFHM index upgrades
+	// the available statistics without touching the input tables, and
+	// must invalidate the entry.
+	sources string
+	stats   core.PlanStats
+}
+
+// NewCache returns an empty statistics cache.
+func NewCache() *Cache {
+	return &Cache{entries: map[string]cacheEntry{}}
+}
+
+func cacheKey(q core.Query) string {
+	return fmt.Sprintf("%s|%d", q.ID(), q.K)
+}
+
+// sourceFingerprint describes which statistics structures the store
+// currently offers for q.
+func sourceFingerprint(q core.Query, store *core.IndexStore) string {
+	fp := ""
+	if _, ok := store.DRJN(q.Left.Name); ok {
+		if _, ok := store.DRJN(q.Right.Name); ok {
+			fp += "d"
+		}
+	}
+	if _, ok := store.BFHM(q.Left.Name); ok {
+		if _, ok := store.BFHM(q.Right.Name); ok {
+			fp += "b"
+		}
+	}
+	return fp
+}
+
+// lookup returns a cached stats snapshot still matching the live cell
+// counts and the available statistics structures.
+func (c *Cache) lookup(q core.Query, leftCells, rightCells uint64, sources string) (core.PlanStats, bool) {
+	if c == nil {
+		return core.PlanStats{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[cacheKey(q)]
+	if !ok || e.leftCells != leftCells || e.rightCells != rightCells || e.sources != sources {
+		return core.PlanStats{}, false
+	}
+	return e.stats, true
+}
+
+// put stores a stats snapshot.
+func (c *Cache) put(q core.Query, leftCells, rightCells uint64, sources string, st core.PlanStats) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.entries) >= maxCacheEntries {
+		// Evict arbitrary entries; a stats walk is cheap enough that
+		// an occasional re-gather beats tracking recency.
+		for k := range c.entries {
+			delete(c.entries, k)
+			if len(c.entries) < maxCacheEntries {
+				break
+			}
+		}
+	}
+	c.entries[cacheKey(q)] = cacheEntry{
+		leftCells:  leftCells,
+		rightCells: rightCells,
+		sources:    sources,
+		stats:      st,
+	}
+}

@@ -1,0 +1,195 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kvstore"
+	"repro/internal/sim"
+)
+
+// Objective selects the metric candidate plans are ranked by.
+type Objective string
+
+// Ranking objectives: the paper's three evaluation metrics.
+const (
+	// ObjectiveTime minimizes predicted turnaround time (default).
+	ObjectiveTime Objective = "time"
+	// ObjectiveNetwork minimizes predicted network bytes.
+	ObjectiveNetwork Objective = "network"
+	// ObjectiveDollars minimizes predicted KV read units (dollar cost).
+	ObjectiveDollars Objective = "dollars"
+)
+
+// Options tunes one planning pass.
+type Options struct {
+	// Objective ranks candidates; empty means ObjectiveTime.
+	Objective Objective
+	// Exec carries the query options that shape per-executor costs.
+	Exec core.ExecOptions
+	// Cache, when non-nil, memoizes the statistics walks per (query,
+	// k) until the input tables change.
+	Cache *Cache
+}
+
+// Candidate is one costed executor.
+type Candidate struct {
+	// Executor is the registry name.
+	Executor string
+	// Estimate is the predicted execution cost (excluding index
+	// builds; planning assumes indexes as they exist right now).
+	Estimate core.CostEstimate
+	// IndexReady reports whether the executor could run immediately:
+	// it is index-free, or its index is already built.
+	IndexReady bool
+	// IndexBytes is the stored size of the executor's built index(es).
+	IndexBytes uint64
+}
+
+// Plan is a ranked set of candidates for one query instance.
+type Plan struct {
+	// Chosen is the executor AlgoAuto would run: the best-ranked
+	// candidate whose index requirements are already met (the planner
+	// never builds indexes behind a query's back — it falls back to
+	// the cheapest already-built or index-free strategy).
+	Chosen string
+	// Best is the best-ranked candidate overall, disregarding index
+	// availability — when it differs from Chosen, building its index
+	// would speed this query up.
+	Best string
+	// Candidates lists every registered executor, ranked by the
+	// objective (ready executors carry no penalty; ranking is purely
+	// by predicted cost).
+	Candidates []Candidate
+	// Objective is the metric the ranking used.
+	Objective Objective
+	// Stats is the statistics snapshot the estimates were built from.
+	Stats core.PlanStats
+	// PlannerCost meters the statistics reads planning consumed.
+	PlannerCost sim.Snapshot
+}
+
+// metric projects the objective's scalar from an estimate.
+func (o Objective) metric(e core.CostEstimate) float64 {
+	switch o {
+	case ObjectiveNetwork:
+		return float64(e.NetworkBytes)
+	case ObjectiveDollars:
+		return float64(e.KVReads)
+	default:
+		return float64(e.SimTime)
+	}
+}
+
+// Explain gathers statistics for q and costs every registered executor,
+// returning the ranked candidate plans. The statistics reads charge c's
+// metric collector and are reported in Plan.PlannerCost.
+func Explain(c *kvstore.Cluster, q core.Query, store *core.IndexStore, opts Options) (*Plan, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	obj := opts.Objective
+	switch obj {
+	case "":
+		obj = ObjectiveTime
+	case ObjectiveTime, ObjectiveNetwork, ObjectiveDollars:
+	default:
+		return nil, fmt.Errorf("plan: unknown objective %q (want %s, %s, or %s)",
+			obj, ObjectiveTime, ObjectiveNetwork, ObjectiveDollars)
+	}
+	before := c.Metrics().Snapshot()
+	st, err := gatherStats(c, q, store, opts.Exec.WithDefaults(), opts.Cache)
+	if err != nil {
+		return nil, err
+	}
+	plannerCost := c.Metrics().Snapshot().Sub(before)
+
+	execs := core.Executors()
+	cands := make([]Candidate, 0, len(execs))
+	for _, ex := range execs {
+		ready := ex.HasIndex(q, store)
+		idxBytes := ex.IndexSize(c, q, store)
+		// Estimate sees the candidate's own index context.
+		est := *st
+		est.IndexReady = ready
+		est.IndexBytes = idxBytes
+		cands = append(cands, Candidate{
+			Executor:   ex.Name(),
+			Estimate:   ex.Estimate(&est),
+			IndexReady: ready,
+			IndexBytes: idxBytes,
+		})
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		mi, mj := obj.metric(cands[i].Estimate), obj.metric(cands[j].Estimate)
+		if mi != mj {
+			return mi < mj
+		}
+		return cands[i].Executor < cands[j].Executor
+	})
+
+	p := &Plan{Candidates: cands, Objective: obj, Stats: *st, PlannerCost: plannerCost}
+	for _, cand := range cands {
+		if p.Best == "" {
+			p.Best = cand.Executor
+		}
+		if p.Chosen == "" && cand.IndexReady {
+			p.Chosen = cand.Executor
+		}
+	}
+	if p.Chosen == "" {
+		return nil, fmt.Errorf("plan: no runnable executor for %s", q.ID())
+	}
+	return p, nil
+}
+
+// Choose plans q and returns the executor AlgoAuto should run plus the
+// plan that picked it.
+func Choose(c *kvstore.Cluster, q core.Query, store *core.IndexStore, opts Options) (core.Executor, *Plan, error) {
+	p, err := Explain(c, q, store, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	ex, ok := core.Lookup(p.Chosen)
+	if !ok {
+		return nil, nil, fmt.Errorf("plan: chosen executor %q not registered", p.Chosen)
+	}
+	return ex, p, nil
+}
+
+// ChosenEstimate returns the chosen candidate's estimate.
+func (p *Plan) ChosenEstimate() core.CostEstimate {
+	for _, cand := range p.Candidates {
+		if cand.Executor == p.Chosen {
+			return cand.Estimate
+		}
+	}
+	return core.CostEstimate{}
+}
+
+// String renders the plan as a compact EXPLAIN table.
+func (p *Plan) String() string {
+	out := fmt.Sprintf("plan (objective=%s, stats=%s, k=%d): chosen=%s",
+		p.Objective, p.Stats.Source, p.Stats.K, p.Chosen)
+	if p.Best != p.Chosen {
+		out += fmt.Sprintf(" (best=%s needs its index built)", p.Best)
+	}
+	out += "\n"
+	for i, cand := range p.Candidates {
+		mark := " "
+		if cand.Executor == p.Chosen {
+			mark = "*"
+		}
+		ready := "ready"
+		if !cand.IndexReady {
+			ready = "no-index"
+		}
+		out += fmt.Sprintf("%s %d. %-6s %-8s est_time=%-12v est_net=%-10d est_reads=%d\n",
+			mark, i+1, cand.Executor, ready,
+			cand.Estimate.SimTime.Round(time.Microsecond),
+			cand.Estimate.NetworkBytes, cand.Estimate.KVReads)
+	}
+	return out
+}

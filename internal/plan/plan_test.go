@@ -1,0 +1,159 @@
+package plan
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kvstore"
+	"repro/internal/sim"
+)
+
+// setupCluster loads two small relations and returns everything a
+// planning pass needs.
+func setupCluster(t *testing.T, n int) (*kvstore.Cluster, core.Query, *core.IndexStore) {
+	t.Helper()
+	c := kvstore.NewCluster(sim.LC(), nil)
+	mk := func(name string) core.Relation {
+		rel := core.Relation{
+			Name: name, Table: "rel_" + name, Family: "d",
+			JoinQual: "join", ScoreQual: "score",
+		}
+		if _, err := c.CreateTable(rel.Table, []string{rel.Family}, nil); err != nil {
+			t.Fatal(err)
+		}
+		var cells []kvstore.Cell
+		for i := 0; i < n; i++ {
+			row := fmt.Sprintf("%s%04d", name, i)
+			cells = append(cells,
+				kvstore.Cell{Row: row, Family: "d", Qualifier: "join", Value: []byte(fmt.Sprintf("j%d", i%20))},
+				kvstore.Cell{Row: row, Family: "d", Qualifier: "score", Value: kvstore.FloatValue(float64(i%991) / 991)},
+			)
+		}
+		if err := c.BatchPut(rel.Table, cells); err != nil {
+			t.Fatal(err)
+		}
+		return rel
+	}
+	q := core.Query{Left: mk("pl"), Right: mk("pr"), Score: core.Sum, K: 10}
+	return c, q, core.NewIndexStore()
+}
+
+func TestExplainUniformFallback(t *testing.T) {
+	c, q, store := setupCluster(t, 400)
+	p, err := Explain(c, q, store, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats.Source != "uniform" {
+		t.Errorf("stats source = %q, want uniform (no statistics built)", p.Stats.Source)
+	}
+	if p.Stats.Left.Rows != 400 || p.Stats.Right.Rows != 400 {
+		t.Errorf("table stats rows = %d/%d, want 400/400", p.Stats.Left.Rows, p.Stats.Right.Rows)
+	}
+	if p.Stats.JoinPairs <= 0 {
+		t.Errorf("uniform fallback produced JoinPairs = %g", p.Stats.JoinPairs)
+	}
+	if p.Stats.LeftDepth <= 0 || p.Stats.RightDepth <= 0 {
+		t.Errorf("uniform fallback produced depths %g/%g", p.Stats.LeftDepth, p.Stats.RightDepth)
+	}
+	// Only index-free executors are runnable; the chosen one must be
+	// among them and every candidate must carry a non-zero estimate.
+	switch p.Chosen {
+	case "naive", "hive", "pig":
+	default:
+		t.Errorf("chosen = %q with no indexes built", p.Chosen)
+	}
+	if len(p.Candidates) != len(core.Executors()) {
+		t.Fatalf("%d candidates, want %d", len(p.Candidates), len(core.Executors()))
+	}
+	for _, cand := range p.Candidates {
+		if cand.Estimate.SimTime <= 0 || cand.Estimate.KVReads == 0 {
+			t.Errorf("candidate %s: zero estimate %+v", cand.Executor, cand.Estimate)
+		}
+	}
+}
+
+func TestExplainUsesDRJNStatistics(t *testing.T) {
+	c, q, store := setupCluster(t, 400)
+	ex, _ := core.Lookup("drjn")
+	if err := ex.EnsureIndex(c, q, store, core.IndexBuildConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Metrics().Snapshot()
+	p, err := Explain(c, q, store, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats.Source != "drjn" {
+		t.Errorf("stats source = %q, want drjn", p.Stats.Source)
+	}
+	if p.Chosen != "drjn" && !candidateReady(p, "drjn") {
+		t.Errorf("drjn candidate not marked ready after its build")
+	}
+	// Planning reads histogram bands through the metered client.
+	delta := c.Metrics().Snapshot().Sub(before)
+	if delta.RPCCalls == 0 || p.PlannerCost.RPCCalls == 0 {
+		t.Errorf("planner statistics reads unmetered: delta=%+v plannerCost=%+v", delta, p.PlannerCost)
+	}
+	// True join size here: 400*400/20 = 8000 pairs; the DRJN-derived
+	// estimate must land within a factor of 4.
+	if p.Stats.JoinPairs < 2000 || p.Stats.JoinPairs > 32000 {
+		t.Errorf("DRJN JoinPairs estimate %g, want within [2000,32000] (true 8000)", p.Stats.JoinPairs)
+	}
+}
+
+func TestExplainObjectives(t *testing.T) {
+	c, q, store := setupCluster(t, 300)
+	for _, obj := range []Objective{ObjectiveTime, ObjectiveNetwork, ObjectiveDollars} {
+		p, err := Explain(c, q, store, Options{Objective: obj})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Objective != obj {
+			t.Errorf("plan objective = %q, want %q", p.Objective, obj)
+		}
+		for i := 1; i < len(p.Candidates); i++ {
+			if obj.metric(p.Candidates[i].Estimate) < obj.metric(p.Candidates[i-1].Estimate) {
+				t.Errorf("%s: candidates out of order at %d", obj, i)
+			}
+		}
+	}
+}
+
+func TestExplainRejectsUnknownObjective(t *testing.T) {
+	c, q, store := setupCluster(t, 100)
+	if _, err := Explain(c, q, store, Options{Objective: "dollar"}); err == nil {
+		t.Fatal("Explain accepted unknown objective \"dollar\"")
+	}
+}
+
+func TestChooseRunnable(t *testing.T) {
+	c, q, store := setupCluster(t, 200)
+	ex, p, err := Choose(c, q, store, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Name() != p.Chosen {
+		t.Fatalf("Choose returned %q but plan chose %q", ex.Name(), p.Chosen)
+	}
+	if ex.NeedsIndex() && !ex.HasIndex(q, store) {
+		t.Fatalf("Choose picked %q whose index is missing", ex.Name())
+	}
+	res, err := ex.Run(c, q, store, core.ExecOptions{}.WithDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) == 0 {
+		t.Fatal("chosen executor returned no results")
+	}
+}
+
+func candidateReady(p *Plan, name string) bool {
+	for _, cand := range p.Candidates {
+		if cand.Executor == name {
+			return cand.IndexReady
+		}
+	}
+	return false
+}

@@ -1,0 +1,362 @@
+// Package plan is the cost-based query planner: given a query and the
+// indexes already built, it gathers statistics — live cluster table
+// stats, DRJN 2-D histograms (the paper's Section 7.1 comparator doubles
+// as a cheap statistics structure), and BFHM hybrid-filter join
+// estimates (Algorithm 7 reused as a statistics probe) — then asks
+// every registered executor for a predicted cost and ranks the
+// candidate plans.
+package plan
+
+import (
+	"math"
+
+	"repro/internal/bloom"
+	"repro/internal/core"
+	"repro/internal/histogram"
+	"repro/internal/kvstore"
+)
+
+// maxStatBands bounds the BFHM statistics walk: the planner point-reads
+// at most this many NON-EMPTY leading bucket blobs per relation and
+// extrapolates beyond them, keeping planning overhead bounded. Empty
+// buckets (skewed scores often leave the top of the range vacant) cost
+// one cheap miss each and do not count. The DRJN walk needs no such cap
+// — it reads the whole tiny matrix with one scan.
+const maxStatBands = 16
+
+// gatherStats assembles the PlanStats for one query. Reads it issues
+// (DRJN bands, BFHM blobs) charge c's metric collector — planning is
+// real work and is metered like any other client access. A non-nil
+// cache short-circuits the statistics walks while the input tables'
+// cell counts are unchanged.
+func gatherStats(c *kvstore.Cluster, q core.Query, store *core.IndexStore, exec core.ExecOptions, cache *Cache) (*core.PlanStats, error) {
+	lt, err := c.TableStats(q.Left.Table)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := c.TableStats(q.Right.Table)
+	if err != nil {
+		return nil, err
+	}
+	sources := sourceFingerprint(q, store)
+	if hit, ok := cache.lookup(q, lt.Cells, rt.Cells, sources); ok {
+		hit.Exec = exec
+		return &hit, nil
+	}
+	st := &core.PlanStats{
+		Profile: c.Profile(),
+		K:       q.K,
+		Exec:    exec,
+	}
+	// Relation rows carry two cells each (join value + score). Cells
+	// counts stored versions, so update-heavy tables overestimate rows
+	// between LSM compactions — a conservative bias (the planner sees
+	// at least the live data) accepted for a free statistic.
+	st.Left = core.RelStats{Rows: lt.Cells / 2, Bytes: lt.Bytes, Regions: lt.Regions}
+	st.Right = core.RelStats{Rows: rt.Cells / 2, Bytes: rt.Bytes, Regions: rt.Regions}
+
+	if idxA, ok := store.DRJN(q.Left.Name); ok {
+		if idxB, ok := store.DRJN(q.Right.Name); ok && idxA.JoinParts == idxB.JoinParts {
+			if drjnWalk(c, st, idxA, idxB) {
+				st.Source = "drjn"
+				st.DRJNJoinParts = idxA.JoinParts
+			}
+		}
+	}
+	if st.Source == "" {
+		if idxA, ok := store.BFHM(q.Left.Name); ok {
+			if idxB, ok := store.BFHM(q.Right.Name); ok {
+				if bfhmWalk(c, st, idxA, idxB) {
+					st.Source = "bfhm"
+					st.BFHMBuckets = idxA.Layout.Buckets
+				}
+			}
+		}
+	}
+	if st.Source == "" {
+		uniformFallback(st)
+		st.Source = "uniform"
+	}
+	if st.BFHMBuckets == 0 {
+		if idx, ok := store.BFHM(q.Left.Name); ok {
+			st.BFHMBuckets = idx.Layout.Buckets
+		}
+	}
+	cache.put(q, lt.Cells, rt.Cells, sources, *st)
+	return st, nil
+}
+
+// bandTotal sums one decoded band's partition counts.
+func bandTotal(b *histogram.BandData) uint64 {
+	if b == nil {
+		return 0
+	}
+	var t uint64
+	for _, c := range b.Cells {
+		t += c
+	}
+	return t
+}
+
+// drjnWalk reads both DRJN matrices (one batched scan each — the whole
+// index is Layout.Buckets tiny rows) and replays the alternating band
+// walk QueryDRJN uses, in memory, until the pairwise dot products cover
+// k. It fills JoinPairs, the per-side depths, and StatBands; false
+// means the walk produced nothing usable.
+func drjnWalk(c *kvstore.Cluster, st *core.PlanStats, idxA, idxB *core.DRJNIndex) bool {
+	allA, err := core.FetchAllBands(c, idxA)
+	if err != nil {
+		return false
+	}
+	allB, err := core.FetchAllBands(c, idxB)
+	if err != nil {
+		return false
+	}
+
+	type side struct {
+		all    []*histogram.BandData
+		next   int
+		bands  []*histogram.BandData
+		tuples uint64
+	}
+	a, b := &side{all: allA}, &side{all: allB}
+	var estPairs float64
+
+	consume := func(s, other *side) {
+		bd := s.all[s.next]
+		s.next++
+		s.bands = append(s.bands, bd)
+		s.tuples += bandTotal(bd)
+		if bd != nil {
+			for _, ob := range other.bands {
+				if ob == nil {
+					continue
+				}
+				if n, err := histogram.DotProduct(bd, ob); err == nil {
+					estPairs += float64(n)
+				}
+			}
+		}
+	}
+
+	for estPairs < float64(st.K) {
+		aOpen := a.next < len(a.all)
+		bOpen := b.next < len(b.all)
+		if !aOpen && !bOpen {
+			break
+		}
+		if aOpen && (a.next <= b.next || !bOpen) {
+			consume(a, b)
+		} else {
+			consume(b, a)
+		}
+	}
+	if a.next == 0 && b.next == 0 {
+		return false
+	}
+
+	st.LeftDepth = float64(a.tuples)
+	st.RightDepth = float64(b.tuples)
+	st.StatBands = max(a.next, b.next)
+
+	// Both full matrices are in memory, so the total join cardinality
+	// needs no prefix extrapolation: Σ_i Σ_j dot(A_i, B_j) collapses
+	// to the dot product of the per-partition column sums. That dot
+	// product D counts a full cross product within each partition, so
+	// it carries a hash-collision surplus on top of the true join size
+	// J: under uniform hashing E[D] = J + |R|·|S|/parts regardless of
+	// the distinct-value count. Subtract the surplus, clamped by the
+	// walked prefix's evidence.
+	d := totalDotProduct(allA, allB)
+	nl, nr := float64(st.Left.Rows), float64(st.Right.Rows)
+	j := d - nl*nr/float64(idxA.JoinParts)
+	j = math.Max(j, estPairs)
+	st.JoinPairs = math.Min(math.Max(j, 1), nl*nr)
+	if estPairs < float64(st.K) && st.JoinPairs > 0 {
+		scaleDepths(st)
+	}
+	return true
+}
+
+// totalDotProduct estimates the full join size between two complete
+// DRJN matrices via per-partition column sums.
+func totalDotProduct(allA, allB []*histogram.BandData) float64 {
+	var colA, colB []uint64
+	sum := func(cols []uint64, bands []*histogram.BandData) []uint64 {
+		for _, bd := range bands {
+			if bd == nil {
+				continue
+			}
+			if cols == nil {
+				cols = make([]uint64, len(bd.Cells))
+			}
+			if len(bd.Cells) != len(cols) {
+				continue
+			}
+			for p, n := range bd.Cells {
+				cols[p] += n
+			}
+		}
+		return cols
+	}
+	colA, colB = sum(colA, allA), sum(colB, allB)
+	if colA == nil || colB == nil || len(colA) != len(colB) {
+		return 0
+	}
+	var total float64
+	for p := range colA {
+		total += float64(colA[p]) * float64(colB[p])
+	}
+	return total
+}
+
+// bfhmWalk fetches leading BFHM bucket filters of both relations and
+// accumulates bloom join-cardinality estimates until they cover k.
+func bfhmWalk(c *kvstore.Cluster, st *core.PlanStats, idxA, idxB *core.BFHMIndex) bool {
+	var fa, fb []*bloom.Hybrid
+	var tuplesA, tuplesB uint64
+	var estPairs float64
+	buckets := idxA.Layout.Buckets
+	if idxB.Layout.Buckets < buckets {
+		buckets = idxB.Layout.Buckets
+	}
+	steps, nonEmpty := 0, 0
+	for bu := 0; bu < buckets && nonEmpty < maxStatBands && estPairs < float64(st.K); bu++ {
+		ha, err := core.FetchBucketFilter(c, idxA, bu)
+		if err != nil {
+			return false
+		}
+		hb, err := core.FetchBucketFilter(c, idxB, bu)
+		if err != nil {
+			return false
+		}
+		steps = bu + 1
+		if ha != nil || hb != nil {
+			nonEmpty++
+		}
+		if ha != nil {
+			tuplesA += ha.N()
+		}
+		if hb != nil {
+			tuplesB += hb.N()
+		}
+		fa, fb = append(fa, ha), append(fb, hb)
+		// The new bucket pair estimates against every fetched
+		// counterpart bucket (the Algorithm 6 pairing order).
+		for i := 0; i < len(fb); i++ {
+			if ha == nil || fb[i] == nil {
+				continue
+			}
+			if je, err := bloom.EstimateJoinFolded(ha, fb[i]); err == nil && je != nil {
+				estPairs += je.Cardinality
+			}
+		}
+		for i := 0; i < len(fa)-1; i++ {
+			if hb == nil || fa[i] == nil {
+				continue
+			}
+			if je, err := bloom.EstimateJoinFolded(fa[i], hb); err == nil && je != nil {
+				estPairs += je.Cardinality
+			}
+		}
+	}
+	if steps == 0 {
+		return false
+	}
+	st.LeftDepth = float64(tuplesA)
+	st.RightDepth = float64(tuplesB)
+	st.StatBands = steps
+	extrapolate(st, estPairs, float64(tuplesA), float64(tuplesB))
+	return true
+}
+
+// extrapolate derives the full-join cardinality from a walked prefix
+// (pair density per left×right tuple pair, scaled to the whole input)
+// and widens the depths when the walk stopped short of covering k.
+func extrapolate(st *core.PlanStats, estPairs, walkedL, walkedR float64) {
+	if estPairs <= 0 {
+		// The walk saw no joinable mass before hitting its band cap
+		// (skewed score distributions leave the top bands empty): fall
+		// back to the uniform cardinality model, keeping the walked
+		// depths as lower bounds.
+		st.JoinPairs = uniformJoinPairs(st)
+		scaleDepths(st)
+		return
+	}
+	if walkedL > 0 && walkedR > 0 {
+		density := estPairs / (walkedL * walkedR)
+		st.JoinPairs = density * float64(st.Left.Rows) * float64(st.Right.Rows)
+	}
+	if st.JoinPairs < estPairs {
+		st.JoinPairs = estPairs
+	}
+	if estPairs < float64(st.K) && st.JoinPairs > 0 {
+		scaleDepths(st)
+	}
+}
+
+// uniformJoinPairs is the no-statistics cardinality model: distinct
+// join values ~ the smaller side (the foreign-key shape of the paper's
+// Q1/Q2, where the dimension table's keys drive the join), so
+// |R ⋈ S| ≈ max(|R|, |S|).
+func uniformJoinPairs(st *core.PlanStats) float64 {
+	nl, nr := float64(st.Left.Rows), float64(st.Right.Rows)
+	if nl == 0 || nr == 0 {
+		return 0
+	}
+	return nl * nr / math.Min(nl, nr)
+}
+
+// uniformFallback derives JoinPairs and depths from table cardinalities
+// alone: the uniformJoinPairs model plus uniform scores and independent
+// score/join-value distributions.
+func uniformFallback(st *core.PlanStats) {
+	nl, nr := float64(st.Left.Rows), float64(st.Right.Rows)
+	if nl == 0 || nr == 0 {
+		st.JoinPairs = 0
+		st.LeftDepth, st.RightDepth = 0, 0
+		return
+	}
+	st.JoinPairs = uniformJoinPairs(st)
+	scaleDepths(st)
+	// Without histogram evidence, size histogram-driven executors'
+	// fetches for the default 100-band geometry.
+	if st.StatBands == 0 {
+		frac := st.LeftDepth / nl
+		if r := st.RightDepth / nr; r > frac {
+			frac = r
+		}
+		st.StatBands = int(math.Ceil(frac*100)) + 1
+	}
+}
+
+// scaleDepths sets the per-side termination depths from JoinPairs under
+// the uniform/independence assumption: consuming fraction f of both
+// sides yields ~JoinPairs*f² results, so covering k needs
+// f = sqrt(k/JoinPairs).
+func scaleDepths(st *core.PlanStats) {
+	if st.JoinPairs <= 0 {
+		st.LeftDepth = float64(st.Left.Rows)
+		st.RightDepth = float64(st.Right.Rows)
+		return
+	}
+	f := math.Sqrt(float64(st.K) / st.JoinPairs)
+	if f > 1 {
+		f = 1
+	}
+	dl := f * float64(st.Left.Rows)
+	dr := f * float64(st.Right.Rows)
+	// Depths never shrink below what a walk already established.
+	if dl > st.LeftDepth {
+		st.LeftDepth = dl
+	}
+	if dr > st.RightDepth {
+		st.RightDepth = dr
+	}
+	if st.LeftDepth < 1 {
+		st.LeftDepth = 1
+	}
+	if st.RightDepth < 1 {
+		st.RightDepth = 1
+	}
+}

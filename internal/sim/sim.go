@@ -104,6 +104,15 @@ func (p Profile) CPUTime(kvs uint64) time.Duration {
 // read capacity (the paper's footnote 1).
 const ReadUnitDollarsPerHour = 0.01
 
+// DollarsForReads prices a read-unit count per the paper's DynamoDB
+// model: the workload needs ceil(reads/50) capacity-hours at $0.01.
+// Every dollar-cost reporter (live metrics, snapshots, planner
+// estimates) prices through this single function.
+func DollarsForReads(reads uint64) float64 {
+	units := (reads + 49) / 50
+	return float64(units) * ReadUnitDollarsPerHour
+}
+
 // Metrics accumulates the three paper metrics plus supporting detail. It
 // is safe for concurrent use; MapReduce tasks update it from goroutines.
 //
@@ -287,12 +296,9 @@ func (m *Metrics) TuplesShipped() uint64 {
 	return m.tuplesShipped
 }
 
-// Dollars prices the accumulated read units per the paper's DynamoDB
-// model: the workload needs ceil(kvReads/50) capacity-hours at $0.01.
+// Dollars prices the accumulated read units (see DollarsForReads).
 func (m *Metrics) Dollars() float64 {
-	reads := m.KVReads()
-	units := (reads + 49) / 50
-	return float64(units) * ReadUnitDollarsPerHour
+	return DollarsForReads(m.KVReads())
 }
 
 // Snapshot is a copyable view of a Metrics at a point in time.
@@ -334,10 +340,22 @@ func (s Snapshot) Sub(earlier Snapshot) Snapshot {
 	}
 }
 
+// Add returns the field-wise sum of two snapshots (Sub's inverse).
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	return Snapshot{
+		SimTime:       s.SimTime + o.SimTime,
+		NetworkBytes:  s.NetworkBytes + o.NetworkBytes,
+		KVReads:       s.KVReads + o.KVReads,
+		KVWrites:      s.KVWrites + o.KVWrites,
+		RPCCalls:      s.RPCCalls + o.RPCCalls,
+		DiskBytesRead: s.DiskBytesRead + o.DiskBytesRead,
+		TuplesShipped: s.TuplesShipped + o.TuplesShipped,
+	}
+}
+
 // Dollars prices a snapshot's read units.
 func (s Snapshot) Dollars() float64 {
-	units := (s.KVReads + 49) / 50
-	return float64(units) * ReadUnitDollarsPerHour
+	return DollarsForReads(s.KVReads)
 }
 
 func (s Snapshot) String() string {

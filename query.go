@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/kvstore"
+	"repro/internal/plan"
 	"repro/internal/sim"
 )
 
@@ -46,107 +47,49 @@ func (q Query) K() int { return q.q.K }
 // ID returns the query's deterministic identifier.
 func (q Query) ID() string { return q.q.ID() }
 
+// executorFor resolves a concrete (non-auto) algorithm to its executor.
+func executorFor(algo Algorithm) (core.Executor, error) {
+	ex, ok := core.Lookup(string(algo))
+	if !ok {
+		return nil, fmt.Errorf("rankjoin: unknown algorithm %q", algo)
+	}
+	return ex, nil
+}
+
+// indexConfig snapshots the DB's index-construction defaults under the
+// lock (SetIndexConfig writes them there) and fills unset fields.
+func (db *DB) indexConfig() core.IndexBuildConfig {
+	db.mu.Lock()
+	cfg := db.idxCfg
+	db.mu.Unlock()
+	return core.IndexBuildConfig{
+		BFHMBuckets:   cfg.BFHMBuckets,
+		BFHMFPP:       cfg.BFHMFPP,
+		DRJNBuckets:   cfg.DRJNBuckets,
+		DRJNJoinParts: cfg.DRJNJoinParts,
+	}.WithDefaults()
+}
+
 // EnsureIndexes builds (idempotently) the index structures the listed
 // algorithms need for this query. Index build costs are charged to the
 // DB's metrics — snapshot before/after to measure them (Fig. 9).
+//
+// Concurrent EnsureIndexes calls are safe: builds serialize per index
+// family (single-flight), so racing callers can never double-build an
+// index or construct BFHM pairs with mismatched filter widths.
 func (db *DB) EnsureIndexes(q Query, algos ...Algorithm) error {
-	cfg := db.idxCfg
-	if cfg.BFHMBuckets == 0 {
-		cfg.BFHMBuckets = 100
-	}
-	if cfg.BFHMFPP == 0 {
-		cfg.BFHMFPP = 0.05
-	}
-	if cfg.DRJNBuckets == 0 {
-		cfg.DRJNBuckets = 100
-	}
-	if cfg.DRJNJoinParts == 0 {
-		cfg.DRJNJoinParts = 64
-	}
+	cfg := db.indexConfig()
 	for _, algo := range algos {
-		switch algo {
-		case AlgoNaive, AlgoHive, AlgoPig:
-			// No index needed.
-		case AlgoIJLMR:
-			if _, ok := db.ijlmr[q.ID()]; ok {
-				continue
-			}
-			idx, _, err := core.BuildIJLMR(db.cluster, q.q)
-			if err != nil {
-				return err
-			}
-			db.mu.Lock()
-			db.ijlmr[q.ID()] = idx
-			db.mu.Unlock()
-		case AlgoISL:
-			if _, ok := db.isl[q.ID()]; ok {
-				continue
-			}
-			idx, _, err := core.BuildISL(db.cluster, q.q)
-			if err != nil {
-				return err
-			}
-			db.mu.Lock()
-			db.isl[q.ID()] = idx
-			db.mu.Unlock()
-		case AlgoBFHM:
-			if err := db.ensureBFHMPair(q, cfg); err != nil {
-				return err
-			}
-		case AlgoDRJN:
-			for _, rel := range []core.Relation{q.q.Left, q.q.Right} {
-				if _, ok := db.drjn[rel.Name]; ok {
-					continue
-				}
-				idx, _, err := core.BuildDRJN(db.cluster, rel, core.DRJNOptions{
-					NumBuckets: cfg.DRJNBuckets,
-					JoinParts:  cfg.DRJNJoinParts,
-				})
-				if err != nil {
-					return err
-				}
-				db.mu.Lock()
-				db.drjn[rel.Name] = idx
-				db.mu.Unlock()
-			}
-		default:
-			return fmt.Errorf("rankjoin: unknown algorithm %q", algo)
+		if algo == AlgoAuto {
+			return fmt.Errorf("rankjoin: %s is a planner mode, not an index family; list concrete algorithms", AlgoAuto)
 		}
-	}
-	return nil
-}
-
-// ensureBFHMPair builds both relations' BFHM indexes with a shared
-// filter width (intersection requires equal widths; the first build
-// auto-sizes from its heaviest bucket, the second inherits).
-func (db *DB) ensureBFHMPair(q Query, cfg IndexConfig) error {
-	var shared uint64
-	db.mu.Lock()
-	if idx, ok := db.bfhm[q.q.Left.Name]; ok {
-		shared = idx.MBits
-	} else if idx, ok := db.bfhm[q.q.Right.Name]; ok {
-		shared = idx.MBits
-	}
-	db.mu.Unlock()
-	for _, rel := range []core.Relation{q.q.Left, q.q.Right} {
-		db.mu.Lock()
-		_, ok := db.bfhm[rel.Name]
-		db.mu.Unlock()
-		if ok {
-			continue
-		}
-		idx, _, err := core.BuildBFHM(db.cluster, rel, core.BFHMOptions{
-			NumBuckets: cfg.BFHMBuckets,
-			FPP:        cfg.BFHMFPP,
-			MBits:      shared,
-		})
+		ex, err := executorFor(algo)
 		if err != nil {
 			return err
 		}
-		shared = idx.MBits
-		db.mu.Lock()
-		db.bfhm[rel.Name] = idx
-		db.mu.Unlock()
+		if err := ex.EnsureIndex(db.cluster, q.q, db.store, cfg); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -163,58 +106,61 @@ func (db *DB) SetIndexConfig(cfg IndexConfig) {
 // index(es) for a query (the Section 7.2 index-size experiment). It
 // returns zero for index-free algorithms.
 func (db *DB) IndexDiskSize(q Query, algo Algorithm) uint64 {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	switch algo {
-	case AlgoIJLMR:
-		if idx, ok := db.ijlmr[q.ID()]; ok {
-			sz, _ := db.cluster.TableDiskSize(idx.Table)
-			return sz
-		}
-	case AlgoISL:
-		if idx, ok := db.isl[q.ID()]; ok {
-			sz, _ := db.cluster.TableDiskSize(idx.Table)
-			return sz
-		}
-	case AlgoBFHM:
-		var total uint64
-		for _, name := range []string{q.q.Left.Name, q.q.Right.Name} {
-			if idx, ok := db.bfhm[name]; ok {
-				sz, _ := db.cluster.TableDiskSize(idx.Table)
-				total += sz
-			}
-		}
-		return total
-	case AlgoDRJN:
-		var total uint64
-		for _, name := range []string{q.q.Left.Name, q.q.Right.Name} {
-			if idx, ok := db.drjn[name]; ok {
-				sz, _ := db.cluster.TableDiskSize(idx.Table)
-				total += sz
-			}
-		}
-		return total
+	ex, err := executorFor(algo)
+	if err != nil {
+		return 0
 	}
-	return 0
+	return ex.IndexSize(db.cluster, q.q, db.store)
+}
+
+// Explain plans the query without running it: it gathers statistics
+// (DRJN histograms, BFHM filter intersections, live table stats) and
+// returns every registered executor ranked by predicted cost under the
+// chosen objective. Plan.Chosen is what AlgoAuto would execute right
+// now; Plan.Best additionally considers indexes not yet built.
+func (db *DB) Explain(q Query, opts *ExplainOptions) (*Plan, error) {
+	o := ExplainOptions{}
+	if opts != nil {
+		o = *opts
+	}
+	if o.Objective == "" {
+		// Accept the objective via the embedded QueryOptions too — the
+		// field TopK's auto mode reads — so either spelling works.
+		o.Objective = o.Query.Objective
+	}
+	// Plan on a private metrics lane, like TopK: PlannerCost must stay
+	// per-query even when concurrent queries share the DB, and the
+	// planning work still folds into the DB-wide clock.
+	qm := sim.NewLane(db.cluster.Metrics())
+	p, err := plan.Explain(db.cluster.WithMetrics(qm), q.q, db.store, plan.Options{
+		Objective: o.Objective,
+		Exec:      o.Query.withDefaults().execOptions(),
+		Cache:     db.planCache,
+	})
+	db.cluster.Metrics().Advance(qm.SimTime())
+	return p, err
 }
 
 // TopK executes the query with the chosen algorithm. Index-based
-// algorithms require a prior EnsureIndexes call. The Result carries both
-// the ranked pairs and the resources consumed (the paper's three
-// metrics: Cost.SimTime, Cost.NetworkBytes, Cost.KVReads / Dollars()).
+// algorithms require a prior EnsureIndexes call, while AlgoAuto plans
+// the execution first: the cost-based planner ranks every registered
+// executor and runs the cheapest one whose indexes are already built
+// (or which needs none). The Result carries the ranked pairs, the
+// resources consumed (the paper's three metrics: Cost.SimTime,
+// Cost.NetworkBytes, Cost.KVReads / Dollars()), the executor that ran,
+// and — for planned executions — the planner's cost estimate, making
+// the estimated-vs-actual error measurable per query.
 //
 // TopK is safe for concurrent callers sharing one DB: each execution
 // meters a private per-query collector (so Result.Cost never includes a
 // concurrent query's work) and folds its totals back into the DB-wide
 // Metrics when it completes.
 func (db *DB) TopK(q Query, algo Algorithm, opts *QueryOptions) (*Result, error) {
-	o := QueryOptions{ISLBatch: 100}
+	o := QueryOptions{}
 	if opts != nil {
 		o = *opts
-		if o.ISLBatch == 0 {
-			o.ISLBatch = 100
-		}
 	}
+	o = o.withDefaults()
 	// Per-query metrics lane: resource counters forward to the DB-wide
 	// collector as they accrue; the query's clock stays isolated and is
 	// folded in once, below, keeping the global clock a cumulative
@@ -232,55 +178,44 @@ func (db *DB) TopK(q Query, algo Algorithm, opts *QueryOptions) (*Result, error)
 
 // topKOn dispatches the query on the given cluster view.
 func (db *DB) topKOn(c *kvstore.Cluster, q Query, algo Algorithm, o QueryOptions) (*Result, error) {
-	switch algo {
-	case AlgoNaive:
-		return core.NaiveTopK(c, q.q)
-	case AlgoHive:
-		return core.QueryHive(c, q.q)
-	case AlgoPig:
-		return core.QueryPig(c, q.q)
-	case AlgoIJLMR:
-		db.mu.Lock()
-		idx, ok := db.ijlmr[q.ID()]
-		db.mu.Unlock()
-		if !ok {
-			return nil, fmt.Errorf("rankjoin: no IJLMR index for %s; call EnsureIndexes first", q.ID())
-		}
-		return core.QueryIJLMR(c, q.q, idx)
-	case AlgoISL:
-		db.mu.Lock()
-		idx, ok := db.isl[q.ID()]
-		db.mu.Unlock()
-		if !ok {
-			return nil, fmt.Errorf("rankjoin: no ISL index for %s; call EnsureIndexes first", q.ID())
-		}
-		return core.QueryISL(c, q.q, idx, core.ISLOptions{
-			BatchLeft:   o.ISLBatch,
-			BatchRight:  o.ISLBatch,
-			Parallelism: o.Parallelism,
-		})
-	case AlgoBFHM:
-		db.mu.Lock()
-		idxA, okA := db.bfhm[q.q.Left.Name]
-		idxB, okB := db.bfhm[q.q.Right.Name]
-		db.mu.Unlock()
-		if !okA || !okB {
-			return nil, fmt.Errorf("rankjoin: missing BFHM index for %s; call EnsureIndexes first", q.ID())
-		}
-		return core.QueryBFHM(c, q.q, idxA, idxB, core.BFHMQueryOptions{
-			WriteBack:   o.BFHMWriteBack,
-			Parallelism: o.Parallelism,
-		})
-	case AlgoDRJN:
-		db.mu.Lock()
-		idxA, okA := db.drjn[q.q.Left.Name]
-		idxB, okB := db.drjn[q.q.Right.Name]
-		db.mu.Unlock()
-		if !okA || !okB {
-			return nil, fmt.Errorf("rankjoin: missing DRJN index for %s; call EnsureIndexes first", q.ID())
-		}
-		return core.QueryDRJN(c, q.q, idxA, idxB)
-	default:
-		return nil, fmt.Errorf("rankjoin: unknown algorithm %q", algo)
+	if algo == AlgoAuto {
+		return db.topKAuto(c, q, o)
 	}
+	ex, err := executorFor(algo)
+	if err != nil {
+		return nil, err
+	}
+	res, err := ex.Run(c, q.q, db.store, o.execOptions())
+	if err != nil {
+		return nil, err
+	}
+	res.Algorithm = ex.Name()
+	return res, nil
+}
+
+// topKAuto runs the planner and the executor it picks. The planner's
+// statistics reads are charged to the same per-query lane as the
+// execution, so Result.Cost covers the whole planned query; the
+// planning share is reported separately in Result.PlannerCost.
+func (db *DB) topKAuto(c *kvstore.Cluster, q Query, o QueryOptions) (*Result, error) {
+	ex, p, err := plan.Choose(c, q.q, db.store, plan.Options{
+		Objective: o.Objective,
+		Exec:      o.execOptions(),
+		Cache:     db.planCache,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := ex.Run(c, q.q, db.store, o.execOptions())
+	if err != nil {
+		return nil, err
+	}
+	res.Algorithm = ex.Name()
+	est := p.ChosenEstimate()
+	res.Estimate = &est
+	res.PlannerCost = p.PlannerCost
+	// The planner's reads accrued on the same lane before the executor
+	// snapshotted its delta; fold them into the reported total.
+	res.Cost = res.Cost.Add(p.PlannerCost)
+	return res, nil
 }

@@ -1,36 +1,3 @@
-// Package rankjoin is a Go implementation of "Rank Join Queries in NoSQL
-// Databases" (Ntarmos, Patlakas, Triantafillou — PVLDB 7(7), 2014): top-k
-// equi-join processing over a BigTable/HBase-style NoSQL store.
-//
-// The library bundles an embedded, deterministic NoSQL cluster (sorted
-// key-value tables, column families, range-sharded regions, batched
-// scans, server-side filters), a locality-aware MapReduce runtime, and
-// the paper's full algorithm suite:
-//
-//   - Naive, Hive-style, and Pig-style baselines (Section 3)
-//   - IJLMR — Inverse Join List MapReduce rank join (Section 4.1)
-//   - ISL — Inverse Score List rank join over HRJN (Section 4.2)
-//   - BFHM — Bloom Filter Histogram Matrix rank join with a guaranteed
-//     100% recall (Section 5)
-//   - DRJN — the 2-D histogram comparator (Section 7.1)
-//
-// plus online index maintenance (Section 6) and a cost model reporting
-// the paper's three evaluation metrics for every query: simulated
-// turnaround time, network bytes, and dollar cost (key-value read units).
-//
-// # Quick start
-//
-//	db := rankjoin.Open(rankjoin.Config{})
-//	docs, _ := db.DefineRelation("docs")
-//	imgs, _ := db.DefineRelation("imgs")
-//	docs.Insert("d1", "apple", 0.9)
-//	imgs.Insert("i7", "apple", 0.8)
-//	q, _ := db.NewQuery("docs", "imgs", rankjoin.Sum, 10)
-//	db.EnsureIndexes(q, rankjoin.AlgoBFHM)
-//	res, _ := db.TopK(q, rankjoin.AlgoBFHM, nil)
-//	for _, r := range res.Results {
-//	    fmt.Println(r.Left.RowKey, r.Right.RowKey, r.Score)
-//	}
 package rankjoin
 
 import (
@@ -40,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/kvstore"
+	"repro/internal/plan"
 	"repro/internal/sim"
 )
 
@@ -62,6 +30,27 @@ type (
 	Metrics = sim.Metrics
 	// WriteBackMode selects when reconstructed BFHM blobs persist.
 	WriteBackMode = core.WriteBackMode
+	// CostEstimate is a predicted query cost in the paper's three
+	// metrics (simulated time, network bytes, KV read units).
+	CostEstimate = core.CostEstimate
+	// PlanStats is the statistics snapshot a plan was built from.
+	PlanStats = core.PlanStats
+	// Plan is a ranked set of candidate executions for one query.
+	Plan = plan.Plan
+	// PlanCandidate is one costed executor inside a Plan.
+	PlanCandidate = plan.Candidate
+	// Objective selects the metric the planner minimizes.
+	Objective = plan.Objective
+)
+
+// Planner objectives.
+const (
+	// ObjectiveTime minimizes predicted turnaround time (default).
+	ObjectiveTime = plan.ObjectiveTime
+	// ObjectiveNetwork minimizes predicted network bytes.
+	ObjectiveNetwork = plan.ObjectiveNetwork
+	// ObjectiveDollars minimizes predicted KV read units.
+	ObjectiveDollars = plan.ObjectiveDollars
 )
 
 // Score aggregates.
@@ -71,6 +60,11 @@ var (
 	// Product multiplies them (the paper's Q1).
 	Product = core.Product
 )
+
+// RelativeError returns |est-actual|/actual — the per-query planner
+// estimation error when applied to a planned Result's Estimate and
+// Cost fields.
+var RelativeError = core.RelativeError
 
 // BFHM write-back policies (Section 6).
 const (
@@ -91,6 +85,12 @@ const (
 	AlgoISL   Algorithm = "isl"
 	AlgoBFHM  Algorithm = "bfhm"
 	AlgoDRJN  Algorithm = "drjn"
+	// AlgoAuto is not an algorithm but a planner mode: TopK runs the
+	// cost-based planner and executes the cheapest strategy whose
+	// indexes are already built (or which needs none). It works with no
+	// prior EnsureIndexes call; building indexes first gives the
+	// planner better strategies and better statistics to choose with.
+	AlgoAuto Algorithm = "auto"
 )
 
 // Algorithms lists every implemented strategy in evaluation order.
@@ -132,6 +132,37 @@ type QueryOptions struct {
 	// slowest lane; resource counters sum over every consumed batch.
 	// 0 or 1 means sequential.
 	Parallelism int
+	// Objective is the metric AlgoAuto's planner minimizes (default
+	// ObjectiveTime). Ignored for hand-picked algorithms.
+	Objective Objective
+}
+
+// withDefaults fills unset query options — shared by TopK and the
+// planner path; the default values themselves live in core (the
+// executor layer) so estimates and executions can never disagree.
+func (o QueryOptions) withDefaults() QueryOptions {
+	if o.ISLBatch == 0 {
+		o.ISLBatch = core.DefaultISLBatch
+	}
+	return o
+}
+
+// execOptions converts to the executor layer's option struct.
+func (o QueryOptions) execOptions() core.ExecOptions {
+	return core.ExecOptions{
+		ISLBatch:      o.ISLBatch,
+		BFHMWriteBack: o.BFHMWriteBack,
+		Parallelism:   o.Parallelism,
+	}
+}
+
+// ExplainOptions tunes DB.Explain.
+type ExplainOptions struct {
+	// Objective ranks the candidates (default ObjectiveTime).
+	Objective Objective
+	// Query carries the execution options cost estimates depend on
+	// (ISL batch size, parallelism).
+	Query QueryOptions
 }
 
 // DB is a handle to an embedded NoSQL cluster with rank-join support.
@@ -139,11 +170,13 @@ type DB struct {
 	mu        sync.Mutex
 	cluster   *kvstore.Cluster
 	relations map[string]*RelationHandle
-	ijlmr     map[string]*core.IJLMRIndex
-	isl       map[string]*core.ISLIndex
+	// store holds every built two-way index behind the executor
+	// registry, including the single-flight build serialization.
+	store *core.IndexStore
+	// planCache memoizes the planner's statistics walks per (query, k)
+	// until the input tables change.
+	planCache *plan.Cache
 	isln      map[string]*core.ISLNIndex
-	bfhm      map[string]*core.BFHMIndex
-	drjn      map[string]*core.DRJNIndex
 	idxCfg    IndexConfig
 }
 
@@ -156,11 +189,9 @@ func Open(cfg Config) *DB {
 	return &DB{
 		cluster:   kvstore.NewCluster(p, cfg.Metrics),
 		relations: map[string]*RelationHandle{},
-		ijlmr:     map[string]*core.IJLMRIndex{},
-		isl:       map[string]*core.ISLIndex{},
+		store:     core.NewIndexStore(),
+		planCache: plan.NewCache(),
 		isln:      map[string]*core.ISLNIndex{},
-		bfhm:      map[string]*core.BFHMIndex{},
-		drjn:      map[string]*core.DRJNIndex{},
 	}
 }
 
@@ -229,20 +260,18 @@ func (h *RelationHandle) Name() string { return h.rel.Name }
 // maintainer assembles the Section 6 update interceptor for the indexes
 // currently built over this relation.
 func (h *RelationHandle) maintainer() *core.Maintainer {
-	h.db.mu.Lock()
-	defer h.db.mu.Unlock()
 	m := &core.Maintainer{C: h.db.cluster, Rel: h.rel}
-	for id, idx := range h.db.ijlmr {
+	h.db.store.EachIJLMR(func(id string, idx *core.IJLMRIndex) {
 		if fam, ok := familyFor(id, h.rel.Name, idx.LeftFamily, idx.RightFamily); ok {
 			m.IJLMR, m.IJLMRFamily = idx, fam
 		}
-	}
-	for id, idx := range h.db.isl {
+	})
+	h.db.store.EachISL(func(id string, idx *core.ISLIndex) {
 		if fam, ok := familyFor(id, h.rel.Name, idx.LeftFamily, idx.RightFamily); ok {
 			m.ISL, m.ISLFamily = idx, fam
 		}
-	}
-	if idx, ok := h.db.bfhm[h.rel.Name]; ok {
+	})
+	if idx, ok := h.db.store.BFHM(h.rel.Name); ok {
 		m.BFHM = idx
 	}
 	return m
