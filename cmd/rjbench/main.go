@@ -30,6 +30,7 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 7a..7f, 8a..8f, 9, sizes, mem, updates, all")
 	sfEC2 := flag.Float64("sf", 0.02, "TPC-H scale factor for the EC2 profile runs")
 	sfLC := flag.Float64("lcsf", 0.04, "TPC-H scale factor for the LC profile runs")
+	snapshot := flag.String("snapshot", "", "write the measured Q1/Q2 series as JSON to this file (BENCH_<n>.json)")
 	flag.Parse()
 
 	want := func(names ...string) bool {
@@ -44,8 +45,8 @@ func main() {
 		return false
 	}
 
-	needEC2 := want("7a", "7b", "7c", "7d", "7e", "7f", "9", "sizes", "updates")
-	needLC := want("8a", "8b", "8c", "8d", "8e", "8f", "9")
+	needEC2 := want("7a", "7b", "7c", "7d", "7e", "7f", "9", "sizes", "updates") || *snapshot != ""
+	needLC := want("8a", "8b", "8c", "8d", "8e", "8f", "9") || *snapshot != ""
 
 	var ec2Env, lcEnv *benchkit.Env
 	var err error
@@ -155,5 +156,25 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(report)
+	}
+
+	if *snapshot != "" {
+		snap := benchkit.NewSnapshot()
+		for _, e := range []*benchkit.Env{ec2Env, lcEnv} {
+			if e == nil {
+				continue
+			}
+			snap.AddEnv(e)
+			algos := benchkit.Algorithms
+			if e.Profile.Name == "LC" {
+				algos = benchkit.LCAlgorithms
+			}
+			snap.AddSeries(e.Profile.Name+"-q1", get(e, e.Q1, e.Profile.Name+"-q1", algos))
+			snap.AddSeries(e.Profile.Name+"-q2", get(e, e.Q2, e.Profile.Name+"-q2", algos))
+		}
+		if err := snap.WriteFile(*snapshot); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote snapshot %s\n", *snapshot)
 	}
 }

@@ -1,0 +1,69 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"os"
+
+	"repro/internal/sim"
+)
+
+// SeriesPoint is one (algorithm, k) measurement of a figure series,
+// projected onto the paper's three metrics.
+type SeriesPoint struct {
+	Algo         string  `json:"algo"`
+	K            int     `json:"k"`
+	SimTimeMS    float64 `json:"sim_time_ms"`
+	NetworkBytes uint64  `json:"network_bytes"`
+	KVReads      uint64  `json:"kv_reads"`
+	Dollars      float64 `json:"dollars"`
+}
+
+// Snapshot is a machine-readable dump of the figure series rjbench
+// measured, committed as BENCH_<n>.json to track the perf trajectory
+// across PRs.
+type Snapshot struct {
+	// ScaleFactors maps profile name to the TPC-H scale factor used.
+	ScaleFactors map[string]float64 `json:"scale_factors"`
+	// Series maps a series key ("EC2-q1", "LC-q2", ...) to its points.
+	Series map[string][]SeriesPoint `json:"series"`
+}
+
+// NewSnapshot returns an empty snapshot.
+func NewSnapshot() *Snapshot {
+	return &Snapshot{
+		ScaleFactors: map[string]float64{},
+		Series:       map[string][]SeriesPoint{},
+	}
+}
+
+// AddEnv records an environment's profile and scale factor.
+func (s *Snapshot) AddEnv(e *Env) {
+	if e != nil {
+		s.ScaleFactors[e.Profile.Name] = e.SF
+	}
+}
+
+// AddSeries records one measured series under the given key.
+func (s *Snapshot) AddSeries(key string, cells []Cell) {
+	pts := make([]SeriesPoint, 0, len(cells))
+	for _, c := range cells {
+		pts = append(pts, SeriesPoint{
+			Algo:         string(c.Algo),
+			K:            c.K,
+			SimTimeMS:    float64(c.Cost.SimTime.Microseconds()) / 1000,
+			NetworkBytes: c.Cost.NetworkBytes,
+			KVReads:      c.Cost.KVReads,
+			Dollars:      sim.DollarsForReads(c.Cost.KVReads),
+		})
+	}
+	s.Series[key] = pts
+}
+
+// WriteFile writes the snapshot as indented JSON.
+func (s *Snapshot) WriteFile(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -114,7 +114,15 @@ func (f *Filter) N() uint64 { return f.n }
 
 // Add inserts an item.
 func (f *Filter) Add(item []byte) {
-	h := Hash64(item)
+	f.addHash(Hash64(item))
+}
+
+// AddString inserts a string item without forcing a []byte conversion.
+func (f *Filter) AddString(item string) {
+	f.addHash(Hash64String(item))
+}
+
+func (f *Filter) addHash(h uint64) {
 	for i := 0; i < f.nhash; i++ {
 		pos := derive(h, uint64(i)) % f.m
 		f.bits[pos/64] |= 1 << (pos % 64)
@@ -124,7 +132,15 @@ func (f *Filter) Add(item []byte) {
 
 // Contains reports whether item may be in the set (no false negatives).
 func (f *Filter) Contains(item []byte) bool {
-	h := Hash64(item)
+	return f.containsHash(Hash64(item))
+}
+
+// ContainsString is Contains for strings without forcing an allocation.
+func (f *Filter) ContainsString(item string) bool {
+	return f.containsHash(Hash64String(item))
+}
+
+func (f *Filter) containsHash(h uint64) bool {
 	for i := 0; i < f.nhash; i++ {
 		pos := derive(h, uint64(i)) % f.m
 		if f.bits[pos/64]&(1<<(pos%64)) == 0 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/bloom"
@@ -223,22 +224,37 @@ func countReducer() mapreduce.Reducer {
 	})
 }
 
+// encodeCount/decodeCount serialize partial counts on the MapReduce
+// shuffle path; strconv instead of fmt.Sprintf/Sscanf because they run
+// once per emitted pair.
 func encodeCount(n uint64) []byte {
-	return []byte(fmt.Sprintf("%d", n))
+	var buf [20]byte
+	return strconv.AppendUint(buf[:0], n, 10)
 }
 
 func decodeCount(b []byte) uint64 {
 	if len(b) == 1 && b[0] == 1 {
 		return 1
 	}
-	var n uint64
-	fmt.Sscanf(string(b), "%d", &n)
+	n, err := strconv.ParseUint(string(b), 10, 64)
+	if err != nil {
+		return 0
+	}
 	return n
 }
 
+// bucketFromKey parses the leading decimal digits of a bucket row key
+// (zero-padded bucket number, possibly followed by a key separator).
 func bucketFromKey(key string) (int, error) {
-	var b int
-	if _, err := fmt.Sscanf(key, "%d", &b); err != nil {
+	end := 0
+	for end < len(key) && key[end] >= '0' && key[end] <= '9' {
+		end++
+	}
+	if end == 0 {
+		return 0, fmt.Errorf("bfhm: bad bucket key %q", key)
+	}
+	b, err := strconv.Atoi(key[:end])
+	if err != nil {
 		return 0, fmt.Errorf("bfhm: bad bucket key %q: %w", key, err)
 	}
 	return b, nil

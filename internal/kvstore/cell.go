@@ -3,6 +3,7 @@ package kvstore
 import (
 	"encoding/binary"
 	"fmt"
+	"strings"
 )
 
 // Cell is one key-value pair: the paper's quadruplet {key, column name,
@@ -83,63 +84,55 @@ func (r *Row) FamilyCells(family string) []Cell {
 // versions sort FIRST within a column, making "latest version" the first
 // cell encountered during an ascending scan.
 func cellKey(row, family, qualifier string, ts int64, seq uint64) string {
-	b := make([]byte, 0, len(row)+len(family)+len(qualifier)+3+16)
-	b = append(b, row...)
-	b = append(b, 0)
-	b = append(b, family...)
-	b = append(b, 0)
-	b = append(b, qualifier...)
-	b = append(b, 0)
+	var sb strings.Builder
+	sb.Grow(len(row) + len(family) + len(qualifier) + 3 + 16)
+	sb.WriteString(row)
+	sb.WriteByte(0)
+	sb.WriteString(family)
+	sb.WriteByte(0)
+	sb.WriteString(qualifier)
+	sb.WriteByte(0)
 	var n [16]byte
 	binary.BigEndian.PutUint64(n[0:8], ^uint64(ts))
 	binary.BigEndian.PutUint64(n[8:16], ^seq)
-	b = append(b, n[:]...)
-	return string(b)
-}
-
-// columnPrefix returns the cellKey prefix shared by all versions of a
-// column.
-func columnPrefix(row, family, qualifier string) string {
-	b := make([]byte, 0, len(row)+len(family)+len(qualifier)+3)
-	b = append(b, row...)
-	b = append(b, 0)
-	b = append(b, family...)
-	b = append(b, 0)
-	b = append(b, qualifier...)
-	b = append(b, 0)
-	return string(b)
+	sb.Write(n[:])
+	return sb.String()
 }
 
 // rowPrefix returns the cellKey prefix shared by all cells of a row.
 func rowPrefix(row string) string { return row + "\x00" }
 
-// parseCellKey splits an internal key back into coordinates.
+// parseCellKey splits an internal key back into coordinates without
+// allocating (the old implementation forced a []byte copy of the 16
+// binary suffix bytes on every WAL replay record).
 func parseCellKey(k string) (row, family, qualifier string, ts int64, seq uint64, err error) {
 	// Find the three NUL separators from the left.
-	i1 := indexByte(k, 0, 0)
+	i1 := strings.IndexByte(k, 0)
 	if i1 < 0 {
 		return "", "", "", 0, 0, fmt.Errorf("kvstore: malformed cell key")
 	}
-	i2 := indexByte(k, i1+1, 0)
+	i2 := strings.IndexByte(k[i1+1:], 0)
 	if i2 < 0 {
 		return "", "", "", 0, 0, fmt.Errorf("kvstore: malformed cell key")
 	}
-	i3 := indexByte(k, i2+1, 0)
-	if i3 < 0 || len(k)-i3-1 != 16 {
+	i2 += i1 + 1
+	i3 := strings.IndexByte(k[i2+1:], 0)
+	if i3 < 0 {
+		return "", "", "", 0, 0, fmt.Errorf("kvstore: malformed cell key")
+	}
+	i3 += i2 + 1
+	if len(k)-i3-1 != 16 {
 		return "", "", "", 0, 0, fmt.Errorf("kvstore: malformed cell key")
 	}
 	row, family, qualifier = k[:i1], k[i1+1:i2], k[i2+1:i3]
-	rest := []byte(k[i3+1:])
-	ts = int64(^binary.BigEndian.Uint64(rest[0:8]))
-	seq = ^binary.BigEndian.Uint64(rest[8:16])
+	ts = int64(^be64(k[i3+1:]))
+	seq = ^be64(k[i3+9:])
 	return row, family, qualifier, ts, seq, nil
 }
 
-func indexByte(s string, from int, c byte) int {
-	for i := from; i < len(s); i++ {
-		if s[i] == c {
-			return i
-		}
-	}
-	return -1
+// be64 decodes a big-endian uint64 straight from a string.
+func be64(s string) uint64 {
+	_ = s[7]
+	return uint64(s[0])<<56 | uint64(s[1])<<48 | uint64(s[2])<<40 | uint64(s[3])<<32 |
+		uint64(s[4])<<24 | uint64(s[5])<<16 | uint64(s[6])<<8 | uint64(s[7])
 }

@@ -28,11 +28,12 @@ type Cluster struct {
 
 // clusterState is the store shared by every view of one deployment.
 type clusterState struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
-	nextID int
-	clock  int64
-	seed   int64
+	mu            sync.RWMutex
+	tables        map[string]*Table
+	nextID        int
+	clock         int64
+	seed          int64
+	rowCacheBytes uint64 // per-region row cache capacity for new regions
 }
 
 // Table is a named collection of regions with a declared column-family
@@ -51,12 +52,57 @@ func NewCluster(profile sim.Profile, metrics *sim.Metrics) *Cluster {
 	}
 	return &Cluster{
 		state: &clusterState{
-			tables: make(map[string]*Table),
-			seed:   1,
+			tables:        make(map[string]*Table),
+			seed:          1,
+			rowCacheBytes: DefaultRowCacheBytes,
 		},
 		profile: profile,
 		metrics: metrics,
 	}
+}
+
+// SetRowCacheBytes resizes every region's row cache (0 disables caching)
+// and sets the capacity future regions start with.
+func (c *Cluster) SetRowCacheBytes(n uint64) {
+	s := c.state
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rowCacheBytes = n
+	for _, t := range s.tables {
+		for _, r := range t.regions {
+			r.setRowCacheBytes(n)
+		}
+	}
+}
+
+// RowCacheStats aggregates row-cache hit/miss counts across all regions.
+func (c *Cluster) RowCacheStats() (hits, misses uint64) {
+	s := c.state
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, t := range s.tables {
+		for _, r := range t.regions {
+			h, m := r.RowCacheStats()
+			hits += h
+			misses += m
+		}
+	}
+	return hits, misses
+}
+
+// CompactionBytes aggregates compaction write amplification across all
+// regions.
+func (c *Cluster) CompactionBytes() uint64 {
+	s := c.state
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n uint64
+	for _, t := range s.tables {
+		for _, r := range t.regions {
+			n += r.CompactionBytes()
+		}
+	}
+	return n
 }
 
 // WithMetrics returns a view of the same cluster (shared tables, regions,
@@ -137,7 +183,7 @@ func (c *Cluster) CreateTable(name string, families []string, splitKeys []string
 		}
 		s.nextID++
 		s.seed++
-		r := newRegion(s.nextID, name, start, end, (s.nextID-1)%c.profile.Nodes, s.seed)
+		r := newRegion(s.nextID, name, start, end, (s.nextID-1)%c.profile.Nodes, s.seed, s.rowCacheBytes)
 		t.regions = append(t.regions, r)
 	}
 	s.tables[name] = t
@@ -282,10 +328,7 @@ func (c *Cluster) rpcCost(stats OpStats) time.Duration {
 // (bytes, read units, RPC count) without advancing the clock — callers
 // doing parallel-lane accounting advance it themselves.
 func (c *Cluster) chargeRPCCounters(stats OpStats) {
-	c.metrics.AddRPC()
-	c.metrics.AddNetwork(requestOverhead + stats.BytesReturned)
-	c.metrics.AddKVReads(stats.CellsExamined)
-	c.metrics.AddDiskRead(stats.BytesRead)
+	c.metrics.AddReadRPC(requestOverhead+stats.BytesReturned, stats.CellsExamined, stats.BytesRead)
 }
 
 // chargeRPC meters one client round trip: latency, request+response
@@ -382,10 +425,15 @@ func (c *Cluster) Get(table, row string, families ...string) (*Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	// A keyed read costs one seek rather than a scan of the region.
-	stats.BytesRead = stats.BytesReturned
+	// A keyed read costs one seek rather than a scan of the region —
+	// and a row-cache hit not even that: no disk bytes (get reports
+	// BytesRead accordingly), no seek. The RPC, transfer, and per-KV
+	// CPU costs always apply, and the read units are always billed
+	// (DynamoDB charges per request, not per disk access).
 	c.chargeRPC(stats)
-	c.metrics.Advance(c.profile.SeekLatency)
+	if stats.CacheHits == 0 {
+		c.metrics.Advance(c.profile.SeekLatency)
+	}
 	return got, nil
 }
 
@@ -451,10 +499,16 @@ func (c *Cluster) SplitRegion(table, row string) error {
 	cells := r.allCells()
 	s.nextID++
 	s.seed++
-	left := newRegion(s.nextID, table, r.StartKey(), mid, r.Node(), s.seed)
+	left := newRegion(s.nextID, table, r.StartKey(), mid, r.Node(), s.seed, s.rowCacheBytes)
 	s.nextID++
 	s.seed++
-	right := newRegion(s.nextID, table, mid, r.EndKey(), s.nextID%c.profile.Nodes, s.seed)
+	right := newRegion(s.nextID, table, mid, r.EndKey(), s.nextID%c.profile.Nodes, s.seed, s.rowCacheBytes)
+	// Carry the split region's cumulative counters onto the left child
+	// so cluster-wide CompactionBytes/RowCacheStats aggregates stay
+	// monotonic across splits.
+	left.compactionBytes = r.CompactionBytes()
+	h, m := r.cache.stats()
+	left.cache.seedStats(h, m)
 	for i := range cells {
 		dst := left
 		if cells[i].Row >= mid {

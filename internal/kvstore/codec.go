@@ -1,16 +1,3 @@
-// Package kvstore implements the NoSQL substrate the paper's algorithms
-// run on: an embedded, deterministic, HBase-like distributed sorted
-// key-value store.
-//
-// The data model follows Section 1 of the paper: a key-value pair is the
-// quadruplet {row key, column name, column value, timestamp}; a table is
-// an ordered collection of key-value pairs; a row is the set of pairs
-// sharing a key; column families partition a table vertically. Tables are
-// horizontally sharded into key-range regions, each hosted by one node of
-// a simulated cluster. The store supports efficient point gets, ascending
-// keyed scans (with client-side batching, like HBase scanner caching),
-// server-side filters, and row-level atomic mutations — and nothing more,
-// which is exactly the contract the paper's algorithms are designed for.
 package kvstore
 
 import (
@@ -18,6 +5,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
 )
 
@@ -75,8 +63,26 @@ func DecodeScoreDesc(s string) (float64, error) {
 
 // EncodeUint encodes n as fixed-width zero-padded decimal so that
 // lexicographic order equals numeric order for values below 10^width.
+// Hand-rolled padding instead of fmt.Sprintf: this runs once per
+// reverse-mapping key on the BFHM hot path.
 func EncodeUint(n uint64, width int) string {
-	return fmt.Sprintf("%0*d", width, n)
+	var digits [20]byte
+	s := strconv.AppendUint(digits[:0], n, 10)
+	if len(s) >= width {
+		return string(s)
+	}
+	var buf [32]byte
+	out := buf[:]
+	if width > len(buf) {
+		out = make([]byte, width)
+	}
+	out = out[:width]
+	pad := width - len(s)
+	for i := 0; i < pad; i++ {
+		out[i] = '0'
+	}
+	copy(out[pad:], s)
+	return string(out)
 }
 
 // BucketKey builds a BFHM/DRJN bucket row key: zero-padded bucket number.

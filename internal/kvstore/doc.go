@@ -1,0 +1,60 @@
+// Package kvstore implements the NoSQL substrate the paper's algorithms
+// run on: an embedded, deterministic, HBase-like distributed sorted
+// key-value store.
+//
+// The data model follows Section 1 of the paper: a key-value pair is the
+// quadruplet {row key, column name, column value, timestamp}; a table is
+// an ordered collection of key-value pairs; a row is the set of pairs
+// sharing a key; column families partition a table vertically. Tables are
+// horizontally sharded into key-range regions, each hosted by one node of
+// a simulated cluster. The store supports efficient point gets, ascending
+// keyed scans (with client-side batching, like HBase scanner caching),
+// server-side filters, and row-level atomic mutations — and nothing more,
+// which is exactly the contract the paper's algorithms are designed for.
+//
+// # Storage engine
+//
+// Each region is a miniature LSM tree. Writes append to a WAL and a
+// skip-list memtable; when the memtable exceeds its flush threshold it
+// becomes an immutable sorted segment (the in-memory analogue of an
+// HBase HFile). Internal cell keys embed bit-inverted timestamps and
+// sequence numbers so the newest version of a column sorts first, which
+// lets every reader take the first version it encounters.
+//
+// The read path is tiered, cheapest first:
+//
+//   - Row cache. A byte-bounded LRU per region caches fully
+//     materialized rows — including negative entries for absent rows —
+//     and is invalidated per row on every mutation. A hit performs zero
+//     segment work. Only full-row gets are cached and served;
+//     family-restricted gets always read the LSM.
+//   - Segment pruning. Each segment carries its row-key range and a
+//     bloom filter over its row keys (~1% false positives); a point get
+//     consults both and binary-searches only the segments that may
+//     contain the row.
+//   - Merge. Scans (and multi-segment gets) merge the memtable and
+//     surviving segments through a heap-based k-way merge: O(1) access
+//     to the current winner, O(log k) advance.
+//
+// Compaction is size-tiered: when a flush leaves more than
+// compactThreshold segments, runs of similar size (~4x-wide tiers) are
+// merged together, rather than rewriting the whole region on every
+// trigger. A merge covering every run drops tombstones and dead
+// versions like an HBase major compaction; a subset merge retains
+// every version — it only reduces run count — so snapshot (ReadTs)
+// reads against untouched runs stay correct. Region.Compact still
+// forces a full major compaction.
+//
+// # Cost accounting
+//
+// Every operation returns OpStats so the metered client (or the
+// MapReduce runner) charges the simulator faithfully. A keyed read that
+// misses the row cache costs one RPC round trip, one disk seek, the
+// returned bytes, and one read unit per cell examined. A row-cache hit
+// skips the seek and the disk bytes — the row is served from region
+// server memory — but still pays the RPC, transfer, and CPU costs, and
+// bills exactly the read units of the cold read that populated it,
+// mirroring DynamoDB's per-request pricing (the paper's footnote 1).
+// Scans bypass the row cache entirely and charge for every version
+// they sweep.
+package kvstore

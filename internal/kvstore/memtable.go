@@ -14,6 +14,9 @@ type memtable struct {
 	count    int
 	rng      *rand.Rand
 	maxLevel int
+	// scratch is the predecessor buffer reused across puts; safe because
+	// puts are serialized by the region write lock.
+	scratch []*skipNode
 }
 
 type skipNode struct {
@@ -32,6 +35,7 @@ func newMemtable(seed int64) *memtable {
 		level:    1,
 		rng:      rand.New(rand.NewSource(seed)),
 		maxLevel: memtableMaxLevel,
+		scratch:  make([]*skipNode, memtableMaxLevel),
 	}
 }
 
@@ -47,7 +51,7 @@ func (m *memtable) randomLevel() int {
 // carries a fresh sequence number; equal keys overwrite (idempotent WAL
 // replay).
 func (m *memtable) put(key string, c *Cell) {
-	update := make([]*skipNode, m.maxLevel)
+	update := m.scratch
 	x := m.head
 	for i := m.level - 1; i >= 0; i-- {
 		for x.next[i] != nil && x.next[i].key < key {

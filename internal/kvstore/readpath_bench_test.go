@@ -1,0 +1,176 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// buildMultiSegmentRegion loads a single-region table whose rows are
+// dealt round-robin across nSegs flushed segments plus one live memtable
+// batch, so every segment overlaps the whole key range but each row
+// lives in exactly one source — the shape BFHM reverse-mapping lookups
+// and ISL random gets hit in practice.
+func buildMultiSegmentRegion(tb testing.TB, nSegs, rowsPerSeg int) (*Cluster, int) {
+	tb.Helper()
+	c := NewCluster(sim.LC(), nil)
+	if _, err := c.CreateTable("t", []string{"cf"}, nil); err != nil {
+		tb.Fatal(err)
+	}
+	total := (nSegs + 1) * rowsPerSeg
+	r := mustRegion(tb, c, "t")
+	for s := 0; s <= nSegs; s++ {
+		for i := 0; i < rowsPerSeg; i++ {
+			row := benchRowKey(i*(nSegs+1) + s)
+			if err := c.Put("t", Cell{Row: row, Family: "cf", Qualifier: "v", Value: []byte("0123456789abcdef")}); err != nil {
+				tb.Fatal(err)
+			}
+		}
+		if s < nSegs {
+			r.Flush()
+		}
+	}
+	return c, total
+}
+
+func mustRegion(tb testing.TB, c *Cluster, table string) *Region {
+	tb.Helper()
+	regs, err := c.TableRegions(table)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return regs[0]
+}
+
+func benchRowKey(i int) string { return fmt.Sprintf("row-%08d", i) }
+
+// benchKeys pre-renders row keys so the loop measures the store, not
+// fmt.Sprintf.
+func benchKeys(total int) []string {
+	keys := make([]string, total)
+	for i := range keys {
+		keys[i] = benchRowKey(i)
+	}
+	return keys
+}
+
+// BenchmarkPointGet measures keyed reads of present rows against a
+// region with four segments plus a live memtable.
+func BenchmarkPointGet(b *testing.B) {
+	c, total := buildMultiSegmentRegion(b, 4, 5000)
+	keys := benchKeys(total)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row, err := c.Get("t", keys[i%total])
+		if err != nil || row == nil {
+			b.Fatalf("get: %v %v", row, err)
+		}
+	}
+}
+
+// BenchmarkPointGetNoCache isolates the structural fast path — bloom
+// pruning + binary search + first-live-version cutoff — with the row
+// cache disabled.
+func BenchmarkPointGetNoCache(b *testing.B) {
+	c, total := buildMultiSegmentRegion(b, 4, 5000)
+	c.SetRowCacheBytes(0)
+	keys := benchKeys(total)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row, err := c.Get("t", keys[i%total])
+		if err != nil || row == nil {
+			b.Fatalf("get: %v %v", row, err)
+		}
+	}
+}
+
+// BenchmarkPointGetMiss measures keyed reads of absent rows (every key
+// distinct, so no cache can help); segment pruning is the only defense.
+func BenchmarkPointGetMiss(b *testing.B) {
+	c, _ := buildMultiSegmentRegion(b, 4, 5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row, err := c.Get("t", fmt.Sprintf("zz-miss-%09d", i))
+		if err != nil || row != nil {
+			b.Fatalf("get: %v %v", row, err)
+		}
+	}
+}
+
+// BenchmarkScanMultiSegment measures a full batched scan over the same
+// multi-segment region (merge + row assembly costs).
+func BenchmarkScanMultiSegment(b *testing.B) {
+	c, total := buildMultiSegmentRegion(b, 4, 5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := c.ScanAll(Scan{Table: "t", Caching: 1000})
+		if err != nil || len(rows) != total {
+			b.Fatalf("rows=%d err=%v", len(rows), err)
+		}
+	}
+}
+
+// BenchmarkMergedIterDrain drains a k-way merge across eight segment
+// iterators — the raw cost of the LSM merge machinery.
+func BenchmarkMergedIterDrain(b *testing.B) {
+	const nSegs, perSeg = 8, 4000
+	segs := make([]*segment, nSegs)
+	for s := 0; s < nSegs; s++ {
+		var keys []string
+		var cells []*Cell
+		for i := 0; i < perSeg; i++ {
+			c := &Cell{Row: benchRowKey(i*nSegs + s), Family: "cf", Qualifier: "v", Value: []byte("x"), Timestamp: 1}
+			keys = append(keys, cellKey(c.Row, c.Family, c.Qualifier, c.Timestamp, uint64(i*nSegs+s)))
+			cells = append(cells, c)
+		}
+		segs[s] = newSegment(keys, cells)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		iters := make([]cellIter, nSegs)
+		for j, s := range segs {
+			iters[j] = s.iterator("")
+		}
+		m := newMergedIter(iters...)
+		n := 0
+		for m.valid() {
+			_ = m.key()
+			_ = m.cell()
+			m.next()
+			n++
+		}
+		if n != nSegs*perSeg {
+			b.Fatalf("drained %d", n)
+		}
+	}
+}
+
+// BenchmarkSustainedLoad measures write throughput under frequent
+// flushes — the compaction policy dominates: merging everything on every
+// flush is quadratic in data size, tiered merges are not.
+func BenchmarkSustainedLoad(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := NewCluster(sim.LC(), nil)
+		if _, err := c.CreateTable("t", []string{"cf"}, nil); err != nil {
+			b.Fatal(err)
+		}
+		r := mustRegion(b, c, "t")
+		r.mu.Lock()
+		r.flushThreshold = 32 << 10 // force frequent flushes
+		r.mu.Unlock()
+		b.StartTimer()
+		for j := 0; j < 20000; j++ {
+			if err := c.Put("t", Cell{Row: benchRowKey(j), Family: "cf", Qualifier: "v", Value: []byte("0123456789abcdef")}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 )
 
@@ -21,9 +22,13 @@ type Region struct {
 	segments []*segment // newest first
 	log      *wal
 	seq      uint64
+	cache    *rowCache
 
 	flushThreshold   uint64
 	compactThreshold int
+	// compactionBytes counts bytes written by compactions — the write
+	// amplification the tiered policy exists to bound.
+	compactionBytes uint64
 }
 
 const (
@@ -31,7 +36,7 @@ const (
 	defaultCompactThreshold = 4
 )
 
-func newRegion(id int, table, startKey, endKey string, node int, seed int64) *Region {
+func newRegion(id int, table, startKey, endKey string, node int, seed int64, cacheBytes uint64) *Region {
 	return &Region{
 		id:               id,
 		table:            table,
@@ -40,6 +45,7 @@ func newRegion(id int, table, startKey, endKey string, node int, seed int64) *Re
 		node:             node,
 		mem:              newMemtable(seed),
 		log:              &wal{},
+		cache:            newRowCache(cacheBytes),
 		flushThreshold:   defaultFlushThreshold,
 		compactThreshold: defaultCompactThreshold,
 	}
@@ -80,6 +86,10 @@ type OpStats struct {
 	BytesRead     uint64 // bytes read from disk (all versions scanned)
 	BytesReturned uint64 // payload bytes leaving the region server
 	CellsReturned uint64
+	// CacheHits counts keyed reads served from the row cache: no disk
+	// bytes, no seek — callers charge RPC/transfer/CPU but skip the
+	// storage costs for these.
+	CacheHits uint64
 }
 
 func (s *OpStats) add(o OpStats) {
@@ -87,6 +97,7 @@ func (s *OpStats) add(o OpStats) {
 	s.BytesRead += o.BytesRead
 	s.BytesReturned += o.BytesReturned
 	s.CellsReturned += o.CellsReturned
+	s.CacheHits += o.CacheHits
 }
 
 // applyMutation validates, logs, and inserts one cell version.
@@ -111,6 +122,7 @@ func (r *Region) applyMutation(c Cell) error {
 	key := cellKey(cp.Row, cp.Family, cp.Qualifier, cp.Timestamp, r.seq)
 	r.log.append(key, &cp)
 	r.mem.put(key, &cp)
+	r.cache.invalidate(cp.Row)
 	if r.mem.size > r.flushThreshold {
 		r.flushLocked()
 	}
@@ -149,7 +161,7 @@ func (r *Region) flushLocked() {
 	r.mem = newMemtable(int64(r.id)<<32 | int64(r.seq))
 	r.log.truncate()
 	if len(r.segments) > r.compactThreshold {
-		r.compactLocked()
+		r.compactTieredLocked()
 	}
 }
 
@@ -160,32 +172,137 @@ func (r *Region) Flush() {
 	r.flushLocked()
 }
 
-// compactLocked merges all segments into one, keeping only the newest
-// version of each column and dropping columns whose newest version is a
-// tombstone. Caller holds r.mu.
-func (r *Region) compactLocked() {
-	iters := make([]cellIter, 0, len(r.segments))
-	for _, s := range r.segments {
+// mergeSegments merges sorted runs into one. With gc (a full merge of
+// every run, i.e. a major compaction), only the newest version of each
+// column survives and columns whose newest version is a tombstone are
+// dropped entirely. Without gc (a subset merge), EVERY version is
+// retained: a version shadowed inside the merge — a tombstone or an
+// overwritten value — may still be the version a ReadTs snapshot read
+// resolves to against runs outside the merge, so subset merges only
+// reduce run count, never reclaim history.
+func mergeSegments(segs []*segment, gc bool) *segment {
+	total := 0
+	iters := make([]cellIter, 0, len(segs))
+	for _, s := range segs {
+		total += s.len()
 		iters = append(iters, s.iterator(""))
 	}
+	keys := make([]string, 0, total)
+	cells := make([]*Cell, 0, total)
 	merged := newMergedIter(iters...)
-	var keys []string
-	var cells []*Cell
-	lastCol := ""
+	lastRow, lastFam, lastQual := "", "", ""
+	first := true
 	for merged.valid() {
-		k := merged.key()
 		c := merged.cell()
-		col := columnPrefix(c.Row, c.Family, c.Qualifier)
-		if col != lastCol {
-			lastCol = col
-			if !c.Tombstone {
-				keys = append(keys, k)
-				cells = append(cells, c)
-			}
+		newCol := first || c.Row != lastRow || c.Family != lastFam || c.Qualifier != lastQual
+		if newCol {
+			first = false
+			lastRow, lastFam, lastQual = c.Row, c.Family, c.Qualifier
+		}
+		if !gc || (newCol && !c.Tombstone) {
+			keys = append(keys, merged.key())
+			cells = append(cells, c)
 		}
 		merged.next()
 	}
-	r.segments = []*segment{newSegment(keys, cells)}
+	return newSegment(keys, cells)
+}
+
+// sizeTier buckets a segment size into ~4x-wide classes; size-tiered
+// compaction only merges runs from the same class. The tier count is
+// capped so base*4 can never overflow into an endless loop.
+func sizeTier(size uint64) int {
+	t := 0
+	for base := uint64(64 << 10); size >= base && t < 24; base *= 4 {
+		t++
+	}
+	return t
+}
+
+// maxSegmentsLocked bounds the read fan-out: past this count the policy
+// falls back to a full merge even when no tier is full.
+func (r *Region) maxSegmentsLocked() int { return 3 * r.compactThreshold }
+
+// compactTieredLocked runs size-tiered compaction: merge only runs of
+// similar size (the smallest qualifying tier first), instead of
+// rewriting the whole region on every trigger. A merge of a strict
+// subset retains every version (it only reduces run count; see
+// mergeSegments), while a merge that happens to cover every run
+// garbage-collects like a major compaction. Caller holds r.mu.
+func (r *Region) compactTieredLocked() {
+	for len(r.segments) > r.compactThreshold {
+		tiers := map[int][]int{}
+		maxTier := 0
+		for i, s := range r.segments {
+			t := sizeTier(s.size)
+			tiers[t] = append(tiers[t], i)
+			if t > maxTier {
+				maxTier = t
+			}
+		}
+		picked := []int(nil)
+		for t := 0; t <= maxTier; t++ {
+			if len(tiers[t]) >= r.compactThreshold {
+				picked = tiers[t]
+				break
+			}
+		}
+		if picked == nil {
+			if len(r.segments) <= r.maxSegmentsLocked() {
+				return
+			}
+			// Fan-out cap exceeded with no full tier: fall back to a
+			// full merge. Besides restoring the bound, this is the
+			// steady-state garbage collector — subset merges retain
+			// every version, so without periodic full merges an
+			// update-heavy workload would accumulate dead versions and
+			// tombstones forever. The memtable is always empty here
+			// (the only caller is flushLocked, right after a flush), so
+			// dropping tombstones cannot resurrect memtable versions.
+			picked = make([]int, len(r.segments))
+			for i := range picked {
+				picked[i] = i
+			}
+		}
+		r.mergeSegmentsLocked(picked)
+	}
+}
+
+// mergeSegmentsLocked replaces the segments at the given (ascending)
+// indices with their merge, placed at the newest picked position.
+func (r *Region) mergeSegmentsLocked(picked []int) {
+	segs := make([]*segment, 0, len(picked))
+	for _, i := range picked {
+		segs = append(segs, r.segments[i])
+	}
+	full := len(picked) == len(r.segments)
+	merged := mergeSegments(segs, full)
+	r.compactionBytes += merged.size
+	out := make([]*segment, 0, len(r.segments)-len(picked)+1)
+	pi := 0
+	for i, s := range r.segments {
+		if pi < len(picked) && picked[pi] == i {
+			if pi == 0 {
+				out = append(out, merged)
+			}
+			pi++
+			continue
+		}
+		out = append(out, s)
+	}
+	r.segments = out
+}
+
+// compactLocked performs a major compaction: merge all segments into
+// one, keeping only the newest version of each column and dropping
+// columns whose newest version is a tombstone. Caller holds r.mu.
+func (r *Region) compactLocked() {
+	if len(r.segments) == 0 {
+		return
+	}
+	merged := mergeSegments(r.segments, true)
+	r.compactionBytes += merged.size
+	r.segments = []*segment{merged}
 }
 
 // Compact forces a major compaction.
@@ -194,6 +311,14 @@ func (r *Region) Compact() {
 	defer r.mu.Unlock()
 	r.flushLocked()
 	r.compactLocked()
+}
+
+// CompactionBytes returns the cumulative bytes written by compactions
+// (write amplification accounting).
+func (r *Region) CompactionBytes() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.compactionBytes
 }
 
 // iterators returns merged read sources, newest first. Caller holds a
@@ -207,6 +332,20 @@ func (r *Region) iteratorsLocked(start string) *mergedIter {
 	return newMergedIter(its...)
 }
 
+// famMatch reports whether family f passes the (possibly empty) family
+// restriction without building a set.
+func famMatch(families []string, f string) bool {
+	if len(families) == 0 {
+		return true
+	}
+	for _, x := range families {
+		if x == f {
+			return true
+		}
+	}
+	return false
+}
+
 // scan reads rows in [startRow, endRow) (endRow "" = region end), at most
 // limit rows (0 = unlimited), visible at readTs (0 = latest), restricted
 // to the given families (nil = all), filtered by f (nil = none).
@@ -214,24 +353,21 @@ func (r *Region) scan(startRow, endRow string, limit int, families []string, rea
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 
-	famSet := map[string]bool{}
-	for _, fam := range families {
-		famSet[fam] = true
-	}
-
 	start := startRow
 	if start == "" || (r.startKey != "" && start < r.startKey) {
 		start = r.startKey
 	}
+	seekKey := ""
+	if start != "" {
+		seekKey = rowPrefix(start)
+	}
 	var stats OpStats
 	var rows []Row
-	it := r.iteratorsLocked(rowPrefix(start))
-	if start == "" {
-		it = r.iteratorsLocked("")
-	}
+	it := r.iteratorsLocked(seekKey)
 
 	var cur *Row
-	lastCol := ""
+	lastFam, lastQual := "", ""
+	sawCol := false
 	flushRow := func() {
 		if cur == nil {
 			return
@@ -253,7 +389,7 @@ func (r *Region) scan(startRow, endRow string, limit int, families []string, rea
 		if endRow != "" && c.Row >= endRow {
 			break
 		}
-		if len(famSet) > 0 && !famSet[c.Family] {
+		if !famMatch(families, c.Family) {
 			// Column families are physically separate stores (HBase
 			// HFiles): a family-restricted scan never touches — or
 			// pays for — other families' cells.
@@ -267,12 +403,12 @@ func (r *Region) scan(startRow, endRow string, limit int, families []string, rea
 				return rows, stats, nil
 			}
 			cur = &Row{Key: c.Row}
-			lastCol = ""
+			sawCol = false
 		}
-		col := columnPrefix(c.Row, c.Family, c.Qualifier)
 		visible := readTs == 0 || c.Timestamp <= readTs
-		if col != lastCol && visible {
-			lastCol = col
+		if visible && (!sawCol || c.Family != lastFam || c.Qualifier != lastQual) {
+			sawCol = true
+			lastFam, lastQual = c.Family, c.Qualifier
 			stats.CellsExamined++
 			if !c.Tombstone {
 				cur.Cells = append(cur.Cells, *c)
@@ -284,16 +420,105 @@ func (r *Region) scan(startRow, endRow string, limit int, families []string, rea
 	return rows, stats, nil
 }
 
-// get reads a single row (all families, latest versions).
+// get reads a single row (all families, latest versions) through the
+// dedicated point-get fast path: a row-cache lookup first, then only the
+// sources that may contain the row — the memtable plus the segments
+// surviving the min/max-range and bloom-filter checks — each positioned
+// by binary search, merged, and cut off at the first (newest) live
+// version of every column.
+//
+// Cost convention: a keyed read bills one seek plus the returned bytes,
+// never a range scan, so BytesRead is the returned payload on a miss
+// and zero on a cache hit (the row came from region-server memory). The
+// cache serves and stores only full-row reads: a family-restricted get
+// always reads the LSM, keeping its billed work identical on every
+// repetition.
 func (r *Region) get(row string, families []string) (*Row, OpStats, error) {
-	rows, stats, err := r.scan(row, row+"\x01", 1, families, 0, nil)
-	if err != nil {
-		return nil, stats, err
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var stats OpStats
+
+	full := len(families) == 0
+	if full {
+		if cached, examined, ok := r.cache.lookup(row); ok {
+			stats.CacheHits = 1
+			stats.CellsExamined = examined
+			if cached == nil {
+				return nil, stats, nil
+			}
+			res := &Row{Key: cached.Key, Cells: append([]Cell(nil), cached.Cells...)}
+			stats.CellsReturned = uint64(len(res.Cells))
+			stats.BytesReturned = res.Size()
+			return res, stats, nil
+		}
 	}
-	if len(rows) == 0 || rows[0].Key != row {
+	prefix := rowPrefix(row)
+
+	// Collect only the sources that may hold the row.
+	var arr [8]cellIter
+	sources := arr[:0]
+	if mit := r.mem.iterator(prefix); mit.valid() && strings.HasPrefix(mit.key(), prefix) {
+		sources = append(sources, mit)
+	}
+	for _, s := range r.segments {
+		if !s.mayContainRow(row) {
+			continue
+		}
+		sit := s.iterator(prefix)
+		if sit.valid() && strings.HasPrefix(sit.key(), prefix) {
+			sources = append(sources, sit)
+		}
+	}
+
+	var out Row
+	out.Key = row
+	if len(sources) > 0 {
+		var it cellIter = sources[0]
+		if len(sources) > 1 {
+			it = newMergedIter(sources...)
+		}
+		lastFam, lastQual := "", ""
+		sawCol := false
+		for it.valid() {
+			if !strings.HasPrefix(it.key(), prefix) {
+				break
+			}
+			c := it.cell()
+			if !full && !famMatch(families, c.Family) {
+				it.next()
+				continue
+			}
+			if !sawCol || c.Family != lastFam || c.Qualifier != lastQual {
+				// First (newest) version of this column decides it.
+				sawCol = true
+				lastFam, lastQual = c.Family, c.Qualifier
+				stats.CellsExamined++
+				if !c.Tombstone {
+					out.Cells = append(out.Cells, *c)
+				}
+			}
+			it.next()
+		}
+	}
+
+	if full {
+		// Cache the materialized row — including its absence — while
+		// still under the region read lock, so no writer can have
+		// invalidated between read and insert.
+		if len(out.Cells) == 0 {
+			r.cache.insert(row, nil, stats.CellsExamined)
+		} else {
+			cached := Row{Key: row, Cells: append([]Cell(nil), out.Cells...)}
+			r.cache.insert(row, &cached, stats.CellsExamined)
+		}
+	}
+	if len(out.Cells) == 0 {
 		return nil, stats, nil
 	}
-	return &rows[0], stats, nil
+	stats.CellsReturned = uint64(len(out.Cells))
+	stats.BytesReturned = out.Size()
+	stats.BytesRead = stats.BytesReturned
+	return &out, stats, nil
 }
 
 // DiskSize returns the bytes held by this region (memtable + segments).
@@ -316,6 +541,17 @@ func (r *Region) CellCount() int {
 		n += s.len()
 	}
 	return n
+}
+
+// RowCacheStats returns the region's cumulative row-cache hit/miss
+// counts.
+func (r *Region) RowCacheStats() (hits, misses uint64) {
+	return r.cache.stats()
+}
+
+// setRowCacheBytes resizes (0 = disables) the region's row cache.
+func (r *Region) setRowCacheBytes(n uint64) {
+	r.cache.setCapacity(n)
 }
 
 // recover rebuilds the memtable from the WAL, simulating a region server
@@ -374,13 +610,14 @@ func (r *Region) allCells() []Cell {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	var out []Cell
-	lastCol := ""
+	lastRow, lastFam, lastQual := "", "", ""
+	first := true
 	it := r.iteratorsLocked("")
 	for it.valid() {
 		c := it.cell()
-		col := columnPrefix(c.Row, c.Family, c.Qualifier)
-		if col != lastCol {
-			lastCol = col
+		if first || c.Row != lastRow || c.Family != lastFam || c.Qualifier != lastQual {
+			first = false
+			lastRow, lastFam, lastQual = c.Row, c.Family, c.Qualifier
 			if !c.Tombstone {
 				out = append(out, *c)
 			}

@@ -1,0 +1,182 @@
+package kvstore
+
+import "sync"
+
+// DefaultRowCacheBytes is the per-region row cache capacity. The cache
+// plays the role of HBase's block cache for the point-get path: a hit
+// serves the materialized row with zero segment work.
+const DefaultRowCacheBytes = 4 << 20
+
+// rcEntry is one cached row. r == nil caches a MISS (the row has no live
+// cells), which is as valuable as a positive entry under BFHM's
+// false-positive reverse-mapping lookups. examined preserves the
+// CellsExamined the populating read reported (live columns plus
+// tombstoned ones), so a warm hit bills exactly the read units a cold
+// read of the same row would.
+type rcEntry struct {
+	row        string
+	r          *Row // nil = negative entry
+	examined   uint64
+	size       uint64
+	prev, next *rcEntry
+}
+
+// rowCache is a byte-bounded LRU over fully materialized rows (all
+// families, latest live versions). It has its own mutex because lookups
+// mutate LRU order while the region holds only a read lock; the region
+// mutex is always acquired first, so lock order is region -> cache. All
+// fields, including capacity, are guarded by mu — SetRowCacheBytes may
+// run concurrently with reads.
+//
+// Coherence: entries are inserted only while the region read lock is
+// held (writers take the region write lock, excluding concurrent
+// insertion of stale rows) and invalidated per-row under the write lock
+// on every mutation.
+type rowCache struct {
+	mu         sync.Mutex
+	capacity   uint64
+	bytes      uint64
+	entries    map[string]*rcEntry
+	head, tail *rcEntry // head = most recently used
+	hits       uint64
+	misses     uint64
+}
+
+// rcEntryOverhead approximates per-entry bookkeeping bytes.
+const rcEntryOverhead = 64
+
+func newRowCache(capacity uint64) *rowCache {
+	return &rowCache{capacity: capacity, entries: map[string]*rcEntry{}}
+}
+
+// lookup returns the cached row, its billed examined count, and whether
+// the row is cached at all (the row may be cached as absent: ok=true,
+// r=nil). The returned *Row is shared — callers must copy before
+// exposing it to mutation.
+func (c *rowCache) lookup(row string) (r *Row, examined uint64, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.capacity == 0 {
+		return nil, 0, false
+	}
+	e, ok := c.entries[row]
+	if !ok {
+		c.misses++
+		return nil, 0, false
+	}
+	c.hits++
+	c.moveToFront(e)
+	return e.r, e.examined, true
+}
+
+// insert caches a row (r may be nil to cache absence) with the examined
+// count its read reported. Existing entries are replaced.
+func (c *rowCache) insert(row string, r *Row, examined uint64) {
+	size := uint64(len(row)) + rcEntryOverhead
+	if r != nil {
+		size += r.Size()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.capacity == 0 || size > c.capacity {
+		return // disabled, or the row is larger than the whole cache
+	}
+	if e, ok := c.entries[row]; ok {
+		c.bytes -= e.size
+		e.r, e.examined, e.size = r, examined, size
+		c.bytes += size
+		c.moveToFront(e)
+	} else {
+		e := &rcEntry{row: row, r: r, examined: examined, size: size}
+		c.entries[row] = e
+		c.bytes += size
+		c.pushFront(e)
+	}
+	for c.bytes > c.capacity && c.tail != nil {
+		c.removeLocked(c.tail)
+	}
+}
+
+// invalidate drops the entry for row, if any. Called under the region
+// write lock on every mutation of the row. It runs even when the cache
+// is disabled, so a resize racing a mutation can never leave a stale
+// entry behind.
+func (c *rowCache) invalidate(row string) {
+	c.mu.Lock()
+	if e, ok := c.entries[row]; ok {
+		c.removeLocked(e)
+	}
+	c.mu.Unlock()
+}
+
+// setCapacity resizes the cache, evicting down to the new bound.
+// Capacity 0 disables caching and drops everything.
+func (c *rowCache) setCapacity(capacity uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.capacity = capacity
+	if capacity == 0 {
+		c.entries = map[string]*rcEntry{}
+		c.head, c.tail, c.bytes = nil, nil, 0
+		return
+	}
+	for c.bytes > c.capacity && c.tail != nil {
+		c.removeLocked(c.tail)
+	}
+}
+
+// stats returns cumulative hit/miss counts.
+func (c *rowCache) stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// seedStats pre-loads hit/miss counts, used to carry a split region's
+// history onto its successor.
+func (c *rowCache) seedStats(hits, misses uint64) {
+	c.mu.Lock()
+	c.hits += hits
+	c.misses += misses
+	c.mu.Unlock()
+}
+
+func (c *rowCache) removeLocked(e *rcEntry) {
+	delete(c.entries, e.row)
+	c.bytes -= e.size
+	c.unlink(e)
+}
+
+func (c *rowCache) unlink(e *rcEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *rowCache) pushFront(e *rcEntry) {
+	e.next = c.head
+	e.prev = nil
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *rowCache) moveToFront(e *rcEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}

@@ -237,10 +237,15 @@ func (c *Cluster) GetRows(table string, rows []string, families ...string) ([]*R
 }
 
 // multiGetCost returns the simulated duration of one batched-get RPC of
-// nrows keyed reads with the given server-side work.
+// nrows keyed reads with the given server-side work. Rows served from
+// the row cache (stats.CacheHits) skip their disk seek.
 func (c *Cluster) multiGetCost(nrows int, stats OpStats) time.Duration {
+	seeks := nrows - int(stats.CacheHits)
+	if seeks < 0 {
+		seeks = 0
+	}
 	return c.profile.RPCLatency +
-		time.Duration(nrows)*c.profile.SeekLatency +
+		time.Duration(seeks)*c.profile.SeekLatency +
 		c.profile.TransferTime(requestOverhead+stats.BytesReturned) +
 		c.profile.CPUTime(stats.CellsExamined)
 }
@@ -248,10 +253,7 @@ func (c *Cluster) multiGetCost(nrows int, stats OpStats) time.Duration {
 // chargeMultiGetCounters meters the resource counters of one batched-get
 // RPC (the 16 bytes per requested key model the row keys on the wire).
 func (c *Cluster) chargeMultiGetCounters(nrows int, stats OpStats) {
-	c.metrics.AddRPC()
-	c.metrics.AddNetwork(requestOverhead + uint64(nrows)*16 + stats.BytesReturned)
-	c.metrics.AddKVReads(stats.CellsExamined)
-	c.metrics.AddDiskRead(stats.BytesRead)
+	c.metrics.AddReadRPC(requestOverhead+uint64(nrows)*16+stats.BytesReturned, stats.CellsExamined, stats.BytesRead)
 }
 
 // MultiGet fetches several rows in ONE client RPC (HBase's batched Get).
@@ -271,7 +273,6 @@ func (c *Cluster) MultiGet(table string, rows []string, families ...string) ([]*
 		if err != nil {
 			return nil, fmt.Errorf("kvstore: multi-get %q: %w", row, err)
 		}
-		st.BytesRead = st.BytesReturned // keyed read, not a range scan
 		stats.add(st)
 		out[i] = got
 	}
@@ -365,7 +366,6 @@ func (c *Cluster) ParallelMultiGet(table string, rows []string, parallelism int,
 						b.err = fmt.Errorf("kvstore: multi-get %q: %w", rows[i], err)
 						return
 					}
-					st.BytesRead = st.BytesReturned // keyed read
 					b.stats.add(st)
 					out[i] = got
 				}

@@ -1,14 +1,29 @@
 package kvstore
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/bloom"
+)
+
+// segmentBloomFPP is the false-positive target of the per-segment row
+// bloom filter. 1% keeps the filter at ~10 bits per row while pruning
+// nearly every segment that does not hold the requested row — the same
+// role HBase's per-HFile ROW bloom filters play.
+const segmentBloomFPP = 0.01
 
 // segment is an immutable sorted run of cell versions, the in-memory
 // analogue of an HBase HFile: produced by flushing a memtable or by
-// compaction, searched by binary search, scanned sequentially.
+// compaction, searched by binary search, scanned sequentially. Each
+// segment carries its row-key range and a bloom filter over row keys so
+// point gets can skip segments that cannot contain the row.
 type segment struct {
-	keys  []string
-	cells []*Cell
-	size  uint64
+	keys   []string
+	cells  []*Cell
+	size   uint64
+	minRow string
+	maxRow string
+	filter *bloom.Filter
 }
 
 // newSegment builds a segment from parallel sorted key/cell slices.
@@ -17,7 +32,33 @@ func newSegment(keys []string, cells []*Cell) *segment {
 	for _, c := range cells {
 		size += c.StoredSize()
 	}
-	return &segment{keys: keys, cells: cells, size: size}
+	s := &segment{keys: keys, cells: cells, size: size}
+	if len(cells) > 0 {
+		s.minRow = cells[0].Row
+		s.maxRow = cells[len(cells)-1].Row
+		// len(cells) over-counts distinct rows (versions share a row),
+		// which only makes the filter larger and the FPP lower.
+		m, k := bloom.OptimalParams(uint64(len(cells)), segmentBloomFPP)
+		s.filter = bloom.NewFilter(m, k)
+		lastRow := ""
+		for _, c := range cells {
+			if c.Row != lastRow {
+				s.filter.AddString(c.Row)
+				lastRow = c.Row
+			}
+		}
+	}
+	return s
+}
+
+// mayContainRow reports whether a point get for row needs to search this
+// segment: the row must fall inside the segment's key range and pass the
+// bloom filter. No false negatives.
+func (s *segment) mayContainRow(row string) bool {
+	if len(s.keys) == 0 || row < s.minRow || row > s.maxRow {
+		return false
+	}
+	return s.filter.ContainsString(row)
 }
 
 // seek returns the index of the first entry with key >= k.
@@ -29,7 +70,11 @@ func (s *segment) len() int { return len(s.keys) }
 
 // iterator walks entries in ascending key order from >= start.
 func (s *segment) iterator(start string) *segmentIter {
-	return &segmentIter{seg: s, idx: s.seek(start)}
+	idx := 0
+	if start != "" {
+		idx = s.seek(start)
+	}
+	return &segmentIter{seg: s, idx: idx}
 }
 
 type segmentIter struct {
@@ -50,43 +95,87 @@ type cellIter interface {
 	next()
 }
 
-// mergedIter merges several sorted iterators into one ascending stream.
-// On equal keys the iterator added FIRST wins (callers order sources
-// newest-first), though equal internal keys cannot occur across sources
-// because sequence numbers are globally unique per region.
+// mergedIter merges several sorted iterators into one ascending stream
+// using a binary min-heap over the sources' current keys (a tournament
+// merge): key()/cell() read the winner in O(1) and next() restores the
+// heap in O(log k), replacing the old linear scan of every source for
+// every one of the three per-element accessor calls. On equal keys the
+// source added FIRST wins (callers order sources newest-first), though
+// equal internal keys cannot occur across sources because sequence
+// numbers are globally unique per region.
 type mergedIter struct {
-	sources []cellIter
+	its  []cellIter // heap, ordered by keys (ties: ord)
+	keys []string   // cached current key of each heap entry
+	ord  []int      // insertion order, the tie-break priority
 }
 
 func newMergedIter(sources ...cellIter) *mergedIter {
-	live := make([]cellIter, 0, len(sources))
-	for _, s := range sources {
+	m := &mergedIter{
+		its:  make([]cellIter, 0, len(sources)),
+		keys: make([]string, 0, len(sources)),
+		ord:  make([]int, 0, len(sources)),
+	}
+	for i, s := range sources {
 		if s.valid() {
-			live = append(live, s)
+			m.its = append(m.its, s)
+			m.keys = append(m.keys, s.key())
+			m.ord = append(m.ord, i)
 		}
 	}
-	return &mergedIter{sources: live}
-}
-
-func (m *mergedIter) valid() bool { return len(m.sources) > 0 }
-
-func (m *mergedIter) pick() int {
-	best := 0
-	for i := 1; i < len(m.sources); i++ {
-		if m.sources[i].key() < m.sources[best].key() {
-			best = i
-		}
+	for i := len(m.its)/2 - 1; i >= 0; i-- {
+		m.down(i)
 	}
-	return best
+	return m
 }
 
-func (m *mergedIter) key() string { return m.sources[m.pick()].key() }
-func (m *mergedIter) cell() *Cell { return m.sources[m.pick()].cell() }
+func (m *mergedIter) less(i, j int) bool {
+	if m.keys[i] != m.keys[j] {
+		return m.keys[i] < m.keys[j]
+	}
+	return m.ord[i] < m.ord[j]
+}
+
+func (m *mergedIter) swap(i, j int) {
+	m.its[i], m.its[j] = m.its[j], m.its[i]
+	m.keys[i], m.keys[j] = m.keys[j], m.keys[i]
+	m.ord[i], m.ord[j] = m.ord[j], m.ord[i]
+}
+
+// down restores the heap property from index i.
+func (m *mergedIter) down(i int) {
+	n := len(m.its)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		least := l
+		if r := l + 1; r < n && m.less(r, l) {
+			least = r
+		}
+		if !m.less(least, i) {
+			return
+		}
+		m.swap(i, least)
+		i = least
+	}
+}
+
+func (m *mergedIter) valid() bool { return len(m.its) > 0 }
+func (m *mergedIter) key() string { return m.keys[0] }
+func (m *mergedIter) cell() *Cell { return m.its[0].cell() }
 
 func (m *mergedIter) next() {
-	i := m.pick()
-	m.sources[i].next()
-	if !m.sources[i].valid() {
-		m.sources = append(m.sources[:i], m.sources[i+1:]...)
+	it := m.its[0]
+	it.next()
+	if it.valid() {
+		m.keys[0] = it.key()
+	} else {
+		n := len(m.its) - 1
+		m.swap(0, n)
+		m.its = m.its[:n]
+		m.keys = m.keys[:n]
+		m.ord = m.ord[:n]
 	}
+	m.down(0)
 }

@@ -227,6 +227,22 @@ func (m *Metrics) AddRPC() {
 	}
 }
 
+// AddReadRPC records the counters of one read round trip — RPC count,
+// network bytes, read units, disk bytes — in a single lock acquisition.
+// The point-get hot path charges here; the four separate Add calls cost
+// four mutex round trips per get.
+func (m *Metrics) AddReadRPC(network, kvReads, disk uint64) {
+	m.mu.Lock()
+	m.rpcCalls++
+	m.networkBytes += network
+	m.kvReads += kvReads
+	m.diskBytesRead += disk
+	m.mu.Unlock()
+	if m.parent != nil {
+		m.parent.AddReadRPC(network, kvReads, disk)
+	}
+}
+
 // AddDiskRead records n bytes read from disk.
 func (m *Metrics) AddDiskRead(n uint64) {
 	m.mu.Lock()
