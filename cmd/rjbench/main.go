@@ -45,7 +45,7 @@ func main() {
 		return false
 	}
 
-	needEC2 := want("7a", "7b", "7c", "7d", "7e", "7f", "9", "sizes", "updates") || *snapshot != ""
+	needEC2 := want("7a", "7b", "7c", "7d", "7e", "7f", "9", "sizes", "updates", "paging") || *snapshot != ""
 	needLC := want("8a", "8b", "8c", "8d", "8e", "8f", "9") || *snapshot != ""
 
 	var ec2Env, lcEnv *benchkit.Env
@@ -149,6 +149,15 @@ func main() {
 				set, applied, overhead)
 		}
 		fmt.Println()
+	}
+	if want("paging") && ec2Env != nil {
+		report, err := ec2Env.PagingReport(ec2Env.Q1, []rankjoin.Algorithm{
+			rankjoin.AlgoISL, rankjoin.AlgoBFHM, rankjoin.AlgoDRJN,
+		}, 10, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(report)
 	}
 	if want("mem") {
 		report, err := benchkit.MemoryReport(sim.LC(), *sfLC/4, 1)

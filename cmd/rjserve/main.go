@@ -9,15 +9,26 @@
 //
 // Endpoints:
 //
-//	GET /topk?query=q1&algo=auto&k=10[&parallelism=4][&objective=time]
+//	GET /topk?query=q1&algo=auto&k=10[&parallelism=4][&objective=time][&page_token=...]
 //	    Run one query; returns ranked results plus the per-query cost
 //	    metrics (simulated time, network bytes, KV read units, dollars).
 //	    algo defaults to "auto": the cost-based planner picks the
 //	    executor, and the response carries the chosen algorithm plus
-//	    the planner's estimate next to the measured cost.
+//	    the planner's estimate next to the measured cost. A full page
+//	    carries next_page_token; passing it back as page_token resumes
+//	    the query server-side (bounded cursor state, marginal cost)
+//	    instead of re-running it.
+//	GET/POST /stream?query=q1&algo=auto[&limit=100][&k=10]
+//	    Stream results as NDJSON, one result object per line in
+//	    descending score order, closing with a summary line carrying
+//	    the totals ({"done":true,...}). limit caps the stream (default
+//	    100); k is the page-size hint batch-shaped executors
+//	    materialize with. POST accepts the same fields as a JSON body.
 //	POST /explain     Plan a query without running it; body (JSON):
-//	    {"query":"q1","k":10,"objective":"time"} — returns every
-//	    registered executor ranked by predicted cost.
+//	    {"query":"q1","k":10,"objective":"time","stream":true} —
+//	    returns every registered executor ranked by predicted cost
+//	    (stream mode prices deep enumeration: marginal per-page costs,
+//	    materializing re-run penalties).
 //	GET /algorithms   List available algorithms.
 //	GET /metrics      DB-wide cumulative metrics.
 //	GET /healthz      Liveness probe.
@@ -25,6 +36,7 @@
 // Examples:
 //
 //	curl 'localhost:8080/topk?query=q2&k=5'
+//	curl 'localhost:8080/stream?query=q1&algo=isl&limit=25'
 //	curl -X POST localhost:8080/explain -d '{"query":"q2","k":100,"objective":"dollars"}'
 package main
 
@@ -87,7 +99,10 @@ type topkResponse struct {
 	// Estimate is the planner's predicted cost (algo=auto only);
 	// comparing it with cost gives the per-query estimation error.
 	Estimate *estimateJSON `json:"estimate,omitempty"`
-	WallTime string        `json:"wall_time"`
+	// NextPageToken resumes this query where it stopped: pass it back
+	// as page_token to fetch the next k results at marginal cost.
+	NextPageToken string `json:"next_page_token,omitempty"`
+	WallTime      string `json:"wall_time"`
 }
 
 // estimateJSON is the wire form of a planner cost estimate.
@@ -171,6 +186,7 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		ISLBatch:    s.env.ISLBatch,
 		Parallelism: parallelism,
 		Objective:   objective,
+		PageToken:   qv.Get("page_token"),
 	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -178,13 +194,14 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp := topkResponse{
-		Query:       queryName,
-		Algorithm:   res.Algorithm,
-		K:           k,
-		Parallelism: parallelism,
-		Results:     make([]resultJSON, 0, len(res.Results)),
-		Cost:        toCostJSON(res.Cost),
-		WallTime:    time.Since(start).String(),
+		Query:         queryName,
+		Algorithm:     res.Algorithm,
+		K:             k,
+		Parallelism:   parallelism,
+		Results:       make([]resultJSON, 0, len(res.Results)),
+		Cost:          toCostJSON(res.Cost),
+		NextPageToken: res.NextPageToken,
+		WallTime:      time.Since(start).String(),
 	}
 	if res.Estimate != nil {
 		resp.Estimate = toEstimateJSON(*res.Estimate)
@@ -200,22 +217,179 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// streamRequest carries /stream parameters (query string on GET, JSON
+// body on POST).
+type streamRequest struct {
+	Query       string `json:"query"`
+	Algo        string `json:"algo"`
+	K           int    `json:"k"`     // page-size hint (default 10)
+	Limit       int    `json:"limit"` // max results to stream (default 100)
+	Parallelism *int   `json:"parallelism"`
+}
+
+// streamSummary is the trailing NDJSON line of one /stream response.
+type streamSummary struct {
+	Done      bool     `json:"done"`
+	Query     string   `json:"query"`
+	Algorithm string   `json:"algorithm"`
+	Count     int      `json:"count"`
+	Exhausted bool     `json:"exhausted"`
+	Cost      costJSON `json:"cost"`
+	WallTime  string   `json:"wall_time"`
+}
+
+// handleStream streams one query's results as NDJSON in score order:
+// one result object per line, then a summary line. The underlying
+// cursor only does the marginal work each emitted result needs, so a
+// client that disconnects early stops the spend.
+func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
+	req := streamRequest{}
+	if r.Method == http.MethodPost {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad stream body: %v", err)
+			return
+		}
+		// Shared contract with GET: zero (or omitted) k/limit means
+		// "default"; negatives are rejected rather than silently
+		// producing an empty 200 stream.
+		if req.K < 0 || req.Limit < 0 {
+			writeError(w, http.StatusBadRequest, "bad k/limit: must not be negative")
+			return
+		}
+		if req.Parallelism != nil && *req.Parallelism < 0 {
+			writeError(w, http.StatusBadRequest, "bad parallelism %d", *req.Parallelism)
+			return
+		}
+	} else {
+		qv := r.URL.Query()
+		req.Query = qv.Get("query")
+		req.Algo = qv.Get("algo")
+		for _, p := range []struct {
+			name string
+			dst  *int
+		}{{"k", &req.K}, {"limit", &req.Limit}} {
+			if v := qv.Get(p.name); v != "" {
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 0 {
+					writeError(w, http.StatusBadRequest, "bad %s %q", p.name, v)
+					return
+				}
+				*p.dst = n
+			}
+		}
+		if v := qv.Get("parallelism"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				writeError(w, http.StatusBadRequest, "bad parallelism %q", v)
+				return
+			}
+			req.Parallelism = &n
+		}
+	}
+
+	var q rankjoin.Query
+	queryName := strings.ToLower(req.Query)
+	switch queryName {
+	case "", "q1":
+		q, queryName = s.env.Q1, "q1"
+	case "q2":
+		q = s.env.Q2
+	default:
+		writeError(w, http.StatusBadRequest, "unknown query %q (want q1 or q2)", req.Query)
+		return
+	}
+	algoName := strings.ToLower(req.Algo)
+	if algoName == "" {
+		algoName = string(rankjoin.AlgoAuto)
+	}
+	k := req.K
+	if k == 0 {
+		k = 10
+	}
+	limit := req.Limit
+	if limit == 0 {
+		limit = 100
+	}
+	parallelism := s.defaultParallelism
+	if req.Parallelism != nil {
+		parallelism = *req.Parallelism
+	}
+
+	start := time.Now()
+	rows, err := s.env.DB.Stream(q.WithK(k), rankjoin.Algorithm(algoName), &rankjoin.QueryOptions{
+		ISLBatch:    s.env.ISLBatch,
+		Parallelism: parallelism,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer rows.Close()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	count := 0
+	exhausted := false
+	for count < limit {
+		if !rows.Next() {
+			exhausted = rows.Err() == nil
+			break
+		}
+		jr := rows.Result()
+		if err := enc.Encode(resultJSON{
+			LeftRow:   jr.Left.RowKey,
+			RightRow:  jr.Right.RowKey,
+			JoinValue: jr.Left.JoinValue,
+			Score:     jr.Score,
+		}); err != nil {
+			return // client went away; Close stops the cursor's spend
+		}
+		count++
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if err := rows.Err(); err != nil {
+		_ = enc.Encode(map[string]string{"error": err.Error()})
+		return
+	}
+	_ = enc.Encode(streamSummary{
+		Done:      true,
+		Query:     queryName,
+		Algorithm: rows.Algorithm(),
+		Count:     count,
+		Exhausted: exhausted,
+		Cost:      toCostJSON(rows.Cost()),
+		WallTime:  time.Since(start).String(),
+	})
+}
+
 // explainRequest is the POST /explain body. Parallelism is optional
 // and defaults to the server's -parallelism flag — pass the same value
-// a later /topk will use so the plan matches the execution.
+// a later /topk will use so the plan matches the execution. Stream
+// prices deep enumeration instead of the bounded top-k.
 type explainRequest struct {
 	Query       string `json:"query"`
 	K           int    `json:"k"`
 	Objective   string `json:"objective"`
 	Parallelism *int   `json:"parallelism"`
+	Stream      bool   `json:"stream"`
 }
 
 // candidateJSON is one ranked plan candidate.
 type candidateJSON struct {
-	Executor   string       `json:"executor"`
-	IndexReady bool         `json:"index_ready"`
-	IndexBytes uint64       `json:"index_bytes"`
-	Estimate   estimateJSON `json:"estimate"`
+	Executor    string       `json:"executor"`
+	IndexReady  bool         `json:"index_ready"`
+	IndexBytes  uint64       `json:"index_bytes"`
+	Incremental bool         `json:"incremental"`
+	Estimate    estimateJSON `json:"estimate"`
+	// Marginal is the predicted cost of the NEXT page of k results
+	// (full re-run for materializing executors).
+	Marginal estimateJSON `json:"marginal"`
+	// StreamEstimate prices a deep enumeration (stream-mode ranking).
+	StreamEstimate estimateJSON `json:"stream_estimate"`
 }
 
 type explainResponse struct {
@@ -266,6 +440,7 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 
 	p, err := s.env.DB.Explain(q.WithK(k), &rankjoin.ExplainOptions{
 		Objective: rankjoin.Objective(strings.ToLower(req.Objective)),
+		Stream:    req.Stream,
 		Query: rankjoin.QueryOptions{
 			ISLBatch:    s.env.ISLBatch,
 			Parallelism: parallelism,
@@ -287,10 +462,13 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, cand := range p.Candidates {
 		resp.Candidates = append(resp.Candidates, candidateJSON{
-			Executor:   cand.Executor,
-			IndexReady: cand.IndexReady,
-			IndexBytes: cand.IndexBytes,
-			Estimate:   *toEstimateJSON(cand.Estimate),
+			Executor:       cand.Executor,
+			IndexReady:     cand.IndexReady,
+			IndexBytes:     cand.IndexBytes,
+			Incremental:    cand.Incremental,
+			Estimate:       *toEstimateJSON(cand.Estimate),
+			Marginal:       *toEstimateJSON(cand.Marginal),
+			StreamEstimate: *toEstimateJSON(cand.StreamEstimate),
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -334,6 +512,8 @@ func main() {
 	s := &server{env: env, defaultParallelism: *parallelism}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /topk", s.handleTopK)
+	mux.HandleFunc("GET /stream", s.handleStream)
+	mux.HandleFunc("POST /stream", s.handleStream)
 	mux.HandleFunc("POST /explain", s.handleExplain)
 	mux.HandleFunc("GET /algorithms", s.handleAlgorithms)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)

@@ -1,0 +1,157 @@
+// Concurrent split/scan/stream exercise (run with -race): one DB serves
+// streaming and paginated queries while the underlying tables' regions
+// split. Splits move data between regions but never change it, so every
+// stream and every page must keep returning the exact reference order.
+package rankjoin_test
+
+import (
+	"sync"
+	"testing"
+
+	rankjoin "repro"
+)
+
+// TestConcurrentSplitScanStream drives streams, token-paged queries,
+// and batch scans against a shared DB while the base and index tables
+// split underneath them.
+func TestConcurrentSplitScanStream(t *testing.T) {
+	db, q := concurrentDB(t)
+
+	// Reference order, measured quiet.
+	ref, err := db.TopK(q.WithK(50), rankjoin.AlgoISL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refScores := make([]float64, len(ref.Results))
+	for i, r := range ref.Results {
+		refScores[i] = r.Score
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Splitter: keep splitting the base tables and the ISL index table.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		c := db.Cluster()
+		for i := 0; i < 5; i++ {
+			for _, tbl := range []string{"rel_cl", "rel_cr", "isl_cl_cr_sum"} {
+				regions, err := c.TableRegions(tbl)
+				if err != nil || len(regions) == 0 {
+					continue
+				}
+				// Split the largest region at its middle.
+				big := regions[0]
+				for _, r := range regions {
+					if r.DiskSize() > big.DiskSize() {
+						big = r
+					}
+				}
+				_ = c.SplitRegion(tbl, big.StartKey()+"\x7f")
+			}
+		}
+	}()
+
+	// Streamers: full-order enumeration must match the reference.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; ; iter++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rows, err := db.Stream(q.WithK(10), rankjoin.AlgoISL, nil)
+				if err != nil {
+					t.Errorf("stream %d: %v", g, err)
+					return
+				}
+				for i := 0; i < len(refScores) && rows.Next(); i++ {
+					if s := rows.Result().Score; s != refScores[i] {
+						t.Errorf("stream %d iter %d: score[%d] = %v, want %v", g, iter, i, s, refScores[i])
+						rows.Close()
+						return
+					}
+				}
+				if err := rows.Err(); err != nil {
+					t.Errorf("stream %d: %v", g, err)
+					rows.Close()
+					return
+				}
+				rows.Close()
+			}
+		}(g)
+	}
+
+	// Pager: token-resumed pages must concatenate to the reference.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			opts := &rankjoin.QueryOptions{}
+			got := 0
+			for got < len(refScores) {
+				res, err := db.TopK(q.WithK(10), rankjoin.AlgoISL, opts)
+				if err != nil {
+					t.Errorf("page at %d: %v", got, err)
+					return
+				}
+				for _, r := range res.Results {
+					if got < len(refScores) && r.Score != refScores[got] {
+						t.Errorf("page score[%d] = %v, want %v", got, r.Score, refScores[got])
+						return
+					}
+					got++
+				}
+				if res.NextPageToken == "" {
+					break
+				}
+				opts = &rankjoin.QueryOptions{PageToken: res.NextPageToken}
+			}
+		}
+	}()
+
+	// Scanner: naive full scans see consistent data throughout.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			res, err := db.TopK(q.WithK(5), rankjoin.AlgoNaive, nil)
+			if err != nil {
+				t.Errorf("naive: %v", err)
+				return
+			}
+			for i, r := range res.Results {
+				if r.Score != refScores[i] {
+					t.Errorf("naive score[%d] = %v, want %v", i, r.Score, refScores[i])
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+
+	// The splits actually happened (the base table started unsplit).
+	regions, err := db.Cluster().TableRegions("rel_cl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) < 2 {
+		t.Errorf("rel_cl still has %d region(s); splitter was a no-op", len(regions))
+	}
+}

@@ -48,4 +48,35 @@
 //	fmt.Print(p) // ranked candidates with predicted time/bytes/reads
 //	res, _ := db.TopK(q, rankjoin.AlgoAuto, nil)
 //	fmt.Println(res.Algorithm, res.Estimate.SimTime, res.Cost.SimTime)
+//
+// # Streaming and pagination
+//
+// Execution is cursor-based: every executor can open a pull-based
+// cursor that yields join results one at a time in descending score
+// order, with no k fixed up front, and the bounded TopK is a drain of
+// that cursor. DB.Stream exposes the cursor directly as a Rows
+// iterator, and TopK paginates through resumable page tokens — a full
+// page carries Result.NextPageToken, and passing it back via
+// QueryOptions.PageToken drains the next k results from the retained
+// cursor instead of re-running the query:
+//
+//	res, _ := db.TopK(q, rankjoin.AlgoISL, nil)           // page 1
+//	opts := &rankjoin.QueryOptions{PageToken: res.NextPageToken}
+//	res2, _ := db.TopK(q, rankjoin.AlgoISL, opts)          // page 2, marginal cost
+//
+//	rows, _ := db.Stream(q, rankjoin.AlgoAuto, nil)        // unbounded enumeration
+//	defer rows.Close()
+//	for rows.Next() { fmt.Println(rows.Result().Score) }
+//
+// Which executors stream natively: ISL and DRJN are incremental — their
+// sorted-access loops (the HRJN coordinator's batched scans, DRJN's
+// histogram band walk) pause at the exact input prefix each emitted
+// result needs, so the next page pays only marginal work. Naive, Hive,
+// Pig, IJLMR, and BFHM are batch-shaped (their pipelines target a fixed
+// k end to end) and stream through a materializing adapter that re-runs
+// at doubled depths when drained past the page hint. AlgoAuto knows the
+// difference: Stream-mode planning prices deep enumeration — marginal
+// per-page cost for incremental cursors, the doubling re-run schedule
+// for materializing ones — and can pick a different executor for deep
+// pagination than for a one-shot top-k.
 package rankjoin

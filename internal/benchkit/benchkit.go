@@ -315,3 +315,60 @@ func (e *Env) UpdateExperiment(setNo int) (overheadPct float64, applied int, err
 	}
 	return float64(dirty-clean) / float64(clean) * 100, applied, nil
 }
+
+// PagingReport runs the deep-pagination scenario: one top-k query, then
+// further pages resumed through page tokens, recording the marginal
+// cost of every page. For comparison it also measures what a client
+// without tokens pays — re-running TopK at the growing depth for each
+// page — so the report shows what resumable cursor state saves.
+func (e *Env) PagingReport(q rankjoin.Query, algos []rankjoin.Algorithm, k, pages int) (string, error) {
+	out := fmt.Sprintf("Deep pagination: %d pages x k=%d (per-page marginal cost via page tokens)\n", pages, k)
+	for _, algo := range algos {
+		opts := &rankjoin.QueryOptions{ISLBatch: e.ISLBatch}
+		var pageReads []uint64
+		var pageTimes []time.Duration
+		var totalReads uint64
+		var totalTime time.Duration
+		got := 0
+		for page := 0; page < pages; page++ {
+			res, err := e.DB.TopK(q.WithK(k), algo, opts)
+			if err != nil {
+				return "", fmt.Errorf("%s page %d: %w", algo, page, err)
+			}
+			got += len(res.Results)
+			pageReads = append(pageReads, res.Cost.KVReads)
+			pageTimes = append(pageTimes, res.Cost.SimTime)
+			totalReads += res.Cost.KVReads
+			totalTime += res.Cost.SimTime
+			if res.NextPageToken == "" {
+				break
+			}
+			opts = &rankjoin.QueryOptions{ISLBatch: e.ISLBatch, PageToken: res.NextPageToken}
+		}
+
+		// The tokenless alternative: re-run at depth i*k per page.
+		var rerunReads uint64
+		var rerunTime time.Duration
+		for i := 1; i <= pages; i++ {
+			res, err := e.DB.TopK(q.WithK(k*i), algo, &rankjoin.QueryOptions{ISLBatch: e.ISLBatch})
+			if err != nil {
+				return "", fmt.Errorf("%s rerun %d: %w", algo, i, err)
+			}
+			rerunReads += res.Cost.KVReads
+			rerunTime += res.Cost.SimTime
+		}
+
+		out += fmt.Sprintf("  %-6s %3d results: paged %d read units / %v total",
+			algo, got, totalReads, totalTime.Round(time.Microsecond))
+		if totalReads > 0 {
+			out += fmt.Sprintf("  (vs %d units / %v re-running per page, %.1fx reads saved)",
+				rerunReads, rerunTime.Round(time.Microsecond), float64(rerunReads)/float64(totalReads))
+		}
+		out += "\n    per-page read units:"
+		for _, r := range pageReads {
+			out += fmt.Sprintf(" %d", r)
+		}
+		out += "\n"
+	}
+	return out, nil
+}

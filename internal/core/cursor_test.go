@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/kvstore"
+)
+
+// newCursorEnv loads synthetic relations, builds every index family,
+// and returns what the executor-level cursor tests need.
+func newCursorEnv(t *testing.T, n, joinCard, k int, seed int64) (*kvstore.Cluster, Query, *IndexStore) {
+	t.Helper()
+	c := newTestCluster()
+	left := synthTuples("l", n, joinCard, "uniform", seed)
+	right := synthTuples("r", n, joinCard, "uniform", seed+77)
+	relL := loadRelation(t, c, "CL", left)
+	relR := loadRelation(t, c, "CR", right)
+	q := Query{Left: relL, Right: relR, Score: Sum, K: k}
+	store := NewIndexStore()
+	cfg := IndexBuildConfig{BFHMBuckets: 8, DRJNBuckets: 8, DRJNJoinParts: 16}.WithDefaults()
+	for _, ex := range Executors() {
+		if ex.NeedsIndex() {
+			if err := ex.EnsureIndex(c, q, store, cfg); err != nil {
+				t.Fatalf("%s: EnsureIndex: %v", ex.Name(), err)
+			}
+		}
+	}
+	return c, q, store
+}
+
+// drainPages pulls total results from cur in pages of pageSize,
+// returning the concatenation.
+func drainPages(t *testing.T, cur Cursor, pageSize, total int) []JoinResult {
+	t.Helper()
+	var out []JoinResult
+	for len(out) < total {
+		got := 0
+		for got < pageSize && len(out) < total {
+			r, err := cur.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r == nil {
+				return out
+			}
+			out = append(out, *r)
+			got++
+		}
+		if got < pageSize {
+			return out
+		}
+	}
+	return out
+}
+
+// TestCursorPagesMatchBatch: for every registered executor, draining a
+// single cursor in small pages must concatenate to exactly the batch
+// TopK(n) result — same pairs, same order.
+func TestCursorPagesMatchBatch(t *testing.T) {
+	const page, total = 3, 21
+	c, q, store := newCursorEnv(t, 120, 12, page, 42)
+	opts := ExecOptions{ISLBatch: 7}.WithDefaults()
+
+	for _, ex := range Executors() {
+		batchQ := q
+		batchQ.K = total
+		batch, err := ex.Run(c, batchQ, store, opts)
+		if err != nil {
+			t.Fatalf("%s: Run: %v", ex.Name(), err)
+		}
+
+		cur, err := ex.Open(c, q, store, opts) // q.K = page hint
+		if err != nil {
+			t.Fatalf("%s: Open: %v", ex.Name(), err)
+		}
+		paged := drainPages(t, cur, page, total)
+		if err := cur.Close(); err != nil {
+			t.Fatalf("%s: Close: %v", ex.Name(), err)
+		}
+
+		if len(paged) != len(batch.Results) {
+			t.Fatalf("%s: paged %d results, batch %d", ex.Name(), len(paged), len(batch.Results))
+		}
+		for i := range paged {
+			b := batch.Results[i]
+			if paged[i].Left.RowKey != b.Left.RowKey || paged[i].Right.RowKey != b.Right.RowKey || paged[i].Score != b.Score {
+				t.Fatalf("%s: page result %d = (%s,%s,%.4f), batch = (%s,%s,%.4f)",
+					ex.Name(), i,
+					paged[i].Left.RowKey, paged[i].Right.RowKey, paged[i].Score,
+					b.Left.RowKey, b.Right.RowKey, b.Score)
+			}
+		}
+		verifyResultsAreRealJoins(t, ex.Name()+"/paged", paged, q.Score)
+	}
+}
+
+// TestCursorDrainsToExhaustion: draining past the full join must
+// terminate with the complete ordered result set for every executor.
+func TestCursorDrainsToExhaustion(t *testing.T) {
+	c, q, store := newCursorEnv(t, 40, 6, 5, 7)
+	// The oracle needs the raw tuples; regenerate them identically.
+	left := synthTuples("l", 40, 6, "uniform", 7)
+	right := synthTuples("r", 40, 6, "uniform", 7+77)
+	full := oracleTopK(left, right, q.Score, 1<<30)
+
+	opts := ExecOptions{}.WithDefaults()
+	for _, ex := range Executors() {
+		cur, err := ex.Open(c, q, store, opts)
+		if err != nil {
+			t.Fatalf("%s: Open: %v", ex.Name(), err)
+		}
+		var got []JoinResult
+		for {
+			r, err := cur.Next()
+			if err != nil {
+				t.Fatalf("%s: Next: %v", ex.Name(), err)
+			}
+			if r == nil {
+				break
+			}
+			got = append(got, *r)
+		}
+		cur.Close()
+		assertScoresEqual(t, ex.Name()+"/exhaust", scoresOf(got), scoresOf(full))
+	}
+}
+
+// TestCursorEarlyCloseChargesNothing: a closed cursor must stop
+// consuming read units — abandoning a stream early never bills for
+// results that were not pulled.
+func TestCursorEarlyCloseChargesNothing(t *testing.T) {
+	c, q, store := newCursorEnv(t, 200, 10, 3, 99)
+	opts := ExecOptions{ISLBatch: 5}.WithDefaults()
+	for _, ex := range Executors() {
+		cur, err := ex.Open(c, q, store, opts)
+		if err != nil {
+			t.Fatalf("%s: Open: %v", ex.Name(), err)
+		}
+		if _, err := cur.Next(); err != nil {
+			t.Fatalf("%s: Next: %v", ex.Name(), err)
+		}
+		if err := cur.Close(); err != nil {
+			t.Fatalf("%s: Close: %v", ex.Name(), err)
+		}
+		before := c.Metrics().Snapshot()
+		if _, err := cur.Next(); err != ErrCursorClosed {
+			t.Fatalf("%s: Next after Close = %v, want ErrCursorClosed", ex.Name(), err)
+		}
+		delta := c.Metrics().Snapshot().Sub(before)
+		if delta.KVReads != 0 || delta.NetworkBytes != 0 {
+			t.Fatalf("%s: closed cursor charged reads=%d net=%d", ex.Name(), delta.KVReads, delta.NetworkBytes)
+		}
+	}
+}
+
+// TestHRJNStreamMatchesBounded: the incremental operator drained k deep
+// must agree with the bounded RunHRJN on the top-k scores.
+func TestHRJNStreamMatchesBounded(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		left := descending(synthTuples("l", 80, 8, "uniform", seed))
+		right := descending(synthTuples("r", 80, 8, "uniform", seed+5))
+		for _, k := range []int{1, 5, 17} {
+			want, err := RunHRJN(k, Sum, &SliceSource{Tuples: left}, &SliceSource{Tuples: right})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur := OpenHRJNStream(Sum, &SliceSource{Tuples: left}, &SliceSource{Tuples: right})
+			var got []JoinResult
+			for len(got) < k {
+				r, err := cur.Next()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r == nil {
+					break
+				}
+				got = append(got, *r)
+			}
+			cur.Close()
+			assertScoresEqual(t, fmt.Sprintf("hrjn-stream k=%d seed=%d", k, seed),
+				scoresOf(got), scoresOf(want))
+		}
+	}
+}
+
+// TestHRJNStreamResumeCheaperThanRerun: pulling k then k more from one
+// stream must consume fewer input tuples than running the bounded
+// operator from scratch at k and then at 2k — the marginal-cost claim
+// at the operator level.
+func TestHRJNStreamResumeCheaperThanRerun(t *testing.T) {
+	const k = 10
+	left := descending(synthTuples("l", 400, 20, "uniform", 11))
+	right := descending(synthTuples("r", 400, 20, "uniform", 12))
+
+	pulls := func(k int) int {
+		a, b := &SliceSource{Tuples: left}, &SliceSource{Tuples: right}
+		h := NewHRJN(k, Sum)
+		pullA := true
+		for !h.Done() {
+			var src TupleSource
+			if (pullA && !h.doneA) || h.doneB {
+				src = a
+			} else {
+				src = b
+			}
+			tp, err := src.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tp == nil {
+				if src == a {
+					h.ExhaustA()
+				} else {
+					h.ExhaustB()
+				}
+			} else if src == a {
+				h.PushA(*tp)
+			} else {
+				h.PushB(*tp)
+			}
+			pullA = !pullA
+		}
+		return h.TuplesPulled()
+	}
+	rerun := pulls(k) + pulls(2*k)
+
+	scur := OpenHRJNStream(Sum, &SliceSource{Tuples: left}, &SliceSource{Tuples: right}).(*hrjnSourceCursor)
+	for i := 0; i < 2*k; i++ {
+		r, err := scur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r == nil {
+			break
+		}
+	}
+	streamed := scur.h.TuplesPulled()
+	if streamed >= rerun {
+		t.Fatalf("streaming 2k pulled %d tuples, re-running k then 2k pulled %d — streaming should be cheaper", streamed, rerun)
+	}
+	t.Logf("tuples pulled: stream(2k)=%d vs rerun(k)+rerun(2k)=%d", streamed, rerun)
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/histogram"
 	"repro/internal/kvstore"
@@ -239,161 +240,249 @@ func readPulled(c *kvstore.Cluster, tmpTable string) ([]Tuple, error) {
 	return out, nil
 }
 
-// QueryDRJN runs the DRJN rank join.
-func QueryDRJN(c *kvstore.Cluster, q Query, idxA, idxB *DRJNIndex) (*Result, error) {
+// drjnCursor streams the DRJN rank join: the same fetch-bands /
+// estimate / pull / join rounds as the bounded run, but held as
+// resumable state. A result is released as soon as its score reaches
+// the max attainable score of the unexamined bands; when the buffered
+// results run dry the cursor deepens by two bands and re-pulls with
+// lower floors. Previously released results always outrank anything a
+// deeper pull can add (new tuples score below the old floors), so the
+// emitted stream stays in global score order across rounds.
+type drjnCursor struct {
+	c          *kvstore.Cluster
+	q          Query
+	idxA, idxB *DRJNIndex
+	f          func(a, b float64) float64
+
+	bandsA, bandsB []*drjnBand
+	nextA, nextB   int
+	estCard        uint64
+	round          int
+	pulledOnce     bool
+
+	// results is the complete join of the pulled prefix, sorted
+	// descending; emitted indexes the released prefix. Each re-pull
+	// rebuilds results as a superset and re-locates the last released
+	// result in it, so emission resumes exactly after it.
+	results     []JoinResult
+	emitted     int
+	lastEmitted JoinResult
+	hasEmitted  bool
+	closed      bool
+}
+
+// OpenDRJN starts a streaming DRJN execution over built indexes. q.K is
+// only a sizing hint for the first round's band-fetch target.
+func OpenDRJN(c *kvstore.Cluster, q Query, idxA, idxB *DRJNIndex) (Cursor, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
 	if idxA.JoinParts != idxB.JoinParts {
 		return nil, fmt.Errorf("drjn: partition counts differ (%d vs %d)", idxA.JoinParts, idxB.JoinParts)
 	}
-	before := c.Metrics().Snapshot()
-	f := q.Score.Fn
+	return &drjnCursor{c: c, q: q, idxA: idxA, idxB: idxB, f: q.Score.Fn}, nil
+}
 
-	var bandsA, bandsB []*drjnBand
-	nextA, nextB := 0, 0
-	var estCard uint64
-	top := NewTopKList(q.K)
-	round := 0
+func (cu *drjnCursor) exhausted() bool {
+	return cu.nextA >= cu.idxA.Layout.Buckets && cu.nextB >= cu.idxB.Layout.Buckets
+}
 
-	exhausted := func() bool {
-		return nextA >= idxA.Layout.Buckets && nextB >= idxB.Layout.Buckets
+// maxUnpulled is the max attainable score of tuples NOT yet pulled:
+// anything below the current pull floors.
+func (cu *drjnCursor) maxUnpulled() float64 {
+	floorA, floorB := 1.0, 1.0
+	if len(cu.bandsA) > 0 {
+		floorA = cu.bandsA[len(cu.bandsA)-1].floor
 	}
-	// Max attainable score of tuples NOT yet pulled: anything below the
-	// current pull floors.
-	maxUnpulled := func() float64 {
-		floorA, floorB := 1.0, 1.0
-		if len(bandsA) > 0 {
-			floorA = bandsA[len(bandsA)-1].floor
-		}
-		if len(bandsB) > 0 {
-			floorB = bandsB[len(bandsB)-1].floor
-		}
-		if nextA >= idxA.Layout.Buckets {
-			floorA = 0
-		}
-		if nextB >= idxB.Layout.Buckets {
-			floorB = 0
-		}
-		return math.Max(f(floorA, idxB.Layout.Hi), f(idxA.Layout.Hi, floorB))
+	if len(cu.bandsB) > 0 {
+		floorB = cu.bandsB[len(cu.bandsB)-1].floor
 	}
+	if cu.nextA >= cu.idxA.Layout.Buckets {
+		floorA = 0
+	}
+	if cu.nextB >= cu.idxB.Layout.Buckets {
+		floorB = 0
+	}
+	return math.Max(cu.f(floorA, cu.idxB.Layout.Hi), cu.f(cu.idxA.Layout.Hi, floorB))
+}
 
+// fetchBands fetches index bands alternately until the pairwise dot
+// products estimate at least target join results (steps (i)+(ii)).
+func (cu *drjnCursor) fetchBands(target uint64) error {
+	for cu.estCard < target && !cu.exhausted() {
+		if cu.nextA <= cu.nextB && cu.nextA < cu.idxA.Layout.Buckets || cu.nextB >= cu.idxB.Layout.Buckets {
+			nb, err := fetchDRJNBand(cu.c, cu.idxA, cu.nextA)
+			if err != nil {
+				return err
+			}
+			cu.nextA++
+			cu.bandsA = append(cu.bandsA, nb)
+			if nb.data != nil {
+				for _, ob := range cu.bandsB {
+					if ob.data == nil {
+						continue
+					}
+					n, err := histogram.DotProduct(nb.data, ob.data)
+					if err != nil {
+						return err
+					}
+					cu.estCard += n
+				}
+			}
+		} else {
+			nb, err := fetchDRJNBand(cu.c, cu.idxB, cu.nextB)
+			if err != nil {
+				return err
+			}
+			cu.nextB++
+			cu.bandsB = append(cu.bandsB, nb)
+			if nb.data != nil {
+				for _, ob := range cu.bandsA {
+					if ob.data == nil {
+						continue
+					}
+					n, err := histogram.DotProduct(ob.data, nb.data)
+					if err != nil {
+						return err
+					}
+					cu.estCard += n
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// pullAndJoin pulls every tuple above the current floors and joins
+// exactly (step (iii)), replacing results with the full sorted join of
+// the pulled prefix.
+func (cu *drjnCursor) pullAndJoin() error {
+	floorA, floorB := 0.0, 0.0
+	if len(cu.bandsA) > 0 {
+		floorA = cu.bandsA[len(cu.bandsA)-1].floor
+	}
+	if len(cu.bandsB) > 0 {
+		floorB = cu.bandsB[len(cu.bandsB)-1].floor
+	}
+	c, q := cu.c, cu.q
+	tmpA := fmt.Sprintf("tmp_drjn_%s_a_%d_%d", q.ID(), cu.round, c.Now())
+	tmpB := fmt.Sprintf("tmp_drjn_%s_b_%d_%d", q.ID(), cu.round, c.Now())
+	if _, err := c.CreateTable(tmpA, []string{drjnFamily}, nil); err != nil {
+		return err
+	}
+	if _, err := c.CreateTable(tmpB, []string{drjnFamily}, nil); err != nil {
+		return err
+	}
+	if err := drjnPull(c, q.Left, tmpA, floorA); err != nil {
+		return err
+	}
+	if err := drjnPull(c, q.Right, tmpB, floorB); err != nil {
+		return err
+	}
+	pulledA, err := readPulled(c, tmpA)
+	if err != nil {
+		return err
+	}
+	pulledB, err := readPulled(c, tmpB)
+	if err != nil {
+		return err
+	}
+	_ = c.DropTable(tmpA)
+	_ = c.DropTable(tmpB)
+
+	byJoin := map[string][]Tuple{}
+	for _, t := range pulledA {
+		byJoin[t.JoinValue] = append(byJoin[t.JoinValue], t)
+	}
+	// Fresh slice each round: pointers returned by Next alias the old
+	// backing array and must stay valid.
+	var out []JoinResult
+	for _, tb := range pulledB {
+		for _, ta := range byJoin[tb.JoinValue] {
+			out = append(out, JoinResult{Left: ta, Right: tb, Score: cu.f(ta.Score, tb.Score)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].less(&out[j]) })
+	cu.results = out
+	cu.pulledOnce = true
+	// Resume emission strictly after the last released result (join
+	// pairs are unique, so it re-forms at one position in the superset).
+	cu.emitted = 0
+	if cu.hasEmitted {
+		cu.emitted = sort.Search(len(out), func(i int) bool {
+			return cu.lastEmitted.less(&out[i])
+		})
+	}
+	return nil
+}
+
+// Next implements Cursor.
+func (cu *drjnCursor) Next() (*JoinResult, error) {
+	if cu.closed {
+		return nil, ErrCursorClosed
+	}
 	for {
-		round++
-		if round > idxA.Layout.Buckets+idxB.Layout.Buckets+4 {
+		// (iv): release the next buffered result once it beats the
+		// ceiling of everything not yet pulled.
+		if cu.emitted < len(cu.results) &&
+			(cu.exhausted() || cu.results[cu.emitted].Score >= cu.maxUnpulled()) {
+			r := &cu.results[cu.emitted]
+			cu.emitted++
+			cu.lastEmitted = *r
+			cu.hasEmitted = true
+			return r, nil
+		}
+		if cu.pulledOnce && cu.exhausted() {
+			return nil, nil // everything pulled, everything released
+		}
+		cu.round++
+		if cu.round > cu.idxA.Layout.Buckets+cu.idxB.Layout.Buckets+4 {
 			return nil, fmt.Errorf("drjn: failed to converge")
 		}
-		// (i)+(ii): fetch bands alternately until the estimate covers k.
-		for estCard < uint64(q.K) && !exhausted() {
-			if nextA <= nextB && nextA < idxA.Layout.Buckets || nextB >= idxB.Layout.Buckets {
-				nb, err := fetchDRJNBand(c, idxA, nextA)
+		if !cu.pulledOnce {
+			// First round: fetch bands until the estimate covers the
+			// query's k (or one result, for a pure stream).
+			target := uint64(cu.q.K)
+			if target < 1 {
+				target = 1
+			}
+			if err := cu.fetchBands(target); err != nil {
+				return nil, err
+			}
+		} else {
+			// Deepen: at least one more band per relation.
+			if cu.nextA < cu.idxA.Layout.Buckets {
+				nb, err := fetchDRJNBand(cu.c, cu.idxA, cu.nextA)
 				if err != nil {
 					return nil, err
 				}
-				nextA++
-				bandsA = append(bandsA, nb)
-				if nb.data != nil {
-					for _, ob := range bandsB {
-						if ob.data == nil {
-							continue
-						}
-						n, err := histogram.DotProduct(nb.data, ob.data)
-						if err != nil {
-							return nil, err
-						}
-						estCard += n
-					}
-				}
-			} else {
-				nb, err := fetchDRJNBand(c, idxB, nextB)
+				cu.nextA++
+				cu.bandsA = append(cu.bandsA, nb)
+			}
+			if cu.nextB < cu.idxB.Layout.Buckets {
+				nb, err := fetchDRJNBand(cu.c, cu.idxB, cu.nextB)
 				if err != nil {
 					return nil, err
 				}
-				nextB++
-				bandsB = append(bandsB, nb)
-				if nb.data != nil {
-					for _, ob := range bandsA {
-						if ob.data == nil {
-							continue
-						}
-						n, err := histogram.DotProduct(ob.data, nb.data)
-						if err != nil {
-							return nil, err
-						}
-						estCard += n
-					}
-				}
+				cu.nextB++
+				cu.bandsB = append(cu.bandsB, nb)
 			}
 		}
-		// (iii): pull all tuples above the current floors and join.
-		floorA, floorB := 0.0, 0.0
-		if len(bandsA) > 0 {
-			floorA = bandsA[len(bandsA)-1].floor
-		}
-		if len(bandsB) > 0 {
-			floorB = bandsB[len(bandsB)-1].floor
-		}
-		tmpA := fmt.Sprintf("tmp_drjn_%s_a_%d_%d", q.ID(), round, c.Now())
-		tmpB := fmt.Sprintf("tmp_drjn_%s_b_%d_%d", q.ID(), round, c.Now())
-		if _, err := c.CreateTable(tmpA, []string{drjnFamily}, nil); err != nil {
+		if err := cu.pullAndJoin(); err != nil {
 			return nil, err
 		}
-		if _, err := c.CreateTable(tmpB, []string{drjnFamily}, nil); err != nil {
-			return nil, err
-		}
-		if err := drjnPull(c, q.Left, tmpA, floorA); err != nil {
-			return nil, err
-		}
-		if err := drjnPull(c, q.Right, tmpB, floorB); err != nil {
-			return nil, err
-		}
-		pulledA, err := readPulled(c, tmpA)
-		if err != nil {
-			return nil, err
-		}
-		pulledB, err := readPulled(c, tmpB)
-		if err != nil {
-			return nil, err
-		}
-		_ = c.DropTable(tmpA)
-		_ = c.DropTable(tmpB)
-
-		top = NewTopKList(q.K)
-		byJoin := map[string][]Tuple{}
-		for _, t := range pulledA {
-			byJoin[t.JoinValue] = append(byJoin[t.JoinValue], t)
-		}
-		for _, tb := range pulledB {
-			for _, ta := range byJoin[tb.JoinValue] {
-				top.Add(JoinResult{Left: ta, Right: tb, Score: f(ta.Score, tb.Score)})
-			}
-		}
-		// (iv): terminate or loop with more bands.
-		if top.Len() >= q.K && top.KthScore() >= maxUnpulled() {
-			break
-		}
-		if exhausted() {
-			break
-		}
-		// Fetch at least one more band per relation and re-estimate.
-		estCard = 0 // force the fetch loop to deepen
-		if nextA < idxA.Layout.Buckets {
-			nb, err := fetchDRJNBand(c, idxA, nextA)
-			if err != nil {
-				return nil, err
-			}
-			nextA++
-			bandsA = append(bandsA, nb)
-		}
-		if nextB < idxB.Layout.Buckets {
-			nb, err := fetchDRJNBand(c, idxB, nextB)
-			if err != nil {
-				return nil, err
-			}
-			nextB++
-			bandsB = append(bandsB, nb)
-		}
-		estCard = uint64(q.K) // bands already fetched; go straight to pull
 	}
-	return &Result{Results: top.Results(), Cost: c.Metrics().Snapshot().Sub(before)}, nil
+}
+
+// Close implements Cursor.
+func (cu *drjnCursor) Close() error {
+	cu.closed = true
+	cu.results = nil
+	return nil
+}
+
+// QueryDRJN runs the DRJN rank join as a bounded drain of the streaming
+// cursor.
+func QueryDRJN(c *kvstore.Cluster, q Query, idxA, idxB *DRJNIndex) (*Result, error) {
+	return RunCursor(c, q.K, func() (Cursor, error) { return OpenDRJN(c, q, idxA, idxB) })
 }

@@ -179,8 +179,20 @@ type Executor interface {
 	// statistics. It must return non-zero costs for any non-empty
 	// input, whether or not the index exists yet.
 	Estimate(st *PlanStats) CostEstimate
-	// Run executes the query.
+	// Run executes the bounded query (a drain of Open's cursor to q.K
+	// results).
 	Run(c *kvstore.Cluster, q Query, store *IndexStore, opts ExecOptions) (*Result, error)
+	// Open starts a streaming execution: the cursor yields join results
+	// one at a time in descending score order, with no fixed k. For
+	// incremental executors q.K is irrelevant beyond validation; for
+	// materializing ones it is the initial batch depth (the page-size
+	// hint), with deeper pulls re-running at doubled depths.
+	Open(c *kvstore.Cluster, q Query, store *IndexStore, opts ExecOptions) (Cursor, error)
+	// Incremental reports whether Open enumerates natively — each Next
+	// pays only marginal work — as opposed to materializing bounded
+	// re-runs. The planner charges materializing executors the re-run
+	// penalty when costing deep pagination.
+	Incremental() bool
 }
 
 // ---- Registry ----

@@ -27,6 +27,16 @@ func tableSize(c *kvstore.Cluster, table string) uint64 {
 	return sz
 }
 
+// materialize adapts a batch-shaped top-k function to Open's streaming
+// contract: the cursor materializes the top q.K, then re-runs at
+// doubled depths when drained deeper.
+func materialize(q Query, run func(k int) (*Result, error)) (Cursor, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return NewMaterializedCursor(q.K, run), nil
+}
+
 // ---- Naive ----
 
 type naiveExec struct{}
@@ -39,8 +49,16 @@ func (naiveExec) EnsureIndex(*kvstore.Cluster, Query, *IndexStore, IndexBuildCon
 func (naiveExec) HasIndex(Query, *IndexStore) bool                      { return true }
 func (naiveExec) IndexSize(*kvstore.Cluster, Query, *IndexStore) uint64 { return 0 }
 func (naiveExec) Estimate(st *PlanStats) CostEstimate                   { return estimateNaive(st) }
+func (naiveExec) Incremental() bool                                     { return false }
 func (naiveExec) Run(c *kvstore.Cluster, q Query, _ *IndexStore, _ ExecOptions) (*Result, error) {
 	return NaiveTopK(c, q)
+}
+func (naiveExec) Open(c *kvstore.Cluster, q Query, _ *IndexStore, _ ExecOptions) (Cursor, error) {
+	return materialize(q, func(k int) (*Result, error) {
+		qq := q
+		qq.K = k
+		return NaiveTopK(c, qq)
+	})
 }
 
 // ---- Hive ----
@@ -55,8 +73,16 @@ func (hiveExec) EnsureIndex(*kvstore.Cluster, Query, *IndexStore, IndexBuildConf
 func (hiveExec) HasIndex(Query, *IndexStore) bool                      { return true }
 func (hiveExec) IndexSize(*kvstore.Cluster, Query, *IndexStore) uint64 { return 0 }
 func (hiveExec) Estimate(st *PlanStats) CostEstimate                   { return estimateHive(st) }
+func (hiveExec) Incremental() bool                                     { return false }
 func (hiveExec) Run(c *kvstore.Cluster, q Query, _ *IndexStore, _ ExecOptions) (*Result, error) {
 	return QueryHive(c, q)
+}
+func (hiveExec) Open(c *kvstore.Cluster, q Query, _ *IndexStore, _ ExecOptions) (Cursor, error) {
+	return materialize(q, func(k int) (*Result, error) {
+		qq := q
+		qq.K = k
+		return QueryHive(c, qq)
+	})
 }
 
 // ---- Pig ----
@@ -71,8 +97,16 @@ func (pigExec) EnsureIndex(*kvstore.Cluster, Query, *IndexStore, IndexBuildConfi
 func (pigExec) HasIndex(Query, *IndexStore) bool                      { return true }
 func (pigExec) IndexSize(*kvstore.Cluster, Query, *IndexStore) uint64 { return 0 }
 func (pigExec) Estimate(st *PlanStats) CostEstimate                   { return estimatePig(st) }
+func (pigExec) Incremental() bool                                     { return false }
 func (pigExec) Run(c *kvstore.Cluster, q Query, _ *IndexStore, _ ExecOptions) (*Result, error) {
 	return QueryPig(c, q)
+}
+func (pigExec) Open(c *kvstore.Cluster, q Query, _ *IndexStore, _ ExecOptions) (Cursor, error) {
+	return materialize(q, func(k int) (*Result, error) {
+		qq := q
+		qq.K = k
+		return QueryPig(c, qq)
+	})
 }
 
 // ---- IJLMR ----
@@ -111,6 +145,7 @@ func (ijlmrExec) IndexSize(c *kvstore.Cluster, q Query, store *IndexStore) uint6
 }
 
 func (ijlmrExec) Estimate(st *PlanStats) CostEstimate { return estimateIJLMR(st) }
+func (ijlmrExec) Incremental() bool                   { return false }
 
 func (ijlmrExec) Run(c *kvstore.Cluster, q Query, store *IndexStore, _ ExecOptions) (*Result, error) {
 	idx, ok := store.IJLMR(q.ID())
@@ -118,6 +153,18 @@ func (ijlmrExec) Run(c *kvstore.Cluster, q Query, store *IndexStore, _ ExecOptio
 		return nil, fmt.Errorf("rankjoin: no IJLMR index for %s; call EnsureIndexes first", q.ID())
 	}
 	return QueryIJLMR(c, q, idx)
+}
+
+func (ijlmrExec) Open(c *kvstore.Cluster, q Query, store *IndexStore, _ ExecOptions) (Cursor, error) {
+	idx, ok := store.IJLMR(q.ID())
+	if !ok {
+		return nil, fmt.Errorf("rankjoin: no IJLMR index for %s; call EnsureIndexes first", q.ID())
+	}
+	return materialize(q, func(k int) (*Result, error) {
+		qq := q
+		qq.K = k
+		return QueryIJLMR(c, qq, idx)
+	})
 }
 
 // ---- ISL ----
@@ -156,14 +203,19 @@ func (islExec) IndexSize(c *kvstore.Cluster, q Query, store *IndexStore) uint64 
 }
 
 func (islExec) Estimate(st *PlanStats) CostEstimate { return estimateISL(st) }
+func (islExec) Incremental() bool                   { return true }
 
 func (islExec) Run(c *kvstore.Cluster, q Query, store *IndexStore, opts ExecOptions) (*Result, error) {
+	return RunCursor(c, q.K, func() (Cursor, error) { return islExec{}.Open(c, q, store, opts) })
+}
+
+func (islExec) Open(c *kvstore.Cluster, q Query, store *IndexStore, opts ExecOptions) (Cursor, error) {
 	idx, ok := store.ISL(q.ID())
 	if !ok {
 		return nil, fmt.Errorf("rankjoin: no ISL index for %s; call EnsureIndexes first", q.ID())
 	}
 	opts = opts.WithDefaults()
-	return QueryISL(c, q, idx, ISLOptions{
+	return OpenISL(c, q, idx, ISLOptions{
 		BatchLeft:   opts.ISLBatch,
 		BatchRight:  opts.ISLBatch,
 		Parallelism: opts.Parallelism,
@@ -229,6 +281,7 @@ func (bfhmExec) IndexSize(c *kvstore.Cluster, q Query, store *IndexStore) uint64
 }
 
 func (bfhmExec) Estimate(st *PlanStats) CostEstimate { return estimateBFHM(st) }
+func (bfhmExec) Incremental() bool                   { return false }
 
 func (bfhmExec) Run(c *kvstore.Cluster, q Query, store *IndexStore, opts ExecOptions) (*Result, error) {
 	idxA, okA := store.BFHM(q.Left.Name)
@@ -239,6 +292,25 @@ func (bfhmExec) Run(c *kvstore.Cluster, q Query, store *IndexStore, opts ExecOpt
 	return QueryBFHM(c, q, idxA, idxB, BFHMQueryOptions{
 		WriteBack:   opts.BFHMWriteBack,
 		Parallelism: opts.Parallelism,
+	})
+}
+
+// Open materializes: BFHM's estimation/reverse-mapping pipeline is
+// k-driven end to end (the histogram walk targets the k'th estimate),
+// so deeper pulls re-run the bounded query at doubled k.
+func (bfhmExec) Open(c *kvstore.Cluster, q Query, store *IndexStore, opts ExecOptions) (Cursor, error) {
+	idxA, okA := store.BFHM(q.Left.Name)
+	idxB, okB := store.BFHM(q.Right.Name)
+	if !okA || !okB {
+		return nil, fmt.Errorf("rankjoin: missing BFHM index for %s; call EnsureIndexes first", q.ID())
+	}
+	return materialize(q, func(k int) (*Result, error) {
+		qq := q
+		qq.K = k
+		return QueryBFHM(c, qq, idxA, idxB, BFHMQueryOptions{
+			WriteBack:   opts.BFHMWriteBack,
+			Parallelism: opts.Parallelism,
+		})
 	})
 }
 
@@ -289,12 +361,17 @@ func (drjnExec) IndexSize(c *kvstore.Cluster, q Query, store *IndexStore) uint64
 }
 
 func (drjnExec) Estimate(st *PlanStats) CostEstimate { return estimateDRJN(st) }
+func (drjnExec) Incremental() bool                   { return true }
 
-func (drjnExec) Run(c *kvstore.Cluster, q Query, store *IndexStore, _ ExecOptions) (*Result, error) {
+func (drjnExec) Run(c *kvstore.Cluster, q Query, store *IndexStore, opts ExecOptions) (*Result, error) {
+	return RunCursor(c, q.K, func() (Cursor, error) { return drjnExec{}.Open(c, q, store, opts) })
+}
+
+func (drjnExec) Open(c *kvstore.Cluster, q Query, store *IndexStore, _ ExecOptions) (Cursor, error) {
 	idxA, okA := store.DRJN(q.Left.Name)
 	idxB, okB := store.DRJN(q.Right.Name)
 	if !okA || !okB {
 		return nil, fmt.Errorf("rankjoin: missing DRJN index for %s; call EnsureIndexes first", q.ID())
 	}
-	return QueryDRJN(c, q, idxA, idxB)
+	return OpenDRJN(c, q, idxA, idxB)
 }

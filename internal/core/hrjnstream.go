@@ -1,0 +1,220 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+)
+
+// This file implements the incremental (ranked-enumeration) form of the
+// HRJN operator: instead of maintaining a bounded top-k list, it buffers
+// every formed join result in a max-heap and releases one as soon as its
+// score reaches the HRJN threshold — the best score any future result
+// could attain. The k-bounded operator in hrjn.go stops when the k'th
+// best buffered score beats the threshold; this one emits under exactly
+// the same bound, one result at a time, so draining it k results deep
+// consumes the same input prefix as the bounded run. Tziavelis et al.
+// ("Ranked Enumeration for Database Queries") call this any-k
+// enumeration; it is what makes pagination pay marginal rather than
+// from-scratch cost.
+
+// resultHeap is a max-heap of join results under the deterministic
+// descending order of JoinResult.less.
+type resultHeap []JoinResult
+
+func (h resultHeap) Len() int           { return len(h) }
+func (h resultHeap) Less(i, j int) bool { return h[i].less(&h[j]) }
+func (h resultHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x any)        { *h = append(*h, x.(JoinResult)) }
+func (h *resultHeap) Pop() any {
+	old := *h
+	n := len(old)
+	r := old[n-1]
+	*h = old[:n-1]
+	return r
+}
+
+// HRJNStream is the incremental HRJN operator state. Feed it tuples in
+// descending score order per side (PushA/PushB), mark sides exhausted,
+// and pop results with PopReady as they become provably next in the
+// global score order.
+type HRJNStream struct {
+	score ScoreFunc
+
+	seenA map[string][]Tuple // join value -> tuples pulled from A
+	seenB map[string][]Tuple
+	buf   resultHeap // formed, not yet released results
+
+	maxA, minA float64
+	maxB, minB float64
+	gotA, gotB bool
+	doneA      bool
+	doneB      bool
+
+	pulled int
+}
+
+// NewHRJNStream creates an incremental operator for aggregate f.
+func NewHRJNStream(f ScoreFunc) *HRJNStream {
+	return &HRJNStream{
+		score: f,
+		seenA: map[string][]Tuple{},
+		seenB: map[string][]Tuple{},
+		minA:  math.Inf(1), maxA: math.Inf(-1),
+		minB: math.Inf(1), maxB: math.Inf(-1),
+	}
+}
+
+// PushA feeds one tuple pulled from stream A (descending order is the
+// caller's contract), joining it against every B tuple seen.
+func (h *HRJNStream) PushA(t Tuple) {
+	h.pulled++
+	h.gotA = true
+	if t.Score > h.maxA {
+		h.maxA = t.Score
+	}
+	if t.Score < h.minA {
+		h.minA = t.Score
+	}
+	h.seenA[t.JoinValue] = append(h.seenA[t.JoinValue], t)
+	for _, other := range h.seenB[t.JoinValue] {
+		heap.Push(&h.buf, JoinResult{Left: t, Right: other, Score: h.score.Fn(t.Score, other.Score)})
+	}
+}
+
+// PushB feeds one tuple pulled from stream B.
+func (h *HRJNStream) PushB(t Tuple) {
+	h.pulled++
+	h.gotB = true
+	if t.Score > h.maxB {
+		h.maxB = t.Score
+	}
+	if t.Score < h.minB {
+		h.minB = t.Score
+	}
+	h.seenB[t.JoinValue] = append(h.seenB[t.JoinValue], t)
+	for _, other := range h.seenA[t.JoinValue] {
+		heap.Push(&h.buf, JoinResult{Left: other, Right: t, Score: h.score.Fn(other.Score, t.Score)})
+	}
+}
+
+// ExhaustA marks stream A as drained.
+func (h *HRJNStream) ExhaustA() { h.doneA = true }
+
+// ExhaustB marks stream B as drained.
+func (h *HRJNStream) ExhaustB() { h.doneB = true }
+
+// ExhaustedA reports whether side A was marked drained.
+func (h *HRJNStream) ExhaustedA() bool { return h.doneA }
+
+// ExhaustedB reports whether side B was marked drained.
+func (h *HRJNStream) ExhaustedB() bool { return h.doneB }
+
+// Exhausted reports whether both inputs are drained.
+func (h *HRJNStream) Exhausted() bool { return h.doneA && h.doneB }
+
+// Threshold returns the best join score any future result could have
+// (identical to the bounded operator's bound).
+func (h *HRJNStream) Threshold() float64 {
+	if !h.gotA || !h.gotB {
+		if h.doneA || h.doneB {
+			return math.Inf(-1) // one stream empty: no joins can exist
+		}
+		return math.Inf(1)
+	}
+	tA := h.score.Fn(h.minA, h.maxB)
+	tB := h.score.Fn(h.maxA, h.minB)
+	if h.doneA && h.doneB {
+		return math.Inf(-1)
+	}
+	if h.doneA {
+		return tB
+	}
+	if h.doneB {
+		return tA
+	}
+	if tA > tB {
+		return tA
+	}
+	return tB
+}
+
+// PopReady releases the best buffered result if it is provably next in
+// the global order — its score is at least the threshold (matching the
+// bounded operator's >= stopping test), or both inputs are exhausted.
+// It returns nil when more input is needed (or nothing is left).
+func (h *HRJNStream) PopReady() *JoinResult {
+	if h.buf.Len() == 0 {
+		return nil
+	}
+	if !h.Exhausted() && h.buf[0].Score < h.Threshold() {
+		return nil
+	}
+	r := heap.Pop(&h.buf).(JoinResult)
+	return &r
+}
+
+// Buffered returns how many formed results await release.
+func (h *HRJNStream) Buffered() int { return h.buf.Len() }
+
+// TuplesPulled returns how many tuples were fed in (the paper's
+// "tuples transferred" cost driver for ISL).
+func (h *HRJNStream) TuplesPulled() int { return h.pulled }
+
+// hrjnSourceCursor drives an HRJNStream over two TupleSources with
+// single-tuple alternating pulls — the streaming form of RunHRJN.
+type hrjnSourceCursor struct {
+	h      *HRJNStream
+	a, b   TupleSource
+	pullA  bool
+	closed bool
+}
+
+// OpenHRJNStream returns a cursor enumerating the rank join of two
+// score-descending sources in score order, pulling only as much input
+// as each emitted result requires.
+func OpenHRJNStream(f ScoreFunc, a, b TupleSource) Cursor {
+	return &hrjnSourceCursor{h: NewHRJNStream(f), a: a, b: b, pullA: true}
+}
+
+// Next implements Cursor.
+func (cu *hrjnSourceCursor) Next() (*JoinResult, error) {
+	if cu.closed {
+		return nil, ErrCursorClosed
+	}
+	for {
+		if r := cu.h.PopReady(); r != nil {
+			return r, nil
+		}
+		if cu.h.Exhausted() {
+			return nil, nil
+		}
+		var src TupleSource
+		fromA := (cu.pullA && !cu.h.doneA) || cu.h.doneB
+		if fromA {
+			src = cu.a
+		} else {
+			src = cu.b
+		}
+		t, err := src.Next()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case t == nil && fromA:
+			cu.h.ExhaustA()
+		case t == nil:
+			cu.h.ExhaustB()
+		case fromA:
+			cu.h.PushA(*t)
+		default:
+			cu.h.PushB(*t)
+		}
+		cu.pullA = !cu.pullA
+	}
+}
+
+// Close implements Cursor.
+func (cu *hrjnSourceCursor) Close() error {
+	cu.closed = true
+	return nil
+}

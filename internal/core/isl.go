@@ -169,10 +169,26 @@ func (s *islStream) Next() (*Tuple, error) {
 	return t, nil
 }
 
-// QueryISL runs the coordinator rank join of Algorithm 4: batched,
-// alternating scans of the two inverse score lists feeding HRJN until the
-// threshold test passes.
-func QueryISL(c *kvstore.Cluster, q Query, idx *ISLIndex, opts ISLOptions) (*Result, error) {
+// islCursor is the streaming form of Algorithm 4's coordinator: the
+// same batched, alternating scans of the two inverse score lists, but
+// feeding the incremental HRJN operator and pausing the moment the
+// next-ranked result is provably complete. Pulling k results consumes
+// exactly the input prefix the bounded run consumes; pulling k more
+// resumes mid-batch instead of rescanning from the top of the lists.
+type islCursor struct {
+	left, right *islStream
+	batchLeft   int
+	batchRight  int
+	h           *HRJNStream
+	cur         int // 0 = left, 1 = right (Algorithm 4's CurrentRelation)
+	i           int // progress within the current side's batch
+	closed      bool
+}
+
+// OpenISL starts a streaming ISL execution over a built index. The
+// query's k is irrelevant to the cursor (enumeration is unbounded); it
+// only shapes the drain in QueryISL.
+func OpenISL(c *kvstore.Cluster, q Query, idx *ISLIndex, opts ISLOptions) (Cursor, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -182,8 +198,6 @@ func QueryISL(c *kvstore.Cluster, q Query, idx *ISLIndex, opts ISLOptions) (*Res
 	if opts.BatchRight < 1 {
 		opts.BatchRight = opts.BatchLeft
 	}
-	before := c.Metrics().Snapshot()
-
 	// With Parallelism >= 2 both streams read ahead asynchronously; the
 	// shared collector's clock-progress accounting overlaps the two
 	// sides' RPCs (Section 4.2.3's batched scans, now pipelined).
@@ -196,54 +210,96 @@ func QueryISL(c *kvstore.Cluster, q Query, idx *ISLIndex, opts ISLOptions) (*Res
 	if err != nil {
 		return nil, err
 	}
+	return &islCursor{
+		left: left, right: right,
+		batchLeft: opts.BatchLeft, batchRight: opts.BatchRight,
+		h: NewHRJNStream(q.Score),
+	}, nil
+}
 
-	h := NewHRJN(q.K, q.Score)
-	cur := 0 // 0 = left, 1 = right (Algorithm 4's CurrentRelation)
-	for !h.Done() {
-		var batch int
-		var src *islStream
-		if cur == 0 {
-			src, batch = left, opts.BatchLeft
-		} else {
-			src, batch = right, opts.BatchRight
+// Next implements Cursor.
+func (cu *islCursor) Next() (*JoinResult, error) {
+	if cu.closed {
+		return nil, ErrCursorClosed
+	}
+	for {
+		if r := cu.h.PopReady(); r != nil {
+			return r, nil
 		}
-		if (cur == 0 && left.done && left.pos >= len(left.buf)) ||
-			(cur == 1 && right.done && right.pos >= len(right.buf)) {
-			// This side is exhausted; flip to the other, and if both
-			// are drained HRJN.Done will fire via Exhaust marks.
-			if cur == 0 {
-				h.ExhaustA()
+		if cu.h.Exhausted() {
+			return nil, nil
+		}
+		if err := cu.pullOne(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// pullOne feeds exactly one tuple (or an exhaustion mark) into the
+// operator, following Algorithm 4's batch alternation: consume a batch
+// from the current side, flip, repeat — with exhausted sides skipped.
+func (cu *islCursor) pullOne() error {
+	for {
+		if cu.h.Exhausted() {
+			return nil
+		}
+		var src *islStream
+		var batch int
+		var done bool
+		if cu.cur == 0 {
+			src, batch, done = cu.left, cu.batchLeft, cu.h.ExhaustedA()
+		} else {
+			src, batch, done = cu.right, cu.batchRight, cu.h.ExhaustedB()
+		}
+		if done || (src.done && src.pos >= len(src.buf)) {
+			// This side is drained; mark it and flip to the other.
+			if cu.cur == 0 {
+				cu.h.ExhaustA()
 			} else {
-				h.ExhaustB()
+				cu.h.ExhaustB()
 			}
-			cur = 1 - cur
-			if h.doneA && h.doneB {
-				break
-			}
+			cu.cur = 1 - cu.cur
+			cu.i = 0
 			continue
 		}
-		// Consume one batch worth of tuples from the current side,
-		// testing termination after every tuple (Algorithm 4 line 20).
-		for i := 0; i < batch && !h.Done(); i++ {
-			t, err := src.Next()
-			if err != nil {
-				return nil, err
-			}
-			if t == nil {
-				if cur == 0 {
-					h.ExhaustA()
-				} else {
-					h.ExhaustB()
-				}
-				break
-			}
-			if cur == 0 {
-				h.PushA(*t)
-			} else {
-				h.PushB(*t)
-			}
+		t, err := src.Next()
+		if err != nil {
+			return err
 		}
-		cur = 1 - cur
+		if t == nil {
+			if cu.cur == 0 {
+				cu.h.ExhaustA()
+			} else {
+				cu.h.ExhaustB()
+			}
+			cu.cur = 1 - cu.cur
+			cu.i = 0
+			continue
+		}
+		if cu.cur == 0 {
+			cu.h.PushA(*t)
+		} else {
+			cu.h.PushB(*t)
+		}
+		cu.i++
+		if cu.i >= batch {
+			cu.cur = 1 - cu.cur
+			cu.i = 0
+		}
+		return nil
 	}
-	return &Result{Results: h.Results(), Cost: c.Metrics().Snapshot().Sub(before)}, nil
+}
+
+// Close implements Cursor.
+func (cu *islCursor) Close() error {
+	cu.closed = true
+	return nil
+}
+
+// QueryISL runs the coordinator rank join of Algorithm 4 as a bounded
+// drain of the streaming cursor: batched, alternating scans of the two
+// inverse score lists feeding the incremental HRJN operator until k
+// results have been released.
+func QueryISL(c *kvstore.Cluster, q Query, idx *ISLIndex, opts ISLOptions) (*Result, error) {
+	return RunCursor(c, q.K, func() (Cursor, error) { return OpenISL(c, q, idx, opts) })
 }

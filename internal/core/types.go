@@ -141,6 +141,12 @@ type Result struct {
 	// PlannerCost is the statistics-gathering overhead the planner
 	// spent choosing this execution (already included in Cost).
 	PlannerCost sim.Snapshot
+	// NextPageToken, when non-empty, resumes this query where it
+	// stopped: passing it back (QueryOptions.PageToken at the public
+	// layer) continues the underlying cursor instead of re-running, so
+	// "next k" pays marginal cost. Empty means the result set is
+	// complete.
+	NextPageToken string
 }
 
 // TopKList maintains the k best join results seen so far, ordered

@@ -37,11 +37,15 @@ type clusterState struct {
 }
 
 // Table is a named collection of regions with a declared column-family
-// set.
+// set. The region list is guarded by its own lock: splits swap the list
+// while concurrent clients route reads and writes through it, so every
+// access — point lookup or snapshot — synchronizes on mu.
 type Table struct {
 	Name     string
 	families map[string]bool
-	regions  []*Region // sorted by StartKey
+
+	mu      sync.RWMutex
+	regions []*Region // sorted by StartKey; guarded by mu
 }
 
 // NewCluster creates a cluster with the given hardware profile. Metrics
@@ -61,15 +65,30 @@ func NewCluster(profile sim.Profile, metrics *sim.Metrics) *Cluster {
 	}
 }
 
+// allTables snapshots the table list. Region lists are then read via
+// Table.Regions (its own lock), never while holding the state lock —
+// SplitRegion acquires t.mu before s.mu, so nesting them the other way
+// here would invert the lock order.
+func (c *Cluster) allTables() []*Table {
+	s := c.state
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Table, 0, len(s.tables))
+	for _, t := range s.tables {
+		out = append(out, t)
+	}
+	return out
+}
+
 // SetRowCacheBytes resizes every region's row cache (0 disables caching)
 // and sets the capacity future regions start with.
 func (c *Cluster) SetRowCacheBytes(n uint64) {
 	s := c.state
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.rowCacheBytes = n
-	for _, t := range s.tables {
-		for _, r := range t.regions {
+	s.mu.Unlock()
+	for _, t := range c.allTables() {
+		for _, r := range t.Regions() {
 			r.setRowCacheBytes(n)
 		}
 	}
@@ -77,11 +96,8 @@ func (c *Cluster) SetRowCacheBytes(n uint64) {
 
 // RowCacheStats aggregates row-cache hit/miss counts across all regions.
 func (c *Cluster) RowCacheStats() (hits, misses uint64) {
-	s := c.state
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for _, t := range s.tables {
-		for _, r := range t.regions {
+	for _, t := range c.allTables() {
+		for _, r := range t.Regions() {
 			h, m := r.RowCacheStats()
 			hits += h
 			misses += m
@@ -93,12 +109,9 @@ func (c *Cluster) RowCacheStats() (hits, misses uint64) {
 // CompactionBytes aggregates compaction write amplification across all
 // regions.
 func (c *Cluster) CompactionBytes() uint64 {
-	s := c.state
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var n uint64
-	for _, t := range s.tables {
-		for _, r := range t.regions {
+	for _, t := range c.allTables() {
+		for _, r := range t.Regions() {
 			n += r.CompactionBytes()
 		}
 	}
@@ -242,6 +255,13 @@ func (t *Table) Families() []string {
 
 // regionFor locates the region containing row.
 func (t *Table) regionFor(row string) *Region {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.regionForLocked(row)
+}
+
+// regionForLocked is regionFor with t.mu already held.
+func (t *Table) regionForLocked(row string) *Region {
 	// Regions are sorted by StartKey; find the last region whose start
 	// is <= row.
 	idx := sort.Search(len(t.regions), func(i int) bool {
@@ -253,13 +273,40 @@ func (t *Table) regionFor(row string) *Region {
 	return t.regions[idx]
 }
 
+// mutateRetry routes one row's atomic mutation batch, retrying when the
+// target region was concurrently split out from under it.
+func (t *Table) mutateRetry(cells []Cell) error {
+	for {
+		r := t.regionFor(cells[0].Row)
+		err := r.mutateRow(cells)
+		if err != errRegionSplit {
+			return err
+		}
+	}
+}
+
+// getRetry routes one keyed read, retrying across concurrent splits.
+func (t *Table) getRetry(row string, families []string) (*Row, OpStats, error) {
+	for {
+		r := t.regionFor(row)
+		got, stats, err := r.get(row, families)
+		if err != errRegionSplit {
+			return got, stats, err
+		}
+	}
+}
+
 // Regions returns the table's regions in key order (read-only use).
-func (t *Table) Regions() []*Region { return append([]*Region(nil), t.regions...) }
+func (t *Table) Regions() []*Region {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]*Region(nil), t.regions...)
+}
 
 // DiskSize totals the table's stored bytes.
 func (t *Table) DiskSize() uint64 {
 	var s uint64
-	for _, r := range t.regions {
+	for _, r := range t.Regions() {
 		s += r.DiskSize()
 	}
 	return s
@@ -272,19 +319,21 @@ func (c *Cluster) TableRegions(name string) ([]*Region, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.state.mu.RLock()
-	defer c.state.mu.RUnlock()
-	return append([]*Region(nil), t.regions...), nil
+	return t.Regions(), nil
 }
 
 // TableStats summarizes a table for the query planner: region count,
-// stored cell versions, and stored bytes. Like TableDiskSize it is free
-// introspection — cluster metadata a client caches — and charges no
-// metrics.
+// stored cell versions, live cells, and stored bytes. Like
+// TableDiskSize it is free introspection — cluster metadata a client
+// caches — and charges no metrics.
 type TableStats struct {
 	Regions int
-	Cells   uint64
-	Bytes   uint64
+	// Cells counts stored cell VERSIONS (every update adds one until a
+	// major compaction); LiveCells counts distinct live columns — the
+	// version-churn-free figure cardinality estimates should use.
+	Cells     uint64
+	LiveCells uint64
+	Bytes     uint64
 }
 
 // TableStats returns planner statistics for a table.
@@ -293,11 +342,11 @@ func (c *Cluster) TableStats(name string) (TableStats, error) {
 	if err != nil {
 		return TableStats{}, err
 	}
-	c.state.mu.RLock()
-	defer c.state.mu.RUnlock()
-	st := TableStats{Regions: len(t.regions)}
-	for _, r := range t.regions {
+	regions := t.Regions()
+	st := TableStats{Regions: len(regions)}
+	for _, r := range regions {
 		st.Cells += uint64(r.CellCount())
+		st.LiveCells += r.LiveCellCount()
 		st.Bytes += r.DiskSize()
 	}
 	return st, nil
@@ -359,8 +408,7 @@ func (c *Cluster) Put(table string, cell Cell) error {
 		cell.Timestamp = c.Now()
 	}
 	cell.Tombstone = false
-	r := t.regionFor(cell.Row)
-	if err := r.mutateRow([]Cell{cell}); err != nil {
+	if err := t.mutateRetry([]Cell{cell}); err != nil {
 		return err
 	}
 	c.chargeWrite(cell.StoredSize(), 1)
@@ -377,8 +425,7 @@ func (c *Cluster) Delete(table, row, family, qualifier string, ts int64) error {
 		ts = c.Now()
 	}
 	cell := Cell{Row: row, Family: family, Qualifier: qualifier, Timestamp: ts, Tombstone: true}
-	r := t.regionFor(row)
-	if err := r.mutateRow([]Cell{cell}); err != nil {
+	if err := t.mutateRetry([]Cell{cell}); err != nil {
 		return err
 	}
 	c.chargeWrite(cell.StoredSize(), 1)
@@ -406,8 +453,7 @@ func (c *Cluster) MutateRow(table string, cells []Cell) error {
 		}
 		bytes += cells[i].StoredSize()
 	}
-	r := t.regionFor(cells[0].Row)
-	if err := r.mutateRow(cells); err != nil {
+	if err := t.mutateRetry(cells); err != nil {
 		return err
 	}
 	c.chargeWrite(bytes, len(cells))
@@ -420,8 +466,7 @@ func (c *Cluster) Get(table, row string, families ...string) (*Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := t.regionFor(row)
-	got, stats, err := r.get(row, families)
+	got, stats, err := t.getRetry(row, families)
 	if err != nil {
 		return nil, err
 	}
@@ -446,7 +491,11 @@ func (c *Cluster) BatchPut(table string, cells []Cell) error {
 		return err
 	}
 	var bytes uint64
-	byRegion := map[*Region][]Cell{}
+	// Group into per-row atomic mutations; routing happens per row at
+	// apply time (with split retry), so a concurrent region split cannot
+	// strand a batch on a retired region.
+	byRow := map[string][]Cell{}
+	var order []string
 	for i := range cells {
 		if !t.HasFamily(cells[i].Family) {
 			return fmt.Errorf("kvstore: table %q has no family %q", table, cells[i].Family)
@@ -455,24 +504,15 @@ func (c *Cluster) BatchPut(table string, cells []Cell) error {
 			cells[i].Timestamp = c.Now()
 		}
 		bytes += cells[i].StoredSize()
-		r := t.regionFor(cells[i].Row)
-		byRegion[r] = append(byRegion[r], cells[i])
-	}
-	for r, batch := range byRegion {
-		// Group into per-row atomic mutations.
-		byRow := map[string][]Cell{}
-		var order []string
-		for _, cell := range batch {
-			if _, ok := byRow[cell.Row]; !ok {
-				order = append(order, cell.Row)
-			}
-			byRow[cell.Row] = append(byRow[cell.Row], cell)
+		if _, ok := byRow[cells[i].Row]; !ok {
+			order = append(order, cells[i].Row)
 		}
-		sort.Strings(order)
-		for _, row := range order {
-			if err := r.mutateRow(byRow[row]); err != nil {
-				return err
-			}
+		byRow[cells[i].Row] = append(byRow[cells[i].Row], cells[i])
+	}
+	sort.Strings(order)
+	for _, row := range order {
+		if err := t.mutateRetry(byRow[row]); err != nil {
+			return err
 		}
 	}
 	c.metrics.AddRPC()
@@ -482,42 +522,58 @@ func (c *Cluster) BatchPut(table string, cells []Cell) error {
 	return nil
 }
 
-// SplitRegion splits the region containing row at its middle key.
+// SplitRegion splits the region containing row at its middle key. The
+// table's region lock is held exclusively for the duration: no client
+// can route to the retiring parent mid-split, and the parent itself is
+// closed atomically with the cell snapshot, so a write that raced the
+// split either landed before the snapshot (and is carried into a child)
+// or retries against the children — never lost.
 func (c *Cluster) SplitRegion(table, row string) error {
 	t, err := c.table(table)
 	if err != nil {
 		return err
 	}
-	s := c.state
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	r := t.regionFor(row)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := t.regionForLocked(row)
 	mid := r.splitPoint()
 	if mid == "" || mid == r.StartKey() {
 		return fmt.Errorf("kvstore: region %d too small to split", r.ID())
 	}
-	cells := r.allCells()
+
+	s := c.state
+	s.mu.Lock()
 	s.nextID++
 	s.seed++
-	left := newRegion(s.nextID, table, r.StartKey(), mid, r.Node(), s.seed, s.rowCacheBytes)
+	leftID, leftSeed := s.nextID, s.seed
 	s.nextID++
 	s.seed++
-	right := newRegion(s.nextID, table, mid, r.EndKey(), s.nextID%c.profile.Nodes, s.seed, s.rowCacheBytes)
+	rightID, rightSeed := s.nextID, s.seed
+	cacheBytes := s.rowCacheBytes
+	s.mu.Unlock()
+
+	cells := r.closeAndSnapshot()
+	left := newRegion(leftID, table, r.StartKey(), mid, r.Node(), leftSeed, cacheBytes)
+	right := newRegion(rightID, table, mid, r.EndKey(), rightID%c.profile.Nodes, rightSeed, cacheBytes)
 	// Carry the split region's cumulative counters onto the left child
 	// so cluster-wide CompactionBytes/RowCacheStats aggregates stay
 	// monotonic across splits.
 	left.compactionBytes = r.CompactionBytes()
 	h, m := r.cache.stats()
 	left.cache.seedStats(h, m)
-	for i := range cells {
-		dst := left
-		if cells[i].Row >= mid {
-			dst = right
-		}
-		if err := dst.mutateRow([]Cell{cells[i]}); err != nil {
-			return err
-		}
+
+	// Seed each child with one batched load (single lock cycle) whose
+	// trailing flush materializes a segment and truncates the seed WAL.
+	split := sort.Search(len(cells), func(i int) bool { return cells[i].Row >= mid })
+	if err := left.seedCells(cells[:split]); err != nil {
+		r.reopen()
+		return err
 	}
+	if err := right.seedCells(cells[split:]); err != nil {
+		r.reopen()
+		return err
+	}
+
 	// Replace r in the table's sorted region list.
 	for i, reg := range t.regions {
 		if reg == r {
@@ -525,6 +581,7 @@ func (c *Cluster) SplitRegion(table, row string) error {
 			return nil
 		}
 	}
+	r.reopen()
 	return fmt.Errorf("kvstore: region %d not found in table %q", r.ID(), table)
 }
 
@@ -538,11 +595,17 @@ func (c *Cluster) MoveRegion(table, row string, node int) error {
 	if node < 0 || node >= c.profile.Nodes {
 		return fmt.Errorf("kvstore: node %d out of range", node)
 	}
-	c.state.mu.Lock()
-	defer c.state.mu.Unlock()
-	r := t.regionFor(row)
-	r.mu.Lock()
-	r.node = node
-	r.mu.Unlock()
-	return nil
+	for {
+		r := t.regionFor(row)
+		r.mu.Lock()
+		if r.closed {
+			// Lost a race with a split: the move must land on the
+			// child now serving the row, not the retired parent.
+			r.mu.Unlock()
+			continue
+		}
+		r.node = node
+		r.mu.Unlock()
+		return nil
+	}
 }

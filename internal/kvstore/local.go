@@ -10,9 +10,13 @@ import "fmt"
 // caller can do exactly that.
 
 // LocalScan reads rows straight from this region (no RPC, no metering).
-// limit 0 means no limit.
+// limit 0 means no limit. Unlike client scans it tolerates a region
+// retired by a concurrent split: MapReduce tasks pin the region list at
+// job start, and the retired parent still holds its range's complete
+// pre-split data, so the task's scan stays correct (and never overlaps
+// the children, which the job does not know about).
 func (r *Region) LocalScan(startRow, stopRow string, limit int, families []string, readTs int64, f Filter) ([]Row, OpStats, error) {
-	return r.scan(startRow, stopRow, limit, families, readTs, f)
+	return r.scanAt(startRow, stopRow, limit, families, readTs, f, true)
 }
 
 // LocalWrite applies cells grouped into per-row atomic mutations without
@@ -25,12 +29,13 @@ func (c *Cluster) LocalWrite(table string, cells []Cell) (uint64, error) {
 	}
 	var bytes uint64
 	var pending []Cell
-	var pendingRegion *Region
 	flush := func() error {
 		if len(pending) == 0 {
 			return nil
 		}
-		if err := pendingRegion.mutateRow(pending); err != nil {
+		// Route at apply time with split retry, so a concurrent region
+		// split never strands a task's writes on a retired region.
+		if err := t.mutateRetry(pending); err != nil {
 			return err
 		}
 		pending = pending[:0]
@@ -44,13 +49,11 @@ func (c *Cluster) LocalWrite(table string, cells []Cell) (uint64, error) {
 			cells[i].Timestamp = c.Now()
 		}
 		bytes += cells[i].StoredSize()
-		r := t.regionFor(cells[i].Row)
-		if len(pending) > 0 && (r != pendingRegion || pending[0].Row != cells[i].Row) {
+		if len(pending) > 0 && pending[0].Row != cells[i].Row {
 			if err := flush(); err != nil {
 				return bytes, err
 			}
 		}
-		pendingRegion = r
 		pending = append(pending, cells[i])
 	}
 	if err := flush(); err != nil {

@@ -1,10 +1,18 @@
 package kvstore
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
 )
+
+// errRegionSplit is returned by region reads and writes that raced a
+// split: the region was closed and its data now lives in two children.
+// The client paths in cluster.go catch it and re-route through the
+// table's (synchronized) region list, mirroring how HBase clients retry
+// a NotServingRegionException after a split.
+var errRegionSplit = errors.New("kvstore: region closed by split")
 
 // Region is one horizontal shard of a table: the half-open row-key range
 // [StartKey, EndKey), hosted by a single node. Each region owns an LSM
@@ -23,6 +31,19 @@ type Region struct {
 	log      *wal
 	seq      uint64
 	cache    *rowCache
+	// closed marks a region retired by a split: every read or write
+	// returns errRegionSplit so the caller re-routes to the children.
+	closed bool
+
+	// liveCells caches LiveCellCount's merge walk, keyed by the seq that
+	// produced it. Flushes and compactions never change the live set, so
+	// the cache only invalidates on mutation (seq advance). The cache is
+	// guarded by its own liveMu: the walk itself runs under the region
+	// READ lock so planner statistics never stall concurrent reads.
+	liveMu         sync.Mutex
+	liveCells      uint64
+	liveCellsSeq   uint64
+	liveCellsValid bool
 
 	flushThreshold   uint64
 	compactThreshold int
@@ -142,12 +163,50 @@ func (r *Region) mutateRow(cells []Cell) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.closed {
+		return errRegionSplit
+	}
 	for i := range cells {
 		if err := r.applyMutation(cells[i]); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// seedCells loads a split child with its share of the parent's cells:
+// one lock cycle for the whole batch instead of one per cell, and a
+// final flush that materializes the seed into a segment and truncates
+// the WAL — the child never holds the region's full contents as log
+// records (HBase daughters open on reference files, not WAL replays).
+func (r *Region) seedCells(cells []Cell) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range cells {
+		if err := r.applyMutation(cells[i]); err != nil {
+			return err
+		}
+	}
+	r.flushLocked()
+	return nil
+}
+
+// closeAndSnapshot retires the region for a split: it atomically marks
+// the region closed (subsequent reads/writes get errRegionSplit and
+// re-route) and snapshots every live cell, so no mutation can slip in
+// between the snapshot and the routing swap.
+func (r *Region) closeAndSnapshot() []Cell {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	return r.allCellsLocked()
+}
+
+// reopen undoes closeAndSnapshot when a split aborts.
+func (r *Region) reopen() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = false
 }
 
 // flushLocked materializes the memtable into a new segment and truncates
@@ -348,10 +407,24 @@ func famMatch(families []string, f string) bool {
 
 // scan reads rows in [startRow, endRow) (endRow "" = region end), at most
 // limit rows (0 = unlimited), visible at readTs (0 = latest), restricted
-// to the given families (nil = all), filtered by f (nil = none).
+// to the given families (nil = all), filtered by f (nil = none). A
+// region retired by a concurrent split returns errRegionSplit so the
+// client re-routes to the children.
 func (r *Region) scan(startRow, endRow string, limit int, families []string, readTs int64, f Filter) ([]Row, OpStats, error) {
+	return r.scanAt(startRow, endRow, limit, families, readTs, f, false)
+}
+
+// scanAt is scan with an explicit closed-region policy. allowClosed
+// lets locality-pinned readers (MapReduce tasks that snapshotted their
+// region list at job start) keep scanning a split-retired parent: its
+// segments still hold the complete pre-split data for the range, and
+// the job never sees the children, so no row is lost or read twice.
+func (r *Region) scanAt(startRow, endRow string, limit int, families []string, readTs int64, f Filter, allowClosed bool) ([]Row, OpStats, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	if r.closed && !allowClosed {
+		return nil, OpStats{}, errRegionSplit
+	}
 
 	start := startRow
 	if start == "" || (r.startKey != "" && start < r.startKey) {
@@ -436,6 +509,9 @@ func (r *Region) scan(startRow, endRow string, limit int, families []string, rea
 func (r *Region) get(row string, families []string) (*Row, OpStats, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	if r.closed {
+		return nil, OpStats{}, errRegionSplit
+	}
 	var stats OpStats
 
 	full := len(families) == 0
@@ -543,6 +619,61 @@ func (r *Region) CellCount() int {
 	return n
 }
 
+// LiveCellCount returns the number of LIVE cells: distinct columns whose
+// newest stored version is not a tombstone. Unlike CellCount it is
+// insensitive to version churn, so planner cardinalities derived from it
+// do not inflate on update-heavy tables between compactions. The merge
+// walk is cached per mutation seq — flushes and compactions preserve the
+// live set, so only writes invalidate — and runs under the region READ
+// lock, so planning a write-active table never blocks concurrent reads.
+func (r *Region) LiveCellCount() uint64 {
+	r.mu.RLock()
+	seq := r.seq
+	r.mu.RUnlock()
+	r.liveMu.Lock()
+	if r.liveCellsValid && r.liveCellsSeq == seq {
+		n := r.liveCells
+		r.liveMu.Unlock()
+		return n
+	}
+	r.liveMu.Unlock()
+
+	r.mu.RLock()
+	seq = r.seq // walk counts exactly this mutation state
+	var n uint64
+	lastRow, lastFam, lastQual := "", "", ""
+	first := true
+	it := r.iteratorsLocked("")
+	for it.valid() {
+		c := it.cell()
+		if first || c.Row != lastRow || c.Family != lastFam || c.Qualifier != lastQual {
+			first = false
+			lastRow, lastFam, lastQual = c.Row, c.Family, c.Qualifier
+			if !c.Tombstone {
+				n++
+			}
+		}
+		it.next()
+	}
+	r.mu.RUnlock()
+
+	r.liveMu.Lock()
+	r.liveCells = n
+	r.liveCellsSeq = seq
+	r.liveCellsValid = true
+	r.liveMu.Unlock()
+	return n
+}
+
+// WALSize returns the write-ahead log's current byte length (zero right
+// after a flush; split children start at zero because their seed load
+// flushes, it does not linger in the log).
+func (r *Region) WALSize() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.log.size()
+}
+
 // RowCacheStats returns the region's cumulative row-cache hit/miss
 // counts.
 func (r *Region) RowCacheStats() (hits, misses uint64) {
@@ -609,6 +740,11 @@ func (r *Region) splitPoint() string {
 func (r *Region) allCells() []Cell {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	return r.allCellsLocked()
+}
+
+// allCellsLocked is allCells with r.mu already held.
+func (r *Region) allCellsLocked() []Cell {
 	var out []Cell
 	lastRow, lastFam, lastQual := "", "", ""
 	first := true

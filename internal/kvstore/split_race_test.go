@@ -1,0 +1,311 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Regression tests for the split/routing races: the table's region list
+// is swapped by SplitRegion while concurrent clients route reads and
+// writes through it. Run with -race.
+
+// loadSplittableTable creates a table with n rows of one cell each.
+func loadSplittableTable(t *testing.T, c *Cluster, name string, n int) {
+	t.Helper()
+	if _, err := c.CreateTable(name, []string{"d"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var cells []Cell
+	for i := 0; i < n; i++ {
+		cells = append(cells, Cell{Row: fmt.Sprintf("r%04d", i), Family: "d", Qualifier: "v", Value: []byte{byte(i)}})
+	}
+	if err := c.BatchPut(name, cells); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentSplitAndAccess drives gets, scans, and writes against a
+// table while regions split underneath them. Before the region list was
+// synchronized this was a data race (and reads could observe a retired
+// region's stale routing).
+func TestConcurrentSplitAndAccess(t *testing.T) {
+	c := NewCluster(sim.LC(), nil)
+	const rows = 400
+	loadSplittableTable(t, c, "t", rows)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Splitter: repeatedly split the region holding a moving pivot.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			_ = c.SplitRegion("t", fmt.Sprintf("r%04d", (i*61)%rows))
+		}
+		close(stop)
+	}()
+
+	// Readers: keyed gets must always see their row.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			i := g
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				row := fmt.Sprintf("r%04d", i%rows)
+				got, err := c.Get("t", row)
+				if err != nil {
+					t.Errorf("get %s: %v", row, err)
+					return
+				}
+				if got == nil {
+					t.Errorf("get %s: row lost during split", row)
+					return
+				}
+				i += 7
+			}
+		}(g)
+	}
+
+	// Scanner: full scans must keep seeing every row exactly once.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			all, err := c.ScanAll(Scan{Table: "t", Caching: 64})
+			if err != nil {
+				t.Errorf("scan: %v", err)
+				return
+			}
+			if len(all) != rows {
+				t.Errorf("scan saw %d rows, want %d", len(all), rows)
+				return
+			}
+		}
+	}()
+
+	// Writer: updates must never land on a retired region.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			row := fmt.Sprintf("r%04d", i%rows)
+			if err := c.Put("t", Cell{Row: row, Family: "d", Qualifier: "w", Value: []byte("x")}); err != nil {
+				t.Errorf("put %s: %v", row, err)
+				return
+			}
+			i += 13
+		}
+	}()
+
+	// Stats aggregators: cluster-wide iteration over every table's
+	// region list while splits swap it (these readers raced the swap
+	// even after the routing paths were synchronized).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.RowCacheStats()
+			c.CompactionBytes()
+			if _, err := c.TableStats("t"); err != nil {
+				t.Errorf("TableStats: %v", err)
+				return
+			}
+			if i%16 == 0 {
+				c.SetRowCacheBytes(DefaultRowCacheBytes)
+			}
+			if err := c.MoveRegion("t", fmt.Sprintf("r%04d", (i*31)%rows), i%4); err != nil {
+				t.Errorf("MoveRegion: %v", err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+
+	// Post-split integrity: every row still present, updates included.
+	all, err := c.ScanAll(Scan{Table: "t", Caching: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != rows {
+		t.Fatalf("after splits: %d rows, want %d", len(all), rows)
+	}
+}
+
+// TestSplitWriteNotLost closes the snapshot/swap window: a write that
+// lands on the parent after the split's cell snapshot must be retried
+// onto a child, not silently dropped into the retired region.
+func TestSplitWriteNotLost(t *testing.T) {
+	c := NewCluster(sim.LC(), nil)
+	const rows = 200
+	loadSplittableTable(t, c, "t", rows)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rows; i++ {
+			if err := c.Put("t", Cell{Row: fmt.Sprintf("r%04d", i), Family: "d", Qualifier: "u", Value: []byte("y")}); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			_ = c.SplitRegion("t", fmt.Sprintf("r%04d", rows/2))
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < rows; i++ {
+		row := fmt.Sprintf("r%04d", i)
+		got, err := c.Get("t", row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == nil || got.Cell("d", "u") == nil {
+			t.Fatalf("update to %s lost across split", row)
+		}
+	}
+}
+
+// TestSplitSeedsChildrenWithoutWALBacklog: split children must not hold
+// the whole region's contents as WAL records — the batched seed flushes
+// into a segment and truncates the log.
+func TestSplitSeedsChildrenWithoutWALBacklog(t *testing.T) {
+	c := NewCluster(sim.LC(), nil)
+	loadSplittableTable(t, c, "t", 300)
+
+	if err := c.SplitRegion("t", "r0150"); err != nil {
+		t.Fatal(err)
+	}
+	regions, err := c.TableRegions("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) != 2 {
+		t.Fatalf("got %d regions, want 2", len(regions))
+	}
+	for _, r := range regions {
+		if sz := r.WALSize(); sz != 0 {
+			t.Errorf("region %d holds %d bytes of seed WAL; want 0 (flushed)", r.ID(), sz)
+		}
+		if r.DiskSize() == 0 {
+			t.Errorf("region %d seeded empty", r.ID())
+		}
+	}
+	// And the data survived the flush.
+	all, err := c.ScanAll(Scan{Table: "t", Caching: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 300 {
+		t.Fatalf("after split: %d rows, want 300", len(all))
+	}
+}
+
+// TestLiveCellCountIgnoresVersionChurn: LiveCellCount must report the
+// live column count regardless of how many stored versions updates have
+// piled up, and TableStats must surface it.
+func TestLiveCellCountIgnoresVersionChurn(t *testing.T) {
+	c := NewCluster(sim.LC(), nil)
+	if _, err := c.CreateTable("t", []string{"d"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	const rows = 50
+	for round := 0; round < 5; round++ {
+		for i := 0; i < rows; i++ {
+			if err := c.Put("t", Cell{Row: fmt.Sprintf("r%02d", i), Family: "d", Qualifier: "v", Value: []byte{byte(round)}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st, err := c.TableStats("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cells != rows*5 {
+		t.Errorf("stored versions = %d, want %d", st.Cells, rows*5)
+	}
+	if st.LiveCells != rows {
+		t.Errorf("LiveCells = %d, want %d", st.LiveCells, rows)
+	}
+	// Deleting a column removes it from the live set.
+	if err := c.Delete("t", "r00", "d", "v", 0); err != nil {
+		t.Fatal(err)
+	}
+	st, err = c.TableStats("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LiveCells != rows-1 {
+		t.Errorf("LiveCells after delete = %d, want %d", st.LiveCells, rows-1)
+	}
+}
+
+// TestLocalScanSurvivesSplit: a locality-pinned reader (a MapReduce
+// task that snapshotted its region list at job start) must still be
+// able to scan a region that a concurrent split retired — the parent
+// keeps its range's complete pre-split data.
+func TestLocalScanSurvivesSplit(t *testing.T) {
+	c := NewCluster(sim.LC(), nil)
+	loadSplittableTable(t, c, "t", 200)
+	regions, err := c.TableRegions("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) != 1 {
+		t.Fatalf("want 1 region, got %d", len(regions))
+	}
+	parent := regions[0]
+
+	if err := c.SplitRegion("t", "r0100"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Client-routed access re-routes to the children...
+	if _, _, err := parent.get("r0000", nil); err != errRegionSplit {
+		t.Errorf("client get on retired parent = %v, want errRegionSplit", err)
+	}
+	// ...but the pinned local scan still sees everything.
+	rows, _, err := parent.LocalScan("", "", 0, nil, 0, nil)
+	if err != nil {
+		t.Fatalf("LocalScan on retired parent: %v", err)
+	}
+	if len(rows) != 200 {
+		t.Fatalf("LocalScan on retired parent saw %d rows, want 200", len(rows))
+	}
+}

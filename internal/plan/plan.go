@@ -2,6 +2,7 @@ package plan
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -32,7 +33,20 @@ type Options struct {
 	// Cache, when non-nil, memoizes the statistics walks per (query,
 	// k) until the input tables change.
 	Cache *Cache
+	// Stream plans for ranked enumeration with k unknown (DB.Stream,
+	// deep pagination): candidates are ranked by the predicted cost of
+	// enumerating streamHorizon×k results through their cursor, which
+	// charges materializing executors their doubling re-runs. The
+	// bounded-k Estimate is still reported per candidate.
+	Stream bool
 }
+
+// streamHorizon is the enumeration depth — in multiples of the query's
+// k — that Stream-mode planning prices. Deep enough that re-run
+// penalties separate materializing from incremental cursors, shallow
+// enough that a stream abandoned after a few pages was still planned
+// sensibly.
+const streamHorizon = 5
 
 // Candidate is one costed executor.
 type Candidate struct {
@@ -41,6 +55,19 @@ type Candidate struct {
 	// Estimate is the predicted execution cost (excluding index
 	// builds; planning assumes indexes as they exist right now).
 	Estimate core.CostEstimate
+	// Incremental reports whether the executor's cursor enumerates
+	// natively (per-result marginal work) rather than re-running
+	// bounded batches at doubled depths.
+	Incremental bool
+	// Marginal is the predicted cost of the NEXT page of k results
+	// after the first: the k→2k cost delta for incremental executors,
+	// or the full 2k re-run for materializing ones. Dividing by k gives
+	// the per-result marginal cost.
+	Marginal core.CostEstimate
+	// StreamEstimate is the predicted cost of enumerating
+	// streamHorizon×k results through the executor's cursor — the
+	// metric Stream-mode planning ranks by.
+	StreamEstimate core.CostEstimate
 	// IndexReady reports whether the executor could run immediately:
 	// it is index-free, or its index is already built.
 	IndexReady bool
@@ -65,6 +92,9 @@ type Plan struct {
 	Candidates []Candidate
 	// Objective is the metric the ranking used.
 	Objective Objective
+	// Stream reports whether the ranking priced deep enumeration
+	// (StreamEstimate) instead of the bounded top-k.
+	Stream bool
 	// Stats is the statistics snapshot the estimates were built from.
 	Stats core.PlanStats
 	// PlannerCost meters the statistics reads planning consumed.
@@ -115,22 +145,32 @@ func Explain(c *kvstore.Cluster, q core.Query, store *core.IndexStore, opts Opti
 		est := *st
 		est.IndexReady = ready
 		est.IndexBytes = idxBytes
+		bounded := ex.Estimate(&est)
 		cands = append(cands, Candidate{
-			Executor:   ex.Name(),
-			Estimate:   ex.Estimate(&est),
-			IndexReady: ready,
-			IndexBytes: idxBytes,
+			Executor:       ex.Name(),
+			Estimate:       bounded,
+			Incremental:    ex.Incremental(),
+			Marginal:       marginalEstimate(ex, &est, bounded),
+			StreamEstimate: streamEstimate(ex, &est, bounded),
+			IndexReady:     ready,
+			IndexBytes:     idxBytes,
 		})
 	}
+	rankBy := func(cand Candidate) core.CostEstimate {
+		if opts.Stream {
+			return cand.StreamEstimate
+		}
+		return cand.Estimate
+	}
 	sort.SliceStable(cands, func(i, j int) bool {
-		mi, mj := obj.metric(cands[i].Estimate), obj.metric(cands[j].Estimate)
+		mi, mj := obj.metric(rankBy(cands[i])), obj.metric(rankBy(cands[j]))
 		if mi != mj {
 			return mi < mj
 		}
 		return cands[i].Executor < cands[j].Executor
 	})
 
-	p := &Plan{Candidates: cands, Objective: obj, Stats: *st, PlannerCost: plannerCost}
+	p := &Plan{Candidates: cands, Objective: obj, Stream: opts.Stream, Stats: *st, PlannerCost: plannerCost}
 	for _, cand := range cands {
 		if p.Best == "" {
 			p.Best = cand.Executor
@@ -143,6 +183,81 @@ func Explain(c *kvstore.Cluster, q core.Query, store *core.IndexStore, opts Opti
 		return nil, fmt.Errorf("plan: no runnable executor for %s", q.ID())
 	}
 	return p, nil
+}
+
+// stretchStats re-targets a statistics snapshot to a different k under
+// the sqrt-depth model of scaleDepths: covering k2 instead of k scales
+// the per-side termination depths (and the band walk) by sqrt(k2/k),
+// capped at the relation sizes.
+func stretchStats(st *core.PlanStats, k2 int) *core.PlanStats {
+	out := *st
+	if st.K > 0 && k2 != st.K {
+		ratio := math.Sqrt(float64(k2) / float64(st.K))
+		out.LeftDepth = math.Min(st.LeftDepth*ratio, float64(st.Left.Rows))
+		out.RightDepth = math.Min(st.RightDepth*ratio, float64(st.Right.Rows))
+		if st.StatBands > 0 {
+			out.StatBands = int(math.Ceil(float64(st.StatBands) * ratio))
+		}
+	}
+	out.K = k2
+	return &out
+}
+
+// subClamp returns a-b per metric, clamped at zero (estimators are
+// monotone in k in principle, but integer rounding can wobble).
+func subClamp(a, b core.CostEstimate) core.CostEstimate {
+	out := core.CostEstimate{}
+	if a.SimTime > b.SimTime {
+		out.SimTime = a.SimTime - b.SimTime
+	}
+	if a.NetworkBytes > b.NetworkBytes {
+		out.NetworkBytes = a.NetworkBytes - b.NetworkBytes
+	}
+	if a.KVReads > b.KVReads {
+		out.KVReads = a.KVReads - b.KVReads
+	}
+	return out
+}
+
+func addEst(a, b core.CostEstimate) core.CostEstimate {
+	return core.CostEstimate{
+		SimTime:      a.SimTime + b.SimTime,
+		NetworkBytes: a.NetworkBytes + b.NetworkBytes,
+		KVReads:      a.KVReads + b.KVReads,
+	}
+}
+
+// marginalEstimate predicts the cost of the second page of k results.
+// An incremental cursor resumes bounded state, so the next page costs
+// the k→2k delta; a materializing cursor re-runs the whole bounded
+// query at depth 2k.
+func marginalEstimate(ex core.Executor, st *core.PlanStats, bounded core.CostEstimate) core.CostEstimate {
+	deeper := ex.Estimate(stretchStats(st, 2*st.K))
+	if ex.Incremental() {
+		return subClamp(deeper, bounded)
+	}
+	return deeper
+}
+
+// streamEstimate predicts the cost of enumerating streamHorizon×k
+// results through the executor's cursor: one deep pass for incremental
+// executors, the doubling re-run schedule for materializing ones.
+func streamEstimate(ex core.Executor, st *core.PlanStats, bounded core.CostEstimate) core.CostEstimate {
+	k := st.K
+	if k < 1 {
+		k = 1
+	}
+	target := streamHorizon * k
+	if ex.Incremental() {
+		return ex.Estimate(stretchStats(st, target))
+	}
+	// The materializing wrapper runs at k, 2k, 4k, ... until the depth
+	// covers the horizon; every run pays in full.
+	total := bounded
+	for depth := 2 * k; depth/2 < target; depth *= 2 {
+		total = addEst(total, ex.Estimate(stretchStats(st, depth)))
+	}
+	return total
 }
 
 // Choose plans q and returns the executor AlgoAuto should run plus the

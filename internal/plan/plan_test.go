@@ -157,3 +157,102 @@ func candidateReady(p *Plan, name string) bool {
 	}
 	return false
 }
+
+// TestStatsUseLiveRows: planner row counts must come from live cells,
+// not stored versions — an update-heavy table (every row rewritten
+// several times with no compaction) must not inflate cardinalities.
+func TestStatsUseLiveRows(t *testing.T) {
+	c, q, store := setupCluster(t, 300)
+	// Rewrite every left row's score 4 times: 300 live rows now carry
+	// ~5x the stored versions.
+	for round := 0; round < 4; round++ {
+		var cells []kvstore.Cell
+		for i := 0; i < 300; i++ {
+			row := fmt.Sprintf("pl%04d", i)
+			cells = append(cells,
+				kvstore.Cell{Row: row, Family: "d", Qualifier: "score", Value: kvstore.FloatValue(float64((i+round)%991) / 991)},
+			)
+		}
+		if err := c.BatchPut(q.Left.Table, cells); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := c.TableStats(q.Left.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cells <= st.LiveCells {
+		t.Fatalf("update-heavy table should hold more versions (%d) than live cells (%d)", st.Cells, st.LiveCells)
+	}
+
+	p, err := Explain(c, q, store, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats.Left.Rows != 300 {
+		t.Errorf("planner left rows = %d, want 300 (live), not %d (version-derived)",
+			p.Stats.Left.Rows, st.Cells/2)
+	}
+	if p.Stats.Right.Rows != 300 {
+		t.Errorf("planner right rows = %d, want 300", p.Stats.Right.Rows)
+	}
+}
+
+// TestStreamPlanning: Stream-mode plans must carry per-page marginal
+// costs, charge materializing executors their doubling re-runs, and
+// rank by the stream estimate.
+func TestStreamPlanning(t *testing.T) {
+	c, q, store := setupCluster(t, 400)
+	for _, name := range []string{"isl", "bfhm", "drjn", "ijlmr"} {
+		ex, _ := core.Lookup(name)
+		if err := ex.EnsureIndex(c, q, store, core.IndexBuildConfig{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := Explain(c, q, store, Options{Stream: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Stream {
+		t.Error("plan not marked Stream")
+	}
+	for i, cand := range p.Candidates {
+		ex, _ := core.Lookup(cand.Executor)
+		if cand.Incremental != ex.Incremental() {
+			t.Errorf("%s: Incremental = %v, want %v", cand.Executor, cand.Incremental, ex.Incremental())
+		}
+		if cand.StreamEstimate.SimTime < cand.Estimate.SimTime {
+			t.Errorf("%s: stream estimate %v below bounded estimate %v",
+				cand.Executor, cand.StreamEstimate.SimTime, cand.Estimate.SimTime)
+		}
+		if !cand.Incremental {
+			// Materializing cursors re-run: the horizon must cost at
+			// least two full bounded runs.
+			if cand.StreamEstimate.SimTime < 2*cand.Estimate.SimTime {
+				t.Errorf("%s (materializing): stream estimate %v does not include re-runs (bounded %v)",
+					cand.Executor, cand.StreamEstimate.SimTime, cand.Estimate.SimTime)
+			}
+			if cand.Marginal.SimTime < cand.Estimate.SimTime {
+				t.Errorf("%s (materializing): marginal %v below a full re-run %v",
+					cand.Executor, cand.Marginal.SimTime, cand.Estimate.SimTime)
+			}
+		}
+		if i > 0 {
+			prev := p.Candidates[i-1]
+			if ObjectiveTime.metric(cand.StreamEstimate) < ObjectiveTime.metric(prev.StreamEstimate) {
+				t.Errorf("stream plan out of order at %d", i)
+			}
+		}
+	}
+	// Bounded-mode plans on the same state must rank by the bounded
+	// estimate instead.
+	pb, err := Explain(c, q, store, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pb.Candidates); i++ {
+		if ObjectiveTime.metric(pb.Candidates[i].Estimate) < ObjectiveTime.metric(pb.Candidates[i-1].Estimate) {
+			t.Errorf("bounded plan out of order at %d", i)
+		}
+	}
+}

@@ -48,12 +48,13 @@ func gatherStats(c *kvstore.Cluster, q core.Query, store *core.IndexStore, exec 
 		K:       q.K,
 		Exec:    exec,
 	}
-	// Relation rows carry two cells each (join value + score). Cells
-	// counts stored versions, so update-heavy tables overestimate rows
-	// between LSM compactions — a conservative bias (the planner sees
-	// at least the live data) accepted for a free statistic.
-	st.Left = core.RelStats{Rows: lt.Cells / 2, Bytes: lt.Bytes, Regions: lt.Regions}
-	st.Right = core.RelStats{Rows: rt.Cells / 2, Bytes: rt.Bytes, Regions: rt.Regions}
+	// Relation rows carry two cells each (join value + score). LiveCells
+	// counts distinct live columns — not stored versions — so row
+	// estimates stay accurate on update-heavy tables, where version
+	// churn between compactions used to inflate cardinalities (and could
+	// flip AlgoAuto's choice).
+	st.Left = core.RelStats{Rows: lt.LiveCells / 2, Bytes: lt.Bytes, Regions: lt.Regions}
+	st.Right = core.RelStats{Rows: rt.LiveCells / 2, Bytes: rt.Bytes, Regions: rt.Regions}
 
 	if idxA, ok := store.DRJN(q.Left.Name); ok {
 		if idxB, ok := store.DRJN(q.Right.Name); ok && idxA.JoinParts == idxB.JoinParts {

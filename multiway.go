@@ -100,6 +100,76 @@ func (db *DB) TopKN(q MultiQuery, algo Algorithm, opts *QueryOptions) (*NResult,
 	return res, nil
 }
 
+// NRows streams an n-way query's results in descending score order.
+// Multi-way execution is batch-shaped (the n-ary coordinator targets a
+// fixed k), so the stream materializes pages through the same doubling
+// core.Pager schedule batch-shaped two-way executors use: it runs
+// TopKN at the query's k and transparently re-runs at doubled depths
+// when drained deeper.
+type NRows struct {
+	pager  *core.Pager[NJoinResult]
+	cost   sim.Snapshot
+	closed bool
+	res    NJoinResult
+	err    error
+}
+
+// StreamN starts a streaming n-way execution (AlgoNaive or AlgoISL,
+// like TopKN).
+func (db *DB) StreamN(q MultiQuery, algo Algorithm, opts *QueryOptions) (*NRows, error) {
+	// Validate the algorithm up front with a zero-cost dispatch check.
+	switch algo {
+	case AlgoNaive, AlgoISL:
+	default:
+		return nil, fmt.Errorf("rankjoin: algorithm %q does not support multi-way joins (use %s or %s)",
+			algo, AlgoNaive, AlgoISL)
+	}
+	rows := &NRows{}
+	rows.pager = core.NewPager(q.q.K, func(k int) ([]NJoinResult, error) {
+		res, err := db.TopKN(q.WithK(k), algo, opts)
+		if err != nil {
+			return nil, err
+		}
+		rows.cost = rows.cost.Add(res.Cost)
+		return res.Results, nil
+	})
+	return rows, nil
+}
+
+// Next advances to the next result, reporting false at exhaustion or
+// error.
+func (r *NRows) Next() bool {
+	if r.closed || r.err != nil {
+		return false
+	}
+	res, err := r.pager.Next()
+	if err != nil {
+		r.err = err
+		return false
+	}
+	if res == nil {
+		return false
+	}
+	r.res = *res
+	return true
+}
+
+// Result returns the row Next advanced to.
+func (r *NRows) Result() NJoinResult { return r.res }
+
+// Err returns the first error the stream hit, if any.
+func (r *NRows) Err() error { return r.err }
+
+// Cost reports the cumulative resources the stream's runs consumed.
+func (r *NRows) Cost() sim.Snapshot { return r.cost }
+
+// Close releases the stream.
+func (r *NRows) Close() error {
+	r.closed = true
+	r.pager.Release()
+	return nil
+}
+
 func (db *DB) topKNOn(c *kvstore.Cluster, q MultiQuery, algo Algorithm, opts *QueryOptions) (*NResult, error) {
 	switch algo {
 	case AlgoNaive:

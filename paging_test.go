@@ -1,0 +1,292 @@
+package rankjoin
+
+import (
+	"testing"
+)
+
+// allAlgos is every concrete algorithm, naive included.
+func allAlgos() []Algorithm {
+	return append([]Algorithm{AlgoNaive}, Algorithms()...)
+}
+
+// pageAll drains up to total results in pages of k through page tokens,
+// returning the concatenation and the summed page costs (KV read
+// units).
+func pageAll(t *testing.T, db *DB, q Query, algo Algorithm, k, total int) ([]JoinResult, uint64) {
+	t.Helper()
+	var out []JoinResult
+	var reads uint64
+	opts := &QueryOptions{ISLBatch: 10}
+	for len(out) < total {
+		res, err := db.TopK(q.WithK(k), algo, opts)
+		if err != nil {
+			t.Fatalf("%s: page at %d: %v", algo, len(out), err)
+		}
+		out = append(out, res.Results...)
+		reads += res.Cost.KVReads
+		if res.NextPageToken == "" {
+			break
+		}
+		opts = &QueryOptions{ISLBatch: 10, PageToken: res.NextPageToken}
+	}
+	if len(out) > total {
+		out = out[:total]
+	}
+	return out, reads
+}
+
+// TestPagingMatchesBatchAllAlgorithms: for every algorithm, draining
+// pages of 3 through page tokens must concatenate to exactly the batch
+// TopK(n) result.
+func TestPagingMatchesBatchAllAlgorithms(t *testing.T) {
+	db := Open(Config{})
+	loadTwoRelations(t, db, 150)
+	q, err := db.NewQuery("left", "right", Sum, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.EnsureIndexes(q, Algorithms()...); err != nil {
+		t.Fatal(err)
+	}
+	const page, total = 3, 18
+	for _, algo := range allAlgos() {
+		batch, err := db.TopK(q.WithK(total), algo, &QueryOptions{ISLBatch: 10})
+		if err != nil {
+			t.Fatalf("%s: batch: %v", algo, err)
+		}
+		paged, _ := pageAll(t, db, q, algo, page, total)
+		if len(paged) != len(batch.Results) {
+			t.Fatalf("%s: paged %d results, batch %d", algo, len(paged), len(batch.Results))
+		}
+		for i := range paged {
+			b := batch.Results[i]
+			if paged[i].Left.RowKey != b.Left.RowKey || paged[i].Right.RowKey != b.Right.RowKey || paged[i].Score != b.Score {
+				t.Fatalf("%s: page result %d = (%s,%s,%.4f), batch = (%s,%s,%.4f)", algo, i,
+					paged[i].Left.RowKey, paged[i].Right.RowKey, paged[i].Score,
+					b.Left.RowKey, b.Right.RowKey, b.Score)
+			}
+		}
+	}
+}
+
+// TestPagingCheaperThanIndependentTopKs: the acceptance benchmark —
+// paging 10×k through tokens must cost measurably fewer KV read units
+// than the 10 independent, growing TopK calls a client without tokens
+// would issue, for the natively incremental executors (ISL: the HRJN
+// coordinator; DRJN: the band walk).
+func TestPagingCheaperThanIndependentTopKs(t *testing.T) {
+	db := Open(Config{})
+	loadTwoRelations(t, db, 600)
+	const k, pages = 10, 10
+	q, err := db.NewQuery("left", "right", Sum, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.EnsureIndexes(q, AlgoISL, AlgoDRJN); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, algo := range []Algorithm{AlgoISL, AlgoDRJN} {
+		// Token path: one run of k, then resumed pages.
+		paged, pagedReads := pageAll(t, db, q, algo, k, k*pages)
+		if len(paged) != k*pages {
+			t.Fatalf("%s: paged only %d of %d results", algo, len(paged), k*pages)
+		}
+
+		// Tokenless client: to show results (i-1)k..ik it must re-run
+		// TopK(ik) for every page.
+		var rerunReads uint64
+		for i := 1; i <= pages; i++ {
+			res, err := db.TopK(q.WithK(k*i), algo, &QueryOptions{ISLBatch: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rerunReads += res.Cost.KVReads
+		}
+
+		if pagedReads >= rerunReads {
+			t.Errorf("%s: paging read %d units, independent TopKs read %d — paging should be cheaper",
+				algo, pagedReads, rerunReads)
+		}
+		t.Logf("%s: deep pagination %d pages x %d: paged=%d read units, independent reruns=%d (%.1fx)",
+			algo, pages, k, pagedReads, rerunReads, float64(rerunReads)/float64(pagedReads))
+	}
+}
+
+// TestStreamMatchesTopK: DB.Stream must enumerate exactly the batch
+// order, and closing it early must stop all read-unit consumption.
+func TestStreamMatchesTopK(t *testing.T) {
+	db := Open(Config{})
+	loadTwoRelations(t, db, 200)
+	q, err := db.NewQuery("left", "right", Product, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.EnsureIndexes(q, AlgoISL); err != nil {
+		t.Fatal(err)
+	}
+	const n = 37
+	batch, err := db.TopK(q.WithK(n), AlgoISL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rows, err := db.Stream(q, AlgoISL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []JoinResult
+	for len(got) < n && rows.Next() {
+		got = append(got, rows.Result())
+	}
+	if rows.Err() != nil {
+		t.Fatal(rows.Err())
+	}
+	if rows.Algorithm() != "isl" {
+		t.Errorf("stream algorithm = %q, want isl", rows.Algorithm())
+	}
+	if len(got) != len(batch.Results) {
+		t.Fatalf("stream yielded %d results, batch %d", len(got), len(batch.Results))
+	}
+	for i := range got {
+		b := batch.Results[i]
+		if got[i].Left.RowKey != b.Left.RowKey || got[i].Right.RowKey != b.Right.RowKey || got[i].Score != b.Score {
+			t.Fatalf("stream result %d = (%s,%s,%.4f), batch = (%s,%s,%.4f)", i,
+				got[i].Left.RowKey, got[i].Right.RowKey, got[i].Score,
+				b.Left.RowKey, b.Right.RowKey, b.Score)
+		}
+	}
+
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before := db.Metrics().Snapshot()
+	if rows.Next() {
+		t.Error("Next returned true after Close")
+	}
+	if delta := db.Metrics().Snapshot().Sub(before); delta.KVReads != 0 {
+		t.Errorf("closed stream consumed %d read units", delta.KVReads)
+	}
+}
+
+// TestStreamAutoPlans: AlgoAuto streaming must pick a runnable executor
+// and enumerate correctly.
+func TestStreamAutoPlans(t *testing.T) {
+	db := Open(Config{})
+	left, right := loadTwoRelations(t, db, 150)
+	q, err := db.NewQuery("left", "right", Sum, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.EnsureIndexes(q, AlgoISL, AlgoDRJN); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.Stream(q, AlgoAuto, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var scores []float64
+	for len(scores) < 15 && rows.Next() {
+		scores = append(scores, rows.Result().Score)
+	}
+	if rows.Err() != nil {
+		t.Fatal(rows.Err())
+	}
+	want := refTopK(left, right, Sum, 15)
+	if len(scores) != len(want) {
+		t.Fatalf("stream yielded %d scores, want %d", len(scores), len(want))
+	}
+	for i := range want {
+		if d := scores[i] - want[i]; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("score[%d] = %.6f, want %.6f", i, scores[i], want[i])
+		}
+	}
+}
+
+// TestPageTokenSemantics: tokens are single-use, query-bound, and
+// algorithm-bound.
+func TestPageTokenSemantics(t *testing.T) {
+	db := Open(Config{})
+	loadTwoRelations(t, db, 100)
+	q, err := db.NewQuery("left", "right", Sum, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.EnsureIndexes(q, AlgoISL); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.TopK(q, AlgoISL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NextPageToken == "" {
+		t.Fatal("full page came back without a NextPageToken")
+	}
+
+	// Wrong algorithm for the token.
+	if _, err := db.TopK(q, AlgoBFHM, &QueryOptions{PageToken: res.NextPageToken}); err == nil {
+		t.Error("resume with mismatched algorithm succeeded")
+	}
+	// The failed resume consumed the token (single-use).
+	if _, err := db.TopK(q, AlgoISL, &QueryOptions{PageToken: res.NextPageToken}); err == nil {
+		t.Error("token survived a failed resume (want single-use)")
+	}
+	// Unknown token.
+	if _, err := db.TopK(q, AlgoISL, &QueryOptions{PageToken: "pt-bogus"}); err == nil {
+		t.Error("resume with unknown token succeeded")
+	}
+
+	// A fresh run's token resumes fine and rotates.
+	res, err = db.TopK(q, AlgoISL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := db.TopK(q, AlgoISL, &QueryOptions{PageToken: res.NextPageToken})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.NextPageToken == res.NextPageToken {
+		t.Error("page token not rotated")
+	}
+	if res2.Algorithm != "isl" {
+		t.Errorf("resumed page algorithm = %q", res2.Algorithm)
+	}
+}
+
+// TestStreamN: the n-way stream must match TopKN prefixes.
+func TestStreamN(t *testing.T) {
+	db := Open(Config{})
+	loadTwoRelations(t, db, 80)
+	mq, err := db.NewMultiQuery([]string{"left", "right"}, SumN, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := db.TopKN(mq.WithK(12), AlgoNaive, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.StreamN(mq, AlgoNaive, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var got []NJoinResult
+	for len(got) < 12 && rows.Next() {
+		got = append(got, rows.Result())
+	}
+	if rows.Err() != nil {
+		t.Fatal(rows.Err())
+	}
+	if len(got) != len(batch.Results) {
+		t.Fatalf("streamN yielded %d, batch %d", len(got), len(batch.Results))
+	}
+	for i := range got {
+		if got[i].Score != batch.Results[i].Score {
+			t.Fatalf("streamN score[%d] = %.4f, batch %.4f", i, got[i].Score, batch.Results[i].Score)
+		}
+	}
+	if _, err := db.StreamN(mq, AlgoBFHM, nil); err == nil {
+		t.Error("StreamN accepted an unsupported algorithm")
+	}
+}

@@ -136,6 +136,7 @@ func (db *DB) Explain(q Query, opts *ExplainOptions) (*Plan, error) {
 		Objective: o.Objective,
 		Exec:      o.Query.withDefaults().execOptions(),
 		Cache:     db.planCache,
+		Stream:    o.Stream,
 	})
 	db.cluster.Metrics().Advance(qm.SimTime())
 	return p, err
@@ -151,6 +152,13 @@ func (db *DB) Explain(q Query, opts *ExplainOptions) (*Plan, error) {
 // and — for planned executions — the planner's cost estimate, making
 // the estimated-vs-actual error measurable per query.
 //
+// Pagination: when exactly k results come back, Result.NextPageToken
+// resumes the query where it stopped — pass it through
+// QueryOptions.PageToken (with the same query) and the next k results
+// are drained from the retained cursor, paying marginal cost for
+// incremental executors (ISL, DRJN) instead of a from-scratch rerun.
+// Tokens are single-use; each page hands out a fresh one.
+//
 // TopK is safe for concurrent callers sharing one DB: each execution
 // meters a private per-query collector (so Result.Cost never includes a
 // concurrent query's work) and folds its totals back into the DB-wide
@@ -161,61 +169,142 @@ func (db *DB) TopK(q Query, algo Algorithm, opts *QueryOptions) (*Result, error)
 		o = *opts
 	}
 	o = o.withDefaults()
+	if o.PageToken != "" {
+		return db.nextPage(q, algo, o)
+	}
 	// Per-query metrics lane: resource counters forward to the DB-wide
 	// collector as they accrue; the query's clock stays isolated and is
 	// folded in once, below, keeping the global clock a cumulative
 	// busy-time total even when queries overlap.
 	qm := sim.NewLane(db.cluster.Metrics())
 	qc := db.cluster.WithMetrics(qm)
-	res, err := db.topKOn(qc, q, algo, o)
+	res, cur, err := db.topKOn(qc, q, algo, o)
 	if err != nil {
 		db.cluster.Metrics().Advance(qm.SimTime())
 		return nil, err
 	}
 	db.cluster.Metrics().Advance(res.Cost.SimTime)
+	db.stashOrClose(res, cur, qm, q)
 	return res, nil
 }
 
-// topKOn dispatches the query on the given cluster view.
-func (db *DB) topKOn(c *kvstore.Cluster, q Query, algo Algorithm, o QueryOptions) (*Result, error) {
+// stashOrClose retains the drained cursor behind a fresh page token
+// when more results may exist (the page came back full), else closes
+// it.
+func (db *DB) stashOrClose(res *Result, cur core.Cursor, lane *sim.Metrics, q Query) {
+	if len(res.Results) == q.K() && q.K() > 0 {
+		res.NextPageToken = db.cursors.put(&pagedCursor{
+			cur:     cur,
+			lane:    lane,
+			algo:    res.Algorithm,
+			queryID: q.ID(),
+			folded:  lane.SimTime(),
+		})
+		return
+	}
+	_ = cur.Close()
+}
+
+// nextPage resumes a paged query from its retained cursor.
+func (db *DB) nextPage(q Query, algo Algorithm, o QueryOptions) (*Result, error) {
+	pc, err := db.cursors.take(o.PageToken)
+	if err != nil {
+		return nil, err
+	}
+	if pc.queryID != q.ID() {
+		_ = pc.cur.Close()
+		return nil, fmt.Errorf("rankjoin: page token belongs to query %s, not %s", pc.queryID, q.ID())
+	}
+	if algo != AlgoAuto && string(algo) != pc.algo {
+		_ = pc.cur.Close()
+		return nil, fmt.Errorf("rankjoin: page token was produced by %s, not %s", pc.algo, algo)
+	}
+	before := pc.lane.Snapshot()
+	results, err := drainCursor(pc.cur, q.K())
+	if err != nil {
+		// Fold the failed page's accrued clock time like every other
+		// error path, so DB-wide SimTime stays consistent with the
+		// resource counters that already forwarded.
+		if d := pc.lane.SimTime() - pc.folded; d > 0 {
+			db.cluster.Metrics().Advance(d)
+		}
+		_ = pc.cur.Close()
+		return nil, err
+	}
+	res := &Result{
+		Results:   results,
+		Cost:      pc.lane.Snapshot().Sub(before),
+		Algorithm: pc.algo,
+	}
+	// Fold only this page's clock progress into the DB-wide metrics.
+	if d := pc.lane.SimTime() - pc.folded; d > 0 {
+		db.cluster.Metrics().Advance(d)
+		pc.folded += d
+	}
+	db.stashOrClose(res, pc.cur, pc.lane, q)
+	return res, nil
+}
+
+// drainCursor pulls up to k results.
+func drainCursor(cur core.Cursor, k int) ([]JoinResult, error) {
+	out := make([]JoinResult, 0, k)
+	for len(out) < k {
+		r, err := cur.Next()
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			break
+		}
+		out = append(out, *r)
+	}
+	return out, nil
+}
+
+// topKOn dispatches the query on the given cluster view, returning the
+// result plus the still-open cursor that produced it (for pagination).
+func (db *DB) topKOn(c *kvstore.Cluster, q Query, algo Algorithm, o QueryOptions) (*Result, core.Cursor, error) {
+	var ex core.Executor
+	var p *plan.Plan
+	var err error
 	if algo == AlgoAuto {
-		return db.topKAuto(c, q, o)
+		// The planner's statistics reads are charged to the same
+		// per-query lane as the execution, so Result.Cost covers the
+		// whole planned query; the planning share is reported
+		// separately in Result.PlannerCost.
+		ex, p, err = plan.Choose(c, q.q, db.store, plan.Options{
+			Objective: o.Objective,
+			Exec:      o.execOptions(),
+			Cache:     db.planCache,
+		})
+	} else {
+		ex, err = executorFor(algo)
 	}
-	ex, err := executorFor(algo)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	res, err := ex.Run(c, q.q, db.store, o.execOptions())
+	before := c.Metrics().Snapshot()
+	cur, err := ex.Open(c, q.q, db.store, o.execOptions())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	res.Algorithm = ex.Name()
-	return res, nil
-}
-
-// topKAuto runs the planner and the executor it picks. The planner's
-// statistics reads are charged to the same per-query lane as the
-// execution, so Result.Cost covers the whole planned query; the
-// planning share is reported separately in Result.PlannerCost.
-func (db *DB) topKAuto(c *kvstore.Cluster, q Query, o QueryOptions) (*Result, error) {
-	ex, p, err := plan.Choose(c, q.q, db.store, plan.Options{
-		Objective: o.Objective,
-		Exec:      o.execOptions(),
-		Cache:     db.planCache,
-	})
+	results, err := drainCursor(cur, q.K())
 	if err != nil {
-		return nil, err
+		_ = cur.Close()
+		return nil, nil, err
 	}
-	res, err := ex.Run(c, q.q, db.store, o.execOptions())
-	if err != nil {
-		return nil, err
+	res := &Result{
+		Results:   results,
+		Cost:      c.Metrics().Snapshot().Sub(before),
+		Algorithm: ex.Name(),
 	}
-	res.Algorithm = ex.Name()
-	est := p.ChosenEstimate()
-	res.Estimate = &est
-	res.PlannerCost = p.PlannerCost
-	// The planner's reads accrued on the same lane before the executor
-	// snapshotted its delta; fold them into the reported total.
-	res.Cost = res.Cost.Add(p.PlannerCost)
-	return res, nil
+	if p != nil {
+		est := p.ChosenEstimate()
+		res.Estimate = &est
+		res.PlannerCost = p.PlannerCost
+		// The planner's reads accrued on the same lane before the
+		// cursor's cost delta started; fold them into the total.
+		res.Cost = res.Cost.Add(p.PlannerCost)
+	}
+	return res, cur, nil
 }

@@ -135,6 +135,13 @@ type QueryOptions struct {
 	// Objective is the metric AlgoAuto's planner minimizes (default
 	// ObjectiveTime). Ignored for hand-picked algorithms.
 	Objective Objective
+	// PageToken resumes a previous TopK where it stopped: pass the
+	// Result.NextPageToken of the prior page and the same query, and
+	// the next k results come from the retained cursor — marginal cost
+	// for incremental executors instead of a from-scratch re-run.
+	// Tokens are single-use (each page returns a fresh one) and expire
+	// when the DB's cursor cache evicts them.
+	PageToken string
 }
 
 // withDefaults fills unset query options — shared by TopK and the
@@ -160,6 +167,11 @@ func (o QueryOptions) execOptions() core.ExecOptions {
 type ExplainOptions struct {
 	// Objective ranks the candidates (default ObjectiveTime).
 	Objective Objective
+	// Stream ranks candidates by the predicted cost of deep ranked
+	// enumeration (what DB.Stream's auto mode uses) instead of the
+	// bounded top-k: incremental cursors are priced at their marginal
+	// per-page cost, materializing ones at their doubling re-runs.
+	Stream bool
 	// Query carries the execution options cost estimates depend on
 	// (ISL batch size, parallelism).
 	Query QueryOptions
@@ -176,8 +188,11 @@ type DB struct {
 	// planCache memoizes the planner's statistics walks per (query, k)
 	// until the input tables change.
 	planCache *plan.Cache
-	isln      map[string]*core.ISLNIndex
-	idxCfg    IndexConfig
+	// cursors retains paused query cursors between pages, keyed by
+	// page token (see QueryOptions.PageToken).
+	cursors *cursorCache
+	isln    map[string]*core.ISLNIndex
+	idxCfg  IndexConfig
 }
 
 // Open creates a DB over a fresh simulated cluster.
@@ -191,6 +206,7 @@ func Open(cfg Config) *DB {
 		relations: map[string]*RelationHandle{},
 		store:     core.NewIndexStore(),
 		planCache: plan.NewCache(),
+		cursors:   newCursorCache(),
 		isln:      map[string]*core.ISLNIndex{},
 	}
 }

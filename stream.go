@@ -1,0 +1,212 @@
+package rankjoin
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/plan"
+	"repro/internal/sim"
+)
+
+// This file is the public streaming surface: DB.Stream returns a Rows
+// iterator that enumerates join results in score order without fixing k
+// up front, and the cursor cache behind page tokens lets TopK's "next
+// k" resume bounded state instead of re-running the query.
+
+// Rows streams the results of one query in descending score order.
+// Iterate with Next/Result, check Err afterwards, and Close when done
+// (or early — an abandoned stream stops consuming read units at once).
+//
+//	rows, _ := db.Stream(q, rankjoin.AlgoAuto, nil)
+//	defer rows.Close()
+//	for rows.Next() {
+//	    r := rows.Result()
+//	    ...
+//	}
+//	if rows.Err() != nil { ... }
+//
+// Rows is not safe for concurrent use. Like TopK, each stream meters a
+// private per-query collector; Cost reports what the stream has
+// consumed so far, and the simulated clock folds into the DB-wide
+// metrics as results are pulled.
+type Rows struct {
+	db     *DB
+	cur    core.Cursor
+	lane   *Metrics
+	algo   string
+	res    JoinResult
+	err    error
+	done   bool
+	closed bool
+	folded time.Duration
+}
+
+// Stream starts a streaming execution of q. The query's k acts only as
+// a page-size hint for batch-shaped executors (and the planner); the
+// stream itself yields results until the join is exhausted or the
+// caller closes it. AlgoAuto plans with deep enumeration in mind: the
+// planner ranks executors by the predicted cost of a multi-page
+// enumeration (charging materializing executors their re-runs), so it
+// can pick differently here than for a bounded TopK.
+func (db *DB) Stream(q Query, algo Algorithm, opts *QueryOptions) (*Rows, error) {
+	o := QueryOptions{}
+	if opts != nil {
+		o = *opts
+	}
+	o = o.withDefaults()
+	qm := sim.NewLane(db.cluster.Metrics())
+	qc := db.cluster.WithMetrics(qm)
+
+	var ex core.Executor
+	var err error
+	if algo == AlgoAuto {
+		ex, _, err = plan.Choose(qc, q.q, db.store, plan.Options{
+			Objective: o.Objective,
+			Exec:      o.execOptions(),
+			Cache:     db.planCache,
+			Stream:    true,
+		})
+	} else {
+		ex, err = executorFor(algo)
+	}
+	if err != nil {
+		db.cluster.Metrics().Advance(qm.SimTime())
+		return nil, err
+	}
+	cur, err := ex.Open(qc, q.q, db.store, o.execOptions())
+	if err != nil {
+		db.cluster.Metrics().Advance(qm.SimTime())
+		return nil, err
+	}
+	rows := &Rows{db: db, cur: cur, lane: qm, algo: ex.Name()}
+	rows.fold()
+	return rows, nil
+}
+
+// fold advances the DB-wide clock by the lane time not yet folded, so
+// cumulative metrics stay live while a stream is open. Resource
+// counters forward to the parent collector on their own.
+func (r *Rows) fold() {
+	if d := r.lane.SimTime() - r.folded; d > 0 {
+		r.db.cluster.Metrics().Advance(d)
+		r.folded += d
+	}
+}
+
+// Next advances to the next result, reporting false at exhaustion or
+// error (check Err).
+func (r *Rows) Next() bool {
+	if r.closed || r.done || r.err != nil {
+		return false
+	}
+	jr, err := r.cur.Next()
+	r.fold()
+	if err != nil {
+		r.err = err
+		return false
+	}
+	if jr == nil {
+		r.done = true
+		return false
+	}
+	r.res = *jr
+	return true
+}
+
+// Result returns the row Next advanced to.
+func (r *Rows) Result() JoinResult { return r.res }
+
+// Algorithm names the executor streaming the results.
+func (r *Rows) Algorithm() string { return r.algo }
+
+// Err returns the first error the stream hit, if any.
+func (r *Rows) Err() error { return r.err }
+
+// Cost reports the resources this stream has consumed so far.
+func (r *Rows) Cost() sim.Snapshot { return r.lane.Snapshot() }
+
+// Close releases the stream. Further Next calls return false and no
+// further read units accrue.
+func (r *Rows) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	r.fold()
+	return r.cur.Close()
+}
+
+// ---- Page-token cursor cache ----
+
+// maxCachedCursors bounds how many paused page cursors a DB retains;
+// past it the least recently issued token expires (its cursor closes).
+const maxCachedCursors = 64
+
+// pagedCursor is one paused bounded execution awaiting its next page.
+type pagedCursor struct {
+	cur     core.Cursor
+	lane    *Metrics
+	algo    string
+	queryID string
+	folded  time.Duration
+}
+
+// cursorCache maps single-use page tokens to paused cursors.
+type cursorCache struct {
+	mu      sync.Mutex
+	entries map[string]*pagedCursor
+	order   []string // issue order, oldest first
+	nextID  uint64
+}
+
+func newCursorCache() *cursorCache {
+	return &cursorCache{entries: map[string]*pagedCursor{}}
+}
+
+// put stashes a paused cursor and returns its (fresh) token, evicting
+// the oldest entry past capacity.
+func (cc *cursorCache) put(pc *pagedCursor) string {
+	cc.mu.Lock()
+	cc.nextID++
+	token := fmt.Sprintf("pt-%x-%s", cc.nextID, pc.queryID)
+	cc.entries[token] = pc
+	cc.order = append(cc.order, token)
+	var evicted []*pagedCursor
+	for len(cc.entries) > maxCachedCursors && len(cc.order) > 0 {
+		oldest := cc.order[0]
+		cc.order = cc.order[1:]
+		if e, ok := cc.entries[oldest]; ok {
+			evicted = append(evicted, e)
+			delete(cc.entries, oldest)
+		}
+	}
+	cc.mu.Unlock()
+	for _, e := range evicted {
+		_ = e.cur.Close()
+	}
+	return token
+}
+
+// take removes and returns the cursor behind a token. Tokens are
+// single-use: a second take of the same token fails.
+func (cc *cursorCache) take(token string) (*pagedCursor, error) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	pc, ok := cc.entries[token]
+	if !ok {
+		return nil, fmt.Errorf("rankjoin: unknown or expired page token %q", token)
+	}
+	delete(cc.entries, token)
+	// Drop the token from the issue-order list too: the steady-state
+	// paging pattern is put/take/put/take, and leaving taken tokens in
+	// order would grow it by one entry per page forever.
+	for i, tok := range cc.order {
+		if tok == token {
+			cc.order = append(cc.order[:i], cc.order[i+1:]...)
+			break
+		}
+	}
+	return pc, nil
+}
