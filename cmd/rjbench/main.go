@@ -7,6 +7,9 @@
 //	rjbench -fig 9                   # indexing time
 //	rjbench -fig sizes               # index disk sizes (Section 7.2 list)
 //	rjbench -fig updates             # online-update overhead experiment
+//	rjbench -fig mixed               # mixed read/write workload: write
+//	                                 # throughput, batched-vs-per-cell
+//	                                 # write RPCs, per-executor freshness
 //	rjbench -sf 0.05 -lcsf 0.1       # larger scale factors
 //
 // Figures 7a-7f come from one EC2 measurement set (Q1 and Q2 series);
@@ -27,7 +30,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 7a..7f, 8a..8f, 9, sizes, mem, updates, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 7a..7f, 8a..8f, 9, sizes, mem, updates, mixed, paging, all")
 	sfEC2 := flag.Float64("sf", 0.02, "TPC-H scale factor for the EC2 profile runs")
 	sfLC := flag.Float64("lcsf", 0.04, "TPC-H scale factor for the LC profile runs")
 	snapshot := flag.String("snapshot", "", "write the measured Q1/Q2 series as JSON to this file (BENCH_<n>.json)")
@@ -45,7 +48,7 @@ func main() {
 		return false
 	}
 
-	needEC2 := want("7a", "7b", "7c", "7d", "7e", "7f", "9", "sizes", "updates", "paging") || *snapshot != ""
+	needEC2 := want("7a", "7b", "7c", "7d", "7e", "7f", "9", "sizes", "updates", "paging", "mixed") || *snapshot != ""
 	needLC := want("8a", "8b", "8c", "8d", "8e", "8f", "9") || *snapshot != ""
 
 	var ec2Env, lcEnv *benchkit.Env
@@ -149,6 +152,13 @@ func main() {
 				set, applied, overhead)
 		}
 		fmt.Println()
+	}
+	if want("mixed") && ec2Env != nil {
+		report, err := ec2Env.MixedWorkloadReport(400, 50)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(report)
 	}
 	if want("paging") && ec2Env != nil {
 		report, err := ec2Env.PagingReport(ec2Env.Q1, []rankjoin.Algorithm{

@@ -29,6 +29,16 @@
 //	    returns every registered executor ranked by predicted cost
 //	    (stream mode prices deep enumeration: marginal per-page costs,
 //	    materializing re-run penalties).
+//	POST /insert      Upsert one tuple with synchronous maintenance of
+//	    every index built over the relation (one batched group write);
+//	    body: {"relation":"orders","row_key":"o1","join_value":"42",
+//	    "score":0.93}. A query issued right after sees the write on
+//	    every executor.
+//	POST /update      Replace an existing tuple's join value/score,
+//	    retiring old index entries under one timestamp; same body.
+//	POST /delete      Remove a tuple; body needs relation and row_key
+//	    (join_value/score optional — omitted means "read them first").
+//	GET /relations    List defined relations.
 //	GET /algorithms   List available algorithms.
 //	GET /metrics      DB-wide cumulative metrics.
 //	GET /healthz      Liveness probe.
@@ -38,10 +48,13 @@
 //	curl 'localhost:8080/topk?query=q2&k=5'
 //	curl 'localhost:8080/stream?query=q1&algo=isl&limit=25'
 //	curl -X POST localhost:8080/explain -d '{"query":"q2","k":100,"objective":"dollars"}'
+//	curl -X POST localhost:8080/insert -d '{"relation":"orders","row_key":"oNEW","join_value":"999","score":0.99}'
+//	curl -X POST localhost:8080/delete -d '{"relation":"orders","row_key":"oNEW"}'
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -474,6 +487,120 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// writeRequest is the POST /insert, /update, and /delete body.
+type writeRequest struct {
+	Relation  string   `json:"relation"`
+	RowKey    string   `json:"row_key"`
+	JoinValue string   `json:"join_value"`
+	Score     *float64 `json:"score"`
+}
+
+// writeResponse acknowledges one applied write.
+type writeResponse struct {
+	OK       bool   `json:"ok"`
+	Op       string `json:"op"`
+	Relation string `json:"relation"`
+	RowKey   string `json:"row_key"`
+	WallTime string `json:"wall_time"`
+}
+
+// handleWrite serves the write endpoints: each mutation flows through
+// the Section 6 maintenance pipeline, so every index built over the
+// relation (and the planner's statistics) reflect it before the
+// response returns — a query issued next sees the write on every
+// executor.
+func (s *server) handleWrite(op string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req writeRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad %s body: %v", op, err)
+			return
+		}
+		h := s.env.DB.Relation(req.Relation)
+		if h == nil {
+			writeError(w, http.StatusBadRequest, "unknown relation %q (want one of %v)",
+				req.Relation, s.env.DB.RelationNames())
+			return
+		}
+		if req.RowKey == "" {
+			writeError(w, http.StatusBadRequest, "%s needs row_key", op)
+			return
+		}
+		score := 0.0
+		if req.Score != nil {
+			score = *req.Score
+			if score < 0 || score > 1 {
+				writeError(w, http.StatusBadRequest, "score %v outside the normalized [0,1] domain", score)
+				return
+			}
+		}
+		start := time.Now()
+		var err error
+		switch op {
+		case "insert", "update":
+			if req.JoinValue == "" || req.Score == nil {
+				writeError(w, http.StatusBadRequest, "%s needs join_value and score", op)
+				return
+			}
+			if op == "insert" {
+				err = h.Insert(req.RowKey, req.JoinValue, score)
+			} else {
+				err = h.Update(req.RowKey, req.JoinValue, score)
+			}
+		case "delete":
+			// Never trust the client's idea of the tuple's current join
+			// value and score: index entries live at those coordinates,
+			// and deleting at stale ones strands the real entries as
+			// phantoms. Read the live tuple; any supplied value acts only
+			// as a precondition against it (each independently — a lone
+			// join_value or score is still checked).
+			if req.JoinValue != "" || req.Score != nil {
+				cur, ok, gerr := h.Get(req.RowKey)
+				if gerr != nil {
+					writeError(w, http.StatusInternalServerError, "%v", gerr)
+					return
+				}
+				if ok {
+					if req.JoinValue != "" && cur.JoinValue != req.JoinValue {
+						writeError(w, http.StatusConflict,
+							"delete of %q expected join %q but the live tuple has join %q; retry without join_value/score to delete regardless",
+							req.RowKey, req.JoinValue, cur.JoinValue)
+						return
+					}
+					if req.Score != nil && cur.Score != score {
+						writeError(w, http.StatusConflict,
+							"delete of %q expected score %v but the live tuple has score %v; retry without join_value/score to delete regardless",
+							req.RowKey, score, cur.Score)
+						return
+					}
+				}
+			}
+			err = h.DeleteKey(req.RowKey)
+		}
+		if err != nil {
+			// Divergence is a server-side, retryable condition: the base
+			// write landed but an index write did not. 400 would tell the
+			// client its request was malformed and make it drop the write;
+			// 500 signals "re-apply" (the error carries the timestamp).
+			var me *rankjoin.MaintenanceError
+			if errors.As(err, &me) {
+				writeError(w, http.StatusInternalServerError, "%v", err)
+				return
+			}
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, writeResponse{
+			OK: true, Op: op, Relation: req.Relation, RowKey: req.RowKey,
+			WallTime: time.Since(start).String(),
+		})
+	}
+}
+
+func (s *server) handleRelations(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"relations": s.env.DB.RelationNames()})
+}
+
 func (s *server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
 	algos := []string{string(rankjoin.AlgoAuto), string(rankjoin.AlgoNaive)}
 	for _, a := range rankjoin.Algorithms() {
@@ -515,6 +642,10 @@ func main() {
 	mux.HandleFunc("GET /stream", s.handleStream)
 	mux.HandleFunc("POST /stream", s.handleStream)
 	mux.HandleFunc("POST /explain", s.handleExplain)
+	mux.HandleFunc("POST /insert", s.handleWrite("insert"))
+	mux.HandleFunc("POST /update", s.handleWrite("update"))
+	mux.HandleFunc("POST /delete", s.handleWrite("delete"))
+	mux.HandleFunc("GET /relations", s.handleRelations)
 	mux.HandleFunc("GET /algorithms", s.handleAlgorithms)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {

@@ -79,4 +79,36 @@
 // per-page cost for incremental cursors, the doubling re-run schedule
 // for materializing ones — and can pick a different executor for deep
 // pagination than for a one-shot top-k.
+//
+// # Online updates
+//
+// Writes flow through a write-through maintenance pipeline (Section 6):
+// every mutation is augmented with the index entries of EVERY structure
+// built over the relation — one inverse-list entry per IJLMR, ISL, and
+// n-way ISLN index (a relation joined in several queries has several,
+// and all are maintained), BFHM mutation records plus reverse mappings,
+// and DRJN per-band delta records — and the whole augmented batch ships as one
+// group write: a single write RPC with one shared timestamp, instead of
+// one round trip per index cell.
+//
+//	docs.Insert("d9", "pear", 0.7)   // upsert: retires old entries if d9 exists
+//	docs.Update("d9", "pear", 0.9)   // explicit re-score, one timestamp
+//	docs.Delete("d9", "pear", 0.9)   // or docs.DeleteKey("d9")
+//	docs.BatchInsert(tuples)         // maintained load, one RPC per chunk
+//
+// Freshness guarantees, per executor: Naive, Hive, and Pig scan base
+// tables and are trivially fresh. IJLMR and ISL read their inverse
+// lists, which the pipeline mutates synchronously. BFHM replays bucket
+// mutation records at query time (write-back eager, lazy, or offline
+// via WriteBackBFHM). DRJN folds band delta records into its histogram
+// counts and observed score bounds, so the band walk sees fresh
+// cardinalities and valid pull floors with no offline rebuild. A query
+// issued after a write therefore reflects it on every executor.
+// Planner statistics and cached plans are keyed on each table's
+// mutation sequence, so cost estimates track live data too.
+//
+// A write that fails part-way (base written, an index write refused)
+// surfaces as a core.MaintenanceError naming the divergent index and
+// carrying the batch's timestamp; re-applying the same mutation with
+// that timestamp is idempotent and converges the store.
 package rankjoin

@@ -1,0 +1,422 @@
+// Freshness under live writes: every executor must see online inserts,
+// updates, and deletes immediately — no index rebuilds, no write-backs —
+// because the write path maintains every registered index synchronously
+// (Section 6 as a write-through pipeline).
+package rankjoin
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// sevenExecutors is every registered strategy, the planner mode excluded.
+func sevenExecutors() []Algorithm {
+	return append(Algorithms(), AlgoNaive)
+}
+
+func assertTopKFresh(t *testing.T, db *DB, q Query, left, right []Tuple, f ScoreFunc, label string) {
+	t.Helper()
+	want := refTopK(left, right, f, q.K())
+	for _, algo := range sevenExecutors() {
+		res, err := db.TopK(q, algo, nil)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", label, algo, err)
+		}
+		if len(res.Results) != len(want) {
+			t.Fatalf("%s/%s: %d results, want %d", label, algo, len(res.Results), len(want))
+		}
+		for i, r := range res.Results {
+			if d := r.Score - want[i]; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("%s/%s: score[%d] = %v, want %v", label, algo, i, r.Score, want[i])
+			}
+		}
+	}
+}
+
+// TestMaintainAllIndexesAcrossQueries is the regression for the
+// last-match-wins maintainer bug: a relation participating in TWO
+// queries has two ISL and two IJLMR index tables, and a write must
+// maintain both — the old assembly kept only whichever index the store
+// walk visited last, leaving the other query's results stale.
+func TestMaintainAllIndexesAcrossQueries(t *testing.T) {
+	db := Open(Config{})
+	rng := rand.New(rand.NewSource(41))
+	rels := map[string][]Tuple{"a": nil, "b": nil, "c": nil}
+	handles := map[string]*RelationHandle{}
+	for _, name := range []string{"a", "b", "c"} {
+		h, err := db.DefineRelation(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[name] = h
+		var tuples []Tuple
+		for i := 0; i < 120; i++ {
+			tuples = append(tuples, Tuple{
+				RowKey:    fmt.Sprintf("%s%04d", name, i),
+				JoinValue: fmt.Sprintf("j%d", rng.Intn(25)),
+				Score:     float64(rng.Intn(1000)) / 1000,
+			})
+		}
+		if err := h.BulkLoad(tuples); err != nil {
+			t.Fatal(err)
+		}
+		rels[name] = tuples
+	}
+	q1, err := db.NewQuery("a", "b", Sum, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := db.NewQuery("a", "c", Sum, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []Query{q1, q2} {
+		if err := db.EnsureIndexes(q, AlgoIJLMR, AlgoISL); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// One write to "a" must reach q1's AND q2's inverse lists.
+	if err := handles["a"].Insert("aHOT", "hotjoin", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	rels["a"] = append(rels["a"], Tuple{RowKey: "aHOT", JoinValue: "hotjoin", Score: 1.0})
+	if err := handles["b"].Insert("bHOT", "hotjoin", 0.99); err != nil {
+		t.Fatal(err)
+	}
+	rels["b"] = append(rels["b"], Tuple{RowKey: "bHOT", JoinValue: "hotjoin", Score: 0.99})
+	if err := handles["c"].Insert("cHOT", "hotjoin", 0.98); err != nil {
+		t.Fatal(err)
+	}
+	rels["c"] = append(rels["c"], Tuple{RowKey: "cHOT", JoinValue: "hotjoin", Score: 0.98})
+
+	for _, tc := range []struct {
+		q           Query
+		left, right []Tuple
+		label       string
+		topScore    float64
+	}{
+		{q1, rels["a"], rels["b"], "q1", 1.99},
+		{q2, rels["a"], rels["c"], "q2", 1.98},
+	} {
+		want := refTopK(tc.left, tc.right, Sum, tc.q.K())
+		if want[0] != tc.topScore {
+			t.Fatalf("%s setup broken: oracle top %v", tc.label, want[0])
+		}
+		for _, algo := range []Algorithm{AlgoIJLMR, AlgoISL} {
+			res, err := db.TopK(tc.q, algo, nil)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tc.label, algo, err)
+			}
+			if res.Results[0].Score != tc.topScore {
+				t.Fatalf("%s/%s: top score %v after insert, want %v (index not maintained)",
+					tc.label, algo, res.Results[0].Score, tc.topScore)
+			}
+		}
+	}
+}
+
+// TestReinsertChangedScoreNoPhantoms is the regression for the stale
+// inverse-score-list entry: inserting over an existing row key with a
+// changed score used to leave the old EncodeScoreDesc(oldScore) entry
+// live, so the tuple ranked at BOTH scores. Insert now upserts (and
+// Update exists for the explicit form), retiring old entries under the
+// same timestamp.
+func TestReinsertChangedScoreNoPhantoms(t *testing.T) {
+	db := Open(Config{})
+	db.SetIndexConfig(IndexConfig{DRJNBuckets: 10, DRJNJoinParts: 16})
+	left, right := loadTwoRelations(t, db, 120)
+	q, err := db.NewQuery("left", "right", Sum, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.EnsureIndexes(q, Algorithms()...); err != nil {
+		t.Fatal(err)
+	}
+	lh := db.Relation("left")
+
+	// Plant a pair at the very top...
+	if err := lh.Insert("lPH", "phantom", 0.999); err != nil {
+		t.Fatal(err)
+	}
+	rh := db.Relation("right")
+	if err := rh.Insert("rPH", "phantom", 0.999); err != nil {
+		t.Fatal(err)
+	}
+	right = append(right, Tuple{RowKey: "rPH", JoinValue: "phantom", Score: 0.999})
+
+	// ...then re-insert the left side demoted to the bottom. The old
+	// 0.999 entry must be gone: if it survives, the pair still ranks
+	// first as a phantom.
+	if err := lh.Insert("lPH", "phantom", 0.001); err != nil {
+		t.Fatal(err)
+	}
+	left = append(left, Tuple{RowKey: "lPH", JoinValue: "phantom", Score: 0.001})
+	assertTopKFresh(t, db, q, left, right, Sum, "reinsert")
+
+	// The explicit Update spelling behaves identically.
+	if err := lh.Update("lPH", "phantom2", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	left[len(left)-1] = Tuple{RowKey: "lPH", JoinValue: "phantom2", Score: 0.5}
+	assertTopKFresh(t, db, q, left, right, Sum, "update")
+
+	// Updating a missing row is an error; Get reports absence.
+	if err := lh.Update("lMISSING", "x", 0.5); err == nil {
+		t.Error("Update of a missing row accepted")
+	}
+	if _, ok, err := lh.Get("lMISSING"); err != nil || ok {
+		t.Errorf("Get(lMISSING) = ok=%v err=%v", ok, err)
+	}
+}
+
+// TestFreshnessOracle is the acceptance oracle: after a randomized
+// sequence of online inserts, deletes, updates, and re-inserts, TopK via
+// every executor — DRJN included, with NO manual rebuild — must equal a
+// from-scratch computation over the live tuples.
+func TestFreshnessOracle(t *testing.T) {
+	db := Open(Config{})
+	db.SetIndexConfig(IndexConfig{DRJNBuckets: 12, DRJNJoinParts: 16, BFHMBuckets: 10})
+	left, right := loadTwoRelations(t, db, 150)
+	q, err := db.NewQuery("left", "right", Sum, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.EnsureIndexes(q, Algorithms()...); err != nil {
+		t.Fatal(err)
+	}
+	lh, rh := db.Relation("left"), db.Relation("right")
+
+	rng := rand.New(rand.NewSource(2026))
+	sides := []struct {
+		h      *RelationHandle
+		tuples *[]Tuple
+		prefix string
+	}{{lh, &left, "l"}, {rh, &right, "r"}}
+	newKey := 10_000
+	for op := 0; op < 80; op++ {
+		s := sides[rng.Intn(2)]
+		switch k := rng.Intn(10); {
+		case k < 4: // insert a fresh key
+			tp := Tuple{
+				RowKey:    fmt.Sprintf("%s%05d", s.prefix, newKey),
+				JoinValue: fmt.Sprintf("j%d", rng.Intn(30)),
+				Score:     float64(rng.Intn(1000)) / 1000,
+			}
+			newKey++
+			if err := s.h.Insert(tp.RowKey, tp.JoinValue, tp.Score); err != nil {
+				t.Fatal(err)
+			}
+			*s.tuples = append(*s.tuples, tp)
+		case k < 6: // blind re-insert of a live key with new score/join
+			i := rng.Intn(len(*s.tuples))
+			tp := Tuple{
+				RowKey:    (*s.tuples)[i].RowKey,
+				JoinValue: fmt.Sprintf("j%d", rng.Intn(30)),
+				Score:     float64(rng.Intn(1000)) / 1000,
+			}
+			if err := s.h.Insert(tp.RowKey, tp.JoinValue, tp.Score); err != nil {
+				t.Fatal(err)
+			}
+			(*s.tuples)[i] = tp
+		case k < 8: // explicit update
+			i := rng.Intn(len(*s.tuples))
+			tp := Tuple{
+				RowKey:    (*s.tuples)[i].RowKey,
+				JoinValue: (*s.tuples)[i].JoinValue,
+				Score:     float64(rng.Intn(1000)) / 1000,
+			}
+			if err := s.h.Update(tp.RowKey, tp.JoinValue, tp.Score); err != nil {
+				t.Fatal(err)
+			}
+			(*s.tuples)[i] = tp
+		default: // delete
+			i := rng.Intn(len(*s.tuples))
+			tp := (*s.tuples)[i]
+			if rng.Intn(2) == 0 {
+				err = s.h.Delete(tp.RowKey, tp.JoinValue, tp.Score)
+			} else {
+				err = s.h.DeleteKey(tp.RowKey)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			*s.tuples = append((*s.tuples)[:i], (*s.tuples)[i+1:]...)
+		}
+		// Interleave a spot check so divergence is caught near its op,
+		// not only at the end.
+		if op%27 == 26 {
+			assertTopKFresh(t, db, q, left, right, Sum, fmt.Sprintf("op%d", op))
+		}
+	}
+	assertTopKFresh(t, db, q, left, right, Sum, "final")
+}
+
+// TestWriteVisibleImmediately is the CI freshness smoke: a write
+// followed by an immediate query must be seen by all seven executors.
+func TestWriteVisibleImmediately(t *testing.T) {
+	db := Open(Config{})
+	db.SetIndexConfig(IndexConfig{DRJNBuckets: 10, DRJNJoinParts: 16})
+	_, _ = loadTwoRelations(t, db, 100)
+	q, err := db.NewQuery("left", "right", Sum, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.EnsureIndexes(q, Algorithms()...); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Relation("left").Insert("lFRESH", "freshjoin", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Relation("right").Insert("rFRESH", "freshjoin", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range sevenExecutors() {
+		res, err := db.TopK(q, algo, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if len(res.Results) == 0 || res.Results[0].Score != 2.0 {
+			t.Fatalf("%s: write not visible (top = %+v)", algo, res.Results)
+		}
+	}
+}
+
+// TestBatchedMaintenanceFewerWriteRPCs asserts the group-write economy:
+// the maintenance pipeline must issue measurably fewer write RPCs than
+// the per-cell puts it replaced (which paid one round trip per written
+// cell — KVWrites counts exactly those cells).
+func TestBatchedMaintenanceFewerWriteRPCs(t *testing.T) {
+	db := Open(Config{})
+	db.SetIndexConfig(IndexConfig{DRJNBuckets: 10, DRJNJoinParts: 16})
+	_, _ = loadTwoRelations(t, db, 100)
+	q, err := db.NewQuery("left", "right", Sum, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.EnsureIndexes(q, Algorithms()...); err != nil {
+		t.Fatal(err)
+	}
+	lh := db.Relation("left")
+
+	// Single maintained upsert: one existence read + one group write.
+	before := db.Metrics().Snapshot()
+	if err := lh.Insert("lone", "j1", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	d := db.Metrics().Snapshot().Sub(before)
+	if d.KVWrites < 6 {
+		t.Fatalf("maintained insert wrote %d cells, want >= 6 (base x2, ijlmr, isl, bfhm x2, drjn)", d.KVWrites)
+	}
+	if d.RPCCalls > 2 {
+		t.Errorf("maintained insert cost %d RPCs, want <= 2 (read + one group write); per-cell puts would cost %d",
+			d.RPCCalls, d.KVWrites)
+	}
+
+	// Batch load with maintenance: one group write per chunk.
+	var batch []Tuple
+	for i := 0; i < 100; i++ {
+		batch = append(batch, Tuple{
+			RowKey:    fmt.Sprintf("lbatch%04d", i),
+			JoinValue: fmt.Sprintf("j%d", i%30),
+			Score:     float64(i%1000) / 1000,
+		})
+	}
+	before = db.Metrics().Snapshot()
+	if err := lh.BatchInsert(batch); err != nil {
+		t.Fatal(err)
+	}
+	d = db.Metrics().Snapshot().Sub(before)
+	if d.RPCCalls != 1 {
+		t.Errorf("BatchInsert(100) cost %d RPCs, want 1", d.RPCCalls)
+	}
+	if d.KVWrites < 600 {
+		t.Errorf("BatchInsert(100) wrote %d cells, want >= 600", d.KVWrites)
+	}
+	if d.RPCCalls*10 >= d.KVWrites {
+		t.Errorf("batched path not measurably cheaper: %d RPCs for %d cells", d.RPCCalls, d.KVWrites)
+	}
+}
+
+// TestMultiwayISLNMaintained: the n-way ISLN inverse lists are part of
+// "every index built over the relation" — a write must reach them too,
+// or TopKN silently serves stale results.
+func TestMultiwayISLNMaintained(t *testing.T) {
+	db := Open(Config{})
+	rng := rand.New(rand.NewSource(53))
+	handles := map[string]*RelationHandle{}
+	for _, name := range []string{"ma", "mb", "mc"} {
+		h, err := db.DefineRelation(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[name] = h
+		var tuples []Tuple
+		for i := 0; i < 80; i++ {
+			tuples = append(tuples, Tuple{
+				RowKey:    fmt.Sprintf("%s%04d", name, i),
+				JoinValue: fmt.Sprintf("j%d", rng.Intn(15)),
+				Score:     float64(rng.Intn(900)) / 1000, // < 0.9: planted pairs rank first
+			})
+		}
+		if err := h.BulkLoad(tuples); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mq, err := db.NewMultiQuery([]string{"ma", "mb", "mc"}, SumN, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.EnsureMultiIndexes(mq); err != nil {
+		t.Fatal(err)
+	}
+
+	// Plant a fresh 3-way top pair: every side written AFTER the index
+	// build, visible only if the ISLN lists are maintained.
+	for _, name := range []string{"ma", "mb", "mc"} {
+		if err := handles[name].Insert(name+"HOT", "hot3", 1.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, algo := range []Algorithm{AlgoISL, AlgoNaive} {
+		res, err := db.TopKN(mq, algo, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if len(res.Results) == 0 || res.Results[0].Score != 3.0 {
+			t.Fatalf("%s: planted 3-way pair not visible (top = %+v)", algo, res.Results)
+		}
+	}
+
+	// Demote one side: the old-score ISLN entry must be retired, or the
+	// pair keeps ranking first as a phantom.
+	if err := handles["ma"].Update("maHOT", "hot3", 0.0); err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algorithm{AlgoISL, AlgoNaive} {
+		res, err := db.TopKN(mq, algo, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if len(res.Results) > 0 && res.Results[0].Score >= 2.9 {
+			t.Fatalf("%s: demoted 3-way pair still ranks first (%+v)", algo, res.Results[0])
+		}
+	}
+
+	// Delete another side: the join must disappear entirely.
+	if err := handles["mb"].DeleteKey("mbHOT"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.TopKN(mq, AlgoISL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Results {
+		for _, tp := range r.Tuples {
+			if tp.RowKey == "mbHOT" {
+				t.Fatalf("deleted mbHOT still joined: %+v", r)
+			}
+		}
+	}
+}

@@ -316,6 +316,99 @@ func (e *Env) UpdateExperiment(setNo int) (overheadPct float64, applied int, err
 	return float64(dirty-clean) / float64(clean) * 100, applied, nil
 }
 
+// MixedWorkloadReport runs the mixed read/write experiment: scripted
+// online inserts, updates, and deletes flow through the write-through
+// maintenance pipeline (every index of the touched relations maintained
+// per write, one batched group mutation each) while top-k queries
+// interleave. It reports:
+//
+//   - write throughput (wall mutations/sec and simulated write time),
+//   - write-RPC economy: the batched pipeline's round trips against the
+//     per-cell baseline it replaced (one RPC per written cell — exactly
+//     the KV-writes count),
+//   - a freshness probe: a top-ranked pair planted at the end must be
+//     the first result of EVERY executor on the immediately following
+//     query, DRJN included, with no rebuild.
+func (e *Env) MixedWorkloadReport(writes, interleaveEvery int) (string, error) {
+	ordersH := e.DB.Relation("orders")
+	liOK := e.DB.Relation("lineitem_ok")
+	if ordersH == nil || liOK == nil {
+		return "", fmt.Errorf("benchkit: orders/lineitem_ok not loaded")
+	}
+
+	m := e.DB.Metrics()
+	before := m.Snapshot()
+	start := time.Now()
+	var readTime time.Duration
+	var readCost sim.Snapshot
+	reads := 0
+	applied := 0
+	for i := 0; i < writes; i++ {
+		var err error
+		switch i % 4 {
+		case 0: // fresh order
+			err = ordersH.Insert(fmt.Sprintf("omix%06d", i), fmt.Sprintf("9%06d", i), float64(i%997)/997)
+		case 1: // fresh lineitem joining it
+			err = liOK.Insert(fmt.Sprintf("limix%06d", i), fmt.Sprintf("9%06d", i-1), float64(i%883)/883)
+		case 2: // re-score the order written two steps ago
+			err = ordersH.Update(fmt.Sprintf("omix%06d", i-2), fmt.Sprintf("9%06d", i-2), float64(i%769)/769)
+		default: // retire every other cycle's order, re-score lineitems otherwise
+			if i%8 == 3 {
+				err = ordersH.DeleteKey(fmt.Sprintf("omix%06d", i-3))
+			} else {
+				err = liOK.Update(fmt.Sprintf("limix%06d", i-2), fmt.Sprintf("9%06d", i-3), float64(i%641)/641)
+			}
+		}
+		if err != nil {
+			return "", fmt.Errorf("benchkit: mixed write %d: %w", i, err)
+		}
+		applied++
+		if interleaveEvery > 0 && i%interleaveEvery == interleaveEvery-1 {
+			rb := m.Snapshot()
+			rs := time.Now()
+			if _, err := e.Run(e.Q2, rankjoin.AlgoISL, 10); err != nil {
+				return "", fmt.Errorf("benchkit: interleaved read: %w", err)
+			}
+			readTime += time.Since(rs)
+			readCost = readCost.Add(m.Snapshot().Sub(rb))
+			reads++
+		}
+	}
+	wall := time.Since(start) - readTime
+	d := m.Snapshot().Sub(before).Sub(readCost)
+
+	out := fmt.Sprintf("Mixed read/write workload (profile %s, SF %g)\n", e.Profile.Name, e.SF)
+	out += fmt.Sprintf("  %d maintained writes in %v wall (%.0f writes/sec), %d interleaved top-10 reads\n",
+		applied, wall.Round(time.Millisecond), float64(applied)/wall.Seconds(), reads)
+	out += fmt.Sprintf("  simulated write cost: %v, %d KV cells written\n",
+		d.SimTime.Round(time.Microsecond), d.KVWrites)
+	writeRPCs := d.RPCCalls - uint64(applied) // upserts pay one existence-read RPC each
+	out += fmt.Sprintf("  write RPCs: %d batched group writes vs %d per-cell puts (%.1fx fewer round trips)\n",
+		writeRPCs, d.KVWrites, float64(d.KVWrites)/float64(writeRPCs))
+
+	// Freshness probe: plant a pair that must rank first everywhere.
+	if err := ordersH.Insert("ofresh", "zfreshmix", 1.0); err != nil {
+		return "", err
+	}
+	if err := liOK.Insert("lifresh", "zfreshmix", 1.0); err != nil {
+		return "", err
+	}
+	out += "  freshness (write -> immediate top-1 query):\n"
+	algos := append([]rankjoin.Algorithm{rankjoin.AlgoNaive}, Algorithms...)
+	for _, algo := range algos {
+		res, err := e.Run(e.Q2, algo, 1)
+		if err != nil {
+			return "", fmt.Errorf("benchkit: freshness %s: %w", algo, err)
+		}
+		if len(res.Results) == 0 || res.Results[0].Score < 2.0-1e-9 {
+			return "", fmt.Errorf("benchkit: %s is STALE after write (top = %+v)", algo, res.Results)
+		}
+		out += fmt.Sprintf("    %-6s sees the write (top score %.3f, %v)\n",
+			algo, res.Results[0].Score, res.Cost.SimTime.Round(time.Microsecond))
+	}
+	return out, nil
+}
+
 // PagingReport runs the deep-pagination scenario: one top-k query, then
 // further pages resumed through page tokens, recording the marginal
 // cost of every page. For comparison it also measures what a client

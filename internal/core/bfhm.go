@@ -361,17 +361,40 @@ func fetchBFHMBucket(c *kvstore.Cluster, idx *BFHMIndex, b int) (*bfhmBucket, er
 	}
 	// Replay mutations in timestamp order (Section 6: "replay all row
 	// mutations in timestamp order and reconstruct the up-to-date blob").
-	sort.SliceStable(muts, func(i, j int) bool { return muts[i].ts < muts[j].ts })
+	// At equal timestamps, deletions apply first: an update ships its
+	// old-tuple tombstone and new-tuple insertion under one shared
+	// timestamp, and must net to "replaced", not "removed".
+	sort.SliceStable(muts, func(i, j int) bool {
+		if muts[i].ts != muts[j].ts {
+			return muts[i].ts < muts[j].ts
+		}
+		return !muts[i].ins && muts[j].ins
+	})
+	// Per-row-key presence tracking makes replay idempotent under
+	// repeated records: record qualifiers are timestamp-suffixed, so a
+	// retried Delete (or a blind double Insert) appends a SECOND record
+	// for the same key — applying both would double-decrement counting-
+	// filter bits shared with live tuples.
+	const (
+		keyPresent = 1
+		keyAbsent  = 2
+	)
+	keyState := map[string]int{}
 	for _, m := range muts {
+		st := keyState[m.t.RowKey]
 		if m.ins {
-			out.Filter.Insert(m.t.JoinValue)
-			if m.t.Score < out.Min {
-				out.Min = m.t.Score
+			if st != keyPresent {
+				keyState[m.t.RowKey] = keyPresent
+				out.Filter.Insert(m.t.JoinValue)
+				if m.t.Score < out.Min {
+					out.Min = m.t.Score
+				}
+				if m.t.Score > out.Max {
+					out.Max = m.t.Score
+				}
 			}
-			if m.t.Score > out.Max {
-				out.Max = m.t.Score
-			}
-		} else {
+		} else if st != keyAbsent {
+			keyState[m.t.RowKey] = keyAbsent
 			out.Filter.Remove(m.t.JoinValue)
 			// Deletions keep Min/Max conservative (cannot shrink
 			// without a rebuild).

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/histogram"
 	"repro/internal/kvstore"
 )
 
@@ -16,6 +17,8 @@ type maintSetup struct {
 	isl    *ISLIndex
 	bfhmL  *BFHMIndex
 	bfhmR  *BFHMIndex
+	drjnL  *DRJNIndex
+	drjnR  *DRJNIndex
 	mL, mR *Maintainer
 	left   []Tuple
 	right  []Tuple
@@ -46,18 +49,32 @@ func newMaintSetup(t *testing.T, seed int64) *maintSetup {
 	if err != nil {
 		t.Fatal(err)
 	}
+	drjnL, _, err := BuildDRJN(c, relL, DRJNOptions{NumBuckets: 8, JoinParts: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drjnR, _, err := BuildDRJN(c, relR, DRJNOptions{NumBuckets: 8, JoinParts: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
 	return &maintSetup{
 		c: c, q: q, ijlmr: ijlmr, isl: isl, bfhmL: bfhmL, bfhmR: bfhmR,
-		mL: &Maintainer{C: c, Rel: relL, IJLMR: ijlmr, IJLMRFamily: ijlmr.LeftFamily,
-			ISL: isl, ISLFamily: isl.LeftFamily, BFHM: bfhmL},
-		mR: &Maintainer{C: c, Rel: relR, IJLMR: ijlmr, IJLMRFamily: ijlmr.RightFamily,
-			ISL: isl, ISLFamily: isl.RightFamily, BFHM: bfhmR},
+		drjnL: drjnL, drjnR: drjnR,
+		mL: &Maintainer{C: c, Rel: relL,
+			IJLMR: []BoundIJLMR{{Idx: ijlmr, Family: ijlmr.LeftFamily}},
+			ISL:   []BoundISL{{Idx: isl, Family: isl.LeftFamily}},
+			BFHM:  bfhmL, DRJN: drjnL},
+		mR: &Maintainer{C: c, Rel: relR,
+			IJLMR: []BoundIJLMR{{Idx: ijlmr, Family: ijlmr.RightFamily}},
+			ISL:   []BoundISL{{Idx: isl, Family: isl.RightFamily}},
+			BFHM:  bfhmR, DRJN: drjnR},
 		left: left, right: right,
 	}
 }
 
 // checkAll verifies every index-based algorithm against the oracle for
-// the current logical contents.
+// the current logical contents — DRJN included, with no rebuild: its
+// delta records must keep the band walk converging on fresh data.
 func (s *maintSetup) checkAll(t *testing.T, wb WriteBackMode) {
 	t.Helper()
 	want := scoresOf(oracleTopK(s.left, s.right, s.q.Score, s.q.K))
@@ -79,6 +96,12 @@ func (s *maintSetup) checkAll(t *testing.T, wb WriteBackMode) {
 		t.Fatal(err)
 	}
 	assertScoresEqual(t, "bfhm-after-updates", scoresOf(bf.Results), want)
+
+	dr, err := QueryDRJN(s.c, s.q, s.drjnL, s.drjnR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertScoresEqual(t, "drjn-after-updates", scoresOf(dr.Results), want)
 }
 
 func (s *maintSetup) insertLeft(t *testing.T, tp Tuple) {
@@ -259,4 +282,308 @@ func TestMaintainerValidation(t *testing.T) {
 	if err := s.mL.InsertTuple(Tuple{}); err == nil {
 		t.Error("empty tuple accepted")
 	}
+}
+
+func (s *maintSetup) updateLeft(t *testing.T, i int, joinValue string, score float64) {
+	t.Helper()
+	old := s.left[i]
+	new := Tuple{RowKey: old.RowKey, JoinValue: joinValue, Score: score}
+	if err := s.mL.UpdateTuple(old, new); err != nil {
+		t.Fatal(err)
+	}
+	s.left[i] = new
+}
+
+func TestMaintenanceUpdates(t *testing.T) {
+	s := newMaintSetup(t, 8)
+	// Score-only update within the same band, a cross-band score jump,
+	// a join-value change, and a change of both.
+	s.updateLeft(t, 0, s.left[0].JoinValue, s.left[0].Score) // no-op overwrite
+	s.updateLeft(t, 1, s.left[1].JoinValue, 0.997)           // to the very top
+	s.updateLeft(t, 2, "j3", 0.001)                          // to the bottom, new join
+	s.updateLeft(t, 3, "j7", s.left[3].Score)                // join only
+	// Repeated mutations of ONE online-inserted key within one BFHM
+	// bucket / DRJN band (8 buckets, width 0.125): the later records
+	// must not shadow the earlier, not-yet-replayed ones.
+	s.insertLeft(t, Tuple{RowKey: "lup9", JoinValue: "j1", Score: 0.55})
+	s.updateLeft(t, len(s.left)-1, "j2", 0.56)
+	s.updateLeft(t, len(s.left)-1, "j1", 0.57)
+	s.checkAll(t, WriteBackOff)
+	for _, wb := range []WriteBackMode{WriteBackEager, WriteBackLazy} {
+		s.checkAll(t, wb)
+	}
+}
+
+func TestUpdatePurgesOldISLEntry(t *testing.T) {
+	// A re-scored tuple must not survive at its old inverse-score-list
+	// position: that stale entry is what used to produce phantom results
+	// when callers re-inserted an existing row key with a new score.
+	s := newMaintSetup(t, 9)
+	old := s.left[0]
+	s.updateLeft(t, 0, old.JoinValue, old.Score/2+0.001)
+
+	row, err := s.c.Get(s.isl.Table, kvstore.EncodeScoreDesc(old.Score))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row != nil {
+		if cell := row.Cell(s.isl.LeftFamily, old.RowKey); cell != nil && !cell.Tombstone {
+			t.Fatalf("stale ISL entry for %s survives at old score %v", old.RowKey, old.Score)
+		}
+	}
+	s.checkAll(t, WriteBackOff)
+}
+
+func TestMaintenanceErrorNamesDivergentIndex(t *testing.T) {
+	s := newMaintSetup(t, 10)
+	// Inject an index-write failure AFTER the base write: retire the
+	// DRJN index table out from under the maintainer.
+	if err := s.c.DropTable(s.drjnL.Table); err != nil {
+		t.Fatal(err)
+	}
+	tp := Tuple{RowKey: "ldiv", JoinValue: "j5", Score: 0.77}
+	err := s.mL.InsertTuple(tp)
+	me, ok := err.(*MaintenanceError)
+	if !ok {
+		t.Fatalf("error %v (%T), want *MaintenanceError", err, err)
+	}
+	if me.Index != "drjn" || me.Table != s.drjnL.Table {
+		t.Fatalf("diverged at %s/%s, want drjn/%s", me.Index, me.Table, s.drjnL.Table)
+	}
+	if me.Timestamp == 0 {
+		t.Fatal("MaintenanceError carries no timestamp for re-apply")
+	}
+	// The divergence is real: base and the earlier indexes got the write.
+	found := false
+	for _, tbl := range me.Applied {
+		if tbl == s.q.Left.Table {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("applied %v does not include the base table", me.Applied)
+	}
+
+	// Heal the cause, re-apply the same logical mutation with the same
+	// timestamp: idempotent for what already landed, completes the rest.
+	if _, err := s.c.CreateTable(s.drjnL.Table, []string{drjnFamily}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.mL.InsertTupleAt(tp, me.Timestamp); err != nil {
+		t.Fatalf("re-apply: %v", err)
+	}
+	s.left = append(s.left, tp)
+	// Everything converged — every executor (DRJN queries the recreated,
+	// record-only table and must still be exact) agrees with the oracle.
+	s.checkAll(t, WriteBackOff)
+
+	// The re-apply reused the timestamp: base and ISL agree on it.
+	row, err := s.c.Get(s.q.Left.Table, tp.RowKey)
+	if err != nil || row == nil {
+		t.Fatalf("base row: %v %v", row, err)
+	}
+	if ts := row.Cells[0].Timestamp; ts != me.Timestamp {
+		t.Errorf("base ts %d != re-applied ts %d", ts, me.Timestamp)
+	}
+}
+
+func TestDRJNDeltaCountsMatchRebuild(t *testing.T) {
+	s := newMaintSetup(t, 11)
+	// Mixed online workload: inserts (including into empty bands),
+	// deletes, and updates.
+	s.insertLeft(t, Tuple{RowKey: "ld1", JoinValue: "j2", Score: 0.999})
+	s.insertLeft(t, Tuple{RowKey: "ld2", JoinValue: "j4", Score: 0.0001})
+	s.deleteLeft(t, 5)
+	s.updateLeft(t, 7, "j9", 0.42)
+	s.insertLeft(t, Tuple{RowKey: "ld3", JoinValue: "j2", Score: 0.5})
+	s.deleteLeft(t, len(s.left)-1)
+	// Collision scenarios: repeated mutations of one row key whose
+	// records all land on the same band row (8 bands, width 0.125) —
+	// a row-key-only record qualifier would let each later record
+	// shadow the earlier one and corrupt the replayed counts.
+	s.insertLeft(t, Tuple{RowKey: "ldc", JoinValue: "j2", Score: 0.50})
+	s.updateLeft(t, len(s.left)-1, "j9", 0.52)
+	s.insertLeft(t, Tuple{RowKey: "ldd", JoinValue: "j5", Score: 0.30})
+	s.deleteLeft(t, len(s.left)-1)
+	s.insertLeft(t, Tuple{RowKey: "ldd", JoinValue: "j6", Score: 0.31})
+
+	// Oracle: the matrix a from-scratch build over the live tuples
+	// would produce.
+	want, err := histogram.NewDRJNMatrix(s.drjnL.Layout, s.drjnL.JoinParts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range s.left {
+		want.Add(tp.JoinValue, tp.Score)
+	}
+
+	got, err := FetchAllBands(s.c, s.drjnL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for band := 0; band < s.drjnL.Layout.Buckets; band++ {
+		wantCells := want.Band(band)
+		for part := 0; part < s.drjnL.JoinParts; part++ {
+			var g uint64
+			if got[band] != nil {
+				g = got[band].Cells[part]
+			}
+			if g != wantCells[part] {
+				t.Errorf("band %d part %d: online count %d, rebuild %d", band, part, g, wantCells[part])
+			}
+		}
+	}
+}
+
+func TestMaintenanceSingleWriteRPC(t *testing.T) {
+	// The write-through pipeline ships a tuple's base + every-index
+	// mutation as ONE batched write RPC; the per-cell path used to pay
+	// one round trip per cell (base row + IJLMR + ISL + BFHM x2 + DRJN
+	// = 6+ RPCs for this setup).
+	s := newMaintSetup(t, 12)
+	before := s.c.Metrics().Snapshot()
+	s.insertLeft(t, Tuple{RowKey: "lrpc", JoinValue: "j1", Score: 0.5})
+	d := s.c.Metrics().Snapshot().Sub(before)
+	if d.RPCCalls != 1 {
+		t.Errorf("maintained insert cost %d RPCs, want 1", d.RPCCalls)
+	}
+	if d.KVWrites < 6 {
+		t.Errorf("maintained insert wrote %d cells, want >= 6 (base x2, ijlmr, isl, bfhm x2, drjn)", d.KVWrites)
+	}
+	s.checkAll(t, WriteBackOff)
+}
+
+func TestInsertBatchMaintainsAllIndexes(t *testing.T) {
+	s := newMaintSetup(t, 13)
+	var batch []Tuple
+	for i := 0; i < 40; i++ {
+		batch = append(batch, Tuple{
+			RowKey:    fmt.Sprintf("lb%03d", i),
+			JoinValue: fmt.Sprintf("j%d", i%20),
+			Score:     float64((i*61)%1000) / 1000,
+		})
+	}
+	before := s.c.Metrics().Snapshot()
+	if err := s.mL.InsertBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	d := s.c.Metrics().Snapshot().Sub(before)
+	// 40 tuples fit one chunk: one group write, not 40.
+	if d.RPCCalls != 1 {
+		t.Errorf("InsertBatch cost %d RPCs, want 1", d.RPCCalls)
+	}
+	s.left = append(s.left, batch...)
+	s.checkAll(t, WriteBackOff)
+}
+
+func TestDRJNWriteBackConsolidatesDeltaRecords(t *testing.T) {
+	s := newMaintSetup(t, 14)
+	s.insertLeft(t, Tuple{RowKey: "lwc1", JoinValue: "j2", Score: 0.97})
+	s.insertLeft(t, Tuple{RowKey: "lwc2", JoinValue: "j4", Score: 0.21})
+	s.updateLeft(t, len(s.left)-1, "j5", 0.22)
+	s.deleteLeft(t, 3)
+
+	countRecords := func() int {
+		rows, err := s.c.ScanAll(kvstore.Scan{Table: s.drjnL.Table})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for i := range rows {
+			for _, cell := range rows[i].Cells {
+				if len(cell.Qualifier) > 2 && (cell.Qualifier[:2] == drjnInsPfx || cell.Qualifier[:2] == drjnDelPfx) {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if countRecords() == 0 {
+		t.Fatal("no delta records before write-back")
+	}
+	n, err := s.mL.WriteBackAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("write-back folded nothing")
+	}
+	if got := countRecords(); got != 0 {
+		t.Fatalf("%d delta records survive consolidation", got)
+	}
+	// The consolidated blobs must equal a from-scratch rebuild.
+	want, err := histogram.NewDRJNMatrix(s.drjnL.Layout, s.drjnL.JoinParts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range s.left {
+		want.Add(tp.JoinValue, tp.Score)
+	}
+	got, err := FetchAllBands(s.c, s.drjnL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for band := 0; band < s.drjnL.Layout.Buckets; band++ {
+		for part := 0; part < s.drjnL.JoinParts; part++ {
+			var g uint64
+			if got[band] != nil {
+				g = got[band].Cells[part]
+			}
+			if g != want.Band(band)[part] {
+				t.Errorf("band %d part %d: consolidated %d, rebuild %d", band, part, g, want.Band(band)[part])
+			}
+		}
+	}
+	// Second pass: nothing left to fold.
+	if n, err = s.mL.WriteBackAll(); err != nil || n != 0 {
+		t.Fatalf("second write-back folded %d structures (%v)", n, err)
+	}
+	s.checkAll(t, WriteBackOff)
+}
+
+func TestRepeatedDeleteReplaysOnce(t *testing.T) {
+	// Record qualifiers are timestamp-suffixed, so a retried Delete of
+	// the same tuple leaves TWO delete records; replay must apply the
+	// deletion once, not decrement counting-filter bits and band counts
+	// a second time (they are shared with live tuples).
+	s := newMaintSetup(t, 15)
+	// Two live tuples share a join value; delete one of them twice.
+	keep := Tuple{RowKey: "lkeep", JoinValue: "jdup", Score: 0.61}
+	gone := Tuple{RowKey: "lgone", JoinValue: "jdup", Score: 0.62} // same BFHM bucket / DRJN band as keep
+	s.insertLeft(t, keep)
+	s.insertLeft(t, gone)
+	s.insertRight(t, Tuple{RowKey: "rdup", JoinValue: "jdup", Score: 0.99})
+	s.deleteLeft(t, len(s.left)-1)
+	if err := s.mL.DeleteTuple(gone); err != nil { // the retry
+		t.Fatal(err)
+	}
+	// keep must still join on jdup everywhere (a double-applied Remove
+	// would clear its shared filter bit), and DRJN counts must match a
+	// rebuild (a double decrement would corrupt the shared band cell).
+	s.checkAll(t, WriteBackOff)
+	want, err := histogram.NewDRJNMatrix(s.drjnL.Layout, s.drjnL.JoinParts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range s.left {
+		want.Add(tp.JoinValue, tp.Score)
+	}
+	got, err := FetchAllBands(s.c, s.drjnL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	band := s.drjnL.Layout.BucketOf(keep.Score)
+	part := histogram.PartitionOf(keep.JoinValue, s.drjnL.JoinParts)
+	if got[band] == nil || got[band].Cells[part] != want.Band(band)[part] {
+		var g uint64
+		if got[band] != nil {
+			g = got[band].Cells[part]
+		}
+		t.Fatalf("band %d part %d: online count %d after repeated delete, rebuild %d", band, part, g, want.Band(band)[part])
+	}
+	// Same invariant after write-back consolidation.
+	if _, err := s.mL.WriteBackAll(); err != nil {
+		t.Fatal(err)
+	}
+	s.checkAll(t, WriteBackOff)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sim"
@@ -44,9 +45,20 @@ type Table struct {
 	Name     string
 	families map[string]bool
 
+	// mutSeq counts applied client mutations (Put/Delete/MutateRow/
+	// BatchPut/GroupWrite batches). Consumers key cached derivations of
+	// the table's contents — planner statistics, plan choices — on it:
+	// any write moves the sequence, so a matching sequence proves the
+	// cache entry still describes the live table.
+	mutSeq atomic.Uint64
+
 	mu      sync.RWMutex
 	regions []*Region // sorted by StartKey; guarded by mu
 }
+
+// MutationSeq returns the table's mutation sequence number: it starts at
+// zero and advances on every applied client write batch.
+func (t *Table) MutationSeq() uint64 { return t.mutSeq.Load() }
 
 // NewCluster creates a cluster with the given hardware profile. Metrics
 // may be shared across clusters (e.g. to total a multi-stage workload).
@@ -280,6 +292,9 @@ func (t *Table) mutateRetry(cells []Cell) error {
 		r := t.regionFor(cells[0].Row)
 		err := r.mutateRow(cells)
 		if err != errRegionSplit {
+			if err == nil {
+				t.mutSeq.Add(1)
+			}
 			return err
 		}
 	}
@@ -334,6 +349,9 @@ type TableStats struct {
 	Cells     uint64
 	LiveCells uint64
 	Bytes     uint64
+	// MutSeq is the table's mutation sequence (see Table.MutationSeq):
+	// the freshness key caches of table-derived state validate against.
+	MutSeq uint64
 }
 
 // TableStats returns planner statistics for a table.
@@ -343,7 +361,7 @@ func (c *Cluster) TableStats(name string) (TableStats, error) {
 		return TableStats{}, err
 	}
 	regions := t.Regions()
-	st := TableStats{Regions: len(regions)}
+	st := TableStats{Regions: len(regions), MutSeq: t.MutationSeq()}
 	for _, r := range regions {
 		st.Cells += uint64(r.CellCount())
 		st.LiveCells += r.LiveCellCount()
@@ -519,6 +537,103 @@ func (c *Cluster) BatchPut(table string, cells []Cell) error {
 	c.metrics.AddNetwork(requestOverhead + bytes)
 	c.metrics.AddKVWrites(uint64(len(cells)))
 	c.metrics.Advance(c.profile.RPCLatency + c.profile.TransferTime(requestOverhead+bytes))
+	return nil
+}
+
+// TableMutation is one table's share of a multi-table group write.
+type TableMutation struct {
+	Table string
+	Cells []Cell
+}
+
+// GroupWriteError reports a group write that failed part-way: the listed
+// Applied tables received all their mutations, Table's did not (its rows
+// before the failing one may have landed — row batches stay atomic, the
+// cross-table group does not). Callers that must keep several tables in
+// lockstep (index maintenance) surface this so the divergence is
+// re-appliable instead of silent.
+type GroupWriteError struct {
+	// Table is the table whose mutations failed.
+	Table string
+	// Applied lists tables whose mutations fully landed before the
+	// failure, in apply order.
+	Applied []string
+	// Err is the underlying mutation error.
+	Err error
+}
+
+func (e *GroupWriteError) Error() string {
+	return fmt.Sprintf("kvstore: group write to %q failed (applied: %v): %v", e.Table, e.Applied, e.Err)
+}
+
+func (e *GroupWriteError) Unwrap() error { return e.Err }
+
+// GroupWrite applies cell mutations spanning several tables as ONE
+// batched client write: each row's cells apply atomically (one region
+// lock cycle, one WAL append batch per row), and the whole group is
+// charged a single mutation RPC — latency once, bytes summed — instead
+// of one round trip per cell. This is the transport Section 6's
+// write-through index maintenance rides: a tuple insert augments into
+// base + IJLMR + ISL + BFHM + DRJN mutations and ships as one batch.
+//
+// Zero timestamps are stamped with one shared fresh Now() for the whole
+// group (the paper's same-timestamp treatment); pre-stamped cells keep
+// their timestamps, which makes re-applying an identical group after a
+// partial failure idempotent — same cell coordinates, same timestamps,
+// same values.
+//
+// On a mid-group failure the returned *GroupWriteError names the failed
+// table and the tables already applied; nothing is charged.
+func (c *Cluster) GroupWrite(muts []TableMutation) error {
+	var ts int64
+	var bytes uint64
+	cellCount := 0
+	var applied []string
+	for mi := range muts {
+		m := &muts[mi]
+		if len(m.Cells) == 0 {
+			continue
+		}
+		t, err := c.table(m.Table)
+		if err != nil {
+			return &GroupWriteError{Table: m.Table, Applied: applied, Err: err}
+		}
+		// Group this table's cells into per-row atomic mutations, routed
+		// at apply time (mutateRetry) so concurrent splits re-route.
+		byRow := map[string][]Cell{}
+		var order []string
+		for i := range m.Cells {
+			if !t.HasFamily(m.Cells[i].Family) {
+				return &GroupWriteError{
+					Table: m.Table, Applied: applied,
+					Err: fmt.Errorf("kvstore: table %q has no family %q", m.Table, m.Cells[i].Family),
+				}
+			}
+			if m.Cells[i].Timestamp == 0 {
+				if ts == 0 {
+					ts = c.Now()
+				}
+				m.Cells[i].Timestamp = ts
+			}
+			bytes += m.Cells[i].StoredSize()
+			if _, ok := byRow[m.Cells[i].Row]; !ok {
+				order = append(order, m.Cells[i].Row)
+			}
+			byRow[m.Cells[i].Row] = append(byRow[m.Cells[i].Row], m.Cells[i])
+		}
+		sort.Strings(order)
+		for _, row := range order {
+			if err := t.mutateRetry(byRow[row]); err != nil {
+				return &GroupWriteError{Table: m.Table, Applied: applied, Err: err}
+			}
+		}
+		cellCount += len(m.Cells)
+		applied = append(applied, m.Table)
+	}
+	if cellCount == 0 {
+		return nil
+	}
+	c.chargeWrite(bytes, cellCount)
 	return nil
 }
 

@@ -639,3 +639,147 @@ func BenchmarkScan10k(b *testing.B) {
 		}
 	}
 }
+
+func TestGroupWriteMultiTableOneRPC(t *testing.T) {
+	c := testCluster(t)
+	mustCreate(t, c, "base", []string{"d"}, nil)
+	mustCreate(t, c, "idx1", []string{"d"}, nil)
+	mustCreate(t, c, "idx2", []string{"d"}, nil)
+
+	before := c.Metrics().Snapshot()
+	err := c.GroupWrite([]TableMutation{
+		{Table: "base", Cells: []Cell{
+			{Row: "r1", Family: "d", Qualifier: "join", Value: []byte("j1")},
+			{Row: "r1", Family: "d", Qualifier: "score", Value: []byte("0.5")},
+		}},
+		{Table: "idx1", Cells: []Cell{
+			{Row: "j1", Family: "d", Qualifier: "r1", Value: []byte("0.5")},
+		}},
+		{Table: "idx2", Cells: []Cell{
+			{Row: "s0.5", Family: "d", Qualifier: "r1", Value: []byte("j1")},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.Metrics().Snapshot().Sub(before)
+	if d.RPCCalls != 1 {
+		t.Errorf("group write cost %d RPCs, want 1", d.RPCCalls)
+	}
+	if d.KVWrites != 4 {
+		t.Errorf("group write counted %d KV writes, want 4", d.KVWrites)
+	}
+
+	// Every cell landed, and all share one timestamp.
+	var ts int64
+	for _, probe := range []struct{ table, row, qual string }{
+		{"base", "r1", "join"}, {"base", "r1", "score"},
+		{"idx1", "j1", "r1"}, {"idx2", "s0.5", "r1"},
+	} {
+		row, err := c.Get(probe.table, probe.row)
+		if err != nil || row == nil {
+			t.Fatalf("%s/%s: %v %v", probe.table, probe.row, row, err)
+		}
+		cell := row.Cell("d", probe.qual)
+		if cell == nil {
+			t.Fatalf("%s/%s/%s missing", probe.table, probe.row, probe.qual)
+		}
+		if ts == 0 {
+			ts = cell.Timestamp
+		} else if cell.Timestamp != ts {
+			t.Errorf("%s/%s/%s ts %d != shared ts %d", probe.table, probe.row, probe.qual, cell.Timestamp, ts)
+		}
+	}
+}
+
+func TestGroupWritePartialFailureTyped(t *testing.T) {
+	c := testCluster(t)
+	mustCreate(t, c, "base", []string{"d"}, nil)
+	err := c.GroupWrite([]TableMutation{
+		{Table: "base", Cells: []Cell{{Row: "r1", Family: "d", Qualifier: "a", Value: []byte("x")}}},
+		{Table: "gone", Cells: []Cell{{Row: "r1", Family: "d", Qualifier: "a", Value: []byte("x")}}},
+	})
+	gwe, ok := err.(*GroupWriteError)
+	if !ok {
+		t.Fatalf("error %v (%T), want *GroupWriteError", err, err)
+	}
+	if gwe.Table != "gone" {
+		t.Errorf("failed table %q, want gone", gwe.Table)
+	}
+	if len(gwe.Applied) != 1 || gwe.Applied[0] != "base" {
+		t.Errorf("applied %v, want [base]", gwe.Applied)
+	}
+	// The divergence is real: base got the cell.
+	row, err2 := c.Get("base", "r1")
+	if err2 != nil || row == nil || row.Cell("d", "a") == nil {
+		t.Fatalf("base cell missing after partial failure: %v %v", row, err2)
+	}
+
+	// Re-applying the identical group with the same timestamp converges
+	// without duplicating versions' visible state.
+	mustCreate(t, c, "gone", []string{"d"}, nil)
+	ts := row.Cell("d", "a").Timestamp
+	if err := c.GroupWrite([]TableMutation{
+		{Table: "base", Cells: []Cell{{Row: "r1", Family: "d", Qualifier: "a", Value: []byte("x"), Timestamp: ts}}},
+		{Table: "gone", Cells: []Cell{{Row: "r1", Family: "d", Qualifier: "a", Value: []byte("x"), Timestamp: ts}}},
+	}); err != nil {
+		t.Fatalf("re-apply: %v", err)
+	}
+	got, err := c.Get("gone", "r1")
+	if err != nil || got == nil || got.Cell("d", "a") == nil {
+		t.Fatalf("gone cell missing after re-apply: %v %v", got, err)
+	}
+	if got.Cell("d", "a").Timestamp != ts {
+		t.Errorf("re-applied ts %d != original %d", got.Cell("d", "a").Timestamp, ts)
+	}
+}
+
+func TestGroupWriteEmptyAndBadFamily(t *testing.T) {
+	c := testCluster(t)
+	mustCreate(t, c, "base", []string{"d"}, nil)
+	before := c.Metrics().Snapshot()
+	if err := c.GroupWrite(nil); err != nil {
+		t.Fatalf("empty group: %v", err)
+	}
+	if err := c.GroupWrite([]TableMutation{{Table: "base"}}); err != nil {
+		t.Fatalf("empty table mutation: %v", err)
+	}
+	if d := c.Metrics().Snapshot().Sub(before); d.RPCCalls != 0 {
+		t.Errorf("empty group charged %d RPCs", d.RPCCalls)
+	}
+	err := c.GroupWrite([]TableMutation{
+		{Table: "base", Cells: []Cell{{Row: "r", Family: "nope", Qualifier: "a"}}},
+	})
+	gwe, ok := err.(*GroupWriteError)
+	if !ok || gwe.Table != "base" || len(gwe.Applied) != 0 {
+		t.Fatalf("bad family error = %v", err)
+	}
+}
+
+func TestMutationSeqAdvancesOnWrites(t *testing.T) {
+	c := testCluster(t)
+	tab := mustCreate(t, c, "t", []string{"cf"}, nil)
+	if tab.MutationSeq() != 0 {
+		t.Fatalf("fresh table seq %d", tab.MutationSeq())
+	}
+	if err := c.Put("t", Cell{Row: "r", Family: "cf", Qualifier: "a", Value: []byte("v")}); err != nil {
+		t.Fatal(err)
+	}
+	s1 := tab.MutationSeq()
+	if s1 == 0 {
+		t.Fatal("Put did not advance mutation seq")
+	}
+	st, err := c.TableStats("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MutSeq != s1 {
+		t.Errorf("TableStats.MutSeq %d != table seq %d", st.MutSeq, s1)
+	}
+	if err := c.Delete("t", "r", "cf", "a", 0); err != nil {
+		t.Fatal(err)
+	}
+	if tab.MutationSeq() <= s1 {
+		t.Error("Delete did not advance mutation seq")
+	}
+}

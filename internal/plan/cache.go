@@ -14,17 +14,19 @@ const maxCacheEntries = 1024
 
 // Cache memoizes gathered PlanStats per (query, k) so a hot query path
 // (e.g. the HTTP server defaulting to AlgoAuto) does not re-read
-// histogram statistics on every request. Entries are validated against
-// the live table cell counts — TableStats is free cluster metadata —
-// so any insert or delete on either input invalidates the entry.
+// histogram statistics on every request. Entries are keyed on each
+// input table's mutation sequence — TableStats is free cluster metadata
+// — so ANY write (insert, delete, or update; the latter used to be able
+// to slip past a count-based check) invalidates the entry and the next
+// plan sees fresh statistics.
 type Cache struct {
 	mu      sync.Mutex
 	entries map[string]cacheEntry
 }
 
 type cacheEntry struct {
-	leftCells  uint64
-	rightCells uint64
+	leftSeq  uint64
+	rightSeq uint64
 	// sources fingerprints which statistics structures existed when
 	// the entry was gathered — building a DRJN or BFHM index upgrades
 	// the available statistics without touching the input tables, and
@@ -59,23 +61,23 @@ func sourceFingerprint(q core.Query, store *core.IndexStore) string {
 	return fp
 }
 
-// lookup returns a cached stats snapshot still matching the live cell
-// counts and the available statistics structures.
-func (c *Cache) lookup(q core.Query, leftCells, rightCells uint64, sources string) (core.PlanStats, bool) {
+// lookup returns a cached stats snapshot still matching the live tables'
+// mutation sequences and the available statistics structures.
+func (c *Cache) lookup(q core.Query, leftSeq, rightSeq uint64, sources string) (core.PlanStats, bool) {
 	if c == nil {
 		return core.PlanStats{}, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.entries[cacheKey(q)]
-	if !ok || e.leftCells != leftCells || e.rightCells != rightCells || e.sources != sources {
+	if !ok || e.leftSeq != leftSeq || e.rightSeq != rightSeq || e.sources != sources {
 		return core.PlanStats{}, false
 	}
 	return e.stats, true
 }
 
 // put stores a stats snapshot.
-func (c *Cache) put(q core.Query, leftCells, rightCells uint64, sources string, st core.PlanStats) {
+func (c *Cache) put(q core.Query, leftSeq, rightSeq uint64, sources string, st core.PlanStats) {
 	if c == nil {
 		return
 	}
@@ -92,9 +94,9 @@ func (c *Cache) put(q core.Query, leftCells, rightCells uint64, sources string, 
 		}
 	}
 	c.entries[cacheKey(q)] = cacheEntry{
-		leftCells:  leftCells,
-		rightCells: rightCells,
-		sources:    sources,
-		stats:      st,
+		leftSeq:  leftSeq,
+		rightSeq: rightSeq,
+		sources:  sources,
+		stats:    st,
 	}
 }

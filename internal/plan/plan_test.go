@@ -256,3 +256,47 @@ func TestStreamPlanning(t *testing.T) {
 		}
 	}
 }
+
+func TestStatsCacheInvalidatedByWrites(t *testing.T) {
+	c, q, store := setupCluster(t, 200)
+	cache := NewCache()
+
+	st1, err := gatherStats(c, q, store, core.ExecOptions{}, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unchanged tables: the cache serves the entry.
+	st2, err := gatherStats(c, q, store, core.ExecOptions{}, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Left.Rows != st2.Left.Rows {
+		t.Fatalf("cache hit changed stats: %v vs %v", st1.Left.Rows, st2.Left.Rows)
+	}
+
+	// ANY write to an input — here an update that keeps the live-column
+	// count identical (the shape a count-keyed cache missed) — moves the
+	// table's mutation sequence and must invalidate the entry.
+	if err := c.Put(q.Left.Table, kvstore.Cell{
+		Row: "pl0000", Family: "d", Qualifier: "score", Value: kvstore.FloatValue(0.123),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	lt, err := c.TableStats(q.Left.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := c.TableStats(q.Right.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.lookup(q, lt.MutSeq, rt.MutSeq, sourceFingerprint(q, store)); ok {
+		t.Fatal("stats cache served a stale entry after a write")
+	}
+	if _, err := gatherStats(c, q, store, core.ExecOptions{}, cache); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.lookup(q, lt.MutSeq, rt.MutSeq, sourceFingerprint(q, store)); !ok {
+		t.Fatal("re-gathered stats not cached under the new mutation seq")
+	}
+}

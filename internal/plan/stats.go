@@ -28,7 +28,8 @@ const maxStatBands = 16
 // (DRJN bands, BFHM blobs) charge c's metric collector — planning is
 // real work and is metered like any other client access. A non-nil
 // cache short-circuits the statistics walks while the input tables'
-// cell counts are unchanged.
+// mutation sequences are unchanged; any online write moves them, so
+// estimates always track live data.
 func gatherStats(c *kvstore.Cluster, q core.Query, store *core.IndexStore, exec core.ExecOptions, cache *Cache) (*core.PlanStats, error) {
 	lt, err := c.TableStats(q.Left.Table)
 	if err != nil {
@@ -39,7 +40,7 @@ func gatherStats(c *kvstore.Cluster, q core.Query, store *core.IndexStore, exec 
 		return nil, err
 	}
 	sources := sourceFingerprint(q, store)
-	if hit, ok := cache.lookup(q, lt.Cells, rt.Cells, sources); ok {
+	if hit, ok := cache.lookup(q, lt.MutSeq, rt.MutSeq, sources); ok {
 		hit.Exec = exec
 		return &hit, nil
 	}
@@ -83,7 +84,7 @@ func gatherStats(c *kvstore.Cluster, q core.Query, store *core.IndexStore, exec 
 			st.BFHMBuckets = idx.Layout.Buckets
 		}
 	}
-	cache.put(q, lt.Cells, rt.Cells, sources, *st)
+	cache.put(q, lt.MutSeq, rt.MutSeq, sources, *st)
 	return st, nil
 }
 

@@ -219,10 +219,21 @@ func (db *DB) Metrics() *Metrics { return db.cluster.Metrics() }
 // the bench harness inspect region layouts and table sizes through it).
 func (db *DB) Cluster() *kvstore.Cluster { return db.cluster }
 
+// MaintenanceError reports a maintained write that failed part-way,
+// naming the divergent index and carrying the batch timestamp for an
+// idempotent re-apply (see the core package's Maintainer).
+type MaintenanceError = core.MaintenanceError
+
 // RelationHandle wraps one rank-join input relation.
 type RelationHandle struct {
 	db  *DB
 	rel core.Relation
+	// writeMu serializes maintained writes to this relation: Insert,
+	// Update, and DeleteKey are read-check-write sequences, and two
+	// racing writers of one row key could otherwise both observe the
+	// old state and strand index entries (the phantom-result bug the
+	// upsert exists to prevent). Reads never take it.
+	writeMu sync.Mutex
 }
 
 // DefineRelation creates the backing table for a new relation. Relation
@@ -274,23 +285,49 @@ func (db *DB) RelationNames() []string {
 func (h *RelationHandle) Name() string { return h.rel.Name }
 
 // maintainer assembles the Section 6 update interceptor for the indexes
-// currently built over this relation.
+// currently built over this relation — ALL of them: a relation joined in
+// several queries has one IJLMR/ISL table per query, and each gets the
+// mutation (the old single-binding assembly kept only the last match, so
+// whichever query's index happened to be walked last was the only one
+// maintained).
 func (h *RelationHandle) maintainer() *core.Maintainer {
 	m := &core.Maintainer{C: h.db.cluster, Rel: h.rel}
 	h.db.store.EachIJLMR(func(id string, idx *core.IJLMRIndex) {
 		if fam, ok := familyFor(id, h.rel.Name, idx.LeftFamily, idx.RightFamily); ok {
-			m.IJLMR, m.IJLMRFamily = idx, fam
+			m.IJLMR = append(m.IJLMR, core.BoundIJLMR{Idx: idx, Family: fam})
 		}
 	})
 	h.db.store.EachISL(func(id string, idx *core.ISLIndex) {
 		if fam, ok := familyFor(id, h.rel.Name, idx.LeftFamily, idx.RightFamily); ok {
-			m.ISL, m.ISLFamily = idx, fam
+			m.ISL = append(m.ISL, core.BoundISL{Idx: idx, Family: fam})
 		}
 	})
+	m.ISLN = h.db.islnBindings(h.rel.Name)
 	if idx, ok := h.db.store.BFHM(h.rel.Name); ok {
 		m.BFHM = idx
 	}
+	if idx, ok := h.db.store.DRJN(h.rel.Name); ok {
+		m.DRJN = idx
+	}
 	return m
+}
+
+// islnBindings snapshots the multiway ISLN indexes covering one
+// relation — each n-way index table carries one column family per
+// member relation, and every one of them is maintained on writes.
+func (db *DB) islnBindings(relName string) []core.BoundISLN {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var out []core.BoundISLN
+	for _, idx := range db.isln {
+		for _, fam := range idx.Families {
+			if fam == relName {
+				out = append(out, core.BoundISLN{Idx: idx, Family: fam})
+				break
+			}
+		}
+	}
+	return out
 }
 
 // familyFor matches a relation name against an index's two families.
@@ -304,17 +341,88 @@ func familyFor(_, relName, leftFam, rightFam string) (string, bool) {
 	return "", false
 }
 
-// Insert adds one tuple, synchronously maintaining every index built
-// over this relation (Section 6 semantics). DRJN indexes, like in the
-// paper, are rebuilt offline rather than maintained online.
+// Get reads the relation's current tuple for a row key (ok=false when
+// the row is absent or lacks the join/score columns).
+func (h *RelationHandle) Get(rowKey string) (Tuple, bool, error) {
+	row, err := h.db.cluster.Get(h.rel.Table, rowKey, h.rel.Family)
+	if err != nil {
+		return Tuple{}, false, err
+	}
+	if row == nil {
+		return Tuple{}, false, nil
+	}
+	t, ok := core.TupleFromRow(&h.rel, row)
+	return t, ok, nil
+}
+
+// Insert upserts one tuple, synchronously maintaining every index built
+// over this relation (Section 6 semantics) — IJLMR, ISL, BFHM mutation
+// records, and DRJN delta counters, shipped with the base write as one
+// batched group mutation. If the row key already holds a live tuple the
+// insert becomes an update, retiring the old index entries under the
+// same timestamp: a blind re-insert used to leave the old score's
+// inverse-list entries live, producing phantom results.
 func (h *RelationHandle) Insert(rowKey, joinValue string, score float64) error {
-	return h.maintainer().InsertTuple(Tuple{RowKey: rowKey, JoinValue: joinValue, Score: score})
+	h.writeMu.Lock()
+	defer h.writeMu.Unlock()
+	new := Tuple{RowKey: rowKey, JoinValue: joinValue, Score: score}
+	old, ok, err := h.Get(rowKey)
+	if err != nil {
+		return err
+	}
+	if ok {
+		return h.maintainer().UpdateTuple(old, new)
+	}
+	return h.maintainer().InsertTuple(new)
+}
+
+// Update replaces an existing tuple's join value and score, deleting the
+// old index entries and inserting the new ones under a single timestamp.
+// It reads the current tuple itself (the embedded store IS the paper's
+// interception point) and fails if the row is absent.
+func (h *RelationHandle) Update(rowKey, joinValue string, score float64) error {
+	h.writeMu.Lock()
+	defer h.writeMu.Unlock()
+	old, ok, err := h.Get(rowKey)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("rankjoin: relation %q has no row %q to update", h.rel.Name, rowKey)
+	}
+	return h.maintainer().UpdateTuple(old, Tuple{RowKey: rowKey, JoinValue: joinValue, Score: score})
 }
 
 // Delete removes a tuple (the caller supplies its current join value and
 // score, as at the paper's interception point).
 func (h *RelationHandle) Delete(rowKey, joinValue string, score float64) error {
+	h.writeMu.Lock()
+	defer h.writeMu.Unlock()
 	return h.maintainer().DeleteTuple(Tuple{RowKey: rowKey, JoinValue: joinValue, Score: score})
+}
+
+// DeleteKey removes a tuple by row key alone, reading its current join
+// value and score first. It is a no-op for absent rows.
+func (h *RelationHandle) DeleteKey(rowKey string) error {
+	h.writeMu.Lock()
+	defer h.writeMu.Unlock()
+	old, ok, err := h.Get(rowKey)
+	if err != nil || !ok {
+		return err
+	}
+	return h.maintainer().DeleteTuple(old)
+}
+
+// BatchInsert inserts many NEW tuples with full index maintenance,
+// batching their augmented mutations into chunked group writes (one
+// write RPC per chunk instead of one per tuple). Unlike Insert it does
+// not check for existing rows — reusing a live row key strands its old
+// index entries, so load fresh keys only (use Insert or Update for
+// overwrites, or BulkLoad + EnsureIndexes for initial loads).
+func (h *RelationHandle) BatchInsert(tuples []Tuple) error {
+	h.writeMu.Lock()
+	defer h.writeMu.Unlock()
+	return h.maintainer().InsertBatch(tuples)
 }
 
 // BulkLoad inserts tuples efficiently WITHOUT index maintenance — load
@@ -345,8 +453,12 @@ func (h *RelationHandle) DiskSize() uint64 {
 	return sz
 }
 
-// WriteBackBFHM runs the offline BFHM blob write-back for this relation,
-// returning how many buckets were reconstructed.
+// WriteBackBFHM runs the offline write-back pass for this relation —
+// dirty BFHM blobs are reconstructed and DRJN bands carrying delta
+// records are consolidated (records purged) — returning how many
+// structures were rewritten.
 func (h *RelationHandle) WriteBackBFHM() (int, error) {
+	h.writeMu.Lock()
+	defer h.writeMu.Unlock()
 	return h.maintainer().WriteBackAll()
 }
