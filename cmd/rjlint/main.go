@@ -1,0 +1,72 @@
+// Command rjlint is the repo's multichecker: it runs `go vet` over the
+// requested packages, then the three repo-specific analyzers —
+// lockcheck, chargecheck, maintcheck — from internal/analysis.
+//
+// Usage:
+//
+//	go run ./cmd/rjlint [-v] [-novet] [packages...]
+//
+// With no packages, ./... is checked. Exit status follows go vet's
+// convention: 0 clean, 1 findings, 2 load/run errors. Suppressions
+// (//lint:allow <analyzer> <reason>) are honored and counted; a
+// suppression without a reason is reported as a finding itself.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/chargecheck"
+	"repro/internal/analysis/lockcheck"
+	"repro/internal/analysis/maintcheck"
+)
+
+var analyzers = []*analysis.Analyzer{
+	lockcheck.Analyzer,
+	chargecheck.Analyzer,
+	maintcheck.Analyzer,
+}
+
+func main() {
+	verbose := flag.Bool("v", false, "list suppressed findings")
+	noVet := flag.Bool("novet", false, "skip the `go vet` pre-pass")
+	help := flag.Bool("help", false, "describe the analyzers and exit")
+	flag.Parse()
+
+	if *help {
+		for _, a := range analyzers {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		os.Exit(0)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	exit := analysis.ExitClean
+	if !*noVet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			if ee, ok := err.(*exec.ExitError); ok {
+				if code := ee.ExitCode(); code > exit {
+					exit = code
+				}
+			} else {
+				fmt.Fprintf(os.Stderr, "rjlint: go vet: %v\n", err)
+				exit = analysis.ExitError
+			}
+		}
+	}
+
+	if code := analysis.Run(analyzers, patterns, os.Stdout, *verbose); code > exit {
+		exit = code
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,83 @@
+package rankjoin
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// fuzzCursor is an inert cursor for exercising the page-token
+// lifecycle without running a query.
+type fuzzCursor struct{}
+
+func (fuzzCursor) Next() (*core.JoinResult, error) { return nil, core.ErrCursorClosed }
+func (fuzzCursor) Close() error                    { return nil }
+
+// FuzzPageTokens checks the page-token lifecycle: a put token takes
+// exactly once, unknown tokens fail without panicking, and token text
+// never collides with a just-issued token.
+func FuzzPageTokens(f *testing.F) {
+	f.Add("q1", "pt-1-q1")
+	f.Add("", "")
+	f.Add("query-β", "pt-zz-bogus")
+	f.Add("NL:R1:R2:10", "pt-")
+	f.Fuzz(func(t *testing.T, queryID, junk string) {
+		cc := newCursorCache()
+		pc := &pagedCursor{cur: fuzzCursor{}, queryID: queryID}
+		token := cc.put(pc)
+		if junk != token {
+			if _, err := cc.take(junk); err == nil {
+				t.Fatalf("take(%q) succeeded but only %q was issued", junk, token)
+			}
+		}
+		got, err := cc.take(token)
+		if err != nil {
+			t.Fatalf("take of freshly issued token %q failed: %v", token, err)
+		}
+		if got != pc {
+			t.Fatalf("take(%q) returned a different cursor", token)
+		}
+		if _, err := cc.take(token); err == nil {
+			t.Fatalf("second take of single-use token %q succeeded", token)
+		}
+	})
+}
+
+// FuzzCursorCacheEviction drives many puts through the bounded cache:
+// the entry count must stay within maxCachedCursors, every retained
+// token must still take successfully, and issued tokens must be unique.
+func FuzzCursorCacheEviction(f *testing.F) {
+	f.Add(uint16(1), "q")
+	f.Add(uint16(200), "same-query")
+	f.Add(uint16(64), "")
+	f.Fuzz(func(t *testing.T, n uint16, queryID string) {
+		cc := newCursorCache()
+		count := int(n%200) + 1
+		tokens := make([]string, 0, count)
+		seen := map[string]bool{}
+		for i := 0; i < count; i++ {
+			tok := cc.put(&pagedCursor{cur: fuzzCursor{}, queryID: queryID})
+			if seen[tok] {
+				t.Fatalf("token %q issued twice", tok)
+			}
+			seen[tok] = true
+			tokens = append(tokens, tok)
+		}
+		cc.mu.Lock()
+		live, orderLen := len(cc.entries), len(cc.order)
+		cc.mu.Unlock()
+		if live > maxCachedCursors {
+			t.Fatalf("cache holds %d cursors, cap is %d", live, maxCachedCursors)
+		}
+		if orderLen != live {
+			t.Fatalf("order list (%d) out of sync with entries (%d)", orderLen, live)
+		}
+		// The newest min(count, cap) tokens must all still be takeable.
+		start := count - live
+		for _, tok := range tokens[start:] {
+			if _, err := cc.take(tok); err != nil {
+				t.Fatalf("retained token %q not takeable: %v", tok, err)
+			}
+		}
+	})
+}

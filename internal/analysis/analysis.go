@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check. The shape deliberately mirrors
+// golang.org/x/tools/go/analysis so the suite can migrate to the
+// upstream framework wholesale if the dependency ever becomes
+// available; the container this repo builds in has no module proxy, so
+// the driver, loader, and fixture runner are implemented here on the
+// standard library's go/ast + go/types instead.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow suppressions.
+	Name string
+	// Doc is a one-paragraph description shown by `rjlint -help`.
+	Doc string
+	// Run reports diagnostics for one package via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a finding.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunAnalyzer applies one analyzer to one loaded package and returns its
+// diagnostics in position order, after dropping (and accounting) the
+// findings covered by //lint:allow suppressions.
+func RunAnalyzer(a *Analyzer, pkg *Package) (kept []Diagnostic, suppressed []SuppressedDiagnostic, err error) {
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+	}
+	sups := CollectSuppressions(pkg.Fset, pkg.Files)
+	kept, suppressed = ApplySuppressions(pkg.Fset, pkg.Files, sups, pass.diags)
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept, suppressed, nil
+}

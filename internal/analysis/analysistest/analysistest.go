@@ -1,0 +1,131 @@
+// Package analysistest runs an analyzer over fixture packages and
+// compares its diagnostics against `// want` expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the local framework.
+//
+// Fixtures live under <testdata>/src/<importpath>/ and may import each
+// other (and the standard library). A line producing a diagnostic
+// carries a trailing comment:
+//
+//	t.regions = nil // want `without t\.mu held`
+//
+// The backquoted (or double-quoted) string is a regexp matched against
+// the diagnostic message; several expectations may follow one another
+// on the same line for multiple diagnostics. Suppressed findings (via
+// //lint:allow) are NOT matched against want comments — fixtures assert
+// them with `// suppressed` bookkeeping in the test itself if needed.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile("//\\s*want\\s+((?:[`\"][^`\"]*[`\"]\\s*)+)")
+var wantArgRe = regexp.MustCompile("[`\"]([^`\"]*)[`\"]")
+
+// Result is the outcome of running one analyzer over one fixture
+// package, for tests that want to assert on suppression accounting.
+type Result struct {
+	Kept       []analysis.Diagnostic
+	Suppressed []analysis.SuppressedDiagnostic
+}
+
+// Run loads each named fixture package from testdataDir/src, applies
+// the analyzer, and reports mismatches between produced diagnostics and
+// // want expectations as test errors.
+func Run(t *testing.T, testdataDir string, a *analysis.Analyzer, pkgPaths ...string) map[string]Result {
+	t.Helper()
+	root := filepath.Join(testdataDir, "src")
+	l := analysis.NewLoader()
+	l.FixtureRoot = root
+	results := map[string]Result{}
+	for _, path := range pkgPaths {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		pkg, err := l.LoadDir(path, dir)
+		if err != nil {
+			t.Errorf("load %s: %v", path, err)
+			continue
+		}
+		kept, suppressed, err := analysis.RunAnalyzer(a, pkg)
+		if err != nil {
+			t.Errorf("run %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		results[path] = Result{Kept: kept, Suppressed: suppressed}
+		check(t, pkg, kept)
+	}
+	return results
+}
+
+// expectation is one parsed // want regexp with its location.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+}
+
+func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, am := range wantArgRe.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(am[1])
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, am[1], err)
+						continue
+					}
+					wants = append(wants, expectation{file: pos.Filename, line: pos.Line, re: re, raw: am[1]})
+				}
+			}
+		}
+	}
+	used := make([]bool, len(wants))
+	for _, d := range diags {
+		p := pkg.Fset.Position(d.Pos)
+		matched := false
+		for i, w := range wants {
+			if used[i] || w.file != p.Filename || w.line != p.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				used[i] = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", p, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !used[i] {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// Format renders diagnostics for debugging test failures.
+func Format(fset *token.FileSet, diags []analysis.Diagnostic) string {
+	var b strings.Builder
+	sorted := append([]analysis.Diagnostic(nil), diags...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Pos < sorted[j].Pos })
+	for _, d := range sorted {
+		fmt.Fprintf(&b, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	return b.String()
+}

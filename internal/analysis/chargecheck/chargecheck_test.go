@@ -1,0 +1,19 @@
+package chargecheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/chargecheck"
+)
+
+func TestChargecheck(t *testing.T) {
+	results := analysistest.Run(t, "testdata", chargecheck.Analyzer, "kvstore", "notkv")
+
+	if got := len(results["kvstore"].Suppressed); got != 1 {
+		t.Errorf("kvstore: suppressed findings = %d, want 1 (adminRebalance)", got)
+	}
+	if got := len(results["notkv"].Kept) + len(results["notkv"].Suppressed); got != 0 {
+		t.Errorf("notkv: diagnostics = %d, want 0 (analyzer is kvstore-scoped)", got)
+	}
+}

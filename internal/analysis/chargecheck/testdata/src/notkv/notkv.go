@@ -1,0 +1,14 @@
+// Package notkv verifies chargecheck scopes itself to packages named
+// kvstore: identical shapes here produce no findings.
+package notkv
+
+type OpStats struct{ Reads int }
+
+func scan() (OpStats, error) { return OpStats{}, nil }
+
+func getUnbilled() error {
+	if _, err := scan(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,9 @@
+// Package sim stubs the metrics sink for chargecheck fixtures; the
+// analyzer matches it by package name.
+package sim
+
+type Metrics struct{}
+
+func (m *Metrics) AddReadRPC(n int)      {}
+func (m *Metrics) AddWriteRPC(n int)     {}
+func (m *Metrics) AddDiskRead(bytes int) {}

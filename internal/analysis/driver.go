@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+)
+
+// Exit codes of Run, mirroring go vet's convention.
+const (
+	ExitClean    = 0
+	ExitFindings = 1
+	ExitError    = 2
+)
+
+// Run loads the packages matched by patterns, applies every analyzer to
+// each, and prints findings to out as "path:line:col: message [analyzer]".
+// Suppressed findings are counted (and listed with -v); suppressions
+// missing a reason are promoted back to findings, so the tree can never
+// carry an unexplained one.
+func Run(analyzers []*Analyzer, patterns []string, out io.Writer, verbose bool) int {
+	l := NewLoader()
+	pkgs, err := l.LoadPatterns(patterns...)
+	if err != nil {
+		fmt.Fprintf(out, "rjlint: %v\n", err)
+		return ExitError
+	}
+	findings := 0
+	suppressedCount := 0
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			kept, suppressed, err := RunAnalyzer(a, pkg)
+			if err != nil {
+				fmt.Fprintf(out, "rjlint: %v\n", err)
+				return ExitError
+			}
+			for _, d := range kept {
+				fmt.Fprintf(out, "%s: %s [%s]\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+				findings++
+			}
+			for _, s := range suppressed {
+				if s.Suppression.Reason == "" {
+					fmt.Fprintf(out, "%s: %s [%s] (suppression has no reason — grammar is //lint:allow %s <reason>)\n",
+						pkg.Fset.Position(s.Diagnostic.Pos), s.Diagnostic.Message, s.Diagnostic.Analyzer, s.Diagnostic.Analyzer)
+					findings++
+					continue
+				}
+				suppressedCount++
+				if verbose {
+					fmt.Fprintf(out, "%s: suppressed: %s [%s] — %s\n",
+						pkg.Fset.Position(s.Diagnostic.Pos), s.Diagnostic.Message, s.Diagnostic.Analyzer, s.Suppression.Reason)
+				}
+			}
+		}
+	}
+	if suppressedCount > 0 {
+		fmt.Fprintf(out, "rjlint: %d finding(s) suppressed by //lint:allow (run with -v to list)\n", suppressedCount)
+	}
+	if findings > 0 {
+		fmt.Fprintf(out, "rjlint: %d finding(s)\n", findings)
+		return ExitFindings
+	}
+	return ExitClean
+}

@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	Dir        string
+	ImportPath string
+}
+
+// Loader parses and type-checks packages from source. Dependencies —
+// standard library and module-local alike — resolve through the
+// compiler "source" importer, which needs no export data and no network,
+// so the suite runs in a hermetic container. One Loader shares a
+// FileSet and an import cache across every package it loads.
+//
+// FixtureRoot, when set, resolves bare import paths against a fixture
+// tree first (testdata/src/<path>), the analysistest layout.
+type Loader struct {
+	Fset        *token.FileSet
+	FixtureRoot string
+
+	std  types.ImporterFrom
+	pkgs map[string]*Package
+}
+
+// NewLoader returns a loader with a fresh file set and import cache.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset: fset,
+		std:  importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs: map[string]*Package{},
+	}
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// LoadPatterns resolves go list patterns (e.g. "./...") into loaded
+// packages. Test files and testdata are excluded, matching what ships.
+func (l *Loader) LoadPatterns(patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %w", strings.Join(patterns, " "), err)
+	}
+	var pkgs []*Package
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list decode: %w", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			files[i] = filepath.Join(lp.Dir, f)
+		}
+		pkg, err := l.loadFiles(lp.ImportPath, lp.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir loads every non-test .go file in dir as one package named by
+// importPath (the analysistest entry point).
+func (l *Loader) LoadDir(importPath, dir string) (*Package, error) {
+	if p, ok := l.pkgs[importPath]; ok {
+		return p, nil
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	return l.loadFiles(importPath, dir, files)
+}
+
+func (l *Loader) loadFiles(importPath, dir string, files []string) (*Package, error) {
+	var asts []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(l.Fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, af)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: &scopedImporter{l: l, dir: dir}}
+	tpkg, err := conf.Check(importPath, l.Fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", importPath, err)
+	}
+	pkg := &Package{
+		Fset:       l.Fset,
+		Files:      asts,
+		Types:      tpkg,
+		Info:       info,
+		Dir:        dir,
+		ImportPath: importPath,
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// scopedImporter resolves imports for one package under load: fixture
+// packages first (when a FixtureRoot is configured), then the shared
+// source importer, with srcDir pinned to the importing package's
+// directory so module-path imports resolve.
+type scopedImporter struct {
+	l   *Loader
+	dir string
+}
+
+func (si *scopedImporter) Import(path string) (*types.Package, error) {
+	if si.l.FixtureRoot != "" {
+		if fdir := filepath.Join(si.l.FixtureRoot, filepath.FromSlash(path)); dirHasGoFiles(fdir) {
+			p, err := si.l.LoadDir(path, fdir)
+			if err != nil {
+				return nil, err
+			}
+			return p.Types, nil
+		}
+	}
+	return si.l.std.ImportFrom(path, si.dir, 0)
+}
+
+func dirHasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}

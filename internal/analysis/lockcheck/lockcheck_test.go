@@ -1,0 +1,28 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	results := analysistest.Run(t, "testdata", lockcheck.Analyzer, "lockbasic", "lockregress")
+
+	// The suppressed snapshot read in lockbasic must be accounted, not
+	// silently dropped.
+	if got := len(results["lockbasic"].Suppressed); got != 1 {
+		t.Errorf("lockbasic: suppressed findings = %d, want 1", got)
+	}
+	for _, s := range results["lockbasic"].Suppressed {
+		if s.Suppression.Reason == "" {
+			t.Errorf("suppression without reason survived: %+v", s)
+		}
+	}
+
+	// The regression fixture must flag both shipped race shapes.
+	if got := len(results["lockregress"].Kept); got != 2 {
+		t.Errorf("lockregress: findings = %d, want 2 (idxCfg + Table.regions)", got)
+	}
+}

@@ -1,0 +1,79 @@
+// Package lockregress pins two races this repo actually shipped and
+// later fixed, proving lockcheck would have caught both:
+//
+//   - the idxCfg race: DB.RankJoin read db.idxCfg outside db.mu while
+//     ConfigureIndexes wrote it under the lock;
+//   - the unguarded Table.regions read: Table.regionFor iterated
+//     t.regions without t.mu while SplitRegion rewrote the slice.
+//
+// If either pattern is reintroduced, these shapes show lockcheck flags
+// it.
+package lockregress
+
+import "sync"
+
+type indexConfig struct {
+	EnableISLN bool
+}
+
+type db struct {
+	mu     sync.RWMutex
+	idxCfg indexConfig // guarded by: mu
+}
+
+// configureIndexes is the writer, correctly under the lock.
+func (d *db) configureIndexes(cfg indexConfig) {
+	d.mu.Lock()
+	d.idxCfg = cfg
+	d.mu.Unlock()
+}
+
+// rankJoinRacy is the shipped bug shape: reading idxCfg with no lock.
+func (d *db) rankJoinRacy() bool {
+	return d.idxCfg.EnableISLN // want `read of "idxCfg" without d\.mu held`
+}
+
+// rankJoinFixed is the shipped fix: snapshot under RLock.
+func (d *db) rankJoinFixed() bool {
+	d.mu.RLock()
+	cfg := d.idxCfg
+	d.mu.RUnlock()
+	return cfg.EnableISLN
+}
+
+type region struct{ start string }
+
+type table struct {
+	mu      sync.RWMutex
+	regions []*region // guarded by: mu
+}
+
+// regionForRacy is the shipped bug shape: scanning regions unlocked
+// while SplitRegion swaps the slice.
+func (t *table) regionForRacy(row string) *region {
+	for _, r := range t.regions { // want `read of "regions" without t\.mu held`
+		if r.start <= row {
+			return r
+		}
+	}
+	return nil
+}
+
+// regionForFixed holds the read lock across the scan.
+func (t *table) regionForFixed(row string) *region {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, r := range t.regions {
+		if r.start <= row {
+			return r
+		}
+	}
+	return nil
+}
+
+// splitRegion is the writer side, under the exclusive lock.
+func (t *table) splitRegion(at string) {
+	t.mu.Lock()
+	t.regions = append(t.regions, &region{start: at})
+	t.mu.Unlock()
+}

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Suppression is one parsed //lint:allow comment.
+//
+// Grammar:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The reason is mandatory — a suppression without one is itself
+// reported, so every silenced finding carries its justification in the
+// tree. A suppression covers findings of the named analyzer that land
+// on its own line, on the line directly below it, or anywhere inside
+// the function whose doc comment it belongs to.
+type Suppression struct {
+	Pos      token.Pos
+	Analyzer string
+	Reason   string
+}
+
+// SuppressedDiagnostic pairs a silenced finding with the suppression
+// that covered it, so drivers can count and display both.
+type SuppressedDiagnostic struct {
+	Diagnostic  Diagnostic
+	Suppression Suppression
+}
+
+var allowRe = regexp.MustCompile(`^//lint:allow\s+([A-Za-z0-9_-]+)(?:\s+(.*))?$`)
+
+// CollectSuppressions parses every //lint:allow comment in the files.
+// Malformed suppressions (no analyzer, or no reason) are returned with
+// an empty Reason so the driver can flag them: the suite's contract is
+// zero unexplained suppressions.
+func CollectSuppressions(fset *token.FileSet, files []*ast.File) []Suppression {
+	var out []Suppression
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				out = append(out, Suppression{
+					Pos:      c.Pos(),
+					Analyzer: m[1],
+					Reason:   strings.TrimSpace(m[2]),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// ApplySuppressions splits diags into kept findings and suppressed ones.
+// A finding is suppressed when a //lint:allow comment for its analyzer
+// is (a) on the same line, (b) on the line directly above, or (c) part
+// of the doc comment of the innermost function declaration enclosing
+// the finding.
+func ApplySuppressions(fset *token.FileSet, files []*ast.File, sups []Suppression, diags []Diagnostic) ([]Diagnostic, []SuppressedDiagnostic) {
+	if len(sups) == 0 {
+		return diags, nil
+	}
+	// Index suppressions by (file, line).
+	type key struct {
+		file string
+		line int
+	}
+	byLine := map[key]Suppression{}
+	for _, s := range sups {
+		p := fset.Position(s.Pos)
+		byLine[key{p.Filename, p.Line}] = s
+	}
+	// Index function spans whose doc comment carries a suppression.
+	type span struct {
+		start, end token.Pos
+		sup        Suppression
+	}
+	var funcSpans []span
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				return true
+			}
+			for _, c := range fd.Doc.List {
+				if m := allowRe.FindStringSubmatch(c.Text); m != nil {
+					funcSpans = append(funcSpans, span{
+						start: fd.Pos(),
+						end:   fd.End(),
+						sup:   Suppression{Pos: c.Pos(), Analyzer: m[1], Reason: strings.TrimSpace(m[2])},
+					})
+				}
+			}
+			return true
+		})
+	}
+
+	var kept []Diagnostic
+	var suppressed []SuppressedDiagnostic
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		if s, ok := byLine[key{p.Filename, p.Line}]; ok && s.Analyzer == d.Analyzer {
+			suppressed = append(suppressed, SuppressedDiagnostic{d, s})
+			continue
+		}
+		if s, ok := byLine[key{p.Filename, p.Line - 1}]; ok && s.Analyzer == d.Analyzer {
+			suppressed = append(suppressed, SuppressedDiagnostic{d, s})
+			continue
+		}
+		covered := false
+		for _, fs := range funcSpans {
+			if fs.sup.Analyzer == d.Analyzer && d.Pos >= fs.start && d.Pos < fs.end {
+				suppressed = append(suppressed, SuppressedDiagnostic{d, fs.sup})
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			kept = append(kept, d)
+		}
+	}
+	return kept, suppressed
+}

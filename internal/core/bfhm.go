@@ -448,6 +448,7 @@ func writeBackBucket(c *kvstore.Cluster, idx *BFHMIndex, b *bfhmBucket) error {
 			Timestamp: ts, Tombstone: true,
 		})
 	}
+	//lint:allow maintcheck writes the BFHM index's own bucket table, not a maintained base relation
 	if err := c.MutateRow(idx.Table, cells); err != nil {
 		return err
 	}

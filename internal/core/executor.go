@@ -199,9 +199,10 @@ type Executor interface {
 
 var (
 	registryMu sync.RWMutex
-	registry   = map[string]Executor{}
+	registry   = map[string]Executor{} // guarded by: registryMu
 	// registryOrder preserves registration order (the paper's
 	// evaluation order) for deterministic iteration.
+	// guarded by: registryMu
 	registryOrder []string
 )
 

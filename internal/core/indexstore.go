@@ -15,13 +15,13 @@ import "sync"
 // to let a pair of BFHM builds auto-size mismatched filter widths.
 type IndexStore struct {
 	mu    sync.Mutex
-	ijlmr map[string]*IJLMRIndex // query ID -> index
-	isl   map[string]*ISLIndex   // query ID -> index
-	bfhm  map[string]*BFHMIndex  // relation name -> index
-	drjn  map[string]*DRJNIndex  // relation name -> index
+	ijlmr map[string]*IJLMRIndex // query ID -> index; guarded by: mu
+	isl   map[string]*ISLIndex   // query ID -> index; guarded by: mu
+	bfhm  map[string]*BFHMIndex  // relation name -> index; guarded by: mu
+	drjn  map[string]*DRJNIndex  // relation name -> index; guarded by: mu
 
 	buildMu sync.Mutex
-	builds  map[string]*sync.Mutex // build scope -> serialization lock
+	builds  map[string]*sync.Mutex // build scope -> serialization lock; guarded by: buildMu
 }
 
 // NewIndexStore returns an empty store.

@@ -1,0 +1,50 @@
+package kvstore
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseCellKey checks the parse→encode identity: any key
+// parseCellKey accepts must re-encode byte-for-byte, so WAL replay and
+// segment iteration can never silently rewrite a key.
+func FuzzParseCellKey(f *testing.F) {
+	f.Add(cellKey("row", "fam", "qual", 5, 7))
+	f.Add(cellKey("", "", "", 0, 0))
+	f.Add(cellKey("r", "f", "", -1, ^uint64(0)))
+	f.Add("")
+	f.Add("no separators at all")
+	f.Add("row\x00fam\x00qual\x00short")
+	f.Add(string(make([]byte, 19)))
+	f.Fuzz(func(t *testing.T, k string) {
+		row, family, qualifier, ts, seq, err := parseCellKey(k)
+		if err != nil {
+			return // malformed input rejected: fine
+		}
+		if re := cellKey(row, family, qualifier, ts, seq); re != k {
+			t.Fatalf("parse/encode not identity:\n in %q\nout %q", k, re)
+		}
+	})
+}
+
+// FuzzCellKeyRoundTrip checks the encode→parse identity for NUL-free
+// components (NUL is excluded by ValidateKeyComponent at the API edge).
+func FuzzCellKeyRoundTrip(f *testing.F) {
+	f.Add("row", "fam", "qual", int64(42), uint64(7))
+	f.Add("", "", "", int64(0), uint64(0))
+	f.Add("a|b", "f1", "", int64(-5), ^uint64(0))
+	f.Fuzz(func(t *testing.T, row, family, qualifier string, ts int64, seq uint64) {
+		if strings.IndexByte(row, 0) >= 0 || strings.IndexByte(family, 0) >= 0 || strings.IndexByte(qualifier, 0) >= 0 {
+			t.Skip("NUL bytes are rejected before keys are built")
+		}
+		k := cellKey(row, family, qualifier, ts, seq)
+		gr, gf, gq, gts, gseq, err := parseCellKey(k)
+		if err != nil {
+			t.Fatalf("parse of own encoding failed: %v (key %q)", err, k)
+		}
+		if gr != row || gf != family || gq != qualifier || gts != ts || gseq != seq {
+			t.Fatalf("round trip mismatch: (%q,%q,%q,%d,%d) -> (%q,%q,%q,%d,%d)",
+				row, family, qualifier, ts, seq, gr, gf, gq, gts, gseq)
+		}
+	})
+}

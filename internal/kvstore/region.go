@@ -24,31 +24,33 @@ type Region struct {
 	table    string
 	startKey string // inclusive; "" = unbounded low
 	endKey   string // exclusive; "" = unbounded high
-	node     int
+	node     int    // guarded by: mu
 
-	mem      *memtable
-	segments []*segment // newest first
-	log      *wal
-	seq      uint64
+	mem      *memtable  // guarded by: mu
+	segments []*segment // newest first; guarded by: mu
+	log      *wal       // guarded by: mu
+	seq      uint64     // guarded by: mu
 	cache    *rowCache
 	// closed marks a region retired by a split: every read or write
 	// returns errRegionSplit so the caller re-routes to the children.
+	// guarded by: mu
 	closed bool
 
 	// liveCells caches LiveCellCount's merge walk, keyed by the seq that
 	// produced it. Flushes and compactions never change the live set, so
-	// the cache only invalidates on mutation (seq advance). The cache is
-	// guarded by its own liveMu: the walk itself runs under the region
+	// the cache only invalidates on mutation (seq advance). The cache
+	// has its own lock, liveMu: the walk itself runs under the region
 	// READ lock so planner statistics never stall concurrent reads.
 	liveMu         sync.Mutex
-	liveCells      uint64
-	liveCellsSeq   uint64
-	liveCellsValid bool
+	liveCells      uint64 // guarded by: liveMu
+	liveCellsSeq   uint64 // guarded by: liveMu
+	liveCellsValid bool   // guarded by: liveMu
 
 	flushThreshold   uint64
 	compactThreshold int
 	// compactionBytes counts bytes written by compactions — the write
 	// amplification the tiered policy exists to bound.
+	// guarded by: mu
 	compactionBytes uint64
 }
 
@@ -122,7 +124,7 @@ func (s *OpStats) add(o OpStats) {
 }
 
 // applyMutation validates, logs, and inserts one cell version.
-// Caller holds r.mu.
+// locked: r.mu
 func (r *Region) applyMutation(c Cell) error {
 	if err := ValidateKeyComponent(c.Row); err != nil {
 		return err

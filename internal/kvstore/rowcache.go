@@ -34,12 +34,12 @@ type rcEntry struct {
 // on every mutation.
 type rowCache struct {
 	mu         sync.Mutex
-	capacity   uint64
-	bytes      uint64
-	entries    map[string]*rcEntry
-	head, tail *rcEntry // head = most recently used
-	hits       uint64
-	misses     uint64
+	capacity   uint64              // guarded by: mu
+	bytes      uint64              // guarded by: mu
+	entries    map[string]*rcEntry // guarded by: mu
+	head, tail *rcEntry            // head = most recently used; guarded by: mu
+	hits       uint64              // guarded by: mu
+	misses     uint64              // guarded by: mu
 }
 
 // rcEntryOverhead approximates per-entry bookkeeping bytes.
@@ -65,7 +65,7 @@ func (c *rowCache) lookup(row string) (r *Row, examined uint64, ok bool) {
 		return nil, 0, false
 	}
 	c.hits++
-	c.moveToFront(e)
+	c.moveToFrontLocked(e)
 	return e.r, e.examined, true
 }
 
@@ -85,12 +85,12 @@ func (c *rowCache) insert(row string, r *Row, examined uint64) {
 		c.bytes -= e.size
 		e.r, e.examined, e.size = r, examined, size
 		c.bytes += size
-		c.moveToFront(e)
+		c.moveToFrontLocked(e)
 	} else {
 		e := &rcEntry{row: row, r: r, examined: examined, size: size}
 		c.entries[row] = e
 		c.bytes += size
-		c.pushFront(e)
+		c.pushFrontLocked(e)
 	}
 	for c.bytes > c.capacity && c.tail != nil {
 		c.removeLocked(c.tail)
@@ -144,10 +144,10 @@ func (c *rowCache) seedStats(hits, misses uint64) {
 func (c *rowCache) removeLocked(e *rcEntry) {
 	delete(c.entries, e.row)
 	c.bytes -= e.size
-	c.unlink(e)
+	c.unlinkLocked(e)
 }
 
-func (c *rowCache) unlink(e *rcEntry) {
+func (c *rowCache) unlinkLocked(e *rcEntry) {
 	if e.prev != nil {
 		e.prev.next = e.next
 	} else {
@@ -161,7 +161,7 @@ func (c *rowCache) unlink(e *rcEntry) {
 	e.prev, e.next = nil, nil
 }
 
-func (c *rowCache) pushFront(e *rcEntry) {
+func (c *rowCache) pushFrontLocked(e *rcEntry) {
 	e.next = c.head
 	e.prev = nil
 	if c.head != nil {
@@ -173,10 +173,10 @@ func (c *rowCache) pushFront(e *rcEntry) {
 	}
 }
 
-func (c *rowCache) moveToFront(e *rcEntry) {
+func (c *rowCache) moveToFrontLocked(e *rcEntry) {
 	if c.head == e {
 		return
 	}
-	c.unlink(e)
-	c.pushFront(e)
+	c.unlinkLocked(e)
+	c.pushFrontLocked(e)
 }

@@ -21,7 +21,7 @@ const maxCacheEntries = 1024
 // plan sees fresh statistics.
 type Cache struct {
 	mu      sync.Mutex
-	entries map[string]cacheEntry
+	entries map[string]cacheEntry // guarded by: mu
 }
 
 type cacheEntry struct {

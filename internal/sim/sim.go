@@ -129,13 +129,13 @@ type Metrics struct {
 	// update (but never clock advances).
 	parent *Metrics
 
-	simTime       time.Duration
-	networkBytes  uint64
-	kvReads       uint64
-	kvWrites      uint64
-	rpcCalls      uint64
-	diskBytesRead uint64
-	tuplesShipped uint64
+	simTime       time.Duration // guarded by: mu
+	networkBytes  uint64        // guarded by: mu
+	kvReads       uint64        // guarded by: mu
+	kvWrites      uint64        // guarded by: mu
+	rpcCalls      uint64        // guarded by: mu
+	diskBytesRead uint64        // guarded by: mu
+	tuplesShipped uint64        // guarded by: mu
 }
 
 // NewLane returns a child collector for one lane of a concurrent fan-out.

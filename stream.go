@@ -156,9 +156,9 @@ type pagedCursor struct {
 // cursorCache maps single-use page tokens to paused cursors.
 type cursorCache struct {
 	mu      sync.Mutex
-	entries map[string]*pagedCursor
-	order   []string // issue order, oldest first
-	nextID  uint64
+	entries map[string]*pagedCursor // guarded by: mu
+	order   []string                // issue order, oldest first; guarded by: mu
+	nextID  uint64                  // guarded by: mu
 }
 
 func newCursorCache() *cursorCache {
