@@ -10,6 +10,10 @@
 //	rjbench -fig mixed               # mixed read/write workload: write
 //	                                 # throughput, batched-vs-per-cell
 //	                                 # write RPCs, per-executor freshness
+//	rjbench -fig storage             # in-memory vs on-disk SSTable
+//	                                 # engine: point gets (cold/warm),
+//	                                 # scans, merge drain, sustained
+//	                                 # load, Q1/Q2 wall-clock
 //	rjbench -sf 0.05 -lcsf 0.1       # larger scale factors
 //
 // Figures 7a-7f come from one EC2 measurement set (Q1 and Q2 series);
@@ -30,7 +34,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 7a..7f, 8a..8f, 9, sizes, mem, updates, mixed, paging, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 7a..7f, 8a..8f, 9, sizes, mem, updates, mixed, paging, storage, all")
 	sfEC2 := flag.Float64("sf", 0.02, "TPC-H scale factor for the EC2 profile runs")
 	sfLC := flag.Float64("lcsf", 0.04, "TPC-H scale factor for the LC profile runs")
 	snapshot := flag.String("snapshot", "", "write the measured Q1/Q2 series as JSON to this file (BENCH_<n>.json)")
@@ -176,6 +180,21 @@ func main() {
 		}
 		fmt.Println(report)
 	}
+	var storagePoints map[string]benchkit.StoragePoint
+	if want("storage") {
+		fmt.Fprintln(os.Stderr, "measuring storage engine (memory vs disk)...")
+		dir, err := os.MkdirTemp("", "rjbench-storage-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		points, report, err := benchkit.StorageReport(dir, *sfEC2, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		storagePoints = points
+		fmt.Println(report)
+	}
 
 	if *snapshot != "" {
 		snap := benchkit.NewSnapshot()
@@ -191,6 +210,7 @@ func main() {
 			snap.AddSeries(e.Profile.Name+"-q1", get(e, e.Q1, e.Profile.Name+"-q1", algos))
 			snap.AddSeries(e.Profile.Name+"-q2", get(e, e.Q2, e.Profile.Name+"-q2", algos))
 		}
+		snap.Storage = storagePoints
 		if err := snap.WriteFile(*snapshot); err != nil {
 			log.Fatal(err)
 		}

@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	rjserve [-addr :8080] [-profile ec2|lc] [-sf 0.02] [-parallelism 4]
+//	rjserve [-addr :8080] [-profile ec2|lc] [-sf 0.02] [-parallelism 4] [-data DIR]
+//
+// With -data, the server runs on durable storage: the first start
+// generates, loads, and indexes into DIR; later starts recover the
+// tables and index catalog from disk and are serving in milliseconds.
+// Writes accepted via /insert, /update, and /delete survive restarts.
 //
 // Endpoints:
 //
@@ -621,6 +626,7 @@ func main() {
 	sf := flag.Float64("sf", 0.02, "TPC-H scale factor")
 	seed := flag.Int64("seed", 1, "data generator seed")
 	parallelism := flag.Int("parallelism", 4, "default client read-path parallelism")
+	dataDir := flag.String("data", "", "durable data directory (empty = in-memory)")
 	flag.Parse()
 
 	profile := sim.LC()
@@ -628,13 +634,27 @@ func main() {
 		profile = sim.EC2()
 	}
 
-	log.Printf("loading TPC-H SF %g on the %s profile and building indexes...", *sf, profile.Name)
-	env, err := benchkit.Setup(profile, *sf, *seed)
+	var env *benchkit.Env
+	var recovered bool
+	var err error
+	if *dataDir != "" {
+		log.Printf("opening durable store at %s (TPC-H SF %g, %s profile)...", *dataDir, *sf, profile.Name)
+		env, recovered, err = benchkit.SetupAt(profile, *sf, *seed, *dataDir)
+	} else {
+		log.Printf("loading TPC-H SF %g on the %s profile and building indexes...", *sf, profile.Name)
+		env, err = benchkit.Setup(profile, *sf, *seed)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer env.DB.Close()
 	parts, orders, lineitems := env.Counts()
-	log.Printf("ready: %d parts, %d orders, %d lineitems", parts, orders, lineitems)
+	if recovered {
+		log.Printf("recovered tables and index catalog from disk: %d parts, %d orders, %d lineitems",
+			parts, orders, lineitems)
+	} else {
+		log.Printf("ready: %d parts, %d orders, %d lineitems", parts, orders, lineitems)
+	}
 
 	s := &server{env: env, defaultParallelism: *parallelism}
 	mux := http.NewServeMux()

@@ -5,9 +5,12 @@
 //
 // A function "touches storage" when it calls a storage primitive: any
 // function whose results include kvstore's OpStats type (directly or as
-// a struct field, e.g. fetchResult), or one of the named write
-// primitives (mutateRetry, mutateRow, applyMutation, seedCells,
-// closeAndSnapshot). A function "charges" when it calls a method on
+// a struct field, e.g. fetchResult), or one of the named primitives
+// (writes: mutateRetry, mutateRow, applyMutation, seedCells,
+// closeAndSnapshot; disk: writeSSTable, readDataBlock, readIndexBlock,
+// registerSegments — the block readers take OpStats as a parameter
+// rather than returning it, so the result heuristic cannot see them).
+// A function "charges" when it calls a method on
 // sim.Metrics, or a package-local helper that itself always charges
 // (computed as a fixpoint, so chargeRPC/chargeWrite wrappers count).
 //
@@ -37,13 +40,21 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // writePrimitives are storage-touching functions identified by name
-// (their signatures do not expose OpStats).
+// (their signatures do not expose OpStats in their results). The disk
+// primitives are included so the on-disk read/write paths carry the
+// same billing obligation as the in-memory ones: readDataBlock and
+// readIndexBlock accumulate into an OpStats *parameter*, which the
+// result-type heuristic cannot see.
 var writePrimitives = map[string]bool{
 	"mutateRetry":      true,
 	"mutateRow":        true,
 	"applyMutation":    true,
 	"seedCells":        true,
 	"closeAndSnapshot": true,
+	"writeSSTable":     true,
+	"readDataBlock":    true,
+	"readIndexBlock":   true,
+	"registerSegments": true,
 }
 
 func run(pass *analysis.Pass) error {

@@ -26,6 +26,9 @@ type Snapshot struct {
 	ScaleFactors map[string]float64 `json:"scale_factors"`
 	// Series maps a series key ("EC2-q1", "LC-q2", ...) to its points.
 	Series map[string][]SeriesPoint `json:"series"`
+	// Storage compares wall-clock per operation between the in-memory
+	// and on-disk storage engines (rjbench -fig storage).
+	Storage map[string]StoragePoint `json:"storage,omitempty"`
 }
 
 // NewSnapshot returns an empty snapshot.

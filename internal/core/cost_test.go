@@ -283,6 +283,17 @@ func TestUpdateOverheadUnder10Percent(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
+		// Flush so both runs query storage-resident data, and disable the
+		// block cache so every random read pays its seek (the assumption
+		// behind the paper's experiment and the memory-mode cost model).
+		// In disk mode a memtable-only or fully cached read measures zero
+		// block fetches, which would erase the seek component of the
+		// baseline and inflate the relative overhead; in memory mode both
+		// calls change nothing.
+		if err := c.FlushAll(); err != nil {
+			t.Fatal(err)
+		}
+		c.SetBlockCacheBytes(0)
 		res, err := QueryBFHM(c, q, bfhmL, bfhmR, BFHMQueryOptions{WriteBack: WriteBackEager})
 		if err != nil {
 			t.Fatal(err)

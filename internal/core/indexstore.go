@@ -136,3 +136,29 @@ func (s *IndexStore) EachISL(f func(queryID string, idx *ISLIndex)) {
 		f(k, v)
 	}
 }
+
+// EachBFHM calls f for every stored BFHM index (snapshot).
+func (s *IndexStore) EachBFHM(f func(relation string, idx *BFHMIndex)) {
+	s.mu.Lock()
+	cp := make(map[string]*BFHMIndex, len(s.bfhm))
+	for k, v := range s.bfhm {
+		cp[k] = v
+	}
+	s.mu.Unlock()
+	for k, v := range cp {
+		f(k, v)
+	}
+}
+
+// EachDRJN calls f for every stored DRJN index (snapshot).
+func (s *IndexStore) EachDRJN(f func(relation string, idx *DRJNIndex)) {
+	s.mu.Lock()
+	cp := make(map[string]*DRJNIndex, len(s.drjn))
+	for k, v := range s.drjn {
+		cp[k] = v
+	}
+	s.mu.Unlock()
+	for k, v := range cp {
+		f(k, v)
+	}
+}

@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -29,12 +30,19 @@ type Cluster struct {
 
 // clusterState is the store shared by every view of one deployment.
 type clusterState struct {
-	mu            sync.RWMutex
-	tables        map[string]*Table // guarded by: mu
-	nextID        int               // guarded by: mu
-	clock         int64             // guarded by: mu
-	seed          int64             // guarded by: mu
-	rowCacheBytes uint64            // per-region row cache capacity for new regions; guarded by: mu
+	mu             sync.RWMutex
+	tables         map[string]*Table // guarded by: mu
+	nextID         int               // guarded by: mu
+	clock          int64             // guarded by: mu
+	seed           int64             // guarded by: mu
+	rowCacheBytes  uint64            // per-region row cache capacity for new regions; guarded by: mu
+	flushThreshold uint64            // override for new regions (0 = default); guarded by: mu
+	// store is the durable backing (nil = memory-only). Set once at
+	// construction, read-only afterwards.
+	store *diskStore
+	// memMeta backs SetMeta/Meta for memory-only clusters so the
+	// catalog API is uniform across modes.
+	memMeta map[string]string // guarded by: mu
 }
 
 // Table is a named collection of regions with a declared column-family
@@ -62,19 +70,239 @@ func (t *Table) MutationSeq() uint64 { return t.mutSeq.Load() }
 
 // NewCluster creates a cluster with the given hardware profile. Metrics
 // may be shared across clusters (e.g. to total a multi-stage workload).
+//
+// When the KVSTORE_DISK=1 environment variable is set the cluster is
+// transparently backed by a fresh on-disk store in a temp directory —
+// the CI tier-2 hook that runs the whole suite over real SSTables. A
+// store setup failure panics: the hook is a test-only path with no error
+// plumbing at the construction sites.
 func NewCluster(profile sim.Profile, metrics *sim.Metrics) *Cluster {
 	if metrics == nil {
 		metrics = &sim.Metrics{}
 	}
-	return &Cluster{
+	c := &Cluster{
 		state: &clusterState{
 			tables:        make(map[string]*Table),
 			seed:          1,
 			rowCacheBytes: DefaultRowCacheBytes,
+			memMeta:       make(map[string]string),
 		},
 		profile: profile,
 		metrics: metrics,
 	}
+	if os.Getenv("KVSTORE_DISK") == "1" {
+		dir, err := os.MkdirTemp("", "kvstore-disk-")
+		if err != nil {
+			panic("kvstore: KVSTORE_DISK temp dir: " + err.Error())
+		}
+		store, err := openDiskStore(dir, DefaultBlockCacheBytes)
+		if err != nil {
+			panic("kvstore: KVSTORE_DISK store: " + err.Error())
+		}
+		c.state.store = store
+	}
+	return c
+}
+
+// OpenCluster opens (or initializes) a disk-backed cluster rooted at
+// dir: it loads the manifest, re-creates every table and region, opens
+// their SSTables newest-first, replays each region's WAL into a fresh
+// memtable, and restores the logical clock and ID/sequence counters to
+// values past everything durably stored — the cold-start recovery
+// protocol (see the package documentation).
+func OpenCluster(profile sim.Profile, metrics *sim.Metrics, dir string) (*Cluster, error) {
+	if metrics == nil {
+		metrics = &sim.Metrics{}
+	}
+	store, err := openDiskStore(dir, DefaultBlockCacheBytes)
+	if err != nil {
+		return nil, err
+	}
+	s := &clusterState{
+		tables:        make(map[string]*Table),
+		seed:          1,
+		rowCacheBytes: DefaultRowCacheBytes,
+		memMeta:       make(map[string]string),
+		store:         store,
+	}
+	c := &Cluster{state: s, profile: profile, metrics: metrics}
+	man := store.snapshotManifest()
+	s.nextID = man.NextID
+	s.clock = man.Clock
+	s.seed = man.Seed
+
+	byID := make(map[int]*manifestRegion, len(man.Regions))
+	for _, rec := range man.Regions {
+		byID[rec.ID] = rec
+	}
+	for _, mt := range man.Tables {
+		t := &Table{Name: mt.Name, families: make(map[string]bool)}
+		for _, f := range mt.Families {
+			t.families[f] = true
+		}
+		ids := append([]int(nil), mt.RegionIDs...)
+		sortRegionIDs(ids, byID)
+		for _, id := range ids {
+			rec, ok := byID[id]
+			if !ok {
+				return nil, fmt.Errorf("kvstore: manifest table %q references unknown region %d", mt.Name, id)
+			}
+			r, err := c.openRegion(rec)
+			if err != nil {
+				return nil, err
+			}
+			t.regions = append(t.regions, r)
+		}
+		s.tables[mt.Name] = t
+	}
+	return c, nil
+}
+
+// openRegion rebuilds one region from its manifest record: SSTables
+// opened newest-first, WAL replayed into the memtable, sequence and
+// clock floors advanced past everything recovered.
+func (c *Cluster) openRegion(rec *manifestRegion) (*Region, error) {
+	s := c.state
+	s.mu.RLock()
+	cacheBytes, flushThreshold := s.rowCacheBytes, s.flushThreshold
+	s.mu.RUnlock()
+	r := newRegion(rec.ID, rec.Table, rec.Start, rec.End, rec.Node, int64(rec.ID)<<32|int64(rec.Seq), cacheBytes)
+	if flushThreshold > 0 {
+		r.flushThreshold = flushThreshold
+	}
+	if err := r.attachStore(s.store); err != nil {
+		return nil, err
+	}
+	var maxTs int64
+	for _, f := range rec.Files {
+		seg, err := openSSTable(s.store.dir, f, s.store.cache)
+		if err != nil {
+			r.shutdown()
+			return nil, err
+		}
+		r.segments = append(r.segments, seg)
+		if seg.meta.maxTs > maxTs {
+			maxTs = seg.meta.maxTs
+		}
+	}
+	r.mu.Lock()
+	r.seq = rec.Seq
+	if _, err := r.replayWALLocked(r.log); err != nil {
+		r.mu.Unlock()
+		r.shutdown()
+		return nil, err
+	}
+	walTs, err := r.maxWALTimestampLocked()
+	r.mu.Unlock()
+	if err != nil {
+		r.shutdown()
+		return nil, err
+	}
+	if walTs > maxTs {
+		maxTs = walTs
+	}
+	s.mu.Lock()
+	if maxTs > s.clock {
+		s.clock = maxTs
+	}
+	s.mu.Unlock()
+	return r, nil
+}
+
+// Close releases every region's file handles and persists the logical
+// clock and ID counters. Memory-only clusters close trivially.
+func (c *Cluster) Close() error {
+	var first error
+	for _, t := range c.allTables() {
+		for _, r := range t.Regions() {
+			if err := r.shutdown(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	s := c.state
+	if s.store != nil {
+		s.mu.RLock()
+		clock, nextID, seed := s.clock, s.nextID, s.seed
+		s.mu.RUnlock()
+		if err := s.store.mutate(func(m *manifest) {
+			if clock > m.Clock {
+				m.Clock = clock
+			}
+			m.NextID = nextID
+			m.Seed = seed
+		}); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// DiskBacked reports whether the cluster persists to disk.
+func (c *Cluster) DiskBacked() bool { return c.state.store != nil }
+
+// Dir returns the store directory ("" for memory-only clusters).
+func (c *Cluster) Dir() string {
+	if c.state.store == nil {
+		return ""
+	}
+	return c.state.store.dir
+}
+
+// SetMeta durably stores an opaque key/value in the cluster manifest
+// (memory-only clusters keep it in memory). The rankjoin layer persists
+// its relation/index catalog here.
+func (c *Cluster) SetMeta(key, value string) error {
+	s := c.state
+	if s.store != nil {
+		return s.store.setMeta(key, value)
+	}
+	s.mu.Lock()
+	s.memMeta[key] = value
+	s.mu.Unlock()
+	return nil
+}
+
+// Meta returns the value stored under key ("" when absent).
+func (c *Cluster) Meta(key string) string {
+	s := c.state
+	if s.store != nil {
+		return s.store.meta(key)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.memMeta[key]
+}
+
+// SetFlushThreshold overrides every region's memstore flush threshold
+// and the value future regions start with (tests force small SSTables).
+func (c *Cluster) SetFlushThreshold(n uint64) {
+	s := c.state
+	s.mu.Lock()
+	s.flushThreshold = n
+	s.mu.Unlock()
+	for _, t := range c.allTables() {
+		for _, r := range t.Regions() {
+			r.setFlushThreshold(n)
+		}
+	}
+}
+
+// SetBlockCacheBytes resizes the shared block cache (0 disables it);
+// no-op on memory-only clusters.
+func (c *Cluster) SetBlockCacheBytes(n uint64) {
+	if s := c.state; s.store != nil {
+		s.store.cache.setCapacity(n)
+	}
+}
+
+// BlockCacheStats returns the shared block cache's cumulative hit/miss
+// counts (zero on memory-only clusters).
+func (c *Cluster) BlockCacheStats() (hits, misses uint64) {
+	if s := c.state; s.store != nil {
+		return s.store.cache.stats()
+	}
+	return 0, 0
 }
 
 // allTables snapshots the table list. Region lists are then read via
@@ -90,6 +318,22 @@ func (c *Cluster) allTables() []*Table {
 		out = append(out, t)
 	}
 	return out
+}
+
+// FlushAll flushes every region of every table to durable storage. In
+// memory mode it seals memtables into sorted segments; in disk mode it
+// writes SSTables, so subsequent reads pay measured block I/O. Useful in
+// tests and benchmarks that want storage-resident data regardless of the
+// flush threshold.
+func (c *Cluster) FlushAll() error {
+	for _, t := range c.allTables() {
+		for _, r := range t.Regions() {
+			if err := r.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // SetRowCacheBytes resizes every region's row cache (0 disables caching)
@@ -209,21 +453,79 @@ func (c *Cluster) CreateTable(name string, families []string, splitKeys []string
 		s.nextID++
 		s.seed++
 		r := newRegion(s.nextID, name, start, end, (s.nextID-1)%c.profile.Nodes, s.seed, s.rowCacheBytes)
+		if s.flushThreshold > 0 {
+			r.flushThreshold = s.flushThreshold
+		}
+		if err := r.attachStore(s.store); err != nil {
+			return nil, err
+		}
 		t.regions = append(t.regions, r)
+	}
+	if s.store != nil {
+		ids := make([]int, len(t.regions))
+		for i, r := range t.regions {
+			ids[i] = r.id
+		}
+		nextID, seed := s.nextID, s.seed
+		if err := s.store.mutate(func(m *manifest) {
+			m.NextID = nextID
+			m.Seed = seed
+			m.Tables = append(m.Tables, manifestTable{Name: name, Families: t.Families(), RegionIDs: ids})
+			for _, r := range t.regions {
+				s.store.regionRecordLocked(r.manifestTemplateLocked())
+			}
+		}); err != nil {
+			return nil, err
+		}
 	}
 	s.tables[name] = t
 	return t, nil
 }
 
-// DropTable removes a table.
+// DropTable removes a table. On a disk-backed cluster the manifest
+// forgets the table first; its files are unlinked only after that save,
+// so a crash mid-drop leaves orphans, never dangling references.
 func (c *Cluster) DropTable(name string) error {
 	s := c.state
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.tables[name]; !ok {
+	t, ok := s.tables[name]
+	if !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("kvstore: no table %q", name)
 	}
 	delete(s.tables, name)
+	s.mu.Unlock()
+	if s.store == nil {
+		return nil
+	}
+	var dropped []*manifestRegion
+	if err := s.store.mutate(func(m *manifest) {
+		for i, mt := range m.Tables {
+			if mt.Name == name {
+				m.Tables = append(m.Tables[:i], m.Tables[i+1:]...)
+				break
+			}
+		}
+		kept := m.Regions[:0]
+		for _, rec := range m.Regions {
+			if rec.Table == name {
+				dropped = append(dropped, rec)
+			} else {
+				kept = append(kept, rec)
+			}
+		}
+		m.Regions = kept
+	}); err != nil {
+		return err
+	}
+	for _, r := range t.Regions() {
+		r.shutdown()
+	}
+	for _, rec := range dropped {
+		if err := s.store.dropRegionFiles(rec); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -492,10 +794,18 @@ func (c *Cluster) Get(table, row string, families ...string) (*Row, error) {
 	// and a row-cache hit not even that: no disk bytes (get reports
 	// BytesRead accordingly), no seek. The RPC, transfer, and per-KV
 	// CPU costs always apply, and the read units are always billed
-	// (DynamoDB charges per request, not per disk access).
+	// (DynamoDB charges per request, not per disk access). On a
+	// disk-backed cluster the seek charge is MEASURED: one seek per
+	// SSTable block actually fetched (block-cache hits and
+	// memtable-only reads fetch none), replacing the memory mode's
+	// flat one-seek formula.
 	c.chargeRPC(stats)
 	if stats.CacheHits == 0 {
-		c.metrics.Advance(c.profile.SeekLatency)
+		if c.state.store != nil {
+			c.metrics.Advance(time.Duration(stats.BlockReads) * c.profile.SeekLatency)
+		} else {
+			c.metrics.Advance(c.profile.SeekLatency)
+		}
 	}
 	return got, nil
 }
@@ -670,9 +980,27 @@ func (c *Cluster) SplitRegion(table, row string) error {
 	cacheBytes := s.rowCacheBytes
 	s.mu.Unlock()
 
-	cells := r.closeAndSnapshot()
+	cells, err := r.closeAndSnapshot()
+	if err != nil {
+		r.reopen()
+		return err
+	}
 	left := newRegion(leftID, table, r.StartKey(), mid, r.Node(), leftSeed, cacheBytes)
 	right := newRegion(rightID, table, mid, r.EndKey(), rightID%c.profile.Nodes, rightSeed, cacheBytes)
+	s.mu.RLock()
+	if s.flushThreshold > 0 {
+		left.flushThreshold = s.flushThreshold
+		right.flushThreshold = s.flushThreshold
+	}
+	s.mu.RUnlock()
+	if err := left.attachStore(s.store); err != nil {
+		r.reopen()
+		return err
+	}
+	if err := right.attachStore(s.store); err != nil {
+		r.reopen()
+		return err
+	}
 	// Carry the split region's cumulative counters onto the left child
 	// so cluster-wide CompactionBytes/RowCacheStats aggregates stay
 	// monotonic across splits.
@@ -682,6 +1010,10 @@ func (c *Cluster) SplitRegion(table, row string) error {
 
 	// Seed each child with one batched load (single lock cycle) whose
 	// trailing flush materializes a segment and truncates the seed WAL.
+	// On disk the flushes upsert the children's manifest records while
+	// they are still DETACHED — no table references them yet, so a
+	// crash here leaves orphan records/files that cleanOrphans removes,
+	// with the parent (and all data) intact.
 	split := sort.Search(len(cells), func(i int) bool { return cells[i].Row >= mid })
 	if err := left.seedCells(cells[:split]); err != nil {
 		r.reopen()
@@ -693,14 +1025,67 @@ func (c *Cluster) SplitRegion(table, row string) error {
 	}
 
 	// Replace r in the table's sorted region list.
+	replaced := false
 	for i, reg := range t.regions {
 		if reg == r {
 			t.regions = append(t.regions[:i], append([]*Region{left, right}, t.regions[i+1:]...)...)
-			return nil
+			replaced = true
+			break
 		}
 	}
-	r.reopen()
-	return fmt.Errorf("kvstore: region %d not found in table %q", r.ID(), table)
+	if !replaced {
+		r.reopen()
+		return fmt.Errorf("kvstore: region %d not found in table %q", r.ID(), table)
+	}
+	if s.store == nil {
+		return nil
+	}
+
+	// One atomic manifest save performs the routing swap: the children
+	// enter the table's membership, the parent's record leaves. Only
+	// after that save are the parent's files unlinked (open descriptors
+	// of locality-pinned scans keep the unlinked data readable).
+	var parentRec *manifestRegion
+	s.mu.RLock()
+	nextID, seed := s.nextID, s.seed
+	s.mu.RUnlock()
+	if err := s.store.mutate(func(m *manifest) {
+		m.NextID = nextID
+		m.Seed = seed
+		s.store.regionRecordLocked(left.manifestTemplateLocked())
+		s.store.regionRecordLocked(right.manifestTemplateLocked())
+		for ti := range m.Tables {
+			if m.Tables[ti].Name != table {
+				continue
+			}
+			ids := make([]int, 0, len(m.Tables[ti].RegionIDs)+1)
+			for _, id := range m.Tables[ti].RegionIDs {
+				if id == r.ID() {
+					ids = append(ids, leftID, rightID)
+				} else {
+					ids = append(ids, id)
+				}
+			}
+			m.Tables[ti].RegionIDs = ids
+		}
+		kept := m.Regions[:0]
+		for _, rec := range m.Regions {
+			if rec.ID == r.ID() {
+				parentRec = rec
+			} else {
+				kept = append(kept, rec)
+			}
+		}
+		m.Regions = kept
+	}); err != nil {
+		return err
+	}
+	if parentRec != nil {
+		if err := s.store.dropRegionFiles(parentRec); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // MoveRegion reassigns the region containing row to another node
@@ -724,6 +1109,15 @@ func (c *Cluster) MoveRegion(table, row string, node int) error {
 		}
 		r.node = node
 		r.mu.Unlock()
+		if s := c.state; s.store != nil {
+			return s.store.mutate(func(m *manifest) {
+				for _, rec := range m.Regions {
+					if rec.ID == r.ID() {
+						rec.Node = node
+					}
+				}
+			})
+		}
 		return nil
 	}
 }

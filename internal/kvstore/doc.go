@@ -45,6 +45,57 @@
 // reads against untouched runs stay correct. Region.Compact still
 // forces a full major compaction.
 //
+// # Durable storage
+//
+// The store runs in one of two modes, fixed at construction and never
+// mixed within a region. NewCluster keeps flushed segments in memory
+// (the original simulator behavior); OpenCluster roots the cluster in
+// a directory and makes every layer real: per-region write-ahead logs
+// (rNNNNNN.wal), binary SSTables (NNNNNN.sst), and a MANIFEST naming
+// them. The test suites run in disk mode under KVSTORE_DISK=1.
+//
+// An SSTable is a sequence of framed blocks — data blocks, then index
+// blocks, then a summary, bloom, and meta block, then a fixed 60-byte
+// footer holding the tail-block offsets, the format version, and the
+// magic. Every frame is [4B length][1B codec: raw|flate][payload]
+// [4B CRC32], so corruption is detected per block, not per file. Data
+// blocks prefix-compress cell keys against restart points (one full
+// key every 16 cells) and append their restart-offset array
+// Golomb-coded; ~4 KiB of payload cuts a block. One index entry run
+// covers up to 64 data blocks, and the summary samples the index the
+// same way, so a point get touches at most two blocks (one index, one
+// data) beyond the in-memory summary/bloom/meta. Block fetches go
+// through a store-wide byte-bounded LRU block cache
+// (Cluster.SetBlockCacheBytes, default 32 MiB); in disk mode the
+// simulator charges seeks from the *measured* block reads — cache hits
+// are counted but cost no seek — replacing the memory mode's
+// per-operation seek formula.
+//
+// # Recovery protocol
+//
+// All durable-state transitions funnel through two rules: data files
+// are immutable once registered, and the MANIFEST is replaced
+// atomically (write temp, fsync, rename, fsync directory). Ordering
+// does the rest:
+//
+//   - Flush/compaction writes and fsyncs new SSTables, registers them
+//     in the MANIFEST, and only then unlinks obsolete files (replaced
+//     runs, the drained WAL). A crash before registration leaves the
+//     old manifest pointing at the old, still-present files; a crash
+//     after registration but before the unlinks leaves orphans.
+//   - Open reads the MANIFEST, deletes any file it does not reference
+//     (the orphans of a mid-compaction crash), advances the file
+//     allocator past everything on disk, opens each region's segments
+//     (footer, then summary/bloom/meta), and replays the region's WAL
+//     into a fresh memtable. The cluster clock resumes past the
+//     largest recovered timestamp, so recovered writes never collide
+//     with new ones.
+//
+// Region splits reuse the same machinery: child regions are prepared
+// detached, registered in one manifest mutation, and only then exposed
+// — a crash either sees the parent or both children, never a half
+// split.
+//
 // # Cost accounting
 //
 // Every operation returns OpStats so the metered client (or the
@@ -56,5 +107,8 @@
 // bills exactly the read units of the cold read that populated it,
 // mirroring DynamoDB's per-request pricing (the paper's footnote 1).
 // Scans bypass the row cache entirely and charge for every version
-// they sweep.
+// they sweep. In disk mode the seek charge is measured rather than
+// modeled: each operation bills one seek per actual block read
+// (OpStats.BlockReads), so a warm block cache genuinely cheapens
+// repeat reads.
 package kvstore

@@ -105,6 +105,7 @@ func (it *memtableIter) valid() bool { return it.node != nil }
 func (it *memtableIter) key() string { return it.node.key }
 func (it *memtableIter) cell() *Cell { return it.node.cell }
 func (it *memtableIter) next()       { it.node = it.node.next[0] }
+func (it *memtableIter) fail() error { return nil }
 
 // entries returns all cells in key order (used by flush).
 func (m *memtable) entries() []*Cell {

@@ -53,6 +53,20 @@ func TestParallelMultiGetMatchesSequential(t *testing.T) {
 	par := testCluster(t)
 	rows := loadSplitTable(t, seq, "t", 200)
 	loadSplitTable(t, par, "t", 200)
+	// In disk mode, flush so gets pay measured per-block seeks, and
+	// disable the shared block cache so those seeks stay per-row (the
+	// premise of the seek-amortization assertions below) instead of
+	// collapsing onto a handful of cold block fetches. Both are no-ops
+	// in memory mode.
+	for _, c := range []*Cluster{seq, par} {
+		regs, _ := c.TableRegions("t")
+		for _, r := range regs {
+			if err := r.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.SetBlockCacheBytes(0)
+	}
 
 	seqBefore := seq.Metrics().Snapshot()
 	want, err := seq.MultiGet("t", rows)

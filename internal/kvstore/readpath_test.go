@@ -219,6 +219,15 @@ func TestRowCacheBillsWarmLikeCold(t *testing.T) {
 	c.Put("t", Cell{Row: "r", Family: "a", Qualifier: "x", Value: []byte("1")})
 	c.Put("t", Cell{Row: "r", Family: "a", Qualifier: "y", Value: []byte("2")})
 	c.Delete("t", "r", "a", "x", 0)
+	// Flush so the cold read pays real storage costs in disk mode too
+	// (a memtable-only read measures zero block fetches there; in
+	// memory mode the flush changes nothing).
+	regs, _ := c.TableRegions("t")
+	for _, r := range regs {
+		if err := r.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
 	measure := func() sim.Snapshot {
 		t.Helper()
 		before := c.Metrics().Snapshot()

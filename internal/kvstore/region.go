@@ -16,8 +16,11 @@ var errRegionSplit = errors.New("kvstore: region closed by split")
 
 // Region is one horizontal shard of a table: the half-open row-key range
 // [StartKey, EndKey), hosted by a single node. Each region owns an LSM
-// pipeline — WAL, memtable, immutable segments — and a mutex providing
+// pipeline — WAL, memtable, immutable runs — and a mutex providing
 // the row-level atomicity HBase guarantees (Section 6 relies on it).
+// With a diskStore attached the runs are on-disk SSTables and the WAL is
+// file-backed; without one everything lives in memory (the original
+// simulated mode). The two modes never mix within a region.
 type Region struct {
 	mu       sync.RWMutex
 	id       int
@@ -26,11 +29,12 @@ type Region struct {
 	endKey   string // exclusive; "" = unbounded high
 	node     int    // guarded by: mu
 
-	mem      *memtable  // guarded by: mu
-	segments []*segment // newest first; guarded by: mu
-	log      *wal       // guarded by: mu
-	seq      uint64     // guarded by: mu
+	mem      *memtable // guarded by: mu
+	segments []run     // newest first; guarded by: mu
+	log      *wal      // guarded by: mu
+	seq      uint64    // guarded by: mu
 	cache    *rowCache
+	store    *diskStore // nil = memory-only
 	// closed marks a region retired by a split: every read or write
 	// returns errRegionSplit so the caller re-routes to the children.
 	// guarded by: mu
@@ -46,7 +50,7 @@ type Region struct {
 	liveCellsSeq   uint64 // guarded by: liveMu
 	liveCellsValid bool   // guarded by: liveMu
 
-	flushThreshold   uint64
+	flushThreshold   uint64 // guarded by: mu
 	compactThreshold int
 	// compactionBytes counts bytes written by compactions — the write
 	// amplification the tiered policy exists to bound.
@@ -72,6 +76,69 @@ func newRegion(id int, table, startKey, endKey string, node int, seed int64, cac
 		flushThreshold:   defaultFlushThreshold,
 		compactThreshold: defaultCompactThreshold,
 	}
+}
+
+// attachStore switches a fresh region to disk-backed mode: its WAL
+// becomes a file in the store directory and every flush writes an
+// SSTable. Must be called before the region receives any mutation.
+func (r *Region) attachStore(store *diskStore) error {
+	if store == nil {
+		return nil
+	}
+	w, err := openWAL(store.walPath(r.id))
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.store = store
+	r.log = w
+	r.mu.Unlock()
+	return nil
+}
+
+// manifestTemplateLocked renders the region's identity for manifest
+// upserts. Callers either hold r.mu (flush, compaction) or own a region
+// no other goroutine can reach yet (table creation, detached split
+// children).
+func (r *Region) manifestTemplateLocked() manifestRegion {
+	return manifestRegion{ID: r.id, Table: r.table, Start: r.startKey, End: r.endKey, Node: r.node}
+}
+
+// diskFilesLocked lists the region's SSTable file names, newest first.
+// Caller holds r.mu; all runs are disk segments in disk mode.
+func (r *Region) diskFilesLocked() []string {
+	files := make([]string, 0, len(r.segments))
+	for _, s := range r.segments {
+		if d, ok := s.(*diskSegment); ok {
+			files = append(files, d.name)
+		}
+	}
+	return files
+}
+
+// shutdown releases the region's file handles (disk mode). The region
+// must not be used afterwards.
+func (r *Region) shutdown() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var first error
+	for _, s := range r.segments {
+		if err := s.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := r.log.close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// setFlushThreshold overrides the memstore flush threshold (tests force
+// small SSTables with it).
+func (r *Region) setFlushThreshold(n uint64) {
+	r.mu.Lock()
+	r.flushThreshold = n
+	r.mu.Unlock()
 }
 
 // ID returns the region's identifier.
@@ -106,13 +173,19 @@ func (r *Region) contains(row string) bool {
 // in the right places.
 type OpStats struct {
 	CellsExamined uint64 // logical KV pairs touched (read units)
-	BytesRead     uint64 // bytes read from disk (all versions scanned)
+	BytesRead     uint64 // bytes read from disk (measured block bytes in disk mode)
 	BytesReturned uint64 // payload bytes leaving the region server
 	CellsReturned uint64
 	// CacheHits counts keyed reads served from the row cache: no disk
 	// bytes, no seek — callers charge RPC/transfer/CPU but skip the
 	// storage costs for these.
 	CacheHits uint64
+	// BlockReads counts SSTable blocks fetched from disk (block-cache
+	// misses); disk-mode callers charge one seek per block read instead
+	// of the memory mode's flat per-operation seek. BlockCacheHits
+	// counts blocks served from the shared block cache.
+	BlockReads     uint64
+	BlockCacheHits uint64
 }
 
 func (s *OpStats) add(o OpStats) {
@@ -121,6 +194,8 @@ func (s *OpStats) add(o OpStats) {
 	s.BytesReturned += o.BytesReturned
 	s.CellsReturned += o.CellsReturned
 	s.CacheHits += o.CacheHits
+	s.BlockReads += o.BlockReads
+	s.BlockCacheHits += o.BlockCacheHits
 }
 
 // applyMutation validates, logs, and inserts one cell version.
@@ -143,11 +218,13 @@ func (r *Region) applyMutation(c Cell) error {
 	r.seq++
 	cp := c // private copy
 	key := cellKey(cp.Row, cp.Family, cp.Qualifier, cp.Timestamp, r.seq)
-	r.log.append(key, &cp)
+	if err := r.log.append(key, &cp); err != nil {
+		return err
+	}
 	r.mem.put(key, &cp)
 	r.cache.invalidate(cp.Row)
 	if r.mem.size > r.flushThreshold {
-		r.flushLocked()
+		return r.flushLocked()
 	}
 	return nil
 }
@@ -189,15 +266,14 @@ func (r *Region) seedCells(cells []Cell) error {
 			return err
 		}
 	}
-	r.flushLocked()
-	return nil
+	return r.flushLocked()
 }
 
 // closeAndSnapshot retires the region for a split: it atomically marks
 // the region closed (subsequent reads/writes get errRegionSplit and
 // re-route) and snapshots every live cell, so no mutation can slip in
 // between the snapshot and the routing swap.
-func (r *Region) closeAndSnapshot() []Cell {
+func (r *Region) closeAndSnapshot() ([]Cell, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.closed = true
@@ -211,35 +287,97 @@ func (r *Region) reopen() {
 	r.closed = false
 }
 
-// flushLocked materializes the memtable into a new segment and truncates
-// the WAL. Caller holds r.mu.
-func (r *Region) flushLocked() {
+// flushLocked materializes the memtable into a new run — an in-memory
+// segment, or a registered SSTable in disk mode — and truncates the WAL.
+// Caller holds r.mu.
+//
+//lint:allow chargecheck flushes are server-side background work, free in the client cost model (writes were already billed when applied)
+func (r *Region) flushLocked() error {
 	if r.mem.count == 0 {
-		return
+		return nil
 	}
-	seg := newSegment(r.mem.keys(), r.mem.entries())
-	r.segments = append([]*segment{seg}, r.segments...)
+	if r.store == nil {
+		seg := newSegment(r.mem.keys(), r.mem.entries())
+		r.segments = append([]run{seg}, r.segments...)
+	} else {
+		name := r.store.allocFile()
+		seg, err := writeSSTable(r.store.dir, name, r.store.cache, r.mem.iterator(""))
+		if err != nil {
+			return err
+		}
+		files := append([]string{name}, r.diskFilesLocked()...)
+		if err := r.store.registerSegments(r.manifestTemplateLocked(), files, r.seq, seg.meta.maxTs, nil); err != nil {
+			seg.close()
+			return err
+		}
+		r.segments = append([]run{seg}, r.segments...)
+	}
 	r.mem = newMemtable(int64(r.id)<<32 | int64(r.seq))
-	r.log.truncate()
-	if len(r.segments) > r.compactThreshold {
-		r.compactTieredLocked()
+	if err := r.log.truncate(); err != nil {
+		return err
 	}
+	if len(r.segments) > r.compactThreshold {
+		return r.compactTieredLocked()
+	}
+	return nil
 }
 
 // Flush forces a memtable flush (tests and admin use).
-func (r *Region) Flush() {
+func (r *Region) Flush() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.flushLocked()
+	return r.flushLocked()
 }
 
-// mergeSegments merges sorted runs into one. With gc (a full merge of
-// every run, i.e. a major compaction), only the newest version of each
-// column survives and columns whose newest version is a tombstone are
-// dropped entirely. Without gc (a subset merge), EVERY version is
-// retained: a version shadowed inside the merge — a tombstone or an
-// overwritten value — may still be the version a ReadTs snapshot read
-// resolves to against runs outside the merge, so subset merges only
+// gcIter filters a merged stream down to the survivors of a major
+// compaction: only the newest version of each column, and only when that
+// version is not a tombstone. Versions shadowed inside the merge are
+// dropped — callers must only apply it to a merge covering EVERY run
+// plus an empty memtable (see compactTieredLocked).
+type gcIter struct {
+	src                        cellIter
+	lastRow, lastFam, lastQual string
+	started                    bool
+}
+
+func newGCIter(src cellIter) *gcIter {
+	g := &gcIter{src: src}
+	g.settle()
+	return g
+}
+
+// settle advances src to the next surviving cell (possibly the current
+// one).
+func (g *gcIter) settle() {
+	for g.src.valid() {
+		c := g.src.cell()
+		if !g.started || c.Row != g.lastRow || c.Family != g.lastFam || c.Qualifier != g.lastQual {
+			g.started = true
+			g.lastRow, g.lastFam, g.lastQual = c.Row, c.Family, c.Qualifier
+			if !c.Tombstone {
+				return
+			}
+		}
+		g.src.next()
+	}
+}
+
+func (g *gcIter) valid() bool { return g.src.valid() }
+func (g *gcIter) key() string { return g.src.key() }
+func (g *gcIter) cell() *Cell { return g.src.cell() }
+func (g *gcIter) fail() error { return g.src.fail() }
+func (g *gcIter) next() {
+	g.src.next()
+	g.settle()
+}
+
+// mergeSegments merges sorted in-memory runs into one. With gc (a full
+// merge of every run, i.e. a major compaction), only the newest version
+// of each column survives and columns whose newest version is a
+// tombstone are dropped entirely. Without gc (a subset merge), EVERY
+// version is retained: a version shadowed inside the merge — a tombstone
+// or an overwritten value — may still be the version a ReadTs snapshot
+// read resolves to against runs outside the merge, so subset merges only
 // reduce run count, never reclaim history.
 func mergeSegments(segs []*segment, gc bool) *segment {
 	total := 0
@@ -248,23 +386,15 @@ func mergeSegments(segs []*segment, gc bool) *segment {
 		total += s.len()
 		iters = append(iters, s.iterator(""))
 	}
+	var it cellIter = newMergedIter(iters...)
+	if gc {
+		it = newGCIter(it)
+	}
 	keys := make([]string, 0, total)
 	cells := make([]*Cell, 0, total)
-	merged := newMergedIter(iters...)
-	lastRow, lastFam, lastQual := "", "", ""
-	first := true
-	for merged.valid() {
-		c := merged.cell()
-		newCol := first || c.Row != lastRow || c.Family != lastFam || c.Qualifier != lastQual
-		if newCol {
-			first = false
-			lastRow, lastFam, lastQual = c.Row, c.Family, c.Qualifier
-		}
-		if !gc || (newCol && !c.Tombstone) {
-			keys = append(keys, merged.key())
-			cells = append(cells, c)
-		}
-		merged.next()
+	for ; it.valid(); it.next() {
+		keys = append(keys, it.key())
+		cells = append(cells, it.cell())
 	}
 	return newSegment(keys, cells)
 }
@@ -290,12 +420,12 @@ func (r *Region) maxSegmentsLocked() int { return 3 * r.compactThreshold }
 // subset retains every version (it only reduces run count; see
 // mergeSegments), while a merge that happens to cover every run
 // garbage-collects like a major compaction. Caller holds r.mu.
-func (r *Region) compactTieredLocked() {
+func (r *Region) compactTieredLocked() error {
 	for len(r.segments) > r.compactThreshold {
 		tiers := map[int][]int{}
 		maxTier := 0
 		for i, s := range r.segments {
-			t := sizeTier(s.size)
+			t := sizeTier(s.dataSize())
 			tiers[t] = append(tiers[t], i)
 			if t > maxTier {
 				maxTier = t
@@ -310,7 +440,7 @@ func (r *Region) compactTieredLocked() {
 		}
 		if picked == nil {
 			if len(r.segments) <= r.maxSegmentsLocked() {
-				return
+				return nil
 			}
 			// Fan-out cap exceeded with no full tier: fall back to a
 			// full merge. Besides restoring the bound, this is the
@@ -325,25 +455,65 @@ func (r *Region) compactTieredLocked() {
 				picked[i] = i
 			}
 		}
-		r.mergeSegmentsLocked(picked)
+		if err := r.mergeSegmentsLocked(picked); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
-// mergeSegmentsLocked replaces the segments at the given (ascending)
-// indices with their merge, placed at the newest picked position.
-func (r *Region) mergeSegmentsLocked(picked []int) {
-	segs := make([]*segment, 0, len(picked))
+// mergeSegmentsLocked replaces the runs at the given (ascending) indices
+// with their merge, placed at the newest picked position. In disk mode
+// the merge streams block-by-block into a new SSTable, the replacement
+// is durably registered in the manifest, and ONLY THEN are the input
+// files unlinked — a crash between the write and the register leaves an
+// orphan new file (cleaned at next open); a crash between the register
+// and the unlink leaves orphan old files; neither loses data.
+//
+//lint:allow chargecheck compactions are server-side background work, free in the client cost model; write amplification is tracked in CompactionBytes instead
+func (r *Region) mergeSegmentsLocked(picked []int) error {
+	runs := make([]run, 0, len(picked))
 	for _, i := range picked {
-		segs = append(segs, r.segments[i])
+		runs = append(runs, r.segments[i])
 	}
 	full := len(picked) == len(r.segments)
-	merged := mergeSegments(segs, full)
-	r.compactionBytes += merged.size
-	out := make([]*segment, 0, len(r.segments)-len(picked)+1)
+
+	var merged run // nil = merge produced no cells (disk mode only)
+	var obsolete []string
+	if r.store == nil {
+		segs := make([]*segment, 0, len(runs))
+		for _, s := range runs {
+			segs = append(segs, s.(*segment))
+		}
+		m := mergeSegments(segs, full)
+		r.compactionBytes += m.size
+		merged = m
+	} else {
+		iters := make([]cellIter, 0, len(runs))
+		for _, s := range runs {
+			iters = append(iters, s.iterAt("", nil))
+			obsolete = append(obsolete, s.(*diskSegment).name)
+		}
+		var src cellIter = newMergedIter(iters...)
+		if full {
+			src = newGCIter(src)
+		}
+		name := r.store.allocFile()
+		seg, err := writeSSTable(r.store.dir, name, r.store.cache, src)
+		if err != nil {
+			return err
+		}
+		if seg != nil {
+			merged = seg
+			r.compactionBytes += seg.meta.logical
+		}
+	}
+
+	out := make([]run, 0, len(r.segments)-len(picked)+1)
 	pi := 0
 	for i, s := range r.segments {
 		if pi < len(picked) && picked[pi] == i {
-			if pi == 0 {
+			if pi == 0 && merged != nil {
 				out = append(out, merged)
 			}
 			pi++
@@ -351,27 +521,57 @@ func (r *Region) mergeSegmentsLocked(picked []int) {
 		}
 		out = append(out, s)
 	}
+
+	if r.store != nil {
+		files := make([]string, 0, len(out))
+		var maxTs int64
+		for _, s := range out {
+			d := s.(*diskSegment)
+			files = append(files, d.name)
+			if d.meta.maxTs > maxTs {
+				maxTs = d.meta.maxTs
+			}
+		}
+		if err := r.store.registerSegments(r.manifestTemplateLocked(), files, r.seq, maxTs, obsolete); err != nil {
+			if merged != nil {
+				merged.close()
+			}
+			return err
+		}
+		// The inputs are deregistered and unlinked; close their readers.
+		// No concurrent reader exists — compaction holds the region
+		// write lock — and open descriptors elsewhere (none today) would
+		// keep the unlinked data readable anyway.
+		for _, s := range runs {
+			s.close()
+		}
+	}
 	r.segments = out
+	return nil
 }
 
-// compactLocked performs a major compaction: merge all segments into
-// one, keeping only the newest version of each column and dropping
-// columns whose newest version is a tombstone. Caller holds r.mu.
-func (r *Region) compactLocked() {
+// compactLocked performs a major compaction: merge all runs into one,
+// keeping only the newest version of each column and dropping columns
+// whose newest version is a tombstone. Caller holds r.mu.
+func (r *Region) compactLocked() error {
 	if len(r.segments) == 0 {
-		return
+		return nil
 	}
-	merged := mergeSegments(r.segments, true)
-	r.compactionBytes += merged.size
-	r.segments = []*segment{merged}
+	picked := make([]int, len(r.segments))
+	for i := range picked {
+		picked[i] = i
+	}
+	return r.mergeSegmentsLocked(picked)
 }
 
 // Compact forces a major compaction.
-func (r *Region) Compact() {
+func (r *Region) Compact() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.flushLocked()
-	r.compactLocked()
+	if err := r.flushLocked(); err != nil {
+		return err
+	}
+	return r.compactLocked()
 }
 
 // CompactionBytes returns the cumulative bytes written by compactions
@@ -382,13 +582,14 @@ func (r *Region) CompactionBytes() uint64 {
 	return r.compactionBytes
 }
 
-// iterators returns merged read sources, newest first. Caller holds a
-// read lock.
-func (r *Region) iteratorsLocked(start string) *mergedIter {
+// iteratorsLocked returns merged read sources, newest first, charging
+// block I/O to io (nil = uncharged introspection). Caller holds a read
+// lock.
+func (r *Region) iteratorsLocked(start string, io *OpStats) *mergedIter {
 	its := make([]cellIter, 0, len(r.segments)+1)
 	its = append(its, r.mem.iterator(start))
 	for _, s := range r.segments {
-		its = append(its, s.iterator(start))
+		its = append(its, s.iterAt(start, io))
 	}
 	return newMergedIter(its...)
 }
@@ -421,12 +622,18 @@ func (r *Region) scan(startRow, endRow string, limit int, families []string, rea
 // region list at job start) keep scanning a split-retired parent: its
 // segments still hold the complete pre-split data for the range, and
 // the job never sees the children, so no row is lost or read twice.
+//
+// Cost accounting: in memory mode BytesRead is charged per examined
+// cell from the stored-size formula; in disk mode it accumulates the
+// MEASURED framed bytes of every block the scan faults in (block-cache
+// hits read nothing), via the OpStats threaded through the iterators.
 func (r *Region) scanAt(startRow, endRow string, limit int, families []string, readTs int64, f Filter, allowClosed bool) ([]Row, OpStats, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if r.closed && !allowClosed {
 		return nil, OpStats{}, errRegionSplit
 	}
+	diskBacked := r.store != nil
 
 	start := startRow
 	if start == "" || (r.startKey != "" && start < r.startKey) {
@@ -438,7 +645,7 @@ func (r *Region) scanAt(startRow, endRow string, limit int, families []string, r
 	}
 	var stats OpStats
 	var rows []Row
-	it := r.iteratorsLocked(seekKey)
+	it := r.iteratorsLocked(seekKey, &stats)
 
 	var cur *Row
 	lastFam, lastQual := "", ""
@@ -471,7 +678,9 @@ func (r *Region) scanAt(startRow, endRow string, limit int, families []string, r
 			it.next()
 			continue
 		}
-		stats.BytesRead += c.StoredSize()
+		if !diskBacked {
+			stats.BytesRead += c.StoredSize()
+		}
 		if cur == nil || cur.Key != c.Row {
 			flushRow()
 			if limit > 0 && len(rows) >= limit {
@@ -491,23 +700,29 @@ func (r *Region) scanAt(startRow, endRow string, limit int, families []string, r
 		}
 		it.next()
 	}
+	if err := it.fail(); err != nil {
+		return nil, stats, err
+	}
 	flushRow()
 	return rows, stats, nil
 }
 
 // get reads a single row (all families, latest versions) through the
 // dedicated point-get fast path: a row-cache lookup first, then only the
-// sources that may contain the row — the memtable plus the segments
+// sources that may contain the row — the memtable plus the runs
 // surviving the min/max-range and bloom-filter checks — each positioned
 // by binary search, merged, and cut off at the first (newest) live
-// version of every column.
+// version of every column. In disk mode the positioning walks summary →
+// one index block → one data block per surviving SSTable, so a warm get
+// touches no disk at all.
 //
 // Cost convention: a keyed read bills one seek plus the returned bytes,
-// never a range scan, so BytesRead is the returned payload on a miss
-// and zero on a cache hit (the row came from region-server memory). The
-// cache serves and stores only full-row reads: a family-restricted get
-// always reads the LSM, keeping its billed work identical on every
-// repetition.
+// never a range scan, so in memory mode BytesRead is the returned
+// payload on a miss and zero on a cache hit (the row came from
+// region-server memory). In disk mode BytesRead/BlockReads are the
+// measured block fetches the get actually performed. The cache serves
+// and stores only full-row reads: a family-restricted get always reads
+// the LSM, keeping its billed work identical on every repetition.
 func (r *Region) get(row string, families []string) (*Row, OpStats, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -515,6 +730,7 @@ func (r *Region) get(row string, families []string) (*Row, OpStats, error) {
 		return nil, OpStats{}, errRegionSplit
 	}
 	var stats OpStats
+	diskBacked := r.store != nil
 
 	full := len(families) == 0
 	if full {
@@ -542,9 +758,11 @@ func (r *Region) get(row string, families []string) (*Row, OpStats, error) {
 		if !s.mayContainRow(row) {
 			continue
 		}
-		sit := s.iterator(prefix)
+		sit := s.iterAt(prefix, &stats)
 		if sit.valid() && strings.HasPrefix(sit.key(), prefix) {
 			sources = append(sources, sit)
+		} else if err := sit.fail(); err != nil {
+			return nil, stats, err
 		}
 	}
 
@@ -577,6 +795,9 @@ func (r *Region) get(row string, families []string) (*Row, OpStats, error) {
 			}
 			it.next()
 		}
+		if err := it.fail(); err != nil {
+			return nil, stats, err
+		}
 	}
 
 	if full {
@@ -595,17 +816,21 @@ func (r *Region) get(row string, families []string) (*Row, OpStats, error) {
 	}
 	stats.CellsReturned = uint64(len(out.Cells))
 	stats.BytesReturned = out.Size()
-	stats.BytesRead = stats.BytesReturned
+	if !diskBacked {
+		stats.BytesRead = stats.BytesReturned
+	}
 	return &out, stats, nil
 }
 
-// DiskSize returns the bytes held by this region (memtable + segments).
+// DiskSize returns the logical bytes held by this region (memtable +
+// runs); in disk mode this is the uncompressed StoredSize total, not the
+// (compressed) file size, so planner statistics are mode-independent.
 func (r *Region) DiskSize() uint64 {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	size := r.mem.size
 	for _, s := range r.segments {
-		size += s.size
+		size += s.dataSize()
 	}
 	return size
 }
@@ -616,7 +841,7 @@ func (r *Region) CellCount() int {
 	defer r.mu.RUnlock()
 	n := r.mem.count
 	for _, s := range r.segments {
-		n += s.len()
+		n += s.numCells()
 	}
 	return n
 }
@@ -645,7 +870,7 @@ func (r *Region) LiveCellCount() uint64 {
 	var n uint64
 	lastRow, lastFam, lastQual := "", "", ""
 	first := true
-	it := r.iteratorsLocked("")
+	it := r.iteratorsLocked("", nil)
 	for it.valid() {
 		c := it.cell()
 		if first || c.Row != lastRow || c.Family != lastFam || c.Qualifier != lastQual {
@@ -696,23 +921,50 @@ func (r *Region) recover() (int, error) {
 	replayLog := r.log
 	r.mem = newMemtable(int64(r.id) << 16)
 	r.log = &wal{}
-	n := 0
-	err := replayLog.replay(func(key string, value []byte, tombstone bool) error {
-		row, family, qualifier, ts, _, err := parseCellKey(key)
-		if err != nil {
-			return err
-		}
-		c := &Cell{Row: row, Family: family, Qualifier: qualifier, Value: value, Timestamp: ts, Tombstone: tombstone}
-		r.mem.put(key, c)
-		n++
-		return nil
-	})
+	n, err := r.replayWALLocked(replayLog)
 	if err != nil {
 		return n, err
 	}
 	// Re-log the recovered state so a second crash still recovers.
 	r.log = replayLog
 	return n, nil
+}
+
+// replayWALLocked replays w's records into the memtable, advancing the
+// region sequence past every replayed record's. Caller holds r.mu.
+func (r *Region) replayWALLocked(w *wal) (int, error) {
+	n := 0
+	err := w.replay(func(key string, value []byte, tombstone bool) error {
+		row, family, qualifier, ts, seq, err := parseCellKey(key)
+		if err != nil {
+			return err
+		}
+		c := &Cell{Row: row, Family: family, Qualifier: qualifier, Value: value, Timestamp: ts, Tombstone: tombstone}
+		r.mem.put(key, c)
+		if seq > r.seq {
+			r.seq = seq
+		}
+		n++
+		return nil
+	})
+	return n, err
+}
+
+// maxWALTimestampLocked returns the largest cell timestamp in the WAL
+// (cold start uses it to restore the logical clock). Caller holds r.mu.
+func (r *Region) maxWALTimestampLocked() (int64, error) {
+	var maxTs int64
+	err := r.log.replay(func(key string, _ []byte, _ bool) error {
+		_, _, _, ts, _, err := parseCellKey(key)
+		if err != nil {
+			return err
+		}
+		if ts > maxTs {
+			maxTs = ts
+		}
+		return nil
+	})
+	return maxTs, err
 }
 
 // splitPoint picks the middle row key, or "" if the region is too small
@@ -722,7 +974,7 @@ func (r *Region) splitPoint() string {
 	defer r.mu.RUnlock()
 	var rows []string
 	last := ""
-	it := r.iteratorsLocked("")
+	it := r.iteratorsLocked("", nil)
 	for it.valid() {
 		c := it.cell()
 		if c.Row != last {
@@ -731,7 +983,7 @@ func (r *Region) splitPoint() string {
 		}
 		it.next()
 	}
-	if len(rows) < 2 {
+	if it.fail() != nil || len(rows) < 2 {
 		return ""
 	}
 	return rows[len(rows)/2]
@@ -739,18 +991,18 @@ func (r *Region) splitPoint() string {
 
 // allCells snapshots every live (latest-version, non-tombstone) cell, for
 // region splits.
-func (r *Region) allCells() []Cell {
+func (r *Region) allCells() ([]Cell, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return r.allCellsLocked()
 }
 
 // allCellsLocked is allCells with r.mu already held.
-func (r *Region) allCellsLocked() []Cell {
+func (r *Region) allCellsLocked() ([]Cell, error) {
 	var out []Cell
 	lastRow, lastFam, lastQual := "", "", ""
 	first := true
-	it := r.iteratorsLocked("")
+	it := r.iteratorsLocked("", nil)
 	for it.valid() {
 		c := it.cell()
 		if first || c.Row != lastRow || c.Family != lastFam || c.Qualifier != lastQual {
@@ -762,5 +1014,8 @@ func (r *Region) allCellsLocked() []Cell {
 		}
 		it.next()
 	}
-	return out
+	if err := it.fail(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

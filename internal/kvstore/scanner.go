@@ -240,9 +240,16 @@ func (c *Cluster) GetRows(table string, rows []string, families ...string) ([]*R
 
 // multiGetCost returns the simulated duration of one batched-get RPC of
 // nrows keyed reads with the given server-side work. Rows served from
-// the row cache (stats.CacheHits) skip their disk seek.
+// the row cache (stats.CacheHits) skip their disk seek. On a
+// disk-backed cluster the seek count is MEASURED — one per SSTable
+// block actually fetched — rather than assumed one per uncached row.
 func (c *Cluster) multiGetCost(nrows int, stats OpStats) time.Duration {
-	seeks := nrows - int(stats.CacheHits)
+	var seeks int
+	if c.state.store != nil {
+		seeks = int(stats.BlockReads)
+	} else {
+		seeks = nrows - int(stats.CacheHits)
+	}
 	if seeks < 0 {
 		seeks = 0
 	}

@@ -51,6 +51,21 @@ func newSegment(keys []string, cells []*Cell) *segment {
 	return s
 }
 
+// run is a read source in a region's LSM pipeline below the memtable:
+// either an in-memory *segment or an on-disk *diskSegment. iterAt
+// accumulates measured block I/O into io (nil for uncharged admin and
+// introspection walks); in-memory runs perform no I/O and ignore it.
+// dataSize is the LOGICAL byte size (summed Cell.StoredSize), identical
+// for the same cells in either representation, so compaction tiering and
+// planner statistics are storage-mode-independent.
+type run interface {
+	mayContainRow(row string) bool
+	iterAt(start string, io *OpStats) cellIter
+	numCells() int
+	dataSize() uint64
+	close() error
+}
+
 // mayContainRow reports whether a point get for row needs to search this
 // segment: the row must fall inside the segment's key range and pass the
 // bloom filter. No false negatives.
@@ -60,6 +75,11 @@ func (s *segment) mayContainRow(row string) bool {
 	}
 	return s.filter.ContainsString(row)
 }
+
+func (s *segment) iterAt(start string, io *OpStats) cellIter { return s.iterator(start) }
+func (s *segment) numCells() int                             { return len(s.keys) }
+func (s *segment) dataSize() uint64                          { return s.size }
+func (s *segment) close() error                              { return nil }
 
 // seek returns the index of the first entry with key >= k.
 func (s *segment) seek(k string) int {
@@ -86,13 +106,18 @@ func (it *segmentIter) valid() bool { return it.idx < len(it.seg.keys) }
 func (it *segmentIter) key() string { return it.seg.keys[it.idx] }
 func (it *segmentIter) cell() *Cell { return it.seg.cells[it.idx] }
 func (it *segmentIter) next()       { it.idx++ }
+func (it *segmentIter) fail() error { return nil }
 
-// cellIter is the common interface of memtable and segment iterators.
+// cellIter is the common interface of memtable, segment, and disk
+// segment iterators. In-memory iterators cannot fail; a disk iterator
+// that hits an I/O or corruption error becomes invalid and reports the
+// error through fail(), which callers must check once iteration stops.
 type cellIter interface {
 	valid() bool
 	key() string
 	cell() *Cell
 	next()
+	fail() error
 }
 
 // mergedIter merges several sorted iterators into one ascending stream
@@ -107,6 +132,7 @@ type mergedIter struct {
 	its  []cellIter // heap, ordered by keys (ties: ord)
 	keys []string   // cached current key of each heap entry
 	ord  []int      // insertion order, the tie-break priority
+	err  error      // first source failure; stops iteration
 }
 
 func newMergedIter(sources ...cellIter) *mergedIter {
@@ -120,6 +146,8 @@ func newMergedIter(sources ...cellIter) *mergedIter {
 			m.its = append(m.its, s)
 			m.keys = append(m.keys, s.key())
 			m.ord = append(m.ord, i)
+		} else if err := s.fail(); err != nil && m.err == nil {
+			m.err = err
 		}
 	}
 	for i := len(m.its)/2 - 1; i >= 0; i-- {
@@ -161,9 +189,10 @@ func (m *mergedIter) down(i int) {
 	}
 }
 
-func (m *mergedIter) valid() bool { return len(m.its) > 0 }
+func (m *mergedIter) valid() bool { return m.err == nil && len(m.its) > 0 }
 func (m *mergedIter) key() string { return m.keys[0] }
 func (m *mergedIter) cell() *Cell { return m.its[0].cell() }
+func (m *mergedIter) fail() error { return m.err }
 
 func (m *mergedIter) next() {
 	it := m.its[0]
@@ -171,6 +200,9 @@ func (m *mergedIter) next() {
 	if it.valid() {
 		m.keys[0] = it.key()
 	} else {
+		if err := it.fail(); err != nil && m.err == nil {
+			m.err = err
+		}
 		n := len(m.its) - 1
 		m.swap(0, n)
 		m.its = m.its[:n]

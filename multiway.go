@@ -82,7 +82,7 @@ func (db *DB) EnsureMultiIndexes(q MultiQuery) error {
 	db.mu.Lock()
 	db.isln[q.ID()] = idx
 	db.mu.Unlock()
-	return nil
+	return db.saveCatalog()
 }
 
 // TopKN executes the n-way query. AlgoNaive needs no index; AlgoISL

@@ -1,0 +1,148 @@
+package rankjoin
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/kvstore"
+	"repro/internal/sim"
+)
+
+// catalogMetaKey is the manifest Meta slot holding the serialized
+// rankjoin catalog.
+const catalogMetaKey = "catalog"
+
+// catalog is the durable description of everything the rankjoin layer
+// knows beyond the raw tables: defined relations, built indexes, and
+// the index-construction config. The index structures themselves are
+// tiny descriptors (table names, layouts, filter widths); the bulky
+// index *data* lives in ordinary cluster tables and persists with them,
+// so reopening a directory restores every index without rebuilding.
+type catalog struct {
+	Relations []string
+	IJLMR     map[string]*core.IJLMRIndex `json:",omitempty"`
+	ISL       map[string]*core.ISLIndex   `json:",omitempty"`
+	BFHM      map[string]*core.BFHMIndex  `json:",omitempty"`
+	DRJN      map[string]*core.DRJNIndex  `json:",omitempty"`
+	ISLN      map[string]*core.ISLNIndex  `json:",omitempty"`
+	IdxCfg    IndexConfig
+}
+
+// relationFor renders the canonical storage mapping for a relation name
+// — shared by DefineRelation and catalog restore so the two can never
+// disagree on table layout.
+func relationFor(name string) core.Relation {
+	return core.Relation{
+		Name:      name,
+		Table:     "rel_" + name,
+		Family:    "d",
+		JoinQual:  "join",
+		ScoreQual: "score",
+	}
+}
+
+// OpenAt opens (or initializes) a durable DB rooted at cfg.Dir: the
+// cluster recovers its tables from the directory's manifest, SSTables,
+// and WALs, and the rankjoin catalog restores every defined relation
+// and built index descriptor — no rebuild, no reload. Close the DB to
+// release file handles and persist counters.
+func OpenAt(cfg Config) (*DB, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("rankjoin: OpenAt requires Config.Dir")
+	}
+	p := sim.LC()
+	if cfg.Profile != nil {
+		p = *cfg.Profile
+	}
+	cluster, err := kvstore.OpenCluster(p, cfg.Metrics, cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	db := newDB(cluster)
+	if err := db.loadCatalog(); err != nil {
+		cluster.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// Close releases the underlying cluster's file handles and persists its
+// counters. A memory-backed DB closes trivially. The DB must not be
+// used afterwards.
+func (db *DB) Close() error {
+	return db.cluster.Close()
+}
+
+// loadCatalog restores relations and index descriptors from the
+// cluster's durable metadata.
+func (db *DB) loadCatalog() error {
+	raw := db.cluster.Meta(catalogMetaKey)
+	if raw == "" {
+		return nil
+	}
+	var cat catalog
+	if err := json.Unmarshal([]byte(raw), &cat); err != nil {
+		return fmt.Errorf("rankjoin: corrupt catalog: %w", err)
+	}
+	db.mu.Lock()
+	for _, name := range cat.Relations {
+		db.relations[name] = &RelationHandle{db: db, rel: relationFor(name)}
+	}
+	for id, idx := range cat.ISLN {
+		db.isln[id] = idx
+	}
+	db.idxCfg = cat.IdxCfg
+	db.mu.Unlock()
+	for id, idx := range cat.IJLMR {
+		db.store.PutIJLMR(id, idx)
+	}
+	for id, idx := range cat.ISL {
+		db.store.PutISL(id, idx)
+	}
+	for rel, idx := range cat.BFHM {
+		db.store.PutBFHM(rel, idx)
+	}
+	for rel, idx := range cat.DRJN {
+		db.store.PutDRJN(rel, idx)
+	}
+	return nil
+}
+
+// saveCatalog persists the current catalog. A no-op for memory-backed
+// DBs (SetMeta stores in memory there; skipping keeps the write path
+// free of JSON rendering). Callers invoke it after every catalog
+// mutation: DefineRelation, EnsureIndexes, EnsureMultiIndexes,
+// SetIndexConfig.
+func (db *DB) saveCatalog() error {
+	if !db.cluster.DiskBacked() {
+		return nil
+	}
+	cat := catalog{
+		IJLMR: map[string]*core.IJLMRIndex{},
+		ISL:   map[string]*core.ISLIndex{},
+		BFHM:  map[string]*core.BFHMIndex{},
+		DRJN:  map[string]*core.DRJNIndex{},
+		ISLN:  map[string]*core.ISLNIndex{},
+	}
+	db.mu.Lock()
+	for name := range db.relations {
+		cat.Relations = append(cat.Relations, name)
+	}
+	for id, idx := range db.isln {
+		cat.ISLN[id] = idx
+	}
+	cat.IdxCfg = db.idxCfg
+	db.mu.Unlock()
+	sort.Strings(cat.Relations)
+	db.store.EachIJLMR(func(id string, idx *core.IJLMRIndex) { cat.IJLMR[id] = idx })
+	db.store.EachISL(func(id string, idx *core.ISLIndex) { cat.ISL[id] = idx })
+	db.store.EachBFHM(func(rel string, idx *core.BFHMIndex) { cat.BFHM[rel] = idx })
+	db.store.EachDRJN(func(rel string, idx *core.DRJNIndex) { cat.DRJN[rel] = idx })
+	raw, err := json.Marshal(&cat)
+	if err != nil {
+		return err
+	}
+	return db.cluster.SetMeta(catalogMetaKey, string(raw))
+}

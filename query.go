@@ -91,7 +91,7 @@ func (db *DB) EnsureIndexes(q Query, algos ...Algorithm) error {
 			return err
 		}
 	}
-	return nil
+	return db.saveCatalog()
 }
 
 // SetIndexConfig overrides index-construction defaults for subsequent

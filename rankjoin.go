@@ -104,6 +104,10 @@ type Config struct {
 	Profile *Profile
 	// Metrics optionally shares a collector across DBs.
 	Metrics *Metrics
+	// Dir roots a durable DB: OpenAt stores SSTables, WALs, the
+	// manifest, and the rankjoin catalog there, and reopening the same
+	// directory recovers everything. Ignored by Open.
+	Dir string
 }
 
 // IndexConfig tunes index construction in EnsureIndexes.
@@ -195,14 +199,20 @@ type DB struct {
 	idxCfg  IndexConfig                // guarded by: mu
 }
 
-// Open creates a DB over a fresh simulated cluster.
+// Open creates a DB over a fresh simulated cluster. For a durable DB
+// rooted at a directory, use OpenAt.
 func Open(cfg Config) *DB {
 	p := sim.LC()
 	if cfg.Profile != nil {
 		p = *cfg.Profile
 	}
+	return newDB(kvstore.NewCluster(p, cfg.Metrics))
+}
+
+// newDB assembles a DB around an existing cluster (fresh or recovered).
+func newDB(cluster *kvstore.Cluster) *DB {
 	return &DB{
-		cluster:   kvstore.NewCluster(p, cfg.Metrics),
+		cluster:   cluster,
 		relations: map[string]*RelationHandle{},
 		store:     core.NewIndexStore(),
 		planCache: plan.NewCache(),
@@ -243,22 +253,21 @@ func (db *DB) DefineRelation(name string) (*RelationHandle, error) {
 		return nil, err
 	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if _, dup := db.relations[name]; dup {
+		db.mu.Unlock()
 		return nil, fmt.Errorf("rankjoin: relation %q already defined", name)
 	}
-	rel := core.Relation{
-		Name:      name,
-		Table:     "rel_" + name,
-		Family:    "d",
-		JoinQual:  "join",
-		ScoreQual: "score",
-	}
+	rel := relationFor(name)
 	if _, err := db.cluster.CreateTable(rel.Table, []string{rel.Family}, nil); err != nil {
+		db.mu.Unlock()
 		return nil, err
 	}
 	h := &RelationHandle{db: db, rel: rel}
 	db.relations[name] = h
+	db.mu.Unlock()
+	if err := db.saveCatalog(); err != nil {
+		return nil, err
+	}
 	return h, nil
 }
 
