@@ -331,7 +331,7 @@ func BenchmarkConcurrentTopKThroughput(b *testing.B) {
 func BenchmarkAblation_BFHMBuckets(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, buckets := range []int{20, 100, 1000} {
-			db := rankjoin.Open(rankjoin.Config{})
+			db := mustOpenDB(b)
 			lh, err := db.DefineRelation("l")
 			if err != nil {
 				b.Fatal(err)

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	rjserve [-addr :8080] [-profile ec2|lc] [-sf 0.02] [-parallelism 4] [-data DIR]
+//	rjserve [-addr :8080] [-profile ec2|lc] [-sf 0.02] [-parallelism 4] [-data DIR] [-timeout 0]
 //
 // With -data, the server runs on durable storage: the first start
 // generates, loads, and indexes into DIR; later starts recover the
@@ -14,7 +14,7 @@
 //
 // Endpoints:
 //
-//	GET /topk?query=q1&algo=auto&k=10[&parallelism=4][&objective=time][&page_token=...]
+//	GET /topk?query=q1&algo=auto&k=10[&parallelism=4][&objective=time][&page_token=...][&timeout=500ms][&max_read_units=N]
 //	    Run one query; returns ranked results plus the per-query cost
 //	    metrics (simulated time, network bytes, KV read units, dollars).
 //	    algo defaults to "auto": the cost-based planner picks the
@@ -22,13 +22,21 @@
 //	    the planner's estimate next to the measured cost. A full page
 //	    carries next_page_token; passing it back as page_token resumes
 //	    the query server-side (bounded cursor state, marginal cost)
-//	    instead of re-running it.
+//	    instead of re-running it. timeout (a Go duration, overriding the
+//	    -timeout flag) and max_read_units bound the query; queries
+//	    degrade gracefully with typed statuses — 408 for a tripped
+//	    deadline or canceled request, 507 for an exhausted read budget
+//	    (both carrying partial_results/read_units in the error body),
+//	    503 for a storage fault (corruption or I/O error).
 //	GET/POST /stream?query=q1&algo=auto[&limit=100][&k=10]
 //	    Stream results as NDJSON, one result object per line in
 //	    descending score order, closing with a summary line carrying
 //	    the totals ({"done":true,...}). limit caps the stream (default
 //	    100); k is the page-size hint batch-shaped executors
 //	    materialize with. POST accepts the same fields as a JSON body.
+//	    timeout/max_read_units bound the stream like /topk; a bound
+//	    tripped mid-stream ends it with a trailer line carrying the
+//	    error, mapped status, and count of rows already delivered.
 //	POST /explain     Plan a query without running it; body (JSON):
 //	    {"query":"q1","k":10,"objective":"time","stream":true} —
 //	    returns every registered executor ranked by predicted cost
@@ -77,6 +85,9 @@ import (
 type server struct {
 	env                *benchkit.Env
 	defaultParallelism int
+	// defaultTimeout bounds every query that doesn't carry its own
+	// timeout parameter; zero leaves unparameterized queries unbounded.
+	defaultTimeout time.Duration
 }
 
 // costJSON is the wire form of a sim.Snapshot.
@@ -154,6 +165,74 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// queryStatus maps a failed query's typed error to an HTTP status: a
+// tripped deadline or canceled context is 408, an exhausted read
+// budget is 507, a storage fault (corruption, I/O) is 503 — the query
+// was well-formed in all three cases, so 400 would wrongly tell the
+// client to drop it. Anything untyped stays a 400.
+func queryStatus(err error) int {
+	var be *rankjoin.BudgetExceededError
+	switch {
+	case errors.Is(err, rankjoin.ErrCanceled):
+		return http.StatusRequestTimeout
+	case errors.As(err, &be):
+		return http.StatusInsufficientStorage
+	case errors.Is(err, rankjoin.ErrCorruption):
+		return http.StatusServiceUnavailable
+	}
+	var ioe *rankjoin.IOError
+	if errors.As(err, &ioe) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+// writeQueryError reports a failed query, surfacing the degradation
+// detail typed errors carry (partial-result count, read-unit spend) so
+// clients can tell a useful partial answer from a dead store.
+func writeQueryError(w http.ResponseWriter, err error) {
+	body := map[string]any{"error": err.Error()}
+	var ce *rankjoin.CanceledError
+	var be *rankjoin.BudgetExceededError
+	switch {
+	case errors.As(err, &ce):
+		body["partial_results"] = len(ce.Partial)
+		body["read_units"] = ce.ReadUnits
+	case errors.As(err, &be):
+		body["partial_results"] = len(be.Partial)
+		body["read_unit_limit"] = be.Limit
+		body["read_units"] = be.Spent
+	}
+	writeJSON(w, queryStatus(err), body)
+}
+
+// queryBounds parses the per-request degradation knobs shared by /topk
+// and /stream — timeout (Go duration, overriding the -timeout flag)
+// and max_read_units — and threads them plus the request's own context
+// into opts. A client that disconnects cancels its query's spend.
+func (s *server) queryBounds(r *http.Request, timeoutParam, maxReadParam string, opts *rankjoin.QueryOptions) error {
+	opts.Context = r.Context()
+	timeout := s.defaultTimeout
+	if timeoutParam != "" {
+		d, err := time.ParseDuration(timeoutParam)
+		if err != nil || d <= 0 {
+			return fmt.Errorf("bad timeout %q (want a positive Go duration like 500ms)", timeoutParam)
+		}
+		timeout = d
+	}
+	if timeout > 0 {
+		opts.Deadline = time.Now().Add(timeout)
+	}
+	if maxReadParam != "" {
+		n, err := strconv.ParseUint(maxReadParam, 10, 64)
+		if err != nil || n == 0 {
+			return fmt.Errorf("bad max_read_units %q (want a positive integer)", maxReadParam)
+		}
+		opts.MaxReadUnits = n
+	}
+	return nil
+}
+
 func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	qv := r.URL.Query()
 
@@ -199,15 +278,21 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		parallelism = n
 	}
 
-	start := time.Now()
-	res, err := s.env.DB.TopK(q.WithK(k), algo, &rankjoin.QueryOptions{
+	opts := rankjoin.QueryOptions{
 		ISLBatch:    s.env.ISLBatch,
 		Parallelism: parallelism,
 		Objective:   objective,
 		PageToken:   qv.Get("page_token"),
-	})
-	if err != nil {
+	}
+	if err := s.queryBounds(r, qv.Get("timeout"), qv.Get("max_read_units"), &opts); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	start := time.Now()
+	res, err := s.env.DB.TopK(q.WithK(k), algo, &opts)
+	if err != nil {
+		writeQueryError(w, err)
 		return
 	}
 
@@ -243,6 +328,11 @@ type streamRequest struct {
 	K           int    `json:"k"`     // page-size hint (default 10)
 	Limit       int    `json:"limit"` // max results to stream (default 100)
 	Parallelism *int   `json:"parallelism"`
+	// Timeout (a Go duration string) and MaxReadUnits bound the stream;
+	// hitting either ends it with a typed error line instead of more
+	// results.
+	Timeout      string `json:"timeout"`
+	MaxReadUnits uint64 `json:"max_read_units"`
 }
 
 // streamSummary is the trailing NDJSON line of one /stream response.
@@ -303,6 +393,15 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 			}
 			req.Parallelism = &n
 		}
+		req.Timeout = qv.Get("timeout")
+		if v := qv.Get("max_read_units"); v != "" {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil || n == 0 {
+				writeError(w, http.StatusBadRequest, "bad max_read_units %q", v)
+				return
+			}
+			req.MaxReadUnits = n
+		}
 	}
 
 	var q rankjoin.Query
@@ -333,13 +432,20 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 		parallelism = *req.Parallelism
 	}
 
-	start := time.Now()
-	rows, err := s.env.DB.Stream(q.WithK(k), rankjoin.Algorithm(algoName), &rankjoin.QueryOptions{
-		ISLBatch:    s.env.ISLBatch,
-		Parallelism: parallelism,
-	})
-	if err != nil {
+	opts := rankjoin.QueryOptions{
+		ISLBatch:     s.env.ISLBatch,
+		Parallelism:  parallelism,
+		MaxReadUnits: req.MaxReadUnits,
+	}
+	if err := s.queryBounds(r, req.Timeout, "", &opts); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	start := time.Now()
+	rows, err := s.env.DB.Stream(q.WithK(k), rankjoin.Algorithm(algoName), &opts)
+	if err != nil {
+		writeQueryError(w, err)
 		return
 	}
 	defer rows.Close()
@@ -370,7 +476,13 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err := rows.Err(); err != nil {
-		_ = enc.Encode(map[string]string{"error": err.Error()})
+		// Headers are long gone, so the status travels in the trailer
+		// line; the rows already streamed are the partial results.
+		_ = enc.Encode(map[string]any{
+			"error":  err.Error(),
+			"status": queryStatus(err),
+			"count":  count,
+		})
 		return
 	}
 	_ = enc.Encode(streamSummary{
@@ -626,6 +738,7 @@ func main() {
 	sf := flag.Float64("sf", 0.02, "TPC-H scale factor")
 	seed := flag.Int64("seed", 1, "data generator seed")
 	parallelism := flag.Int("parallelism", 4, "default client read-path parallelism")
+	timeout := flag.Duration("timeout", 0, "default per-query timeout (0 = unbounded; the timeout request parameter overrides)")
 	dataDir := flag.String("data", "", "durable data directory (empty = in-memory)")
 	flag.Parse()
 
@@ -656,7 +769,7 @@ func main() {
 		log.Printf("ready: %d parts, %d orders, %d lineitems", parts, orders, lineitems)
 	}
 
-	s := &server{env: env, defaultParallelism: *parallelism}
+	s := &server{env: env, defaultParallelism: *parallelism, defaultTimeout: *timeout}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /topk", s.handleTopK)
 	mux.HandleFunc("GET /stream", s.handleStream)

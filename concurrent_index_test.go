@@ -10,7 +10,7 @@ import (
 // against config writes — the db.idxCfg read used to happen outside
 // db.mu and trip the race detector. Run with -race (CI does).
 func TestConcurrentEnsureIndexesAndSetIndexConfig(t *testing.T) {
-	db := Open(Config{})
+	db := mustOpen(t, Config{})
 	loadTwoRelations(t, db, 120)
 	q, err := db.NewQuery("left", "right", Sum, 5)
 	if err != nil {
@@ -45,7 +45,7 @@ func TestConcurrentEnsureIndexesAndSetIndexConfig(t *testing.T) {
 // with mismatched widths — which QueryBFHM rejects. With the build
 // scopes, every relation ends up with one index and one shared width.
 func TestConcurrentEnsureIndexesBFHMWidths(t *testing.T) {
-	db := Open(Config{})
+	db := mustOpen(t, Config{})
 	names := []string{"shared", "ra", "rb", "rc"}
 	for _, n := range names {
 		h, err := db.DefineRelation(n)

@@ -15,11 +15,22 @@ import (
 	rankjoin "repro"
 )
 
+// mustOpenDB builds a fresh in-memory DB, failing the test on setup
+// errors (disk-mode scratch dir creation).
+func mustOpenDB(tb testing.TB) *rankjoin.DB {
+	tb.Helper()
+	db, err := rankjoin.Open(rankjoin.Config{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return db
+}
+
 // concurrentDB builds a shared DB with synthetic relations and all
 // indexes the mixed-algorithm workload needs.
 func concurrentDB(t *testing.T) (*rankjoin.DB, rankjoin.Query) {
 	t.Helper()
-	db := rankjoin.Open(rankjoin.Config{})
+	db := mustOpenDB(t)
 	lh, err := db.DefineRelation("cl")
 	if err != nil {
 		t.Fatal(err)

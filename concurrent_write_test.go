@@ -52,7 +52,7 @@ func versionKey(t rankjoin.Tuple) string {
 }
 
 func TestConcurrentWritesVsReads(t *testing.T) {
-	db := rankjoin.Open(rankjoin.Config{})
+	db := mustOpenDB(t)
 	db.SetIndexConfig(rankjoin.IndexConfig{DRJNBuckets: 10, DRJNJoinParts: 16})
 	lh, err := db.DefineRelation("cwl")
 	if err != nil {

@@ -1,0 +1,260 @@
+// Graceful-degradation tests: queries bounded by context, deadline, or
+// read budget stop cooperatively with typed errors carrying partial
+// results, and storage faults surface through the public TopK/Stream
+// API as typed errors — never as silently truncated result sets.
+package rankjoin
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faultfs"
+)
+
+// openFaultedDB opens a durable DB at a temp dir through ffs, defines
+// and loads two relations, and flushes so reads hit real SSTables.
+func openFaultedDB(t *testing.T, ffs *faultfs.FS, n int) *DB {
+	t.Helper()
+	db, err := OpenAt(Config{Dir: t.TempDir(), VFS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	loadTwoRelations(t, db, n)
+	if err := db.cluster.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestTopKContextCanceledTyped(t *testing.T) {
+	db := mustOpen(t, Config{})
+	loadTwoRelations(t, db, 100)
+	q, err := db.NewQuery("left", "right", Sum, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := db.TopK(q, AlgoNaive, &QueryOptions{Context: ctx})
+	if err == nil {
+		t.Fatalf("pre-canceled query returned %d results and no error", len(res.Results))
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err %v does not match ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err %v does not unwrap to context.Canceled", err)
+	}
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err is %T, want *CanceledError", err)
+	}
+}
+
+func TestTopKReadBudgetTyped(t *testing.T) {
+	db := mustOpen(t, Config{})
+	loadTwoRelations(t, db, 200)
+	q, err := db.NewQuery("left", "right", Sum, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline spend, then cap well below it.
+	full, err := db.TopK(q, AlgoNaive, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Cost.KVReads < 20 {
+		t.Fatalf("baseline spend %d too small to cap", full.Cost.KVReads)
+	}
+	_, err = db.TopK(q, AlgoNaive, &QueryOptions{MaxReadUnits: full.Cost.KVReads / 4})
+	if err == nil {
+		t.Fatal("capped query reported success")
+	}
+	var be *BudgetExceededError
+	if !errors.As(err, &be) {
+		t.Fatalf("err is %T (%v), want *BudgetExceededError", err, err)
+	}
+	if be.Limit != full.Cost.KVReads/4 {
+		t.Errorf("Limit = %d, want %d", be.Limit, full.Cost.KVReads/4)
+	}
+	if be.Spent <= be.Limit {
+		t.Errorf("Spent = %d, want > limit %d", be.Spent, be.Limit)
+	}
+}
+
+// TestTopKBudgetPartialResults pins graceful degradation on a streaming
+// executor: when the cap fires mid-enumeration, the typed error carries
+// the results already produced, in descending score order.
+func TestTopKBudgetPartialResults(t *testing.T) {
+	db := mustOpen(t, Config{})
+	loadTwoRelations(t, db, 300)
+	q, err := db.NewQuery("left", "right", Sum, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.EnsureIndexes(q, AlgoISL); err != nil {
+		t.Fatal(err)
+	}
+	full, err := db.TopK(q, AlgoISL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk the cap down until it fires mid-drain; ISL streams results
+	// incrementally, so a cap between first-result and full spend
+	// yields a non-empty partial prefix.
+	for cap := full.Cost.KVReads - 1; cap > 0; cap = cap * 3 / 4 {
+		_, err := db.TopK(q, AlgoISL, &QueryOptions{MaxReadUnits: cap})
+		if err == nil {
+			continue
+		}
+		var be *BudgetExceededError
+		if !errors.As(err, &be) {
+			t.Fatalf("err is %T (%v), want *BudgetExceededError", err, err)
+		}
+		if len(be.Partial) == 0 {
+			continue // cap fired before the first result; tighten further
+		}
+		for i, r := range be.Partial {
+			if r.Score != full.Results[i].Score {
+				t.Fatalf("partial[%d].Score = %v, want the true prefix score %v", i, r.Score, full.Results[i].Score)
+			}
+		}
+		return
+	}
+	t.Fatal("no cap produced a typed error with a non-empty partial prefix")
+}
+
+// TestTopKDeadlineOverSlowStore is the acceptance scenario: a 50ms
+// deadline over a faultfs-slowed store returns ErrCanceled within 2x
+// the deadline.
+func TestTopKDeadlineOverSlowStore(t *testing.T) {
+	ffs := faultfs.New(nil)
+	db := openFaultedDB(t, ffs, 2000)
+	q, err := db.NewQuery("left", "right", Sum, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every block read now costs 2ms of real wall-clock; at 2000 rows a
+	// relation the naive scan needs far more than 25 reads, so the 50ms
+	// deadline must fire mid-query.
+	ffs.AddRule(faultfs.Rule{Op: faultfs.OpRead, Mode: faultfs.ModeLatency, Latency: 2 * time.Millisecond})
+
+	const deadline = 50 * time.Millisecond
+	start := time.Now()
+	_, err = db.TopK(q, AlgoNaive, &QueryOptions{Deadline: time.Now().Add(deadline)})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("deadline-bounded query over slowed store reported success")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err %v does not match ErrCanceled", err)
+	}
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err is %T, want *CanceledError", err)
+	}
+	if elapsed > 2*deadline {
+		t.Errorf("query returned after %v, want <= %v (2x deadline)", elapsed, 2*deadline)
+	}
+	t.Logf("deadline fired after %v with %d partial results, %d read units", elapsed, len(ce.Partial), ce.ReadUnits)
+}
+
+// TestStreamCanceledTyped: a canceled stream stops iterating and
+// surfaces the typed error through Rows.Err.
+func TestStreamCanceledTyped(t *testing.T) {
+	db := mustOpen(t, Config{})
+	loadTwoRelations(t, db, 100)
+	q, err := db.NewQuery("left", "right", Sum, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rows, err := db.Stream(q, AlgoNaive, &QueryOptions{Context: ctx})
+	if err != nil {
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("Stream open error %v does not match ErrCanceled", err)
+		}
+		return
+	}
+	defer rows.Close()
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if rows.Err() == nil {
+		t.Fatalf("canceled stream yielded %d rows and a nil Err", n)
+	}
+	if !errors.Is(rows.Err(), ErrCanceled) {
+		t.Fatalf("Rows.Err() = %v, want ErrCanceled match", rows.Err())
+	}
+}
+
+// TestTopKFaultSurfacesTypedNotTruncated pins the mergedIter.fail
+// propagation contract at the public API: a failing storage source
+// under TopK surfaces as a typed error, never as a shorter result list.
+func TestTopKFaultSurfacesTypedNotTruncated(t *testing.T) {
+	ffs := faultfs.New(nil)
+	db := openFaultedDB(t, ffs, 200)
+	q, err := db.NewQuery("left", "right", Sum, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rot rule must land before any read: a clean warm-up query
+	// would pull every block into the shared block cache and the rotted
+	// reads would never reach the VFS. (TestTopKDeadlineOverSlowStore
+	// shows an identically built store answers queries when unrotted.)
+	ffs.AddRule(faultfs.Rule{PathContains: ".sst", Op: faultfs.OpRead, Mode: faultfs.ModeBitRot, Seed: 7})
+
+	res, err := db.TopK(q, AlgoNaive, nil)
+	if err == nil {
+		t.Fatalf("TopK over rotting store returned %d results and no error — silent truncation", len(res.Results))
+	}
+	if !errors.Is(err, ErrCorruption) {
+		var ioe *IOError
+		if !errors.As(err, &ioe) {
+			t.Fatalf("TopK error is %T (%v), want CorruptionError or IOError", err, err)
+		}
+	}
+	var ce *CorruptionError
+	if errors.As(err, &ce) && ce.Path == "" {
+		t.Error("CorruptionError does not name the file")
+	}
+}
+
+// TestStreamFaultSurfacesTypedNotTruncated: the same contract for the
+// streaming path — Rows.Err reports the typed storage error.
+func TestStreamFaultSurfacesTypedNotTruncated(t *testing.T) {
+	ffs := faultfs.New(nil)
+	db := openFaultedDB(t, ffs, 200)
+	q, err := db.NewQuery("left", "right", Sum, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Like the bit-rot test, the rule must precede any read so the block
+	// cache cannot mask the fault.
+	ffs.AddRule(faultfs.Rule{PathContains: ".sst", Op: faultfs.OpRead, Mode: faultfs.ModeErr})
+
+	rows, err := db.Stream(q, AlgoNaive, nil)
+	if err != nil {
+		var ioe *IOError
+		if !errors.As(err, &ioe) && !errors.Is(err, ErrCorruption) {
+			t.Fatalf("Stream open error is %T (%v), want typed", err, err)
+		}
+		return
+	}
+	defer rows.Close()
+	for rows.Next() {
+	}
+	err = rows.Err()
+	if err == nil {
+		t.Fatal("stream over failing store drained cleanly — silent truncation")
+	}
+	var ioe *IOError
+	if !errors.As(err, &ioe) && !errors.Is(err, ErrCorruption) {
+		t.Fatalf("Rows.Err() is %T (%v), want typed IOError/CorruptionError", err, err)
+	}
+}

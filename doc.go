@@ -111,4 +111,35 @@
 // surfaces as a core.MaintenanceError naming the divergent index and
 // carrying the batch's timestamp; re-applying the same mutation with
 // that timestamp is idempotent and converges the store.
+//
+// # Failure handling and graceful degradation
+//
+// Queries are boundable: QueryOptions carries a cancellation Context,
+// a wall-clock Deadline, and a MaxReadUnits spend cap, and every
+// executor checks them cooperatively. A tripped bound returns a typed
+// error carrying the partial results collected so far:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+//	defer cancel()
+//	res, err := db.TopK(q, rankjoin.AlgoAuto, &rankjoin.QueryOptions{
+//	    Context:      ctx,
+//	    MaxReadUnits: 10000,
+//	})
+//	var ce *rankjoin.CanceledError      // matches rankjoin.ErrCanceled
+//	var be *rankjoin.BudgetExceededError
+//	switch {
+//	case errors.As(err, &ce):
+//	    fmt.Println("timed out with", len(ce.Partial), "results")
+//	case errors.As(err, &be):
+//	    fmt.Println("spent", be.Spent, "of", be.Limit, "read units")
+//	}
+//
+// Storage faults are typed too: a failed checksum surfaces as a
+// *CorruptionError (matching ErrCorruption) naming the file and byte
+// offset, and an I/O failure as an *IOError naming the file and
+// operation — never as a silently truncated result set. Config.VFS
+// plugs a custom filesystem under durable stores (internal/faultfs
+// injects deterministic faults in the tests), and the underlying
+// store's Scrub and Quarantined (via DB.Cluster) verify every on-disk
+// checksum proactively, quarantining tables that fail.
 package rankjoin

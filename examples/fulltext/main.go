@@ -39,7 +39,10 @@ func postingList(keyword string, docs, hits int, rng *rand.Rand) []rankjoin.Tupl
 }
 
 func main() {
-	db := rankjoin.Open(rankjoin.Config{})
+	db, err := rankjoin.Open(rankjoin.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	rng := rand.New(rand.NewSource(7))
 
 	const corpus = 20000 // documents in the collection

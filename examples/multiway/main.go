@@ -16,7 +16,10 @@ import (
 )
 
 func main() {
-	db := rankjoin.Open(rankjoin.Config{})
+	db, err := rankjoin.Open(rankjoin.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	rng := rand.New(rand.NewSource(42))
 
 	const phrases = 2000

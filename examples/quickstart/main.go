@@ -12,7 +12,10 @@ import (
 )
 
 func main() {
-	db := rankjoin.Open(rankjoin.Config{})
+	db, err := rankjoin.Open(rankjoin.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Fig. 1's R1 and R2.
 	r1 := []rankjoin.Tuple{

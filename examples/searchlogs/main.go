@@ -33,7 +33,10 @@ func dayLog(day string, phrases int, rng *rand.Rand) []rankjoin.Tuple {
 }
 
 func main() {
-	db := rankjoin.Open(rankjoin.Config{})
+	db, err := rankjoin.Open(rankjoin.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	rng := rand.New(rand.NewSource(2014))
 
 	const phrases = 3000

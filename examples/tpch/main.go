@@ -29,7 +29,10 @@ func main() {
 	if *profile == "lc" {
 		p = sim.LC()
 	}
-	db := rankjoin.Open(rankjoin.Config{Profile: &p})
+	db, err := rankjoin.Open(rankjoin.Config{Profile: &p})
+	if err != nil {
+		log.Fatal(err)
+	}
 	data := tpch.Generate(*sf, 1)
 	fmt.Printf("TPC-H SF %g on %s: %d parts, %d orders, %d lineitems\n\n",
 		*sf, p.Name, len(data.Parts), len(data.Orders), len(data.Lineitems))

@@ -40,7 +40,7 @@ func assertTopKFresh(t *testing.T, db *DB, q Query, left, right []Tuple, f Score
 // maintain both — the old assembly kept only whichever index the store
 // walk visited last, leaving the other query's results stale.
 func TestMaintainAllIndexesAcrossQueries(t *testing.T) {
-	db := Open(Config{})
+	db := mustOpen(t, Config{})
 	rng := rand.New(rand.NewSource(41))
 	rels := map[string][]Tuple{"a": nil, "b": nil, "c": nil}
 	handles := map[string]*RelationHandle{}
@@ -124,7 +124,7 @@ func TestMaintainAllIndexesAcrossQueries(t *testing.T) {
 // Update exists for the explicit form), retiring old entries under the
 // same timestamp.
 func TestReinsertChangedScoreNoPhantoms(t *testing.T) {
-	db := Open(Config{})
+	db := mustOpen(t, Config{})
 	db.SetIndexConfig(IndexConfig{DRJNBuckets: 10, DRJNJoinParts: 16})
 	left, right := loadTwoRelations(t, db, 120)
 	q, err := db.NewQuery("left", "right", Sum, 10)
@@ -176,7 +176,7 @@ func TestReinsertChangedScoreNoPhantoms(t *testing.T) {
 // every executor — DRJN included, with NO manual rebuild — must equal a
 // from-scratch computation over the live tuples.
 func TestFreshnessOracle(t *testing.T) {
-	db := Open(Config{})
+	db := mustOpen(t, Config{})
 	db.SetIndexConfig(IndexConfig{DRJNBuckets: 12, DRJNJoinParts: 16, BFHMBuckets: 10})
 	left, right := loadTwoRelations(t, db, 150)
 	q, err := db.NewQuery("left", "right", Sum, 12)
@@ -256,7 +256,7 @@ func TestFreshnessOracle(t *testing.T) {
 // TestWriteVisibleImmediately is the CI freshness smoke: a write
 // followed by an immediate query must be seen by all seven executors.
 func TestWriteVisibleImmediately(t *testing.T) {
-	db := Open(Config{})
+	db := mustOpen(t, Config{})
 	db.SetIndexConfig(IndexConfig{DRJNBuckets: 10, DRJNJoinParts: 16})
 	_, _ = loadTwoRelations(t, db, 100)
 	q, err := db.NewQuery("left", "right", Sum, 1)
@@ -288,7 +288,7 @@ func TestWriteVisibleImmediately(t *testing.T) {
 // the per-cell puts it replaced (which paid one round trip per written
 // cell — KVWrites counts exactly those cells).
 func TestBatchedMaintenanceFewerWriteRPCs(t *testing.T) {
-	db := Open(Config{})
+	db := mustOpen(t, Config{})
 	db.SetIndexConfig(IndexConfig{DRJNBuckets: 10, DRJNJoinParts: 16})
 	_, _ = loadTwoRelations(t, db, 100)
 	q, err := db.NewQuery("left", "right", Sum, 5)
@@ -343,7 +343,7 @@ func TestBatchedMaintenanceFewerWriteRPCs(t *testing.T) {
 // "every index built over the relation" — a write must reach them too,
 // or TopKN silently serves stale results.
 func TestMultiwayISLNMaintained(t *testing.T) {
-	db := Open(Config{})
+	db := mustOpen(t, Config{})
 	rng := rand.New(rand.NewSource(53))
 	handles := map[string]*RelationHandle{}
 	for _, name := range []string{"ma", "mb", "mc"} {

@@ -55,7 +55,11 @@ var LCAlgorithms = []rankjoin.Algorithm{
 // every index with the paper's parameters (BFHM: 100 buckets, 5% FPP;
 // DRJN: 100 score bands; ISL batch = 1%).
 func Setup(profile sim.Profile, sf float64, seed int64) (*Env, error) {
-	return load(rankjoin.Open(rankjoin.Config{Profile: &profile}), profile, sf, seed)
+	db, err := rankjoin.Open(rankjoin.Config{Profile: &profile})
+	if err != nil {
+		return nil, err
+	}
+	return load(db, profile, sf, seed)
 }
 
 // SetupAt is Setup against a durable directory. An empty directory is

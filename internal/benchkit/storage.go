@@ -266,7 +266,7 @@ func storageQueries(run storageRun, sf float64, seed int64, dir string) error {
 // openBenchCluster opens a raw cluster in the requested mode.
 func openBenchCluster(dir string) (*kvstore.Cluster, error) {
 	if dir == "" {
-		return kvstore.NewCluster(sim.LC(), nil), nil
+		return kvstore.NewCluster(sim.LC(), nil)
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err

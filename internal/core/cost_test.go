@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"testing"
 
-	"repro/internal/kvstore"
 	"repro/internal/sim"
 )
 
@@ -17,7 +16,7 @@ type costResults struct {
 func measureCosts(t *testing.T, k int) costResults {
 	t.Helper()
 	p := sim.EC2()
-	c := kvstore.NewCluster(p, nil)
+	c := mustCluster(t, p)
 	// Large enough that data costs dominate MR job startup — the regime
 	// the paper evaluates in (its smallest dataset is 60M rows).
 	left := synthTuples("l", 2000, 20, "uniform", 11)
@@ -153,7 +152,7 @@ func TestCostShapes(t *testing.T) {
 // query time (fewer RPCs) but fetch more tuples (bandwidth/dollar cost).
 func TestISLBatchingTradeoff(t *testing.T) {
 	p := sim.EC2()
-	c := kvstore.NewCluster(p, nil)
+	c := mustCluster(t, p)
 	left := synthTuples("l", 1000, 50, "uniform", 21)
 	right := synthTuples("r", 1000, 50, "uniform", 22)
 	relL := loadRelation(t, c, "L", left)
@@ -191,7 +190,7 @@ func TestISLBatchingTradeoff(t *testing.T) {
 // afford to build our indices just before executing a query").
 func TestIndexingCostShape(t *testing.T) {
 	p := sim.EC2()
-	c := kvstore.NewCluster(p, nil)
+	c := mustCluster(t, p)
 	left := synthTuples("l", 800, 100, "uniform", 31)
 	right := synthTuples("r", 800, 100, "uniform", 32)
 	relL := loadRelation(t, c, "L", left)
@@ -253,7 +252,7 @@ func TestIndexingCostShape(t *testing.T) {
 // paper reports < 10% overall time overhead.
 func TestUpdateOverheadUnder10Percent(t *testing.T) {
 	mk := func(eagerDuringQuery bool) (queryTime int64) {
-		c := kvstore.NewCluster(sim.EC2(), nil)
+		c := mustCluster(t, sim.EC2())
 		left := synthTuples("l", 800, 100, "uniform", 41)
 		right := synthTuples("r", 800, 100, "uniform", 42)
 		relL := loadRelation(t, c, "L", left)

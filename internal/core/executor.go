@@ -30,6 +30,11 @@ type ExecOptions struct {
 	BFHMWriteBack WriteBackMode
 	// Parallelism fans the client read path out (see QueryOptions).
 	Parallelism int
+	// Budget bounds the query's wall-clock and read-unit spend (nil =
+	// unbounded). Executors wrap their cursors with it in Open and run
+	// against a budget-guarded cluster view, so cancellation fires both
+	// between results and inside long scans.
+	Budget *Budget
 }
 
 // WithDefaults fills unset fields.

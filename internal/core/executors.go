@@ -29,12 +29,15 @@ func tableSize(c *kvstore.Cluster, table string) uint64 {
 
 // materialize adapts a batch-shaped top-k function to Open's streaming
 // contract: the cursor materializes the top q.K, then re-runs at
-// doubled depths when drained deeper.
-func materialize(q Query, run func(k int) (*Result, error)) (Cursor, error) {
+// doubled depths when drained deeper. The budget wrap makes Next
+// enforce the query's deadline/read cap between results; the budget
+// also fires inside run itself via the cluster guard, since a
+// materializing executor does nearly all its work there.
+func materialize(q Query, b *Budget, run func(k int) (*Result, error)) (Cursor, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	return NewMaterializedCursor(q.K, run), nil
+	return WrapBudget(NewMaterializedCursor(q.K, run), b), nil
 }
 
 // ---- Naive ----
@@ -53,8 +56,8 @@ func (naiveExec) Incremental() bool                                     { return
 func (naiveExec) Run(c *kvstore.Cluster, q Query, _ *IndexStore, _ ExecOptions) (*Result, error) {
 	return NaiveTopK(c, q)
 }
-func (naiveExec) Open(c *kvstore.Cluster, q Query, _ *IndexStore, _ ExecOptions) (Cursor, error) {
-	return materialize(q, func(k int) (*Result, error) {
+func (naiveExec) Open(c *kvstore.Cluster, q Query, _ *IndexStore, opts ExecOptions) (Cursor, error) {
+	return materialize(q, opts.Budget, func(k int) (*Result, error) {
 		qq := q
 		qq.K = k
 		return NaiveTopK(c, qq)
@@ -77,8 +80,8 @@ func (hiveExec) Incremental() bool                                     { return 
 func (hiveExec) Run(c *kvstore.Cluster, q Query, _ *IndexStore, _ ExecOptions) (*Result, error) {
 	return QueryHive(c, q)
 }
-func (hiveExec) Open(c *kvstore.Cluster, q Query, _ *IndexStore, _ ExecOptions) (Cursor, error) {
-	return materialize(q, func(k int) (*Result, error) {
+func (hiveExec) Open(c *kvstore.Cluster, q Query, _ *IndexStore, opts ExecOptions) (Cursor, error) {
+	return materialize(q, opts.Budget, func(k int) (*Result, error) {
 		qq := q
 		qq.K = k
 		return QueryHive(c, qq)
@@ -101,8 +104,8 @@ func (pigExec) Incremental() bool                                     { return f
 func (pigExec) Run(c *kvstore.Cluster, q Query, _ *IndexStore, _ ExecOptions) (*Result, error) {
 	return QueryPig(c, q)
 }
-func (pigExec) Open(c *kvstore.Cluster, q Query, _ *IndexStore, _ ExecOptions) (Cursor, error) {
-	return materialize(q, func(k int) (*Result, error) {
+func (pigExec) Open(c *kvstore.Cluster, q Query, _ *IndexStore, opts ExecOptions) (Cursor, error) {
+	return materialize(q, opts.Budget, func(k int) (*Result, error) {
 		qq := q
 		qq.K = k
 		return QueryPig(c, qq)
@@ -155,12 +158,12 @@ func (ijlmrExec) Run(c *kvstore.Cluster, q Query, store *IndexStore, _ ExecOptio
 	return QueryIJLMR(c, q, idx)
 }
 
-func (ijlmrExec) Open(c *kvstore.Cluster, q Query, store *IndexStore, _ ExecOptions) (Cursor, error) {
+func (ijlmrExec) Open(c *kvstore.Cluster, q Query, store *IndexStore, opts ExecOptions) (Cursor, error) {
 	idx, ok := store.IJLMR(q.ID())
 	if !ok {
 		return nil, fmt.Errorf("rankjoin: no IJLMR index for %s; call EnsureIndexes first", q.ID())
 	}
-	return materialize(q, func(k int) (*Result, error) {
+	return materialize(q, opts.Budget, func(k int) (*Result, error) {
 		qq := q
 		qq.K = k
 		return QueryIJLMR(c, qq, idx)
@@ -215,11 +218,15 @@ func (islExec) Open(c *kvstore.Cluster, q Query, store *IndexStore, opts ExecOpt
 		return nil, fmt.Errorf("rankjoin: no ISL index for %s; call EnsureIndexes first", q.ID())
 	}
 	opts = opts.WithDefaults()
-	return OpenISL(c, q, idx, ISLOptions{
+	cur, err := OpenISL(c, q, idx, ISLOptions{
 		BatchLeft:   opts.ISLBatch,
 		BatchRight:  opts.ISLBatch,
 		Parallelism: opts.Parallelism,
 	})
+	if err != nil {
+		return nil, err
+	}
+	return WrapBudget(cur, opts.Budget), nil
 }
 
 // ---- BFHM ----
@@ -304,7 +311,7 @@ func (bfhmExec) Open(c *kvstore.Cluster, q Query, store *IndexStore, opts ExecOp
 	if !okA || !okB {
 		return nil, fmt.Errorf("rankjoin: missing BFHM index for %s; call EnsureIndexes first", q.ID())
 	}
-	return materialize(q, func(k int) (*Result, error) {
+	return materialize(q, opts.Budget, func(k int) (*Result, error) {
 		qq := q
 		qq.K = k
 		return QueryBFHM(c, qq, idxA, idxB, BFHMQueryOptions{
@@ -367,11 +374,15 @@ func (drjnExec) Run(c *kvstore.Cluster, q Query, store *IndexStore, opts ExecOpt
 	return RunCursor(c, q.K, func() (Cursor, error) { return drjnExec{}.Open(c, q, store, opts) })
 }
 
-func (drjnExec) Open(c *kvstore.Cluster, q Query, store *IndexStore, _ ExecOptions) (Cursor, error) {
+func (drjnExec) Open(c *kvstore.Cluster, q Query, store *IndexStore, opts ExecOptions) (Cursor, error) {
 	idxA, okA := store.DRJN(q.Left.Name)
 	idxB, okB := store.DRJN(q.Right.Name)
 	if !okA || !okB {
 		return nil, fmt.Errorf("rankjoin: missing DRJN index for %s; call EnsureIndexes first", q.ID())
 	}
-	return OpenDRJN(c, q, idxA, idxB)
+	cur, err := OpenDRJN(c, q, idxA, idxB)
+	if err != nil {
+		return nil, err
+	}
+	return WrapBudget(cur, opts.Budget), nil
 }

@@ -102,7 +102,22 @@ func verifyResultsAreRealJoins(t *testing.T, label string, rs []JoinResult, f Sc
 func newTestCluster() *kvstore.Cluster {
 	p := sim.LC()
 	p.Nodes = 4
-	return kvstore.NewCluster(p, nil)
+	c, err := kvstore.NewCluster(p, nil)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// mustCluster builds a cluster with the given profile, failing the test
+// on setup errors (disk-mode scratch dir creation).
+func mustCluster(t testing.TB, p sim.Profile) *kvstore.Cluster {
+	t.Helper()
+	c, err := kvstore.NewCluster(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
 }
 
 // loadRelation creates a table and loads tuples as base rows.

@@ -1,0 +1,425 @@
+// Package faultfs wraps a kvstore.VFS with deterministic, seedable
+// fault schedules, so every failure path in the storage engine can be
+// driven on purpose instead of waiting for hardware to misbehave.
+//
+// A schedule is a list of Rules. Each rule matches operations by path
+// substring and operation kind, counts its matches, and — once its
+// trigger point is reached — injects one of the classic storage
+// failure modes:
+//
+//   - ModeErr: the operation fails outright (EIO unless Err overrides).
+//   - ModeShortWrite: only a prefix of the buffer is written and the
+//     short count is reported, as a full disk or signal-interrupted
+//     write would.
+//   - ModeTornWrite: a prefix of the buffer reaches the file but the
+//     operation reports failure — the bytes-half-down state a power cut
+//     mid-write leaves behind.
+//   - ModeBitRot: reads succeed but one deterministically chosen bit of
+//     the returned data is flipped — at-rest media corruption that only
+//     checksums can catch.
+//   - ModeLyingSync: Sync reports success without durability; a later
+//     Crash() rolls the file back to its last honestly-synced length,
+//     the way a volatile write cache loses data on power loss.
+//   - ModeLatency: the operation sleeps Latency first, then proceeds —
+//     for deadline and cancellation tests.
+//
+// All scheduling state is mutex-guarded and counter-based: the same
+// rules against the same workload inject the same faults, every run.
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/kvstore"
+)
+
+// Op identifies which VFS/file operation a rule matches.
+type Op string
+
+const (
+	OpOpen     Op = "open"     // VFS.Open and VFS.OpenFile
+	OpCreate   Op = "create"   // VFS.Create
+	OpRead     Op = "read"     // File.Read and File.ReadAt
+	OpWrite    Op = "write"    // File.Write
+	OpSync     Op = "sync"     // File.Sync
+	OpTruncate Op = "truncate" // File.Truncate
+	OpRename   Op = "rename"   // VFS.Rename
+	OpRemove   Op = "remove"   // VFS.Remove
+	OpSyncDir  Op = "syncdir"  // VFS.SyncDir
+)
+
+// Mode selects the failure injected when a rule fires.
+type Mode int
+
+const (
+	ModeErr Mode = iota
+	ModeShortWrite
+	ModeTornWrite
+	ModeBitRot
+	ModeLyingSync
+	ModeLatency
+)
+
+// Rule is one entry of a fault schedule.
+type Rule struct {
+	// PathContains restricts the rule to paths containing the substring
+	// ("" matches every path).
+	PathContains string
+	// Op is the operation kind the rule matches.
+	Op Op
+	// Nth arms the rule on the Nth matching operation (1-based; 0 arms
+	// it immediately).
+	Nth int
+	// Count caps how many times the rule fires once armed (0 = every
+	// match from the trigger on).
+	Count int
+	// Mode is the injected failure.
+	Mode Mode
+	// Err overrides the injected error for ModeErr/ModeShortWrite/
+	// ModeTornWrite (nil = EIO).
+	Err error
+	// Latency is the sleep for ModeLatency.
+	Latency time.Duration
+	// Seed varies which bit ModeBitRot flips.
+	Seed int64
+}
+
+// ruleState pairs a Rule with its deterministic counters. The counters
+// are written only under the owning FS's mu (ruleState has no mutex of
+// its own — every *ruleState lives inside exactly one FS.rules slice).
+type ruleState struct {
+	Rule
+	matches int // operations matched so far, under the owning FS's mu
+	fired   int // injections performed, under the owning FS's mu
+}
+
+// FS is a kvstore.VFS that injects the schedule's faults into the VFS
+// it wraps.
+type FS struct {
+	base kvstore.VFS
+
+	mu    sync.Mutex
+	rules []*ruleState // guarded by: mu
+	// durable tracks, per path opened through this FS, the byte length
+	// known to have truly reached stable storage (set at open, advanced
+	// by honest syncs). guarded by: mu
+	durable map[string]int64
+	// lied marks paths whose most recent Sync was answered by a
+	// ModeLyingSync rule; Crash() rolls exactly these back.
+	// guarded by: mu
+	lied map[string]bool
+}
+
+// New wraps base (nil = the real filesystem) with the given schedule.
+func New(base kvstore.VFS, rules ...Rule) *FS {
+	if base == nil {
+		base = kvstore.DefaultVFS()
+	}
+	f := &FS{base: base, durable: map[string]int64{}, lied: map[string]bool{}}
+	for _, r := range rules {
+		f.rules = append(f.rules, &ruleState{Rule: r})
+	}
+	return f
+}
+
+// AddRule appends a rule to the schedule at runtime.
+func (f *FS) AddRule(r Rule) {
+	f.mu.Lock()
+	f.rules = append(f.rules, &ruleState{Rule: r})
+	f.mu.Unlock()
+}
+
+// fire finds the first armed rule matching (op, path), advances its
+// counters, and returns it. Latency rules sleep here (outside the
+// lock) and keep scanning, so a latency rule can coexist with an error
+// rule on the same op.
+func (f *FS) fire(op Op, path string) *ruleState {
+	f.mu.Lock()
+	var hit *ruleState
+	var sleep time.Duration
+	for _, r := range f.rules {
+		if r.Op != op || !strings.Contains(path, r.PathContains) {
+			continue
+		}
+		r.matches++
+		if r.Nth > 0 && r.matches < r.Nth {
+			continue
+		}
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		r.fired++
+		if r.Mode == ModeLatency {
+			sleep += r.Latency
+			continue
+		}
+		if hit == nil {
+			hit = r
+		}
+	}
+	f.mu.Unlock()
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	return hit
+}
+
+// injectedErr returns the rule's error, defaulting to EIO.
+func (r *ruleState) injectedErr() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return syscall.EIO
+}
+
+// rot flips one deterministically chosen bit of p, keyed by the rule's
+// seed and firing count so repeated reads rot reproducibly.
+func (r *ruleState) rot(p []byte, off int64) {
+	if len(p) == 0 {
+		return
+	}
+	h := uint64(r.Seed)*2654435761 + uint64(r.fired)*1000003 + uint64(off)
+	p[h%uint64(len(p))] ^= 1 << (h / 7 % 8)
+}
+
+// track records a path's currently-durable length at open time.
+func (f *FS) track(path string) {
+	f.mu.Lock()
+	if _, ok := f.durable[path]; !ok {
+		size := int64(0)
+		if fi, err := os.Stat(path); err == nil {
+			size = fi.Size()
+		}
+		f.durable[path] = size
+	}
+	f.mu.Unlock()
+}
+
+// Crash simulates power loss with a volatile write cache: every file
+// whose last Sync was answered by a lying-sync rule is truncated back
+// to its last honestly-durable length. Honest files are untouched —
+// their synced bytes survived. The FS remains usable afterwards,
+// modelling the post-reboot filesystem.
+func (f *FS) Crash() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for path, lied := range f.lied {
+		if !lied {
+			continue
+		}
+		fh, err := f.base.OpenFile(path, os.O_RDWR, 0o644)
+		if errors.Is(err, fs.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		terr := fh.Truncate(f.durable[path])
+		cerr := fh.Close()
+		if terr != nil {
+			return terr
+		}
+		if cerr != nil {
+			return cerr
+		}
+		f.lied[path] = false
+	}
+	return nil
+}
+
+// VFS interface.
+
+func (f *FS) OpenFile(path string, flag int, perm os.FileMode) (kvstore.File, error) {
+	if r := f.fire(OpOpen, path); r != nil && r.Mode == ModeErr {
+		return nil, r.injectedErr()
+	}
+	fh, err := f.base.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	f.track(path)
+	return &faultFile{fs: f, f: fh, path: path}, nil
+}
+
+func (f *FS) Open(path string) (kvstore.File, error) {
+	if r := f.fire(OpOpen, path); r != nil && r.Mode == ModeErr {
+		return nil, r.injectedErr()
+	}
+	fh, err := f.base.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: fh, path: path}, nil
+}
+
+func (f *FS) Create(path string) (kvstore.File, error) {
+	if r := f.fire(OpCreate, path); r != nil && r.Mode == ModeErr {
+		return nil, r.injectedErr()
+	}
+	fh, err := f.base.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.durable[path] = 0
+	f.mu.Unlock()
+	return &faultFile{fs: f, f: fh, path: path}, nil
+}
+
+func (f *FS) MkdirAll(path string, perm os.FileMode) error { return f.base.MkdirAll(path, perm) }
+
+func (f *FS) ReadDir(path string) ([]fs.DirEntry, error) { return f.base.ReadDir(path) }
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	if r := f.fire(OpRename, oldpath); r != nil && r.Mode == ModeErr {
+		return r.injectedErr()
+	}
+	if err := f.base.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if d, ok := f.durable[oldpath]; ok {
+		f.durable[newpath] = d
+		delete(f.durable, oldpath)
+	}
+	if l, ok := f.lied[oldpath]; ok {
+		f.lied[newpath] = l
+		delete(f.lied, oldpath)
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *FS) Remove(path string) error {
+	if r := f.fire(OpRemove, path); r != nil && r.Mode == ModeErr {
+		return r.injectedErr()
+	}
+	if err := f.base.Remove(path); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	delete(f.durable, path)
+	delete(f.lied, path)
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *FS) SyncDir(path string) error {
+	if r := f.fire(OpSyncDir, path); r != nil {
+		switch r.Mode {
+		case ModeErr:
+			return r.injectedErr()
+		case ModeLyingSync:
+			return nil
+		}
+	}
+	return f.base.SyncDir(path)
+}
+
+// faultFile wraps one open handle, injecting the schedule's read,
+// write, and sync faults.
+type faultFile struct {
+	fs   *FS
+	f    kvstore.File
+	path string
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) {
+	if r := ff.fs.fire(OpRead, ff.path); r != nil {
+		switch r.Mode {
+		case ModeErr:
+			return 0, r.injectedErr()
+		case ModeBitRot:
+			n, err := ff.f.Read(p)
+			r.rot(p[:n], -1)
+			return n, err
+		}
+	}
+	return ff.f.Read(p)
+}
+
+func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if r := ff.fs.fire(OpRead, ff.path); r != nil {
+		switch r.Mode {
+		case ModeErr:
+			return 0, r.injectedErr()
+		case ModeBitRot:
+			n, err := ff.f.ReadAt(p, off)
+			r.rot(p[:n], off)
+			return n, err
+		}
+	}
+	return ff.f.ReadAt(p, off)
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	if r := ff.fs.fire(OpWrite, ff.path); r != nil {
+		switch r.Mode {
+		case ModeErr:
+			return 0, r.injectedErr()
+		case ModeShortWrite:
+			n, err := ff.f.Write(p[:len(p)/2])
+			if err != nil {
+				return n, err
+			}
+			return n, io.ErrShortWrite
+		case ModeTornWrite:
+			// A prefix lands; the caller is told nothing did.
+			ff.f.Write(p[:len(p)/2]) //nolint:errcheck
+			return 0, r.injectedErr()
+		}
+	}
+	return ff.f.Write(p)
+}
+
+func (ff *faultFile) Seek(offset int64, whence int) (int64, error) { return ff.f.Seek(offset, whence) }
+
+func (ff *faultFile) Close() error { return ff.f.Close() }
+
+func (ff *faultFile) Truncate(size int64) error {
+	if r := ff.fs.fire(OpTruncate, ff.path); r != nil && r.Mode == ModeErr {
+		return r.injectedErr()
+	}
+	if err := ff.f.Truncate(size); err != nil {
+		return err
+	}
+	ff.fs.mu.Lock()
+	if d, ok := ff.fs.durable[ff.path]; ok && size < d {
+		ff.fs.durable[ff.path] = size
+	}
+	ff.fs.mu.Unlock()
+	return nil
+}
+
+func (ff *faultFile) Sync() error {
+	if r := ff.fs.fire(OpSync, ff.path); r != nil {
+		switch r.Mode {
+		case ModeErr:
+			return r.injectedErr()
+		case ModeLyingSync:
+			ff.fs.mu.Lock()
+			ff.fs.lied[ff.path] = true
+			ff.fs.mu.Unlock()
+			return nil
+		}
+	}
+	if err := ff.f.Sync(); err != nil {
+		return err
+	}
+	ff.fs.mu.Lock()
+	if fi, err := ff.f.Stat(); err == nil {
+		ff.fs.durable[ff.path] = fi.Size()
+	}
+	ff.fs.lied[ff.path] = false
+	ff.fs.mu.Unlock()
+	return nil
+}
+
+func (ff *faultFile) Stat() (fs.FileInfo, error) { return ff.f.Stat() }

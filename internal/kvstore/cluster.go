@@ -26,6 +26,12 @@ type Cluster struct {
 	state   *clusterState
 	profile sim.Profile
 	metrics *sim.Metrics
+	// guard, when set, is consulted before every metered read RPC; a
+	// non-nil return aborts the operation with that error. Query-layer
+	// budgets (deadlines, context cancellation, read-unit caps) install
+	// one via WithGuard so cancellation reaches into scans, multi-gets,
+	// and MapReduce tasks mid-flight.
+	guard func() error
 }
 
 // clusterState is the store shared by every view of one deployment.
@@ -74,9 +80,9 @@ func (t *Table) MutationSeq() uint64 { return t.mutSeq.Load() }
 // When the KVSTORE_DISK=1 environment variable is set the cluster is
 // transparently backed by a fresh on-disk store in a temp directory —
 // the CI tier-2 hook that runs the whole suite over real SSTables. A
-// store setup failure panics: the hook is a test-only path with no error
-// plumbing at the construction sites.
-func NewCluster(profile sim.Profile, metrics *sim.Metrics) *Cluster {
+// store setup failure (now reachable through fault injection, not just
+// exotic tempdir states) is returned, never panicked.
+func NewCluster(profile sim.Profile, metrics *sim.Metrics) (*Cluster, error) {
 	if metrics == nil {
 		metrics = &sim.Metrics{}
 	}
@@ -93,15 +99,15 @@ func NewCluster(profile sim.Profile, metrics *sim.Metrics) *Cluster {
 	if os.Getenv("KVSTORE_DISK") == "1" {
 		dir, err := os.MkdirTemp("", "kvstore-disk-")
 		if err != nil {
-			panic("kvstore: KVSTORE_DISK temp dir: " + err.Error())
+			return nil, fmt.Errorf("kvstore: KVSTORE_DISK temp dir: %w", err)
 		}
-		store, err := openDiskStore(dir, DefaultBlockCacheBytes)
+		store, err := openDiskStore(dir, DefaultBlockCacheBytes, nil)
 		if err != nil {
-			panic("kvstore: KVSTORE_DISK store: " + err.Error())
+			return nil, fmt.Errorf("kvstore: KVSTORE_DISK store: %w", err)
 		}
 		c.state.store = store
 	}
-	return c
+	return c, nil
 }
 
 // OpenCluster opens (or initializes) a disk-backed cluster rooted at
@@ -111,10 +117,18 @@ func NewCluster(profile sim.Profile, metrics *sim.Metrics) *Cluster {
 // values past everything durably stored — the cold-start recovery
 // protocol (see the package documentation).
 func OpenCluster(profile sim.Profile, metrics *sim.Metrics, dir string) (*Cluster, error) {
+	return OpenClusterFS(profile, metrics, dir, nil)
+}
+
+// OpenClusterFS is OpenCluster over an explicit filesystem seam: every
+// byte of the WALs, SSTables, and MANIFEST flows through fsys (nil =
+// the real filesystem). Fault-injection tests mount internal/faultfs
+// here to prove out the failure paths.
+func OpenClusterFS(profile sim.Profile, metrics *sim.Metrics, dir string, fsys VFS) (*Cluster, error) {
 	if metrics == nil {
 		metrics = &sim.Metrics{}
 	}
-	store, err := openDiskStore(dir, DefaultBlockCacheBytes)
+	store, err := openDiskStore(dir, DefaultBlockCacheBytes, fsys)
 	if err != nil {
 		return nil, err
 	}
@@ -175,7 +189,7 @@ func (c *Cluster) openRegion(rec *manifestRegion) (*Region, error) {
 	}
 	var maxTs int64
 	for _, f := range rec.Files {
-		seg, err := openSSTable(s.store.dir, f, s.store.cache)
+		seg, err := openSSTable(s.store.fs, s.store.dir, f, s.store.cache)
 		if err != nil {
 			r.shutdown()
 			return nil, err
@@ -381,7 +395,26 @@ func (c *Cluster) WithMetrics(m *sim.Metrics) *Cluster {
 	if m == nil {
 		m = &sim.Metrics{}
 	}
-	return &Cluster{state: c.state, profile: c.profile, metrics: m}
+	return &Cluster{state: c.state, profile: c.profile, metrics: m, guard: c.guard}
+}
+
+// WithGuard returns a view whose read operations call g before touching
+// storage and abort with its error when non-nil. The query layer
+// installs its budget check here, making cancellation cooperative all
+// the way down: a deadline fires inside a long scan or index build, not
+// just between results.
+func (c *Cluster) WithGuard(g func() error) *Cluster {
+	return &Cluster{state: c.state, profile: c.profile, metrics: c.metrics, guard: g}
+}
+
+// CheckInterrupt runs the view's guard, if any. Exposed for job runners
+// (MapReduce) that read regions locally and need the same cooperative
+// cancellation points as the metered client paths.
+func (c *Cluster) CheckInterrupt() error {
+	if c.guard == nil {
+		return nil
+	}
+	return c.guard()
 }
 
 // Metrics returns the cluster's metric collector.
@@ -782,6 +815,9 @@ func (c *Cluster) MutateRow(table string, cells []Cell) error {
 
 // Get fetches one row (nil if absent). families==nil fetches all.
 func (c *Cluster) Get(table, row string, families ...string) (*Row, error) {
+	if err := c.CheckInterrupt(); err != nil {
+		return nil, err
+	}
 	t, err := c.table(table)
 	if err != nil {
 		return nil, err

@@ -4,7 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
+	"io/fs"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -31,6 +31,10 @@ import (
 type diskStore struct {
 	dir   string
 	cache *blockCache
+	// fs is the filesystem seam every durable byte flows through. Set
+	// once at open, read-only afterwards; DefaultVFS in production,
+	// a faultfs wrapper under fault injection.
+	fs VFS
 
 	mu  sync.Mutex // leaf lock: region/table/state locks may be held when acquiring it
 	man manifest   // guarded by: mu
@@ -83,18 +87,21 @@ type manifest struct {
 
 // openDiskStore opens (or initializes) a store directory, loads the
 // manifest, and removes orphaned files left by crashes.
-func openDiskStore(dir string, cacheBytes uint64) (*diskStore, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+func openDiskStore(dir string, cacheBytes uint64, fsys VFS) (*diskStore, error) {
+	if fsys == nil {
+		fsys = DefaultVFS()
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	s := &diskStore{dir: dir, cache: newBlockCache(cacheBytes)}
-	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	s := &diskStore{dir: dir, cache: newBlockCache(cacheBytes), fs: fsys}
+	raw, err := readFileVFS(fsys, filepath.Join(dir, manifestName))
 	switch {
 	case err == nil:
 		if err := json.Unmarshal(raw, &s.man); err != nil {
-			return nil, fmt.Errorf("kvstore: corrupt manifest: %w", err)
+			return nil, corruptionAt(manifestName, -1, fmt.Errorf("corrupt manifest: %v", err))
 		}
-	case os.IsNotExist(err):
+	case errors.Is(err, fs.ErrNotExist):
 		// Fresh store.
 	default:
 		return nil, err
@@ -134,7 +141,7 @@ func (s *diskStore) cleanOrphansLocked() error {
 			liveFiles[f] = true
 		}
 	}
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return err
 	}
@@ -152,7 +159,7 @@ func (s *diskStore) cleanOrphansLocked() error {
 			continue
 		}
 		if !liveFiles[name] {
-			if err := os.Remove(filepath.Join(s.dir, name)); err != nil && !os.IsNotExist(err) {
+			if err := s.fs.Remove(filepath.Join(s.dir, name)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 				return err
 			}
 		}
@@ -188,28 +195,25 @@ func (s *diskStore) saveLocked() error {
 		return err
 	}
 	tmp := filepath.Join(s.dir, manifestName+".tmp")
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := s.fs.OpenFile(tmp, osWriteTrunc, 0o644)
 	if err != nil {
-		return err
+		return &IOError{Path: tmp, Op: "open", Err: err}
 	}
 	if _, err := f.Write(raw); err != nil {
 		f.Close()
-		return err
+		return &IOError{Path: tmp, Op: "write", Err: err}
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		return err
+		return &IOError{Path: tmp, Op: "sync", Err: err}
 	}
 	if err := f.Close(); err != nil {
-		return err
+		return &IOError{Path: tmp, Op: "close", Err: err}
 	}
-	if err := os.Rename(tmp, filepath.Join(s.dir, manifestName)); err != nil {
-		return err
+	if err := s.fs.Rename(tmp, filepath.Join(s.dir, manifestName)); err != nil {
+		return &IOError{Path: tmp, Op: "rename", Err: err}
 	}
-	if d, err := os.Open(s.dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
+	_ = s.fs.SyncDir(s.dir)
 	return nil
 }
 
@@ -258,7 +262,7 @@ func (s *diskStore) registerSegments(tmpl manifestRegion, files []string, seq ui
 		return errSimulatedCrash
 	}
 	for _, f := range obsolete {
-		if err := os.Remove(filepath.Join(s.dir, f)); err != nil && !os.IsNotExist(err) {
+		if err := s.fs.Remove(filepath.Join(s.dir, f)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 			return err
 		}
 	}
@@ -270,11 +274,11 @@ func (s *diskStore) registerSegments(tmpl manifestRegion, files []string, seq ui
 // region (DropTable, split completion) before calling.
 func (s *diskStore) dropRegionFiles(rec *manifestRegion) error {
 	for _, f := range rec.Files {
-		if err := os.Remove(filepath.Join(s.dir, f)); err != nil && !os.IsNotExist(err) {
+		if err := s.fs.Remove(filepath.Join(s.dir, f)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 			return err
 		}
 	}
-	if err := os.Remove(s.walPath(rec.ID)); err != nil && !os.IsNotExist(err) {
+	if err := s.fs.Remove(s.walPath(rec.ID)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return err
 	}
 	return nil

@@ -96,6 +96,34 @@
 // — a crash either sees the parent or both children, never a half
 // split.
 //
+// # Failure taxonomy
+//
+// Every file operation flows through a pluggable VFS (OpenClusterFS;
+// internal/faultfs wraps any VFS with deterministic fault schedules
+// for the tests), and failures surface typed, never stringly:
+//
+//   - IOError names the file and operation of an I/O failure.
+//     Transient read errors are retried with bounded backoff
+//     (readRetryAttempts) before one surfaces.
+//   - CorruptionError (matching ErrCorruption) names the file and byte
+//     offset of a failed checksum. A WAL whose FINAL record is torn —
+//     incomplete, or complete with a failing CRC — is trimmed at open
+//     and recovery proceeds, because a torn tail is a crash mid-append
+//     and that record was never acknowledged. A CRC failure with valid
+//     records after it can only be at-rest damage and fails the open.
+//
+// Cluster.Scrub walks every on-disk frame verifying checksums,
+// bypassing the block cache so the verification reads the media, and
+// quarantines tables that fail: a quarantined table leaves the read
+// path (reads that could touch its key range return a typed
+// CorruptionError instead of silently missing rows) and its file is
+// never deleted. Cluster.Quarantined lists them; the scrub's reads are
+// measured I/O, charged like any client-visible work.
+//
+// Long operations degrade cooperatively: a view wrapped by WithGuard
+// checks its interrupt (deadline, context, budget — see core's Budget)
+// at every RPC boundary and inside scans and MapReduce tasks.
+//
 // # Cost accounting
 //
 // Every operation returns OpStats so the metered client (or the

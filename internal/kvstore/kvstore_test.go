@@ -10,9 +10,13 @@ import (
 	"repro/internal/sim"
 )
 
-func testCluster(t *testing.T) *Cluster {
+func testCluster(t testing.TB) *Cluster {
 	t.Helper()
-	return NewCluster(sim.LC(), nil)
+	c, err := NewCluster(sim.LC(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
 }
 
 func mustCreate(t *testing.T, c *Cluster, name string, families []string, splits []string) *Table {
@@ -601,7 +605,7 @@ func TestClockMonotonic(t *testing.T) {
 }
 
 func BenchmarkPut(b *testing.B) {
-	c := NewCluster(sim.LC(), nil)
+	c := testCluster(b)
 	c.CreateTable("t", []string{"cf"}, nil)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -610,7 +614,7 @@ func BenchmarkPut(b *testing.B) {
 }
 
 func BenchmarkGet(b *testing.B) {
-	c := NewCluster(sim.LC(), nil)
+	c := testCluster(b)
 	c.CreateTable("t", []string{"cf"}, nil)
 	for i := 0; i < 10000; i++ {
 		c.Put("t", Cell{Row: fmt.Sprintf("r%09d", i), Family: "cf", Qualifier: "v", Value: []byte("x")})
@@ -625,7 +629,7 @@ func BenchmarkGet(b *testing.B) {
 }
 
 func BenchmarkScan10k(b *testing.B) {
-	c := NewCluster(sim.LC(), nil)
+	c := testCluster(b)
 	c.CreateTable("t", []string{"cf"}, nil)
 	for i := 0; i < 10000; i++ {
 		c.Put("t", Cell{Row: fmt.Sprintf("r%09d", i), Family: "cf", Qualifier: "v", Value: []byte("x")})

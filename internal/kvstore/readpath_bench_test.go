@@ -3,8 +3,6 @@ package kvstore
 import (
 	"fmt"
 	"testing"
-
-	"repro/internal/sim"
 )
 
 // buildMultiSegmentRegion loads a single-region table whose rows are
@@ -14,7 +12,7 @@ import (
 // and ISL random gets hit in practice.
 func buildMultiSegmentRegion(tb testing.TB, nSegs, rowsPerSeg int) (*Cluster, int) {
 	tb.Helper()
-	c := NewCluster(sim.LC(), nil)
+	c := testCluster(tb)
 	if _, err := c.CreateTable("t", []string{"cf"}, nil); err != nil {
 		tb.Fatal(err)
 	}
@@ -158,7 +156,7 @@ func BenchmarkSustainedLoad(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		c := NewCluster(sim.LC(), nil)
+		c := testCluster(b)
 		if _, err := c.CreateTable("t", []string{"cf"}, nil); err != nil {
 			b.Fatal(err)
 		}

@@ -101,7 +101,7 @@ func sortStrings(s []string) {
 // including tombstones, overwrites, and family restrictions.
 func TestGetMatchesScan(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
-	c := NewCluster(sim.LC(), nil)
+	c := testCluster(t)
 	c.SetRowCacheBytes(0) // exercise the segment path, not the cache
 	mustCreate(t, c, "t", []string{"a", "b"}, nil)
 	regs, _ := c.TableRegions("t")
@@ -155,7 +155,7 @@ func TestGetMatchesScan(t *testing.T) {
 // cached negatively, and family-restricted reads are served from the
 // full cached row.
 func TestRowCacheServesAndInvalidates(t *testing.T) {
-	c := NewCluster(sim.LC(), nil)
+	c := testCluster(t)
 	mustCreate(t, c, "t", []string{"a", "b"}, nil)
 	put := func(fam, val string) {
 		t.Helper()
@@ -214,7 +214,7 @@ func TestRowCacheServesAndInvalidates(t *testing.T) {
 // examined but not returned — while its simulated time drops because
 // the seek and disk bytes are skipped.
 func TestRowCacheBillsWarmLikeCold(t *testing.T) {
-	c := NewCluster(sim.LC(), nil)
+	c := testCluster(t)
 	mustCreate(t, c, "t", []string{"a"}, nil)
 	c.Put("t", Cell{Row: "r", Family: "a", Qualifier: "x", Value: []byte("1")})
 	c.Put("t", Cell{Row: "r", Family: "a", Qualifier: "y", Value: []byte("2")})
@@ -263,7 +263,7 @@ func TestRowCacheBillsWarmLikeCold(t *testing.T) {
 // point readers, and scanners (run under -race), then verifies every
 // row's final value against a per-row model.
 func TestRowCacheConcurrent(t *testing.T) {
-	c := NewCluster(sim.LC(), nil)
+	c := testCluster(t)
 	mustCreate(t, c, "t", []string{"cf"}, []string{"k050"})
 	const rows = 100
 	var mu sync.Mutex
@@ -332,8 +332,8 @@ func TestRowCacheConcurrent(t *testing.T) {
 // point and after a final major compaction — tombstones included.
 func TestTieredCompactionEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
-	tiered := NewCluster(sim.LC(), nil)
-	naive := NewCluster(sim.LC(), nil)
+	tiered := testCluster(t)
+	naive := testCluster(t)
 	mustCreate(t, tiered, "t", []string{"cf"}, nil)
 	mustCreate(t, naive, "t", []string{"cf"}, nil)
 	tr := mustRegion(t, tiered, "t")
@@ -412,7 +412,7 @@ func TestTieredCompactionEquivalence(t *testing.T) {
 // tombstone, seg A ts=100 live; merging A+B must not let a ReadTs=60
 // snapshot resurrect the deleted ts=30 value.
 func TestSubsetMergeKeepsShadowedTombstones(t *testing.T) {
-	c := NewCluster(sim.LC(), nil)
+	c := testCluster(t)
 	mustCreate(t, c, "t", []string{"cf"}, nil)
 	r := mustRegion(t, c, "t")
 	put := func(ts int64, tomb bool) {
@@ -462,7 +462,7 @@ func TestSubsetMergeKeepsShadowedTombstones(t *testing.T) {
 // merged runs must survive a subset merge, or a ReadTs snapshot read
 // would resolve to an even older value from a run outside the merge.
 func TestSubsetMergeKeepsShadowedVersions(t *testing.T) {
-	c := NewCluster(sim.LC(), nil)
+	c := testCluster(t)
 	mustCreate(t, c, "t", []string{"cf"}, nil)
 	r := mustRegion(t, c, "t")
 	for _, ts := range []int64{30, 50, 100} {
@@ -492,7 +492,7 @@ func TestSubsetMergeKeepsShadowedVersions(t *testing.T) {
 // (which retain every version) would let DiskSize grow to the write
 // volume.
 func TestTieredCompactionGarbageCollects(t *testing.T) {
-	c := NewCluster(sim.LC(), nil)
+	c := testCluster(t)
 	mustCreate(t, c, "t", []string{"cf"}, nil)
 	r := mustRegion(t, c, "t")
 	r.mu.Lock()
@@ -518,7 +518,7 @@ func TestTieredCompactionGarbageCollects(t *testing.T) {
 // must write far fewer bytes than rewriting the whole region per flush
 // (which would be ~sum over flushes of the data size so far).
 func TestTieredCompactionCutsWriteAmplification(t *testing.T) {
-	c := NewCluster(sim.LC(), nil)
+	c := testCluster(t)
 	mustCreate(t, c, "t", []string{"cf"}, nil)
 	r := mustRegion(t, c, "t")
 	r.mu.Lock()

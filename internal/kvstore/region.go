@@ -40,6 +40,14 @@ type Region struct {
 	// guarded by: mu
 	closed bool
 
+	// quarantined holds on-disk runs that failed checksum verification
+	// in a Scrub pass. They are off the read path — any read whose key
+	// range may touch one fails with a typed CorruptionError rather
+	// than silently missing rows — and their files are never unlinked,
+	// so the damaged bytes remain available for repair.
+	// guarded by: mu
+	quarantined []*diskSegment
+
 	// liveCells caches LiveCellCount's merge walk, keyed by the seq that
 	// produced it. Flushes and compactions never change the live set, so
 	// the cache only invalidates on mutation (seq advance). The cache
@@ -85,7 +93,7 @@ func (r *Region) attachStore(store *diskStore) error {
 	if store == nil {
 		return nil
 	}
-	w, err := openWAL(store.walPath(r.id))
+	w, err := openWAL(store.fs, store.walPath(r.id))
 	if err != nil {
 		return err
 	}
@@ -123,6 +131,11 @@ func (r *Region) shutdown() error {
 	defer r.mu.Unlock()
 	var first error
 	for _, s := range r.segments {
+		if err := s.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, s := range r.quarantined {
 		if err := s.close(); err != nil && first == nil {
 			first = err
 		}
@@ -301,7 +314,7 @@ func (r *Region) flushLocked() error {
 		r.segments = append([]run{seg}, r.segments...)
 	} else {
 		name := r.store.allocFile()
-		seg, err := writeSSTable(r.store.dir, name, r.store.cache, r.mem.iterator(""))
+		seg, err := writeSSTable(r.store.fs, r.store.dir, name, r.store.cache, r.mem.iterator(""))
 		if err != nil {
 			return err
 		}
@@ -499,7 +512,7 @@ func (r *Region) mergeSegmentsLocked(picked []int) error {
 			src = newGCIter(src)
 		}
 		name := r.store.allocFile()
-		seg, err := writeSSTable(r.store.dir, name, r.store.cache, src)
+		seg, err := writeSSTable(r.store.fs, r.store.dir, name, r.store.cache, src)
 		if err != nil {
 			return err
 		}
@@ -633,6 +646,11 @@ func (r *Region) scanAt(startRow, endRow string, limit int, families []string, r
 	if r.closed && !allowClosed {
 		return nil, OpStats{}, errRegionSplit
 	}
+	for _, q := range r.quarantined {
+		if q.overlapsRows(startRow, endRow) {
+			return nil, OpStats{}, errQuarantined(q.name)
+		}
+	}
 	diskBacked := r.store != nil
 
 	start := startRow
@@ -728,6 +746,11 @@ func (r *Region) get(row string, families []string) (*Row, OpStats, error) {
 	defer r.mu.RUnlock()
 	if r.closed {
 		return nil, OpStats{}, errRegionSplit
+	}
+	for _, q := range r.quarantined {
+		if q.mayContainRow(row) {
+			return nil, OpStats{}, errQuarantined(q.name)
+		}
 	}
 	var stats OpStats
 	diskBacked := r.store != nil

@@ -114,6 +114,10 @@ func (sc *Scanner) Fill() error {
 	if sc.Buffered() > 0 || sc.done {
 		return nil
 	}
+	if err := sc.c.CheckInterrupt(); err != nil {
+		sc.err = err
+		return err
+	}
 	var res fetchResult
 	hidden := time.Duration(0)
 	if sc.pfInflight {
@@ -270,6 +274,9 @@ func (c *Cluster) chargeMultiGetCounters(nrows int, stats OpStats) {
 // round-trip latency is amortized across the batch — the cost profile
 // BFHM's reverse-mapping phase relies on. Missing rows yield nil entries.
 func (c *Cluster) MultiGet(table string, rows []string, families ...string) ([]*Row, error) {
+	if err := c.CheckInterrupt(); err != nil {
+		return nil, err
+	}
 	t, err := c.table(table)
 	if err != nil {
 		return nil, err
@@ -311,6 +318,9 @@ type multiGetBatch struct {
 func (c *Cluster) ParallelMultiGet(table string, rows []string, parallelism int, families ...string) ([]*Row, error) {
 	if parallelism <= 1 || len(rows) <= 1 {
 		return c.MultiGet(table, rows, families...)
+	}
+	if err := c.CheckInterrupt(); err != nil {
+		return nil, err
 	}
 	t, err := c.table(table)
 	if err != nil {

@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"sync"
 	"testing"
-
-	"repro/internal/sim"
 )
 
 // Regression tests for the split/routing races: the table's region list
@@ -32,7 +30,7 @@ func loadSplittableTable(t *testing.T, c *Cluster, name string, n int) {
 // synchronized this was a data race (and reads could observe a retired
 // region's stale routing).
 func TestConcurrentSplitAndAccess(t *testing.T) {
-	c := NewCluster(sim.LC(), nil)
+	c := testCluster(t)
 	const rows = 400
 	loadSplittableTable(t, c, "t", rows)
 
@@ -162,7 +160,7 @@ func TestConcurrentSplitAndAccess(t *testing.T) {
 // lands on the parent after the split's cell snapshot must be retried
 // onto a child, not silently dropped into the retired region.
 func TestSplitWriteNotLost(t *testing.T) {
-	c := NewCluster(sim.LC(), nil)
+	c := testCluster(t)
 	const rows = 200
 	loadSplittableTable(t, c, "t", rows)
 
@@ -206,7 +204,7 @@ func TestSplitWriteNotLost(t *testing.T) {
 // the whole region's contents as WAL records — the batched seed flushes
 // into a segment and truncates the log.
 func TestSplitSeedsChildrenWithoutWALBacklog(t *testing.T) {
-	c := NewCluster(sim.LC(), nil)
+	c := testCluster(t)
 	loadSplittableTable(t, c, "t", 300)
 
 	if err := c.SplitRegion("t", "r0150"); err != nil {
@@ -241,7 +239,7 @@ func TestSplitSeedsChildrenWithoutWALBacklog(t *testing.T) {
 // live column count regardless of how many stored versions updates have
 // piled up, and TableStats must surface it.
 func TestLiveCellCountIgnoresVersionChurn(t *testing.T) {
-	c := NewCluster(sim.LC(), nil)
+	c := testCluster(t)
 	if _, err := c.CreateTable("t", []string{"d"}, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +279,7 @@ func TestLiveCellCountIgnoresVersionChurn(t *testing.T) {
 // able to scan a region that a concurrent split retired — the parent
 // keeps its range's complete pre-split data.
 func TestLocalScanSurvivesSplit(t *testing.T) {
-	c := NewCluster(sim.LC(), nil)
+	c := testCluster(t)
 	loadSplittableTable(t, c, "t", 200)
 	regions, err := c.TableRegions("t")
 	if err != nil {

@@ -4,8 +4,6 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
-	"io"
-	"os"
 	"sort"
 
 	"repro/internal/bloom"
@@ -54,20 +52,17 @@ type blockReader interface {
 	close() error
 }
 
-// preadReader is the os.File-backed blockReader.
+// preadReader is the VFS-file-backed blockReader. Transient read
+// failures are retried with bounded backoff (see readFullAt); what
+// escapes is typed — IOError for a read that never produced bytes,
+// CorruptionError for a file that stably ends where data should be.
 type preadReader struct {
-	f *os.File
+	f    File
+	path string
 }
 
 func (r *preadReader) readAt(p []byte, off int64) error {
-	n, err := r.f.ReadAt(p, off)
-	if err != nil && !(err == io.EOF && n == len(p)) {
-		return err
-	}
-	if n != len(p) {
-		return corruptf("short read: %d of %d bytes at %d", n, len(p), off)
-	}
-	return nil
+	return readFullAt(r.f, r.path, p, off)
 }
 
 func (r *preadReader) close() error { return r.f.Close() }
@@ -99,15 +94,21 @@ func (d *diskSegment) dataSize() uint64 { return d.meta.logical }
 func (d *diskSegment) close() error     { return d.br.close() }
 
 // readBlockFrame fetches and verifies one framed block from the file.
+// Verification failures surface as CorruptionError naming the file and
+// frame offset.
 func (d *diskSegment) readBlockFrame(off, length uint64) ([]byte, error) {
 	if length < blockFrameOverhead || off+length > d.fileLen {
-		return nil, corruptf("block frame [%d,+%d) outside file of %d bytes", off, length, d.fileLen)
+		return nil, corruptionAt(d.name, int64(off), corruptf("block frame [%d,+%d) outside file of %d bytes", off, length, d.fileLen))
 	}
 	frame := make([]byte, length)
 	if err := d.br.readAt(frame, int64(off)); err != nil {
 		return nil, err
 	}
-	return decodeFrame(frame)
+	payload, err := decodeFrame(frame)
+	if err != nil {
+		return nil, corruptionAt(d.name, int64(off), err)
+	}
+	return payload, nil
 }
 
 // readDataBlock returns the decoded data block at off, charging io for
@@ -126,7 +127,7 @@ func (d *diskSegment) readDataBlock(io *OpStats, off, length uint64) (*decodedBl
 	}
 	blk, err := decodeDataBlock(payload)
 	if err != nil {
-		return nil, fmt.Errorf("%s block %d: %w", d.name, off, err)
+		return nil, corruptionAt(d.name, int64(off), err)
 	}
 	if io != nil {
 		io.BytesRead += length
@@ -151,7 +152,7 @@ func (d *diskSegment) readIndexBlock(io *OpStats, off, length uint64) ([]indexEn
 	}
 	entries, err := decodeIndexBlock(payload)
 	if err != nil {
-		return nil, fmt.Errorf("%s index block %d: %w", d.name, off, err)
+		return nil, corruptionAt(d.name, int64(off), err)
 	}
 	if io != nil {
 		io.BytesRead += length
@@ -282,7 +283,7 @@ func (it *diskSegIter) next() {
 
 // sstWriter streams sorted cells into an SSTable file.
 type sstWriter struct {
-	f   *os.File
+	f   File
 	w   *bufio.Writer
 	off uint64
 
@@ -329,7 +330,10 @@ func (w *sstWriter) writeFramed(payload []byte) (off, length uint64, err error) 
 // empty iterator writes nothing and returns (nil, nil). The caller
 // registers the file in the store manifest; until then a crash leaves
 // an orphan that cleanOrphans removes at next open.
-func writeSSTable(dir, name string, cache *blockCache, it cellIter) (seg *diskSegment, err error) {
+func writeSSTable(fsys VFS, dir, name string, cache *blockCache, it cellIter) (seg *diskSegment, err error) {
+	if fsys == nil {
+		fsys = DefaultVFS()
+	}
 	if !it.valid() {
 		if err := it.fail(); err != nil {
 			return nil, err
@@ -337,14 +341,14 @@ func writeSSTable(dir, name string, cache *blockCache, it cellIter) (seg *diskSe
 		return nil, nil
 	}
 	path := dir + "/" + name
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := fsys.Create(path)
 	if err != nil {
-		return nil, err
+		return nil, &IOError{Path: name, Op: "create", Err: err}
 	}
 	defer func() {
 		if err != nil {
 			f.Close()
-			os.Remove(path)
+			fsys.Remove(path)
 		}
 	}()
 
@@ -435,20 +439,20 @@ func writeSSTable(dir, name string, cache *blockCache, it cellIter) (seg *diskSe
 	binary.BigEndian.PutUint32(footer[48:52], sstVersion)
 	binary.BigEndian.PutUint64(footer[52:60], sstMagic)
 	if _, err := w.w.Write(footer[:]); err != nil {
-		return nil, err
+		return nil, &IOError{Path: name, Op: "write", Err: err}
 	}
 	w.off += sstFooterLen
 	if err := w.w.Flush(); err != nil {
-		return nil, err
+		return nil, &IOError{Path: name, Op: "write", Err: err}
 	}
 	if err := f.Sync(); err != nil {
-		return nil, err
+		return nil, &IOError{Path: name, Op: "sync", Err: err}
 	}
 
 	return &diskSegment{
 		name:    name,
 		id:      sstFileNum(name),
-		br:      &preadReader{f: f},
+		br:      &preadReader{f: f, path: name},
 		cache:   cache,
 		summary: summary,
 		filter:  filter,
@@ -459,26 +463,29 @@ func writeSSTable(dir, name string, cache *blockCache, it cellIter) (seg *diskSe
 
 // openSSTable opens an existing SSTable file and loads its summary,
 // bloom filter, and meta block.
-func openSSTable(dir, name string, cache *blockCache) (*diskSegment, error) {
-	f, err := os.Open(dir + "/" + name)
+func openSSTable(fsys VFS, dir, name string, cache *blockCache) (*diskSegment, error) {
+	if fsys == nil {
+		fsys = DefaultVFS()
+	}
+	f, err := fsys.Open(dir + "/" + name)
 	if err != nil {
-		return nil, err
+		return nil, &IOError{Path: name, Op: "open", Err: err}
 	}
 	st, err := f.Stat()
 	if err != nil {
 		f.Close()
-		return nil, err
+		return nil, &IOError{Path: name, Op: "stat", Err: err}
 	}
 	d := &diskSegment{
 		name:    name,
 		id:      sstFileNum(name),
-		br:      &preadReader{f: f},
+		br:      &preadReader{f: f, path: name},
 		cache:   cache,
 		fileLen: uint64(st.Size()),
 	}
 	if err := d.loadTail(); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("%s: %w", name, err)
+		return nil, err
 	}
 	return d, nil
 }
@@ -486,17 +493,18 @@ func openSSTable(dir, name string, cache *blockCache) (*diskSegment, error) {
 // loadTail parses the footer and the three tail blocks it points at.
 func (d *diskSegment) loadTail() error {
 	if d.fileLen < sstFooterLen {
-		return corruptf("file of %d bytes is shorter than the footer", d.fileLen)
+		return corruptionAt(d.name, 0, corruptf("file of %d bytes is shorter than the footer", d.fileLen))
 	}
+	footerOff := int64(d.fileLen - sstFooterLen)
 	var footer [sstFooterLen]byte
-	if err := d.br.readAt(footer[:], int64(d.fileLen-sstFooterLen)); err != nil {
+	if err := d.br.readAt(footer[:], footerOff); err != nil {
 		return err
 	}
 	if got := binary.BigEndian.Uint64(footer[52:60]); got != sstMagic {
-		return corruptf("bad magic %016x", got)
+		return corruptionAt(d.name, footerOff, corruptf("bad magic %016x", got))
 	}
 	if v := binary.BigEndian.Uint32(footer[48:52]); v != sstVersion {
-		return corruptf("unsupported format version %d", v)
+		return corruptionAt(d.name, footerOff, corruptf("unsupported format version %d", v))
 	}
 	summaryOff := binary.BigEndian.Uint64(footer[0:8])
 	summaryLen := binary.BigEndian.Uint64(footer[8:16])
@@ -510,7 +518,7 @@ func (d *diskSegment) loadTail() error {
 		return fmt.Errorf("summary: %w", err)
 	}
 	if d.summary, err = decodeIndexBlock(payload); err != nil {
-		return err
+		return corruptionAt(d.name, int64(summaryOff), err)
 	}
 	if payload, err = d.readBlockFrame(bloomOff, bloomLen); err != nil {
 		return fmt.Errorf("bloom: %w", err)
@@ -518,14 +526,14 @@ func (d *diskSegment) loadTail() error {
 	if len(payload) > 0 {
 		d.filter = new(bloom.Filter)
 		if err := d.filter.UnmarshalBinary(payload); err != nil {
-			return corruptf("bloom filter: %v", err)
+			return corruptionAt(d.name, int64(bloomOff), corruptf("bloom filter: %v", err))
 		}
 	}
 	if payload, err = d.readBlockFrame(metaOff, metaLen); err != nil {
 		return fmt.Errorf("meta: %w", err)
 	}
 	if d.meta, err = decodeMetaBlock(payload); err != nil {
-		return err
+		return corruptionAt(d.name, int64(metaOff), err)
 	}
 	return nil
 }

@@ -1,0 +1,109 @@
+package kvstore
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// VFS is the filesystem seam every durable-path byte flows through: the
+// WAL, SSTables, and the MANIFEST all open their files here instead of
+// calling the os package directly. The default implementation (osFS) is
+// a thin veneer over the real filesystem; internal/faultfs wraps any
+// VFS with deterministic fault schedules (EIO on the nth read, torn
+// writes, lying fsync, bit-rot, latency), which is how the failure
+// paths in this package are proven out.
+//
+// Implementations must be safe for concurrent use; the files they
+// return must support concurrent ReadAt (pread semantics).
+type VFS interface {
+	// OpenFile opens path with the given os.O_* flags.
+	OpenFile(path string, flag int, perm os.FileMode) (File, error)
+	// Open opens path read-only.
+	Open(path string) (File, error)
+	// Create creates path exclusively (O_RDWR|O_CREATE|O_EXCL): the
+	// SSTable writer's contract that file numbers are never reused
+	// while the previous incarnation still exists.
+	Create(path string) (File, error)
+	// MkdirAll creates a directory tree.
+	MkdirAll(path string, perm os.FileMode) error
+	// ReadDir lists a directory.
+	ReadDir(path string) ([]fs.DirEntry, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove unlinks path.
+	Remove(path string) error
+	// SyncDir fsyncs the directory itself, making renames and unlinks
+	// within it durable.
+	SyncDir(path string) error
+}
+
+// File is one open handle from a VFS. os.File satisfies it directly.
+type File interface {
+	io.Reader
+	io.Writer
+	io.ReaderAt
+	io.Seeker
+	io.Closer
+	Truncate(size int64) error
+	Sync() error
+	Stat() (fs.FileInfo, error)
+}
+
+// Flag combinations the durable paths use, named so call sites stay
+// free of os.O_* noise.
+const (
+	osWriteTrunc = os.O_WRONLY | os.O_CREATE | os.O_TRUNC
+	osReadWrite  = os.O_RDWR | os.O_CREATE
+)
+
+// osFS is the production VFS: the real filesystem via the os package.
+type osFS struct{}
+
+// DefaultVFS returns the production filesystem.
+func DefaultVFS() VFS { return osFS{} }
+
+func (osFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(path, flag, perm)
+}
+
+func (osFS) Open(path string) (File, error) { return os.Open(path) }
+
+func (osFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) ReadDir(path string) ([]fs.DirEntry, error) { return os.ReadDir(path) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+func (osFS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// readFileVFS is os.ReadFile through a VFS.
+func readFileVFS(v VFS, path string) ([]byte, error) {
+	f, err := v.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := io.ReadAll(f)
+	cerr := f.Close()
+	if err != nil {
+		return nil, err
+	}
+	return raw, cerr
+}

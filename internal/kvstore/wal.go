@@ -3,8 +3,8 @@ package kvstore
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
-	"os"
 )
 
 // wal is a region's write-ahead log: every mutation is appended before it
@@ -14,60 +14,102 @@ import (
 // file, which openWAL reads back at cold start. The in-memory buf always
 // mirrors the file's valid prefix, so replay and size never touch disk.
 //
+// Record layout: a 10-byte header [1B flags][4B BE klen][4B BE vlen]
+// [1B pad], the key, the value, then a 4-byte CRC32 (IEEE) over
+// everything before it. The trailing CRC is what lets openWAL tell two
+// failure modes apart:
+//
+//   - A torn tail — crash mid-append — is an incomplete final record,
+//     or a complete final record whose CRC fails (the bytes landed out
+//     of order). It is trimmed and recovery proceeds: the append never
+//     returned success, so no acknowledged write is lost.
+//   - A CRC failure in the MIDDLE of the log (valid records follow) can
+//     only be at-rest damage. That is a CorruptionError naming the file
+//     and offset — never a silent trim of acknowledged writes.
+//
 // Appends write to the file without an fsync per record — the group-
 // commit tradeoff every production WAL makes; the crash tests exercise
 // the torn-tail trim in openWAL rather than pretending fsync-per-record.
 type wal struct {
 	buf     []byte
 	records int
-	f       *os.File // nil when memory-only
+	f       File // nil when memory-only
 	path    string
+	// broken is set when a failed append could not roll the FILE back
+	// to its last acknowledged length: the file offset is no longer
+	// trusted, so every later append must fail rather than write a
+	// record after a torn fragment — that would turn an innocent torn
+	// tail into mid-log corruption poisoning acknowledged writes at the
+	// next open.
+	broken error
 }
 
-// openWAL opens (or creates) a file-backed WAL, loading the existing
-// contents into buf. A torn final record (crash mid-append) is trimmed
-// from both buf and the file.
-func openWAL(path string) (*wal, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+// walRecordOverhead is the per-record framing: 10-byte header plus the
+// trailing 4-byte CRC.
+const walRecordOverhead = 14
+
+// openWAL opens (or creates) a file-backed WAL through the store's VFS,
+// loading the existing contents into buf. A torn final record (crash
+// mid-append) is trimmed from both buf and the file; corruption earlier
+// in the log fails the open with a typed CorruptionError.
+func openWAL(fsys VFS, path string) (*wal, error) {
+	f, err := fsys.OpenFile(path, osReadWrite, 0o644)
 	if err != nil {
-		return nil, err
+		return nil, &IOError{Path: path, Op: "open", Err: err}
 	}
 	buf, err := io.ReadAll(f)
 	if err != nil {
 		f.Close()
-		return nil, err
+		return nil, &IOError{Path: path, Op: "read", Err: err}
 	}
 	w := &wal{f: f, path: path}
-	valid, records := walValidPrefix(buf)
+	valid, records, err := walValidPrefix(buf)
+	if err != nil {
+		f.Close()
+		return nil, corruptionAt(path, int64(valid), err)
+	}
 	w.buf = buf[:valid]
 	w.records = records
 	if valid != len(buf) {
 		if err := f.Truncate(int64(valid)); err != nil {
 			f.Close()
-			return nil, err
+			return nil, &IOError{Path: path, Op: "truncate", Err: err}
 		}
 	}
 	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
 		f.Close()
-		return nil, err
+		return nil, &IOError{Path: path, Op: "seek", Err: err}
 	}
 	return w, nil
 }
 
 // walValidPrefix scans records and returns the byte length of the valid
-// prefix plus the record count.
-func walValidPrefix(buf []byte) (int, int) {
+// prefix plus the record count. An incomplete or checksum-failing FINAL
+// record is a torn tail: the prefix simply ends before it. A checksum
+// failure with more log after it is at-rest corruption: the returned
+// error (wrapping errCorruptBlock) names the record's offset via the
+// returned prefix length.
+func walValidPrefix(buf []byte) (int, int, error) {
 	off, n := 0, 0
-	for off+10 <= len(buf) {
+	for off+walRecordOverhead <= len(buf) {
 		klen := int(binary.BigEndian.Uint32(buf[off+1 : off+5]))
 		vlen := int(binary.BigEndian.Uint32(buf[off+5 : off+9]))
-		if off+10+klen+vlen > len(buf) {
-			break
+		end := off + walRecordOverhead + klen + vlen
+		if klen < 0 || vlen < 0 || end < off || end > len(buf) {
+			break // torn tail: the record was still being appended
 		}
-		off += 10 + klen + vlen
+		body := buf[off : end-4]
+		want := binary.BigEndian.Uint32(buf[end-4 : end])
+		if crc32.ChecksumIEEE(body) != want {
+			if end == len(buf) {
+				break // torn tail: the final record's bytes landed partially
+			}
+			return off, n, corruptf("WAL record %d at offset %d fails its checksum with %d bytes of log after it", n, off, len(buf)-end)
+		}
+		off = end
 		n++
 	}
-	return off, n
+	return off, n, nil
 }
 
 // append serializes one cell mutation.
@@ -81,14 +123,32 @@ func (w *wal) append(key string, c *Cell) error {
 	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(key)))
 	binary.BigEndian.PutUint32(hdr[5:9], uint32(len(c.Value)))
 	hdr[9] = 0
+	if w.broken != nil {
+		return w.broken
+	}
 	start := len(w.buf)
 	w.buf = append(w.buf, hdr[:]...)
 	w.buf = append(w.buf, key...)
 	w.buf = append(w.buf, c.Value...)
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(w.buf[start:]))
+	w.buf = append(w.buf, crc[:]...)
 	w.records++
 	if w.f != nil {
 		if _, err := w.f.Write(w.buf[start:]); err != nil {
-			return err
+			// The bytes may be partially down (a torn record). Roll the
+			// mirror back so buf keeps describing only acknowledged
+			// appends, and roll the FILE back too: a later append landing
+			// after the fragment would read as mid-log corruption at the
+			// next open, poisoning the acknowledged records behind it.
+			w.buf = w.buf[:start]
+			w.records--
+			if terr := w.f.Truncate(int64(start)); terr != nil {
+				w.broken = &IOError{Path: w.path, Op: "truncate", Err: terr}
+			} else if _, serr := w.f.Seek(int64(start), io.SeekStart); serr != nil {
+				w.broken = &IOError{Path: w.path, Op: "seek", Err: serr}
+			}
+			return &IOError{Path: w.path, Op: "write", Err: err}
 		}
 	}
 	return nil
@@ -103,10 +163,10 @@ func (w *wal) truncate() error {
 	w.records = 0
 	if w.f != nil {
 		if err := w.f.Truncate(0); err != nil {
-			return err
+			return &IOError{Path: w.path, Op: "truncate", Err: err}
 		}
 		if _, err := w.f.Seek(0, io.SeekStart); err != nil {
-			return err
+			return &IOError{Path: w.path, Op: "seek", Err: err}
 		}
 	}
 	return nil
@@ -126,14 +186,14 @@ func (w *wal) close() error {
 func (w *wal) replay(apply func(key string, value []byte, tombstone bool) error) error {
 	buf := w.buf
 	for off := 0; off < len(buf); {
-		if off+10 > len(buf) {
+		if off+walRecordOverhead > len(buf) {
 			return fmt.Errorf("kvstore: truncated WAL header at %d", off)
 		}
 		flags := buf[off]
 		klen := int(binary.BigEndian.Uint32(buf[off+1 : off+5]))
 		vlen := int(binary.BigEndian.Uint32(buf[off+5 : off+9]))
 		off += 10
-		if off+klen+vlen > len(buf) {
+		if off+klen+vlen+4 > len(buf) {
 			return fmt.Errorf("kvstore: truncated WAL record at %d", off)
 		}
 		key := string(buf[off : off+klen])
@@ -142,7 +202,7 @@ func (w *wal) replay(apply func(key string, value []byte, tombstone bool) error)
 			value = make([]byte, vlen)
 			copy(value, buf[off+klen:off+klen+vlen])
 		}
-		off += klen + vlen
+		off += klen + vlen + 4
 		if err := apply(key, value, flags&1 == 1); err != nil {
 			return err
 		}

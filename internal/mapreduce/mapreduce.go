@@ -232,6 +232,14 @@ func Run(job *Job) (*Result, error) {
 		go func(i int, sp split) {
 			defer wg.Done()
 			ctx := newTaskContext()
+			// Cooperative cancellation: LocalScan bypasses the metered
+			// client (and so its guard), so the task checks the job
+			// cluster's interrupt itself — before the scan and
+			// periodically through the mapper loop.
+			if err := job.Cluster.CheckInterrupt(); err != nil {
+				outs[i] = mapOut{err: err}
+				return
+			}
 			rows, stats, err := sp.region.LocalScan(sp.scan.StartRow, sp.scan.StopRow, 0,
 				sp.scan.Families, sp.scan.ReadTs, sp.scan.Filter)
 			if err != nil {
@@ -239,6 +247,12 @@ func Run(job *Job) (*Result, error) {
 				return
 			}
 			for r := 0; r < len(rows); r++ {
+				if r%1024 == 0 {
+					if err := job.Cluster.CheckInterrupt(); err != nil {
+						outs[i] = mapOut{err: err}
+						return
+					}
+				}
 				if err := sp.mapper.Map(&rows[r], ctx); err != nil {
 					outs[i] = mapOut{err: err}
 					return
@@ -346,7 +360,13 @@ func Run(job *Job) (*Result, error) {
 				sort.Strings(keys)
 				var taskInput, peakGroup uint64
 				var kvCount uint64
-				for _, k := range keys {
+				for ki, k := range keys {
+					if ki%1024 == 0 {
+						if err := job.Cluster.CheckInterrupt(); err != nil {
+							redOuts[p] = redOut{err: err}
+							return
+						}
+					}
 					vals := partitions[p][k]
 					var groupBytes uint64
 					for _, v := range vals {

@@ -58,7 +58,7 @@ func wordCountJob(c *kvstore.Cluster, combiner bool) *Job {
 }
 
 func TestWordCount(t *testing.T) {
-	c := kvstore.NewCluster(sim.LC(), nil)
+	c := testCluster(t)
 	words := []string{"a", "b", "a", "c", "b", "a", "z", "m", "m"}
 	wordTable(t, c, words)
 	res, err := Run(wordCountJob(c, false))
@@ -91,7 +91,7 @@ func TestWordCount(t *testing.T) {
 
 func TestCombinerReducesShuffle(t *testing.T) {
 	mk := func() *kvstore.Cluster {
-		c := kvstore.NewCluster(sim.LC(), nil)
+		c := testCluster(t)
 		var words []string
 		for i := 0; i < 500; i++ {
 			words = append(words, fmt.Sprintf("w%d", i%5))
@@ -128,7 +128,7 @@ func TestCombinerReducesShuffle(t *testing.T) {
 }
 
 func TestMapOnlyJobWritesStore(t *testing.T) {
-	c := kvstore.NewCluster(sim.LC(), nil)
+	c := testCluster(t)
 	wordTable(t, c, []string{"x", "y", "z"})
 	if _, err := c.CreateTable("out", []string{"cf"}, nil); err != nil {
 		t.Fatal(err)
@@ -161,7 +161,7 @@ func TestMapOnlyJobWritesStore(t *testing.T) {
 }
 
 func TestMapOnlyEmissionsAreOutput(t *testing.T) {
-	c := kvstore.NewCluster(sim.LC(), nil)
+	c := testCluster(t)
 	wordTable(t, c, []string{"p", "q"})
 	res, err := Run(&Job{
 		Name:    "emit",
@@ -181,7 +181,7 @@ func TestMapOnlyEmissionsAreOutput(t *testing.T) {
 }
 
 func TestMapErrorPropagates(t *testing.T) {
-	c := kvstore.NewCluster(sim.LC(), nil)
+	c := testCluster(t)
 	wordTable(t, c, []string{"boom"})
 	_, err := Run(&Job{
 		Name:    "failing",
@@ -197,7 +197,7 @@ func TestMapErrorPropagates(t *testing.T) {
 }
 
 func TestReduceErrorPropagates(t *testing.T) {
-	c := kvstore.NewCluster(sim.LC(), nil)
+	c := testCluster(t)
 	wordTable(t, c, []string{"boom"})
 	_, err := Run(&Job{
 		Name:    "failing",
@@ -220,7 +220,7 @@ func TestJobValidation(t *testing.T) {
 	if _, err := Run(&Job{Name: "nil"}); err == nil {
 		t.Error("job without cluster/mapper accepted")
 	}
-	c := kvstore.NewCluster(sim.LC(), nil)
+	c := testCluster(t)
 	_, err := Run(&Job{
 		Name: "notable", Cluster: c,
 		Input:  kvstore.Scan{Table: "missing"},
@@ -262,7 +262,7 @@ func TestRangePartitioner(t *testing.T) {
 }
 
 func TestShuffleAndLocalityAccounting(t *testing.T) {
-	c := kvstore.NewCluster(sim.LC(), nil)
+	c := testCluster(t)
 	var words []string
 	for i := 0; i < 1000; i++ {
 		words = append(words, fmt.Sprintf("w%04d", i))
@@ -289,7 +289,7 @@ func TestShuffleAndLocalityAccounting(t *testing.T) {
 
 func TestDeterministicOutput(t *testing.T) {
 	run := func() []KV {
-		c := kvstore.NewCluster(sim.LC(), nil)
+		c := testCluster(t)
 		var words []string
 		for i := 0; i < 200; i++ {
 			words = append(words, fmt.Sprintf("w%d", i%17))
@@ -310,7 +310,7 @@ func TestDeterministicOutput(t *testing.T) {
 }
 
 func TestPeakReducerMemoryTracked(t *testing.T) {
-	c := kvstore.NewCluster(sim.LC(), nil)
+	c := testCluster(t)
 	var words []string
 	for i := 0; i < 100; i++ {
 		words = append(words, "same") // all to one reducer group
@@ -326,7 +326,7 @@ func TestPeakReducerMemoryTracked(t *testing.T) {
 }
 
 func BenchmarkWordCount1k(b *testing.B) {
-	c := kvstore.NewCluster(sim.LC(), nil)
+	c := testCluster(b)
 	c.CreateTable("words", []string{"cf"}, []string{"m"})
 	var cells []kvstore.Cell
 	for i := 0; i < 1000; i++ {
@@ -343,4 +343,15 @@ func BenchmarkWordCount1k(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// testCluster builds an LC-profile cluster, failing the test on setup
+// errors (disk-mode scratch dir creation).
+func testCluster(t testing.TB) *kvstore.Cluster {
+	t.Helper()
+	c, err := kvstore.NewCluster(sim.LC(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
 }

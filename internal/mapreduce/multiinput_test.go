@@ -5,14 +5,13 @@ import (
 	"testing"
 
 	"repro/internal/kvstore"
-	"repro/internal/sim"
 )
 
 // TestMultipleInputs exercises Hadoop-style MultipleInputs: two tables
 // mapped by different mappers into one shuffle (the Hive/Pig join jobs'
 // shape).
 func TestMultipleInputs(t *testing.T) {
-	c := kvstore.NewCluster(sim.LC(), nil)
+	c := testCluster(t)
 	for _, tbl := range []string{"users", "orders"} {
 		if _, err := c.CreateTable(tbl, []string{"cf"}, nil); err != nil {
 			t.Fatal(err)
@@ -74,7 +73,7 @@ func TestMultipleInputs(t *testing.T) {
 // TestMultipleInputsStatefulFactories gives each input its own mapper
 // factory and checks per-task isolation.
 func TestMultipleInputsStatefulFactories(t *testing.T) {
-	c := kvstore.NewCluster(sim.LC(), nil)
+	c := testCluster(t)
 	if _, err := c.CreateTable("t", []string{"cf"}, []string{"m"}); err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +109,7 @@ func TestMultipleInputsStatefulFactories(t *testing.T) {
 
 // TestFinisherHook verifies Finish runs once per task after its rows.
 func TestFinisherHook(t *testing.T) {
-	c := kvstore.NewCluster(sim.LC(), nil)
+	c := testCluster(t)
 	if _, err := c.CreateTable("t", []string{"cf"}, []string{"k10"}); err != nil {
 		t.Fatal(err)
 	}

@@ -13,7 +13,10 @@ import (
 // planning pass needs.
 func setupCluster(t *testing.T, n int) (*kvstore.Cluster, core.Query, *core.IndexStore) {
 	t.Helper()
-	c := kvstore.NewCluster(sim.LC(), nil)
+	c, err := kvstore.NewCluster(sim.LC(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	mk := func(name string) core.Relation {
 		rel := core.Relation{
 			Name: name, Table: "rel_" + name, Family: "d",

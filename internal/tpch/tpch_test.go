@@ -174,7 +174,10 @@ func TestLineitemCellsJoinSelection(t *testing.T) {
 }
 
 func TestLoadIntoCluster(t *testing.T) {
-	c := kvstore.NewCluster(sim.LC(), nil)
+	c, err := kvstore.NewCluster(sim.LC(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	d := Generate(0.0005, 11)
 	if err := Load(c, d, "partkey"); err != nil {
 		t.Fatal(err)

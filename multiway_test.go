@@ -8,7 +8,7 @@ import (
 )
 
 func TestPublicMultiWayJoin(t *testing.T) {
-	db := Open(Config{})
+	db := mustOpen(t, Config{})
 	rng := rand.New(rand.NewSource(5))
 	var data [][]Tuple
 	for i := 0; i < 3; i++ {

@@ -39,7 +39,7 @@ func pageAll(t *testing.T, db *DB, q Query, algo Algorithm, k, total int) ([]Joi
 // pages of 3 through page tokens must concatenate to exactly the batch
 // TopK(n) result.
 func TestPagingMatchesBatchAllAlgorithms(t *testing.T) {
-	db := Open(Config{})
+	db := mustOpen(t, Config{})
 	loadTwoRelations(t, db, 150)
 	q, err := db.NewQuery("left", "right", Sum, 3)
 	if err != nil {
@@ -75,7 +75,7 @@ func TestPagingMatchesBatchAllAlgorithms(t *testing.T) {
 // would issue, for the natively incremental executors (ISL: the HRJN
 // coordinator; DRJN: the band walk).
 func TestPagingCheaperThanIndependentTopKs(t *testing.T) {
-	db := Open(Config{})
+	db := mustOpen(t, Config{})
 	loadTwoRelations(t, db, 600)
 	const k, pages = 10, 10
 	q, err := db.NewQuery("left", "right", Sum, k)
@@ -116,7 +116,7 @@ func TestPagingCheaperThanIndependentTopKs(t *testing.T) {
 // TestStreamMatchesTopK: DB.Stream must enumerate exactly the batch
 // order, and closing it early must stop all read-unit consumption.
 func TestStreamMatchesTopK(t *testing.T) {
-	db := Open(Config{})
+	db := mustOpen(t, Config{})
 	loadTwoRelations(t, db, 200)
 	q, err := db.NewQuery("left", "right", Product, 10)
 	if err != nil {
@@ -172,7 +172,7 @@ func TestStreamMatchesTopK(t *testing.T) {
 // TestStreamAutoPlans: AlgoAuto streaming must pick a runnable executor
 // and enumerate correctly.
 func TestStreamAutoPlans(t *testing.T) {
-	db := Open(Config{})
+	db := mustOpen(t, Config{})
 	left, right := loadTwoRelations(t, db, 150)
 	q, err := db.NewQuery("left", "right", Sum, 5)
 	if err != nil {
@@ -207,7 +207,7 @@ func TestStreamAutoPlans(t *testing.T) {
 // TestPageTokenSemantics: tokens are single-use, query-bound, and
 // algorithm-bound.
 func TestPageTokenSemantics(t *testing.T) {
-	db := Open(Config{})
+	db := mustOpen(t, Config{})
 	loadTwoRelations(t, db, 100)
 	q, err := db.NewQuery("left", "right", Sum, 5)
 	if err != nil {
@@ -256,7 +256,7 @@ func TestPageTokenSemantics(t *testing.T) {
 
 // TestStreamN: the n-way stream must match TopKN prefixes.
 func TestStreamN(t *testing.T) {
-	db := Open(Config{})
+	db := mustOpen(t, Config{})
 	loadTwoRelations(t, db, 80)
 	mq, err := db.NewMultiQuery([]string{"left", "right"}, SumN, 4)
 	if err != nil {

@@ -56,7 +56,7 @@ func OpenAt(cfg Config) (*DB, error) {
 	if cfg.Profile != nil {
 		p = *cfg.Profile
 	}
-	cluster, err := kvstore.OpenCluster(p, cfg.Metrics, cfg.Dir)
+	cluster, err := kvstore.OpenClusterFS(p, cfg.Metrics, cfg.Dir, cfg.VFS)
 	if err != nil {
 		return nil, err
 	}

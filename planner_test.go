@@ -80,7 +80,7 @@ func TestPlannerAccuracy(t *testing.T) {
 // returns ranked candidates with non-zero cost estimates for every
 // registered executor — even on a DB with no indexes built at all.
 func TestExplainAllCandidates(t *testing.T) {
-	db := rankjoin.Open(rankjoin.Config{})
+	db := mustOpenDB(t)
 	l, err := db.DefineRelation("l")
 	if err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package rankjoin
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
@@ -229,7 +230,7 @@ func (db *DB) nextPage(q Query, algo Algorithm, o QueryOptions) (*Result, error)
 			db.cluster.Metrics().Advance(d)
 		}
 		_ = pc.cur.Close()
-		return nil, err
+		return nil, attachPartials(err, results)
 	}
 	res := &Result{
 		Results:   results,
@@ -245,13 +246,14 @@ func (db *DB) nextPage(q Query, algo Algorithm, o QueryOptions) (*Result, error)
 	return res, nil
 }
 
-// drainCursor pulls up to k results.
+// drainCursor pulls up to k results. On error the results collected so
+// far come back with it, so cancellation can surface them as partials.
 func drainCursor(cur core.Cursor, k int) ([]JoinResult, error) {
 	out := make([]JoinResult, 0, k)
 	for len(out) < k {
 		r, err := cur.Next()
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		if r == nil {
 			break
@@ -261,9 +263,30 @@ func drainCursor(cur core.Cursor, k int) ([]JoinResult, error) {
 	return out, nil
 }
 
+// attachPartials records the results collected before a budget or
+// cancellation error fired onto the typed error itself, so a caller
+// holding only the error can still degrade gracefully.
+func attachPartials(err error, partial []JoinResult) error {
+	var ce *core.CanceledError
+	if errors.As(err, &ce) {
+		ce.Partial = partial
+	}
+	var be *core.BudgetExceededError
+	if errors.As(err, &be) {
+		be.Partial = partial
+	}
+	return err
+}
+
 // topKOn dispatches the query on the given cluster view, returning the
 // result plus the still-open cursor that produced it (for pagination).
 func (db *DB) topKOn(c *kvstore.Cluster, q Query, algo Algorithm, o QueryOptions) (*Result, core.Cursor, error) {
+	// One ExecOptions (and so one Budget) for the whole query: the same
+	// instance drives the executor's per-result checks and, via the
+	// guarded view, every metered RPC underneath — scans, index builds,
+	// MapReduce tasks.
+	eo := o.execOptions()
+	c = eo.Budget.GuardedView(c)
 	var ex core.Executor
 	var p *plan.Plan
 	var err error
@@ -274,7 +297,7 @@ func (db *DB) topKOn(c *kvstore.Cluster, q Query, algo Algorithm, o QueryOptions
 		// separately in Result.PlannerCost.
 		ex, p, err = plan.Choose(c, q.q, db.store, plan.Options{
 			Objective: o.Objective,
-			Exec:      o.execOptions(),
+			Exec:      eo,
 			Cache:     db.planCache,
 		})
 	} else {
@@ -284,14 +307,14 @@ func (db *DB) topKOn(c *kvstore.Cluster, q Query, algo Algorithm, o QueryOptions
 		return nil, nil, err
 	}
 	before := c.Metrics().Snapshot()
-	cur, err := ex.Open(c, q.q, db.store, o.execOptions())
+	cur, err := ex.Open(c, q.q, db.store, eo)
 	if err != nil {
 		return nil, nil, err
 	}
 	results, err := drainCursor(cur, q.K())
 	if err != nil {
 		_ = cur.Close()
-		return nil, nil, err
+		return nil, nil, attachPartials(err, results)
 	}
 	res := &Result{
 		Results:   results,

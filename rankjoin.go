@@ -1,9 +1,11 @@
 package rankjoin
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/kvstore"
@@ -41,6 +43,31 @@ type (
 	PlanCandidate = plan.Candidate
 	// Objective selects the metric the planner minimizes.
 	Objective = plan.Objective
+	// VFS is the filesystem seam durable DBs open their files through;
+	// wrap it (e.g. with internal/faultfs) to inject storage faults.
+	VFS = kvstore.VFS
+	// CanceledError reports a query stopped by its context or deadline,
+	// carrying the partial results collected before it fired.
+	CanceledError = core.CanceledError
+	// BudgetExceededError reports a query stopped by MaxReadUnits,
+	// carrying the partial results collected before the cap fired.
+	BudgetExceededError = core.BudgetExceededError
+	// CorruptionError reports on-disk data that failed checksum
+	// verification, naming the file and offset.
+	CorruptionError = kvstore.CorruptionError
+	// IOError reports a storage operation that failed at the
+	// filesystem layer after retries, naming the file and operation.
+	IOError = kvstore.IOError
+)
+
+// Typed failure sentinels, matched with errors.Is.
+var (
+	// ErrCanceled matches any *CanceledError: the query's context was
+	// canceled or its deadline elapsed.
+	ErrCanceled = core.ErrCanceled
+	// ErrCorruption matches any *CorruptionError: bytes on disk failed
+	// their checksum and were not silently dropped.
+	ErrCorruption = kvstore.ErrCorruption
 )
 
 // Planner objectives.
@@ -108,6 +135,10 @@ type Config struct {
 	// manifest, and the rankjoin catalog there, and reopening the same
 	// directory recovers everything. Ignored by Open.
 	Dir string
+	// VFS overrides the filesystem a durable DB opens its files
+	// through (nil = the real filesystem). Fault-injection tests point
+	// it at an internal/faultfs schedule. Ignored by Open.
+	VFS VFS
 }
 
 // IndexConfig tunes index construction in EnsureIndexes.
@@ -146,6 +177,19 @@ type QueryOptions struct {
 	// Tokens are single-use (each page returns a fresh one) and expire
 	// when the DB's cursor cache evicts them.
 	PageToken string
+	// Context cancels the query cooperatively: cancellation is checked
+	// between results and inside scans, index builds, and MapReduce
+	// tasks. A canceled query returns a *CanceledError (matching
+	// ErrCanceled) carrying the partial results collected so far.
+	Context context.Context
+	// Deadline bounds the query's wall-clock time without needing a
+	// context. Zero = none. Behaves like Context expiry: typed error,
+	// partial results.
+	Deadline time.Time
+	// MaxReadUnits caps the query's read-unit spend (the paper's
+	// dollar-cost metric). 0 = unlimited. Exceeding it returns a
+	// *BudgetExceededError carrying the partial results.
+	MaxReadUnits uint64
 }
 
 // withDefaults fills unset query options — shared by TopK and the
@@ -158,12 +202,15 @@ func (o QueryOptions) withDefaults() QueryOptions {
 	return o
 }
 
-// execOptions converts to the executor layer's option struct.
+// execOptions converts to the executor layer's option struct. The
+// budget instance is shared between the executor (per-result checks)
+// and the cluster guard the query layer installs (per-RPC checks).
 func (o QueryOptions) execOptions() core.ExecOptions {
 	return core.ExecOptions{
 		ISLBatch:      o.ISLBatch,
 		BFHMWriteBack: o.BFHMWriteBack,
 		Parallelism:   o.Parallelism,
+		Budget:        core.NewBudget(o.Context, o.Deadline, o.MaxReadUnits),
 	}
 }
 
@@ -200,13 +247,19 @@ type DB struct {
 }
 
 // Open creates a DB over a fresh simulated cluster. For a durable DB
-// rooted at a directory, use OpenAt.
-func Open(cfg Config) *DB {
+// rooted at a directory, use OpenAt. It fails only when the
+// KVSTORE_DISK env toggle is set and the scratch store cannot be
+// created.
+func Open(cfg Config) (*DB, error) {
 	p := sim.LC()
 	if cfg.Profile != nil {
 		p = *cfg.Profile
 	}
-	return newDB(kvstore.NewCluster(p, cfg.Metrics))
+	cluster, err := kvstore.NewCluster(p, cfg.Metrics)
+	if err != nil {
+		return nil, err
+	}
+	return newDB(cluster), nil
 }
 
 // newDB assembles a DB around an existing cluster (fresh or recovered).

@@ -7,6 +7,17 @@ import (
 	"testing"
 )
 
+// mustOpen builds a fresh in-memory DB, failing the test on setup
+// errors (disk-mode scratch dir creation).
+func mustOpen(t testing.TB, cfg Config) *DB {
+	t.Helper()
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
 func loadTwoRelations(t testing.TB, db *DB, n int) ([]Tuple, []Tuple) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(99))
@@ -56,7 +67,7 @@ func refTopK(left, right []Tuple, f ScoreFunc, k int) []float64 {
 }
 
 func TestPublicAPIAllAlgorithmsAgree(t *testing.T) {
-	db := Open(Config{})
+	db := mustOpen(t, Config{})
 	left, right := loadTwoRelations(t, db, 200)
 	q, err := db.NewQuery("left", "right", Sum, 15)
 	if err != nil {
@@ -86,7 +97,7 @@ func TestPublicAPIAllAlgorithmsAgree(t *testing.T) {
 }
 
 func TestPublicAPIWithK(t *testing.T) {
-	db := Open(Config{})
+	db := mustOpen(t, Config{})
 	left, right := loadTwoRelations(t, db, 150)
 	q, err := db.NewQuery("left", "right", Product, 5)
 	if err != nil {
@@ -114,7 +125,7 @@ func TestPublicAPIWithK(t *testing.T) {
 }
 
 func TestPublicAPIOnlineUpdates(t *testing.T) {
-	db := Open(Config{})
+	db := mustOpen(t, Config{})
 	left, right := loadTwoRelations(t, db, 100)
 	q, err := db.NewQuery("left", "right", Sum, 5)
 	if err != nil {
@@ -169,7 +180,7 @@ func TestPublicAPIOnlineUpdates(t *testing.T) {
 }
 
 func TestPublicAPIErrors(t *testing.T) {
-	db := Open(Config{})
+	db := mustOpen(t, Config{})
 	if _, err := db.NewQuery("none", "none", Sum, 5); err == nil {
 		t.Error("undefined relation accepted")
 	}
@@ -204,7 +215,7 @@ func TestPublicAPIErrors(t *testing.T) {
 }
 
 func TestIndexDiskSizes(t *testing.T) {
-	db := Open(Config{})
+	db := mustOpen(t, Config{})
 	loadTwoRelations(t, db, 300)
 	// The DRJN matrix is data-independent (buckets x partitions); size
 	// it for the test's tiny data volume the way the paper sizes it for
@@ -238,7 +249,7 @@ func TestIndexDiskSizes(t *testing.T) {
 }
 
 func TestEnsureIndexesIdempotent(t *testing.T) {
-	db := Open(Config{})
+	db := mustOpen(t, Config{})
 	loadTwoRelations(t, db, 100)
 	q, _ := db.NewQuery("left", "right", Sum, 5)
 	if err := db.EnsureIndexes(q, AlgoISL, AlgoBFHM); err != nil {

@@ -58,13 +58,17 @@ func (db *DB) Stream(q Query, algo Algorithm, opts *QueryOptions) (*Rows, error)
 	o = o.withDefaults()
 	qm := sim.NewLane(db.cluster.Metrics())
 	qc := db.cluster.WithMetrics(qm)
+	// One budget for the stream's lifetime: enforced per pulled result
+	// and, via the guarded view, inside every metered RPC.
+	eo := o.execOptions()
+	qc = eo.Budget.GuardedView(qc)
 
 	var ex core.Executor
 	var err error
 	if algo == AlgoAuto {
 		ex, _, err = plan.Choose(qc, q.q, db.store, plan.Options{
 			Objective: o.Objective,
-			Exec:      o.execOptions(),
+			Exec:      eo,
 			Cache:     db.planCache,
 			Stream:    true,
 		})
@@ -75,7 +79,7 @@ func (db *DB) Stream(q Query, algo Algorithm, opts *QueryOptions) (*Rows, error)
 		db.cluster.Metrics().Advance(qm.SimTime())
 		return nil, err
 	}
-	cur, err := ex.Open(qc, q.q, db.store, o.execOptions())
+	cur, err := ex.Open(qc, q.q, db.store, eo)
 	if err != nil {
 		db.cluster.Metrics().Advance(qm.SimTime())
 		return nil, err
