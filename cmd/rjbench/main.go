@@ -34,10 +34,12 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 7a..7f, 8a..8f, 9, sizes, mem, updates, mixed, paging, storage, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 7a..7f, 8a..8f, 9, sizes, mem, updates, mixed, paging, storage, distribution, all")
 	sfEC2 := flag.Float64("sf", 0.02, "TPC-H scale factor for the EC2 profile runs")
 	sfLC := flag.Float64("lcsf", 0.04, "TPC-H scale factor for the LC profile runs")
+	distSF := flag.Float64("distsf", 0.005, "TPC-H scale factor for the distribution figure (loaded 3x: once per replica)")
 	snapshot := flag.String("snapshot", "", "write the measured Q1/Q2 series as JSON to this file (BENCH_<n>.json)")
+	distOut := flag.String("distout", "", "write the distribution figure's comparison as JSON to this file (BENCH_<n>.json)")
 	flag.Parse()
 
 	want := func(names ...string) bool {
@@ -179,6 +181,20 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(report)
+	}
+	if want("distribution") {
+		fmt.Fprintln(os.Stderr, "measuring distribution (single process vs 3-node replicated cluster)...")
+		report, distSnap, err := benchkit.DistributionReport(sim.EC2(), *distSF, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(report)
+		if *distOut != "" {
+			if err := distSnap.WriteFile(*distOut); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote distribution snapshot %s\n", *distOut)
+		}
 	}
 	var storagePoints map[string]benchkit.StoragePoint
 	if want("storage") {

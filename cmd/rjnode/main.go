@@ -1,0 +1,77 @@
+// Command rjnode runs one region server: a full single-process engine
+// (LSM storage, executors, index maintenance) exposed over the
+// length-prefixed TCP transport for a router (rjserve -nodes, or any
+// OpenDistributed topology) to replicate relations onto and ship whole
+// rank-join queries to — the paper's compute-to-data design at node
+// granularity.
+//
+// Usage:
+//
+//	rjnode -addr :7070 [-name node0] [-data DIR] [-profile ec2|lc]
+//
+// With -data the node stores its replicas durably and recovers them on
+// restart (it rejoins its topology dirty and is re-admitted once
+// anti-entropy verifies it). Without -data the node is memory-backed:
+// a restart loses its replicas and anti-entropy re-ships them.
+//
+// The process serves until SIGINT/SIGTERM.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	rankjoin "repro"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "TCP listen address for the region transport")
+	name := flag.String("name", "", "node name reported in health and repair output (default: the listen address)")
+	dataDir := flag.String("data", "", "durable data directory (empty = in-memory)")
+	profileName := flag.String("profile", "lc", "hardware profile: ec2 or lc")
+	flag.Parse()
+
+	profile := sim.LC()
+	if strings.EqualFold(*profileName, "ec2") {
+		profile = sim.EC2()
+	}
+
+	cfg := rankjoin.Config{Profile: &profile, Dir: *dataDir}
+	var db *rankjoin.DB
+	var err error
+	if *dataDir != "" {
+		db, err = rankjoin.OpenAt(cfg)
+	} else {
+		db, err = rankjoin.Open(cfg)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	nodeName := *name
+	if nodeName == "" {
+		nodeName = *addr
+	}
+	srv, err := transport.ListenAndServe(*addr, rankjoin.NewNodeService(nodeName, db))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rels := db.RelationNames(); len(rels) > 0 {
+		log.Printf("node %s recovered relations %v from %s", nodeName, rels, *dataDir)
+	}
+	log.Printf("region server %s serving on %s (%s profile, durable=%v)",
+		nodeName, srv.Addr(), profile.Name, *dataDir != "")
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	<-stop
+	log.Printf("shutting down %s", nodeName)
+	_ = srv.Close()
+}

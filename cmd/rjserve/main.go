@@ -1,16 +1,32 @@
 // Command rjserve exposes top-k rank-join queries over HTTP as a JSON
-// API, serving concurrent clients from one shared DB — the concurrent
-// query path DB.TopK's per-query metering enables. Data is generated
-// TPC-H at a configurable scale factor with all index families prebuilt.
+// API. In its default mode it serves concurrent clients from one shared
+// single-process DB; with -nodes it becomes the router frontend of a
+// replicated multi-node topology — every relation replicated across
+// region servers, writes resolved and quorum-acknowledged through the
+// replication protocol, queries shipped whole to a covering replica
+// with automatic failover, and Merkle anti-entropy available on demand.
+// Data is generated TPC-H at a configurable scale factor with all index
+// families prebuilt.
 //
 // Usage:
 //
 //	rjserve [-addr :8080] [-profile ec2|lc] [-sf 0.02] [-parallelism 4] [-data DIR] [-timeout 0]
+//	rjserve -nodes node0,node1,node2 [-replication 0]        # loopback cluster
+//	rjserve -nodes n0=:7070,n1=:7071,n2=:7072                # TCP region servers (rjnode)
 //
-// With -data, the server runs on durable storage: the first start
-// generates, loads, and indexes into DIR; later starts recover the
-// tables and index catalog from disk and are serving in milliseconds.
-// Writes accepted via /insert, /update, and /delete survive restarts.
+// With -data, the single-process server runs on durable storage: the
+// first start generates, loads, and indexes into DIR; later starts
+// recover the tables and index catalog from disk and are serving in
+// milliseconds. Writes accepted via /insert, /update, and /delete
+// survive restarts.
+//
+// With -nodes, each comma-separated entry is either a bare name (an
+// in-process loopback region server) or name=addr (an rjnode process
+// serving the region transport at addr). -replication sets the
+// replicas-per-relation factor (0 = full replication). The router
+// loads the TPC-H workload through the replication protocol at
+// startup, so every replica holds byte-identical base and index
+// tables.
 //
 // Endpoints:
 //
@@ -22,12 +38,14 @@
 //	    the planner's estimate next to the measured cost. A full page
 //	    carries next_page_token; passing it back as page_token resumes
 //	    the query server-side (bounded cursor state, marginal cost)
-//	    instead of re-running it. timeout (a Go duration, overriding the
-//	    -timeout flag) and max_read_units bound the query; queries
-//	    degrade gracefully with typed statuses — 408 for a tripped
-//	    deadline or canceled request, 507 for an exhausted read budget
-//	    (both carrying partial_results/read_units in the error body),
-//	    503 for a storage fault (corruption or I/O error).
+//	    instead of re-running it. In router mode page tokens are sticky
+//	    to the node holding the cursor and fail over transparently if
+//	    that node dies. timeout (a Go duration, overriding the -timeout
+//	    flag) and max_read_units bound the query; queries degrade
+//	    gracefully with typed statuses — 408 for a tripped deadline or
+//	    canceled request, 507 for an exhausted read budget (both
+//	    carrying partial_results/read_units in the error body), 503 for
+//	    a storage fault or (router mode) no live replica.
 //	GET/POST /stream?query=q1&algo=auto[&limit=100][&k=10]
 //	    Stream results as NDJSON, one result object per line in
 //	    descending score order, closing with a summary line carrying
@@ -36,25 +54,34 @@
 //	    materialize with. POST accepts the same fields as a JSON body.
 //	    timeout/max_read_units bound the stream like /topk; a bound
 //	    tripped mid-stream ends it with a trailer line carrying the
-//	    error, mapped status, and count of rows already delivered.
-//	POST /explain     Plan a query without running it; body (JSON):
-//	    {"query":"q1","k":10,"objective":"time","stream":true} —
-//	    returns every registered executor ranked by predicted cost
-//	    (stream mode prices deep enumeration: marginal per-page costs,
-//	    materializing re-run penalties).
+//	    error, mapped status, and count of rows already delivered. In
+//	    router mode the stream pulls pages with failover: a replica
+//	    killed mid-stream is survived without a gap or duplicate.
+//	POST /explain     Plan a query without running it (single-process
+//	    mode only); body (JSON): {"query":"q1","k":10,
+//	    "objective":"time","stream":true} — returns every registered
+//	    executor ranked by predicted cost.
 //	POST /insert      Upsert one tuple with synchronous maintenance of
 //	    every index built over the relation (one batched group write);
 //	    body: {"relation":"orders","row_key":"o1","join_value":"42",
 //	    "score":0.93}. A query issued right after sees the write on
-//	    every executor.
+//	    every executor. In router mode the write is resolved at the
+//	    leader, stamped once, and applied identically on every replica
+//	    (503 with a typed body if the quorum cannot be reached).
 //	POST /update      Replace an existing tuple's join value/score,
 //	    retiring old index entries under one timestamp; same body.
 //	POST /delete      Remove a tuple; body needs relation and row_key
 //	    (join_value/score optional — omitted means "read them first").
+//	POST /repair      (router mode) Run one Merkle anti-entropy pass:
+//	    trees diffed per replica group, divergent leaves re-shipped,
+//	    corrupt tables fully resynced; returns the repair report.
 //	GET /relations    List defined relations.
 //	GET /algorithms   List available algorithms.
-//	GET /metrics      DB-wide cumulative metrics.
-//	GET /healthz      Liveness probe.
+//	GET /metrics      Cumulative metrics; in router mode the aggregate
+//	    across nodes plus per-node replica status (alive, dirty,
+//	    relations, quarantined regions).
+//	GET /healthz      Liveness probe; in router mode carries per-node
+//	    health and reports "degraded" when replicas are down or dirty.
 //
 // Examples:
 //
@@ -63,6 +90,7 @@
 //	curl -X POST localhost:8080/explain -d '{"query":"q2","k":100,"objective":"dollars"}'
 //	curl -X POST localhost:8080/insert -d '{"relation":"orders","row_key":"oNEW","join_value":"999","score":0.99}'
 //	curl -X POST localhost:8080/delete -d '{"relation":"orders","row_key":"oNEW"}'
+//	curl -X POST localhost:8080/repair
 package main
 
 import (
@@ -81,13 +109,62 @@ import (
 	"repro/internal/sim"
 )
 
-// server holds the shared query environment.
+// server holds the shared query environment: a single-process DB or a
+// distributed router, never both.
 type server struct {
-	env                *benchkit.Env
+	db   *rankjoin.DB          // single-process mode
+	dist *rankjoin.Distributed // router mode (-nodes)
+
+	q1, q2             rankjoin.Query
+	islBatch           int
 	defaultParallelism int
 	// defaultTimeout bounds every query that doesn't carry its own
 	// timeout parameter; zero leaves unparameterized queries unbounded.
 	defaultTimeout time.Duration
+}
+
+// query resolves a query name.
+func (s *server) query(name string) (rankjoin.Query, string, error) {
+	switch strings.ToLower(name) {
+	case "", "q1":
+		return s.q1, "q1", nil
+	case "q2":
+		return s.q2, "q2", nil
+	}
+	return rankjoin.Query{}, "", fmt.Errorf("unknown query %q (want q1 or q2)", name)
+}
+
+// topK dispatches to whichever engine this server fronts.
+func (s *server) topK(q rankjoin.Query, algo rankjoin.Algorithm, opts *rankjoin.QueryOptions) (*rankjoin.Result, error) {
+	if s.dist != nil {
+		return s.dist.TopK(q, algo, opts)
+	}
+	return s.db.TopK(q, algo, opts)
+}
+
+// rowStream is the iterator surface shared by the single-process Rows
+// and the distributed DistRows.
+type rowStream interface {
+	Next() bool
+	Result() rankjoin.JoinResult
+	Algorithm() string
+	Err() error
+	Cost() sim.Snapshot
+	Close() error
+}
+
+func (s *server) stream(q rankjoin.Query, algo rankjoin.Algorithm, opts *rankjoin.QueryOptions) (rowStream, error) {
+	if s.dist != nil {
+		return s.dist.Stream(q, algo, opts)
+	}
+	return s.db.Stream(q, algo, opts)
+}
+
+func (s *server) relationNames() []string {
+	if s.dist != nil {
+		return s.dist.RelationNames()
+	}
+	return s.db.RelationNames()
 }
 
 // costJSON is the wire form of a sim.Snapshot.
@@ -167,9 +244,10 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 
 // queryStatus maps a failed query's typed error to an HTTP status: a
 // tripped deadline or canceled context is 408, an exhausted read
-// budget is 507, a storage fault (corruption, I/O) is 503 — the query
-// was well-formed in all three cases, so 400 would wrongly tell the
-// client to drop it. Anything untyped stays a 400.
+// budget is 507, a storage fault (corruption, I/O) or distribution
+// failure (no live replica, lost write quorum) is 503 — the query was
+// well-formed in all these cases, so 400 would wrongly tell the client
+// to drop it. Anything untyped stays a 400.
 func queryStatus(err error) int {
 	var be *rankjoin.BudgetExceededError
 	switch {
@@ -184,16 +262,23 @@ func queryStatus(err error) int {
 	if errors.As(err, &ioe) {
 		return http.StatusServiceUnavailable
 	}
+	var nre *rankjoin.NoReplicaError
+	var rpe *rankjoin.ReplicationError
+	if errors.As(err, &nre) || errors.As(err, &rpe) {
+		return http.StatusServiceUnavailable
+	}
 	return http.StatusBadRequest
 }
 
 // writeQueryError reports a failed query, surfacing the degradation
-// detail typed errors carry (partial-result count, read-unit spend) so
-// clients can tell a useful partial answer from a dead store.
+// detail typed errors carry (partial-result count, read-unit spend,
+// replica acks) so clients can tell a useful partial answer from a
+// dead store.
 func writeQueryError(w http.ResponseWriter, err error) {
 	body := map[string]any{"error": err.Error()}
 	var ce *rankjoin.CanceledError
 	var be *rankjoin.BudgetExceededError
+	var rpe *rankjoin.ReplicationError
 	switch {
 	case errors.As(err, &ce):
 		body["partial_results"] = len(ce.Partial)
@@ -202,6 +287,9 @@ func writeQueryError(w http.ResponseWriter, err error) {
 		body["partial_results"] = len(be.Partial)
 		body["read_unit_limit"] = be.Limit
 		body["read_units"] = be.Spent
+	case errors.As(err, &rpe):
+		body["acked"] = rpe.Acked
+		body["quorum"] = rpe.Quorum
 	}
 	writeJSON(w, queryStatus(err), body)
 }
@@ -236,15 +324,9 @@ func (s *server) queryBounds(r *http.Request, timeoutParam, maxReadParam string,
 func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	qv := r.URL.Query()
 
-	var q rankjoin.Query
-	queryName := strings.ToLower(qv.Get("query"))
-	switch queryName {
-	case "", "q1":
-		q, queryName = s.env.Q1, "q1"
-	case "q2":
-		q = s.env.Q2
-	default:
-		writeError(w, http.StatusBadRequest, "unknown query %q (want q1 or q2)", queryName)
+	q, queryName, err := s.query(qv.Get("query"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 
@@ -279,7 +361,7 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 
 	opts := rankjoin.QueryOptions{
-		ISLBatch:    s.env.ISLBatch,
+		ISLBatch:    s.islBatch,
 		Parallelism: parallelism,
 		Objective:   objective,
 		PageToken:   qv.Get("page_token"),
@@ -290,7 +372,7 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	res, err := s.env.DB.TopK(q.WithK(k), algo, &opts)
+	res, err := s.topK(q.WithK(k), algo, &opts)
 	if err != nil {
 		writeQueryError(w, err)
 		return
@@ -404,15 +486,9 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	var q rankjoin.Query
-	queryName := strings.ToLower(req.Query)
-	switch queryName {
-	case "", "q1":
-		q, queryName = s.env.Q1, "q1"
-	case "q2":
-		q = s.env.Q2
-	default:
-		writeError(w, http.StatusBadRequest, "unknown query %q (want q1 or q2)", req.Query)
+	q, queryName, err := s.query(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	algoName := strings.ToLower(req.Algo)
@@ -433,7 +509,7 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 
 	opts := rankjoin.QueryOptions{
-		ISLBatch:     s.env.ISLBatch,
+		ISLBatch:     s.islBatch,
 		Parallelism:  parallelism,
 		MaxReadUnits: req.MaxReadUnits,
 	}
@@ -443,7 +519,7 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	rows, err := s.env.DB.Stream(q.WithK(k), rankjoin.Algorithm(algoName), &opts)
+	rows, err := s.stream(q.WithK(k), rankjoin.Algorithm(algoName), &opts)
 	if err != nil {
 		writeQueryError(w, err)
 		return
@@ -534,20 +610,22 @@ type explainResponse struct {
 }
 
 func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if s.db == nil {
+		// Plans are priced against node-local statistics; the router
+		// doesn't hold any. Ship the query with algo=auto instead — each
+		// node plans it on arrival.
+		writeError(w, http.StatusNotImplemented,
+			"explain is not served in router mode; run /topk with algo=auto (nodes plan on arrival)")
+		return
+	}
 	var req explainRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad explain body: %v", err)
 		return
 	}
-	var q rankjoin.Query
-	queryName := strings.ToLower(req.Query)
-	switch queryName {
-	case "", "q1":
-		q, queryName = s.env.Q1, "q1"
-	case "q2":
-		q = s.env.Q2
-	default:
-		writeError(w, http.StatusBadRequest, "unknown query %q (want q1 or q2)", req.Query)
+	q, queryName, err := s.query(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	k := req.K
@@ -568,11 +646,11 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		parallelism = *req.Parallelism
 	}
 
-	p, err := s.env.DB.Explain(q.WithK(k), &rankjoin.ExplainOptions{
+	p, err := s.db.Explain(q.WithK(k), &rankjoin.ExplainOptions{
 		Objective: rankjoin.Objective(strings.ToLower(req.Objective)),
 		Stream:    req.Stream,
 		Query: rankjoin.QueryOptions{
-			ISLBatch:    s.env.ISLBatch,
+			ISLBatch:    s.islBatch,
 			Parallelism: parallelism,
 		},
 	})
@@ -621,22 +699,33 @@ type writeResponse struct {
 	WallTime string `json:"wall_time"`
 }
 
+// distWrite applies one write through the replication protocol:
+// resolved at the leader, stamped once, applied with full index
+// maintenance on every replica, acknowledged at quorum.
+func (s *server) distWrite(op string, req writeRequest, score float64) error {
+	rel := s.dist.Relation(req.Relation)
+	if rel == nil {
+		return fmt.Errorf("unknown relation %q", req.Relation)
+	}
+	switch op {
+	case "insert", "update":
+		return rel.Insert(req.RowKey, req.JoinValue, score)
+	default:
+		return rel.DeleteKey(req.RowKey)
+	}
+}
+
 // handleWrite serves the write endpoints: each mutation flows through
 // the Section 6 maintenance pipeline, so every index built over the
 // relation (and the planner's statistics) reflect it before the
 // response returns — a query issued next sees the write on every
-// executor.
+// executor. In router mode the same pipeline runs on every replica
+// with one shared timestamp.
 func (s *server) handleWrite(op string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var req writeRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeError(w, http.StatusBadRequest, "bad %s body: %v", op, err)
-			return
-		}
-		h := s.env.DB.Relation(req.Relation)
-		if h == nil {
-			writeError(w, http.StatusBadRequest, "unknown relation %q (want one of %v)",
-				req.Relation, s.env.DB.RelationNames())
 			return
 		}
 		if req.RowKey == "" {
@@ -651,61 +740,80 @@ func (s *server) handleWrite(op string) http.HandlerFunc {
 				return
 			}
 		}
+		if (op == "insert" || op == "update") && (req.JoinValue == "" || req.Score == nil) {
+			writeError(w, http.StatusBadRequest, "%s needs join_value and score", op)
+			return
+		}
 		start := time.Now()
 		var err error
-		switch op {
-		case "insert", "update":
-			if req.JoinValue == "" || req.Score == nil {
-				writeError(w, http.StatusBadRequest, "%s needs join_value and score", op)
+		if s.dist != nil {
+			if s.dist.Relation(req.Relation) == nil {
+				writeError(w, http.StatusBadRequest, "unknown relation %q (want one of %v)",
+					req.Relation, s.relationNames())
 				return
 			}
-			if op == "insert" {
-				err = h.Insert(req.RowKey, req.JoinValue, score)
-			} else {
-				err = h.Update(req.RowKey, req.JoinValue, score)
+			err = s.distWrite(op, req, score)
+			if err != nil {
+				writeQueryError(w, err)
+				return
 			}
-		case "delete":
-			// Never trust the client's idea of the tuple's current join
-			// value and score: index entries live at those coordinates,
-			// and deleting at stale ones strands the real entries as
-			// phantoms. Read the live tuple; any supplied value acts only
-			// as a precondition against it (each independently — a lone
-			// join_value or score is still checked).
-			if req.JoinValue != "" || req.Score != nil {
-				cur, ok, gerr := h.Get(req.RowKey)
-				if gerr != nil {
-					writeError(w, http.StatusInternalServerError, "%v", gerr)
+		} else {
+			h := s.db.Relation(req.Relation)
+			if h == nil {
+				writeError(w, http.StatusBadRequest, "unknown relation %q (want one of %v)",
+					req.Relation, s.relationNames())
+				return
+			}
+			switch op {
+			case "insert", "update":
+				if op == "insert" {
+					err = h.Insert(req.RowKey, req.JoinValue, score)
+				} else {
+					err = h.Update(req.RowKey, req.JoinValue, score)
+				}
+			case "delete":
+				// Never trust the client's idea of the tuple's current join
+				// value and score: index entries live at those coordinates,
+				// and deleting at stale ones strands the real entries as
+				// phantoms. Read the live tuple; any supplied value acts only
+				// as a precondition against it (each independently — a lone
+				// join_value or score is still checked).
+				if req.JoinValue != "" || req.Score != nil {
+					cur, ok, gerr := h.Get(req.RowKey)
+					if gerr != nil {
+						writeError(w, http.StatusInternalServerError, "%v", gerr)
+						return
+					}
+					if ok {
+						if req.JoinValue != "" && cur.JoinValue != req.JoinValue {
+							writeError(w, http.StatusConflict,
+								"delete of %q expected join %q but the live tuple has join %q; retry without join_value/score to delete regardless",
+								req.RowKey, req.JoinValue, cur.JoinValue)
+							return
+						}
+						if req.Score != nil && cur.Score != score {
+							writeError(w, http.StatusConflict,
+								"delete of %q expected score %v but the live tuple has score %v; retry without join_value/score to delete regardless",
+								req.RowKey, score, cur.Score)
+							return
+						}
+					}
+				}
+				err = h.DeleteKey(req.RowKey)
+			}
+			if err != nil {
+				// Divergence is a server-side, retryable condition: the base
+				// write landed but an index write did not. 400 would tell the
+				// client its request was malformed and make it drop the write;
+				// 500 signals "re-apply" (the error carries the timestamp).
+				var me *rankjoin.MaintenanceError
+				if errors.As(err, &me) {
+					writeError(w, http.StatusInternalServerError, "%v", err)
 					return
 				}
-				if ok {
-					if req.JoinValue != "" && cur.JoinValue != req.JoinValue {
-						writeError(w, http.StatusConflict,
-							"delete of %q expected join %q but the live tuple has join %q; retry without join_value/score to delete regardless",
-							req.RowKey, req.JoinValue, cur.JoinValue)
-						return
-					}
-					if req.Score != nil && cur.Score != score {
-						writeError(w, http.StatusConflict,
-							"delete of %q expected score %v but the live tuple has score %v; retry without join_value/score to delete regardless",
-							req.RowKey, score, cur.Score)
-						return
-					}
-				}
-			}
-			err = h.DeleteKey(req.RowKey)
-		}
-		if err != nil {
-			// Divergence is a server-side, retryable condition: the base
-			// write landed but an index write did not. 400 would tell the
-			// client its request was malformed and make it drop the write;
-			// 500 signals "re-apply" (the error carries the timestamp).
-			var me *rankjoin.MaintenanceError
-			if errors.As(err, &me) {
-				writeError(w, http.StatusInternalServerError, "%v", err)
+				writeError(w, http.StatusBadRequest, "%v", err)
 				return
 			}
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
 		}
 		writeJSON(w, http.StatusOK, writeResponse{
 			OK: true, Op: op, Relation: req.Relation, RowKey: req.RowKey,
@@ -714,8 +822,26 @@ func (s *server) handleWrite(op string) http.HandlerFunc {
 	}
 }
 
+// handleRepair (router mode) runs one anti-entropy pass on demand.
+func (s *server) handleRepair(w http.ResponseWriter, _ *http.Request) {
+	if s.dist == nil {
+		writeError(w, http.StatusNotImplemented, "repair needs router mode (-nodes)")
+		return
+	}
+	start := time.Now()
+	rep, err := s.dist.Repair()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"report":    rep,
+		"wall_time": time.Since(start).String(),
+	})
+}
+
 func (s *server) handleRelations(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"relations": s.env.DB.RelationNames()})
+	writeJSON(w, http.StatusOK, map[string]any{"relations": s.relationNames()})
 }
 
 func (s *server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
@@ -726,10 +852,91 @@ func (s *server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"algorithms": algos})
 }
 
+// nodeStatusJSON is one node's replica-status row in /metrics and
+// /healthz.
+type nodeStatusJSON struct {
+	Node        string   `json:"node"`
+	Alive       bool     `json:"alive"`
+	Dirty       bool     `json:"dirty"`
+	DirtyCause  string   `json:"dirty_cause,omitempty"`
+	Relations   []string `json:"relations,omitempty"`
+	Tables      int      `json:"tables"`
+	Quarantined int      `json:"quarantined_regions"`
+}
+
+func (s *server) nodeStatuses() []nodeStatusJSON {
+	sts := s.dist.Status()
+	out := make([]nodeStatusJSON, 0, len(sts))
+	for _, st := range sts {
+		out = append(out, nodeStatusJSON{
+			Node:        st.Name,
+			Alive:       st.Alive,
+			Dirty:       st.Dirty,
+			DirtyCause:  st.DirtyCause,
+			Relations:   st.Relations,
+			Tables:      st.Tables,
+			Quarantined: len(st.Quarantined),
+		})
+	}
+	return out
+}
+
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	if s.dist != nil {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"cumulative": toCostJSON(s.dist.AggregateCost()),
+			"nodes":      s.nodeStatuses(),
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"cumulative": toCostJSON(s.env.DB.Metrics().Snapshot()),
+		"cumulative": toCostJSON(s.db.Metrics().Snapshot()),
 	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.dist == nil {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		return
+	}
+	nodes := s.nodeStatuses()
+	status := "ok"
+	for _, n := range nodes {
+		if !n.Alive || n.Dirty {
+			status = "degraded"
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": status, "nodes": nodes})
+}
+
+// parseNodes turns the -nodes flag into a topology: "name=addr" is a
+// TCP region server (rjnode), a bare name is an in-process loopback
+// node, and a bare "host:port" is TCP named after its address.
+func parseNodes(spec string) ([]rankjoin.NodeSpec, error) {
+	var out []rankjoin.NodeSpec
+	for _, ent := range strings.Split(spec, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		switch {
+		case strings.Contains(ent, "="):
+			parts := strings.SplitN(ent, "=", 2)
+			if parts[0] == "" || parts[1] == "" {
+				return nil, fmt.Errorf("bad node entry %q (want name=addr)", ent)
+			}
+			out = append(out, rankjoin.NodeSpec{Name: parts[0], Addr: parts[1]})
+		case strings.Contains(ent, ":"):
+			out = append(out, rankjoin.NodeSpec{Name: ent, Addr: ent})
+		default:
+			out = append(out, rankjoin.NodeSpec{Name: ent})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-nodes %q names no nodes", spec)
+	}
+	return out, nil
 }
 
 func main() {
@@ -739,7 +946,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "data generator seed")
 	parallelism := flag.Int("parallelism", 4, "default client read-path parallelism")
 	timeout := flag.Duration("timeout", 0, "default per-query timeout (0 = unbounded; the timeout request parameter overrides)")
-	dataDir := flag.String("data", "", "durable data directory (empty = in-memory)")
+	dataDir := flag.String("data", "", "durable data directory (empty = in-memory, single-process mode only)")
+	nodes := flag.String("nodes", "", "router mode: comma-separated region servers (name for loopback, name=addr for rjnode TCP)")
+	replication := flag.Int("replication", 0, "router mode: replicas per relation (0 = full replication)")
 	flag.Parse()
 
 	profile := sim.LC()
@@ -747,29 +956,54 @@ func main() {
 		profile = sim.EC2()
 	}
 
-	var env *benchkit.Env
-	var recovered bool
-	var err error
-	if *dataDir != "" {
-		log.Printf("opening durable store at %s (TPC-H SF %g, %s profile)...", *dataDir, *sf, profile.Name)
-		env, recovered, err = benchkit.SetupAt(profile, *sf, *seed, *dataDir)
+	s := &server{defaultParallelism: *parallelism, defaultTimeout: *timeout}
+	if *nodes != "" {
+		specs, err := parseNodes(*nodes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *dataDir != "" {
+			log.Fatal("-data applies to single-process mode; give rjnode processes their own -data directories")
+		}
+		log.Printf("router mode: loading TPC-H SF %g onto %d nodes (replication %d, %s profile)...",
+			*sf, len(specs), *replication, profile.Name)
+		denv, err := benchkit.SetupDistributed(profile, *sf, *seed, &rankjoin.Topology{
+			Nodes:       specs,
+			Replication: *replication,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer denv.D.Close()
+		s.dist, s.q1, s.q2, s.islBatch = denv.D, denv.Q1, denv.Q2, denv.ISLBatch
+		p, o, l := denv.Counts()
+		log.Printf("cluster ready: %d parts, %d orders, %d lineitems replicated across %v",
+			p, o, l, denv.D.Nodes())
 	} else {
-		log.Printf("loading TPC-H SF %g on the %s profile and building indexes...", *sf, profile.Name)
-		env, err = benchkit.Setup(profile, *sf, *seed)
-	}
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer env.DB.Close()
-	parts, orders, lineitems := env.Counts()
-	if recovered {
-		log.Printf("recovered tables and index catalog from disk: %d parts, %d orders, %d lineitems",
-			parts, orders, lineitems)
-	} else {
-		log.Printf("ready: %d parts, %d orders, %d lineitems", parts, orders, lineitems)
+		var env *benchkit.Env
+		var recovered bool
+		var err error
+		if *dataDir != "" {
+			log.Printf("opening durable store at %s (TPC-H SF %g, %s profile)...", *dataDir, *sf, profile.Name)
+			env, recovered, err = benchkit.SetupAt(profile, *sf, *seed, *dataDir)
+		} else {
+			log.Printf("loading TPC-H SF %g on the %s profile and building indexes...", *sf, profile.Name)
+			env, err = benchkit.Setup(profile, *sf, *seed)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer env.DB.Close()
+		parts, orders, lineitems := env.Counts()
+		if recovered {
+			log.Printf("recovered tables and index catalog from disk: %d parts, %d orders, %d lineitems",
+				parts, orders, lineitems)
+		} else {
+			log.Printf("ready: %d parts, %d orders, %d lineitems", parts, orders, lineitems)
+		}
+		s.db, s.q1, s.q2, s.islBatch = env.DB, env.Q1, env.Q2, env.ISLBatch
 	}
 
-	s := &server{env: env, defaultParallelism: *parallelism, defaultTimeout: *timeout}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /topk", s.handleTopK)
 	mux.HandleFunc("GET /stream", s.handleStream)
@@ -778,12 +1012,11 @@ func main() {
 	mux.HandleFunc("POST /insert", s.handleWrite("insert"))
 	mux.HandleFunc("POST /update", s.handleWrite("update"))
 	mux.HandleFunc("POST /delete", s.handleWrite("delete"))
+	mux.HandleFunc("POST /repair", s.handleRepair)
 	mux.HandleFunc("GET /relations", s.handleRelations)
 	mux.HandleFunc("GET /algorithms", s.handleAlgorithms)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 
 	log.Printf("serving top-k rank joins on %s (default parallelism %d)", *addr, *parallelism)
 	log.Fatal(http.ListenAndServe(*addr, mux))

@@ -1,0 +1,563 @@
+package rankjoin
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+// This file is the distributed front-end: a Distributed handle fronts N
+// region servers (in-process loopback nodes, TCP rjnode processes, or a
+// mix) behind the transport seam, replicating every relation and
+// shipping whole queries to replicas. The single-process DB API stays
+// untouched — Distributed mirrors its shape (DefineRelation, NewQuery,
+// EnsureIndexes, TopK, Stream) so call sites move over mechanically.
+
+// NodeSpec names one region server of a distributed topology.
+type NodeSpec struct {
+	// Name identifies the node in status output and repair reports.
+	// Empty names default to "node<i>".
+	Name string
+	// Addr, when set, connects to an rjnode process serving TCP at that
+	// address (the node owns its own storage). When empty the node runs
+	// in-process (loopback): a full DB inside this process, reached with
+	// zero serialization.
+	Addr string
+	// Dir roots a durable in-process node (ignored with Addr). Empty
+	// means memory-backed.
+	Dir string
+	// VFS overrides the filesystem a durable in-process node opens its
+	// files through — fault-injection tests seed faultfs schedules here.
+	VFS VFS
+}
+
+// Topology configures OpenDistributed.
+type Topology struct {
+	// Nodes lists the region servers in topology order (order matters:
+	// replica groups are contiguous runs, leaders come first).
+	Nodes []NodeSpec
+	// Replication is the replicas-per-relation factor; 0 = full
+	// replication (every node hosts everything, any node serves any
+	// query).
+	Replication int
+	// WriteQuorum is the acks a write needs; 0 = majority.
+	WriteQuorum int
+	// MerkleLeaves is the anti-entropy tree resolution; 0 = 64.
+	MerkleLeaves int
+}
+
+// Typed distribution failures, re-exported from the topology layer.
+type (
+	// NoReplicaError reports a read or query no replica could serve.
+	NoReplicaError = topology.NoReplicaError
+	// ReplicationError reports a write that failed to reach its quorum.
+	ReplicationError = topology.ReplicationError
+	// RepairReport summarizes one anti-entropy pass.
+	RepairReport = topology.RepairReport
+	// TableRepair records one target-table repair within a RepairReport.
+	TableRepair = topology.TableRepair
+	// NodeStatus is one node's liveness/dirtiness row.
+	NodeStatus = topology.NodeStatus
+)
+
+// ErrUnavailable matches transport-level node failures via errors.Is.
+var ErrUnavailable = transport.ErrUnavailable
+
+// Distributed fronts a replicated topology of region servers as one
+// logical rank-join store.
+type Distributed struct {
+	router *topology.Router
+	gates  map[string]*transport.Gate // node name → kill switch (StopNode)
+	locals map[string]*DB             // node name → in-process DB (loopback nodes)
+	order  []string                   // node names, topology order
+}
+
+// OpenDistributed assembles a distributed store from cfg.Topology:
+// in-process DBs for loopback nodes, TCP clients for Addr nodes, every
+// node behind a Gate (StopNode/StartNode simulate failures uniformly),
+// all routed by an internal/topology router. cfg.Profile applies to
+// loopback nodes; Dir/VFS in the top-level Config are ignored (set them
+// per NodeSpec).
+func OpenDistributed(cfg Config) (*Distributed, error) {
+	t := cfg.Topology
+	if t == nil || len(t.Nodes) == 0 {
+		return nil, fmt.Errorf("rankjoin: OpenDistributed needs Config.Topology with at least one node")
+	}
+	d := &Distributed{gates: map[string]*transport.Gate{}, locals: map[string]*DB{}}
+	fail := func(err error) (*Distributed, error) {
+		_ = d.Close()
+		return nil, err
+	}
+	var handles []topology.Handle
+	for i, spec := range t.Nodes {
+		name := spec.Name
+		if name == "" {
+			name = fmt.Sprintf("node%d", i)
+		}
+		var svc transport.RegionService
+		if spec.Addr != "" {
+			svc = transport.Dial(spec.Addr)
+		} else {
+			nodeCfg := Config{Profile: cfg.Profile, Dir: spec.Dir, VFS: spec.VFS}
+			var db *DB
+			var err error
+			if spec.Dir != "" {
+				db, err = OpenAt(nodeCfg)
+			} else {
+				db, err = Open(nodeCfg)
+			}
+			if err != nil {
+				return fail(fmt.Errorf("rankjoin: open node %s: %w", name, err))
+			}
+			d.locals[name] = db
+			svc = NewNodeService(name, db)
+		}
+		g := transport.NewGate(svc)
+		d.gates[name] = g
+		d.order = append(d.order, name)
+		handles = append(handles, topology.Handle{Name: name, Svc: g})
+	}
+	r, err := topology.New(handles, topology.Config{
+		Replication:  t.Replication,
+		WriteQuorum:  t.WriteQuorum,
+		MerkleLeaves: t.MerkleLeaves,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	d.router = r
+	return d, nil
+}
+
+// Close releases every node handle and closes in-process node DBs.
+func (d *Distributed) Close() error {
+	var first error
+	if d.router != nil {
+		first = d.router.Close()
+	}
+	for _, db := range d.locals {
+		if err := db.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Router exposes the topology router for advanced use (rjserve reports
+// its Status; tests drive targeted repairs).
+func (d *Distributed) Router() *topology.Router { return d.router }
+
+// Nodes lists node names in topology order.
+func (d *Distributed) Nodes() []string { return append([]string(nil), d.order...) }
+
+// NodeDB returns an in-process node's DB (nil for TCP nodes) — tests
+// inspect and damage replica state through it.
+func (d *Distributed) NodeDB(name string) *DB { return d.locals[name] }
+
+// StopNode simulates a node crash: every subsequent call to it fails
+// unavailable until StartNode. Works uniformly for loopback and TCP
+// nodes (the gate sits client-side).
+func (d *Distributed) StopNode(name string) error {
+	g, ok := d.gates[name]
+	if !ok {
+		return fmt.Errorf("rankjoin: unknown node %q", name)
+	}
+	g.Stop()
+	return nil
+}
+
+// StartNode revives a stopped node. It comes back dirty if it missed
+// acked writes; Repair re-admits it.
+func (d *Distributed) StartNode(name string) error {
+	g, ok := d.gates[name]
+	if !ok {
+		return fmt.Errorf("rankjoin: unknown node %q", name)
+	}
+	g.Start()
+	return nil
+}
+
+// Repair runs one anti-entropy pass over every placed table: Merkle
+// trees are diffed per replica group, divergent leaves re-shipped from
+// the group's clean source, corrupt tables fully resynced, and
+// converged nodes re-admitted to leader duty.
+func (d *Distributed) Repair() (*RepairReport, error) { return d.router.RepairAll() }
+
+// Status probes every node: liveness, dirtiness, served relations, and
+// quarantined regions — the rjserve /metrics replica-status payload.
+func (d *Distributed) Status() []NodeStatus { return d.router.Status() }
+
+// AggregateCost sums the reachable nodes' cumulative metrics — the
+// whole topology's consumed resources (loopback and TCP alike, since
+// each node meters its own engine).
+func (d *Distributed) AggregateCost() sim.Snapshot {
+	var total sim.Snapshot
+	for _, name := range d.order {
+		g := d.gates[name]
+		h, err := g.Health()
+		if err != nil {
+			continue
+		}
+		c := CostSnapshot(h.Cost)
+		total.SimTime += c.SimTime
+		total.NetworkBytes += c.NetworkBytes
+		total.KVReads += c.KVReads
+		total.KVWrites += c.KVWrites
+		total.RPCCalls += c.RPCCalls
+		total.DiskBytesRead += c.DiskBytesRead
+		total.TuplesShipped += c.TuplesShipped
+	}
+	return total
+}
+
+// DistRelation is the distributed counterpart of RelationHandle: every
+// write goes through the router's resolve→stamp→replicate protocol.
+type DistRelation struct {
+	d    *Distributed
+	name string
+}
+
+// DefineRelation creates a relation on its replica group (idempotent).
+func (d *Distributed) DefineRelation(name string) (*DistRelation, error) {
+	if err := d.router.DefineRelation(name); err != nil {
+		return nil, err
+	}
+	return &DistRelation{d: d, name: name}, nil
+}
+
+// Relation returns a handle for a defined relation, or nil.
+func (d *Distributed) Relation(name string) *DistRelation {
+	if d.router.ReplicasFor(name) == nil {
+		return nil
+	}
+	return &DistRelation{d: d, name: name}
+}
+
+// RelationNames lists defined relations, sorted.
+func (d *Distributed) RelationNames() []string { return d.router.Relations() }
+
+// Name returns the relation's name.
+func (r *DistRelation) Name() string { return r.name }
+
+// Insert upserts one tuple through the replication protocol: resolved
+// at the leader, stamped once, applied with full index maintenance on
+// every replica, acknowledged at quorum.
+func (r *DistRelation) Insert(rowKey, joinValue string, score float64) error {
+	return r.d.router.Upsert(r.name, transport.TupleData{RowKey: rowKey, JoinValue: joinValue, Score: score})
+}
+
+// DeleteKey removes a tuple by row key (no-op when absent).
+func (r *DistRelation) DeleteKey(rowKey string) error {
+	return r.d.router.Delete(r.name, rowKey)
+}
+
+// BatchInsert loads many NEW tuples as one replicated group write with
+// full index maintenance. Like RelationHandle.BatchInsert it does not
+// resolve existing rows — load fresh keys only.
+func (r *DistRelation) BatchInsert(tuples []Tuple) error {
+	wire := make([]transport.TupleData, len(tuples))
+	for i, t := range tuples {
+		wire[i] = *TupleData(t)
+	}
+	return r.d.router.BatchInsert(r.name, wire)
+}
+
+// Get resolves the relation's current tuple for a row key, preferring
+// the leader and failing over across replicas.
+func (r *DistRelation) Get(rowKey string) (Tuple, bool, error) {
+	t, err := r.d.router.Get(r.name, rowKey)
+	if err != nil {
+		return Tuple{}, false, err
+	}
+	if t == nil {
+		return Tuple{}, false, nil
+	}
+	return tupleOf(t), true, nil
+}
+
+// NewQuery builds a two-way query over two defined relations — the same
+// Query value the single-process API uses, so Explain output, IDs, and
+// page-size semantics carry over.
+func (d *Distributed) NewQuery(left, right string, f ScoreFunc, k int) (Query, error) {
+	if d.router.ReplicasFor(left) == nil {
+		return Query{}, fmt.Errorf("rankjoin: relation %q not defined", left)
+	}
+	if d.router.ReplicasFor(right) == nil {
+		return Query{}, fmt.Errorf("rankjoin: relation %q not defined", right)
+	}
+	q := core.Query{Left: relationFor(left), Right: relationFor(right), Score: f, K: k}
+	if err := q.Validate(); err != nil {
+		return Query{}, err
+	}
+	return Query{q: q}, nil
+}
+
+// EnsureIndexes builds the listed algorithms' indexes on every node
+// able to serve the query. Each replica builds from its own replicated
+// base data; determinism keeps the index tables byte-identical.
+func (d *Distributed) EnsureIndexes(q Query, algos ...Algorithm) error {
+	names := make([]string, len(algos))
+	for i, a := range algos {
+		if a == AlgoAuto {
+			return fmt.Errorf("rankjoin: %s is a planner mode, not an index family; list concrete algorithms", AlgoAuto)
+		}
+		names[i] = string(a)
+	}
+	return d.router.EnsureIndexes(transport.EnsureRequest{
+		Left: q.q.Left.Name, Right: q.q.Right.Name, Score: q.q.Score.Name, Algos: names,
+	})
+}
+
+// distToken wraps a node-local page token with its serving node and the
+// page count already delivered, so a later page can fail over: results
+// are deterministic, so a survivor re-runs the query deep enough and
+// fast-forwards past what the dead node already served.
+func distToken(node string, pages int, token string) string {
+	return "dn|" + node + "|" + strconv.Itoa(pages) + "|" + token
+}
+
+func parseDistToken(t string) (node string, pages int, token string, err error) {
+	parts := strings.SplitN(t, "|", 4)
+	if len(parts) != 4 || parts[0] != "dn" {
+		return "", 0, "", fmt.Errorf("rankjoin: malformed distributed page token %q", t)
+	}
+	pages, err = strconv.Atoi(parts[2])
+	if err != nil || pages < 1 {
+		return "", 0, "", fmt.Errorf("rankjoin: malformed distributed page token %q", t)
+	}
+	return parts[1], pages, parts[3], nil
+}
+
+// wireRequest renders a query + options for the seam.
+func wireRequest(q Query, algo Algorithm, o QueryOptions) transport.QueryRequest {
+	req := transport.QueryRequest{
+		Left:         q.q.Left.Name,
+		Right:        q.q.Right.Name,
+		Score:        q.q.Score.Name,
+		K:            q.q.K,
+		Algo:         string(algo),
+		Objective:    string(o.Objective),
+		ISLBatch:     o.ISLBatch,
+		Parallelism:  o.Parallelism,
+		MaxReadUnits: o.MaxReadUnits,
+	}
+	if !o.Deadline.IsZero() {
+		// Ship the remaining budget, clamped to a minimum of 1ns so an
+		// already-spent deadline still trips on the node instead of
+		// silently dropping the bound.
+		req.TimeoutNanos = int64(time.Until(o.Deadline))
+		if req.TimeoutNanos <= 0 {
+			req.TimeoutNanos = 1
+		}
+	}
+	return req
+}
+
+// resultOf converts a wire result back to the public Result shape.
+func resultOf(res *transport.ResultData) *Result {
+	out := &Result{
+		Cost:      CostSnapshot(res.Cost),
+		Algorithm: res.Algorithm,
+	}
+	for _, r := range res.Results {
+		out.Results = append(out.Results, JoinResult{Left: tupleOf(&r.Left), Right: tupleOf(&r.Right), Score: r.Score})
+	}
+	return out
+}
+
+// TopK executes the query on one covering replica. First pages rotate
+// across replicas and fail over on node loss or corruption; follow-up
+// pages (QueryOptions.PageToken) are sticky to the node holding the
+// cursor, and if that node died the query re-runs deep enough on a
+// survivor to fast-forward past every already-delivered page —
+// results are deterministic across replicas, so the caller cannot tell
+// the difference (beyond the re-run's cost).
+func (d *Distributed) TopK(q Query, algo Algorithm, opts *QueryOptions) (*Result, error) {
+	o := QueryOptions{}
+	if opts != nil {
+		o = *opts
+	}
+	if o.PageToken != "" {
+		return d.nextDistPage(q, algo, o)
+	}
+	res, node, err := d.router.Query(wireRequest(q, algo, o))
+	if err != nil {
+		return nil, localizeQueryErr(err, o)
+	}
+	out := resultOf(res)
+	if res.NextPageToken != "" {
+		out.NextPageToken = distToken(node, 1, res.NextPageToken)
+	}
+	return out, nil
+}
+
+// localizeQueryErr maps typed wire failures back into the public error
+// taxonomy, so router-mode callers handle the same types a local DB
+// returns for a tripped bound. Partial results do not cross the seam —
+// only the classification (and the caller's own limits) survive.
+func localizeQueryErr(err error, o QueryOptions) error {
+	var te *transport.Error
+	if err == nil || !errors.As(err, &te) {
+		return err
+	}
+	switch te.Kind {
+	case transport.KindCanceled:
+		return &CanceledError{}
+	case transport.KindBudget:
+		return &BudgetExceededError{Limit: o.MaxReadUnits, Spent: o.MaxReadUnits}
+	}
+	return err
+}
+
+// nextDistPage serves one follow-up page: sticky dispatch to the node
+// holding the cursor, with deterministic fast-forward failover.
+func (d *Distributed) nextDistPage(q Query, algo Algorithm, o QueryOptions) (*Result, error) {
+	node, pages, token, err := parseDistToken(o.PageToken)
+	if err != nil {
+		return nil, err
+	}
+	req := wireRequest(q, algo, o)
+	req.PageToken = token
+	res, qerr := d.router.QueryOn(node, req)
+	if qerr == nil {
+		out := resultOf(res)
+		if res.NextPageToken != "" {
+			out.NextPageToken = distToken(node, pages+1, res.NextPageToken)
+		}
+		return out, nil
+	}
+	// The sticky node is gone (or restarted and lost the cursor): fail
+	// over by re-running deep on a survivor and slicing off the pages
+	// already delivered.
+	var te *transport.Error
+	lostCursor := errors.As(qerr, &te) && te.Kind == transport.KindInternal &&
+		strings.Contains(te.Msg, "page token")
+	if !errors.Is(qerr, transport.ErrUnavailable) && !lostCursor {
+		return nil, localizeQueryErr(qerr, o)
+	}
+	k := q.K()
+	deep := q.WithK((pages + 1) * k)
+	dreq := wireRequest(deep, algo, o)
+	dres, survivor, derr := d.router.Query(dreq)
+	if derr != nil {
+		return nil, localizeQueryErr(derr, o)
+	}
+	out := resultOf(dres)
+	if len(out.Results) > pages*k {
+		out.Results = out.Results[pages*k:]
+	} else {
+		out.Results = nil
+	}
+	// The deep run's cursor continues where this page ends; keep paging
+	// on the survivor.
+	if dres.NextPageToken != "" && len(out.Results) == k {
+		out.NextPageToken = distToken(survivor, pages+1, dres.NextPageToken)
+	}
+	return out, nil
+}
+
+// DistRows streams one query's results in score order across the
+// topology by pulling pages through the failover paging path: closing
+// mid-stream, node loss, and resumption all reduce to TopK paging.
+// Like Rows, it is not safe for concurrent use.
+type DistRows struct {
+	d      *Distributed
+	q      Query
+	algo   Algorithm
+	opts   QueryOptions
+	buf    []JoinResult
+	i      int
+	token  string
+	res    JoinResult
+	err    error
+	done   bool
+	closed bool
+	algoNm string
+	cost   sim.Snapshot
+}
+
+// Stream starts a streaming enumeration; the query's k is the pull page
+// size.
+func (d *Distributed) Stream(q Query, algo Algorithm, opts *QueryOptions) (*DistRows, error) {
+	o := QueryOptions{}
+	if opts != nil {
+		o = *opts
+	}
+	r := &DistRows{d: d, q: q, algo: algo, opts: o}
+	if err := r.pull(""); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// pull fetches one page (token "" = first page).
+func (r *DistRows) pull(token string) error {
+	o := r.opts
+	o.PageToken = token
+	res, err := r.d.TopK(r.q, r.algo, &o)
+	if err != nil {
+		return err
+	}
+	r.buf = res.Results
+	r.i = 0
+	r.token = res.NextPageToken
+	r.algoNm = res.Algorithm
+	r.cost.SimTime += res.Cost.SimTime
+	r.cost.NetworkBytes += res.Cost.NetworkBytes
+	r.cost.KVReads += res.Cost.KVReads
+	r.cost.KVWrites += res.Cost.KVWrites
+	r.cost.RPCCalls += res.Cost.RPCCalls
+	r.cost.DiskBytesRead += res.Cost.DiskBytesRead
+	r.cost.TuplesShipped += res.Cost.TuplesShipped
+	return nil
+}
+
+// Next advances to the next result, pulling pages as needed.
+func (r *DistRows) Next() bool {
+	if r.closed || r.done || r.err != nil {
+		return false
+	}
+	if r.i >= len(r.buf) {
+		if r.token == "" {
+			r.done = true
+			return false
+		}
+		if err := r.pull(r.token); err != nil {
+			r.err = err
+			return false
+		}
+		if len(r.buf) == 0 {
+			r.done = true
+			return false
+		}
+	}
+	r.res = r.buf[r.i]
+	r.i++
+	return true
+}
+
+// Result returns the row Next advanced to.
+func (r *DistRows) Result() JoinResult { return r.res }
+
+// Algorithm names the executor serving the stream.
+func (r *DistRows) Algorithm() string { return r.algoNm }
+
+// Err returns the first error the stream hit.
+func (r *DistRows) Err() error { return r.err }
+
+// Cost reports the node-side resources consumed so far.
+func (r *DistRows) Cost() sim.Snapshot { return r.cost }
+
+// Close abandons the stream (any node-side cursor expires from its
+// cache on its own).
+func (r *DistRows) Close() error {
+	r.closed = true
+	return nil
+}

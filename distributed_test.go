@@ -1,0 +1,380 @@
+// Distributed integration tests: a replicated multi-node topology
+// behind the transport seam must serve every executor byte-identically
+// to a single-process DB, over both in-process loopback and real TCP,
+// with page tokens that survive the death of the node holding the
+// cursor.
+package rankjoin
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// distExecutors is every registered executor plus the naive baseline —
+// the full set the acceptance criteria require to match across
+// deployments.
+var distExecutors = []Algorithm{
+	AlgoNaive, AlgoHive, AlgoPig, AlgoIJLMR, AlgoISL, AlgoBFHM, AlgoDRJN,
+}
+
+// indexedAlgos need EnsureIndexes before they can serve.
+var indexedAlgos = []Algorithm{AlgoIJLMR, AlgoISL, AlgoBFHM, AlgoDRJN}
+
+// distTuples builds deterministic synthetic relations for the
+// distribution tests.
+func distTuples(n int) (left, right []Tuple) {
+	rng := rand.New(rand.NewSource(42))
+	mk := func(prefix string) []Tuple {
+		var out []Tuple
+		for i := 0; i < n; i++ {
+			out = append(out, Tuple{
+				RowKey:    fmt.Sprintf("%s%04d", prefix, i),
+				JoinValue: fmt.Sprintf("j%d", rng.Intn(25)),
+				Score:     float64(rng.Intn(1000)) / 1000,
+			})
+		}
+		return out
+	}
+	return mk("dl"), mk("dr")
+}
+
+// oracleDB loads the baseline single-process DB with the same data and
+// indexes the cluster gets.
+func oracleDB(t testing.TB, left, right []Tuple) (*DB, Query) {
+	t.Helper()
+	db := mustOpen(t, Config{})
+	t.Cleanup(func() { db.Close() })
+	for _, rel := range []struct {
+		name string
+		data []Tuple
+	}{{"left", left}, {"right", right}} {
+		h, err := db.DefineRelation(rel.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.BulkLoad(rel.data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, err := db.NewQuery("left", "right", Sum, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range indexedAlgos {
+		if err := db.EnsureIndexes(q, algo); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, q
+}
+
+// loadCluster defines and loads the same relations on a cluster and
+// builds every index family on every replica.
+func loadCluster(t testing.TB, d *Distributed, left, right []Tuple) Query {
+	t.Helper()
+	for _, rel := range []struct {
+		name string
+		data []Tuple
+	}{{"left", left}, {"right", right}} {
+		h, err := d.DefineRelation(rel.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.BatchInsert(rel.data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, err := d.NewQuery("left", "right", Sum, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EnsureIndexes(q, indexedAlgos...); err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// openLoopbackCluster opens an N-node in-process cluster with full
+// replication.
+func openLoopbackCluster(t testing.TB, n int) *Distributed {
+	t.Helper()
+	topo := &Topology{}
+	for i := 0; i < n; i++ {
+		topo.Nodes = append(topo.Nodes, NodeSpec{Name: fmt.Sprintf("node%d", i)})
+	}
+	d, err := OpenDistributed(Config{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+func assertSameResults(t testing.TB, label string, got, want []JoinResult) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: result %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// assertExecutorsMatchOracle runs every executor at k=10 on both
+// deployments and requires identical output.
+func assertExecutorsMatchOracle(t testing.TB, d *Distributed, dq Query, db *DB, q Query) {
+	t.Helper()
+	for _, algo := range distExecutors {
+		want, err := db.TopK(q, algo, nil)
+		if err != nil {
+			t.Fatalf("oracle %s: %v", algo, err)
+		}
+		got, err := d.TopK(dq, algo, nil)
+		if err != nil {
+			t.Fatalf("cluster %s: %v", algo, err)
+		}
+		assertSameResults(t, string(algo), got.Results, want.Results)
+	}
+}
+
+// assertReplicasByteIdentical compares every replica's raw cells for a
+// table — base and index tables must match cell-for-cell (row, column,
+// timestamp, value) across the group.
+func assertReplicasByteIdentical(t testing.TB, d *Distributed, table string) {
+	t.Helper()
+	type flat struct {
+		row, fam, qual string
+		ts             int64
+		val            []byte
+	}
+	var ref []flat
+	var refNode string
+	for _, name := range d.Nodes() {
+		db := d.NodeDB(name)
+		if db == nil {
+			continue
+		}
+		cells, err := db.Cluster().TableCells(table)
+		if err != nil {
+			t.Fatalf("%s: TableCells(%s): %v", name, table, err)
+		}
+		cur := make([]flat, 0, len(cells))
+		for _, c := range cells {
+			cur = append(cur, flat{c.Row, c.Family, c.Qualifier, c.Timestamp, c.Value})
+		}
+		sort.Slice(cur, func(i, j int) bool {
+			a, b := cur[i], cur[j]
+			if a.row != b.row {
+				return a.row < b.row
+			}
+			if a.fam != b.fam {
+				return a.fam < b.fam
+			}
+			if a.qual != b.qual {
+				return a.qual < b.qual
+			}
+			return a.ts < b.ts
+		})
+		if ref == nil {
+			ref, refNode = cur, name
+			continue
+		}
+		if len(cur) != len(ref) {
+			t.Fatalf("table %s: %s has %d cells, %s has %d", table, name, len(cur), refNode, len(ref))
+		}
+		for i := range cur {
+			if cur[i].row != ref[i].row || cur[i].fam != ref[i].fam ||
+				cur[i].qual != ref[i].qual || cur[i].ts != ref[i].ts ||
+				!bytes.Equal(cur[i].val, ref[i].val) {
+				t.Fatalf("table %s cell %d differs between %s and %s: %+v vs %+v",
+					table, i, name, refNode, cur[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestDistributedMatchesSingleNode is the core acceptance check: a
+// 3-node fully replicated loopback cluster serves all seven executors
+// byte-identically to a single-process DB over the same data, and the
+// replicas themselves hold cell-identical base AND index tables.
+func TestDistributedMatchesSingleNode(t *testing.T) {
+	left, right := distTuples(300)
+	db, q := oracleDB(t, left, right)
+	d := openLoopbackCluster(t, 3)
+	dq := loadCluster(t, d, left, right)
+
+	assertExecutorsMatchOracle(t, d, dq, db, q)
+
+	// Every table the deterministic replication protocol produced must
+	// be byte-identical across the group — index tables included.
+	node0 := d.NodeDB("node0")
+	for _, table := range node0.Cluster().TableNames() {
+		assertReplicasByteIdentical(t, d, table)
+	}
+}
+
+// TestDistributedWritesVisibleEverywhere: a quorum write through the
+// router is immediately visible to queries wherever they land, and
+// per-replica state stays identical after mixed upserts and deletes.
+func TestDistributedWritesVisibleEverywhere(t *testing.T) {
+	left, right := distTuples(150)
+	d := openLoopbackCluster(t, 3)
+	dq := loadCluster(t, d, left, right)
+
+	lh := d.Relation("left")
+	rh := d.Relation("right")
+	// Plant a top pair, re-score one side, delete a loser.
+	if err := lh.Insert("dlfresh", "jfresh", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := rh.Insert("drfresh", "jfresh", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := rh.Insert("drfresh", "jfresh", 1.0); err != nil { // resolved as update
+		t.Fatal(err)
+	}
+	if err := lh.DeleteKey(left[0].RowKey); err != nil {
+		t.Fatal(err)
+	}
+
+	got, ok, err := rh.Get("drfresh")
+	if err != nil || !ok {
+		t.Fatalf("Get(drfresh) = %v, %v, %v", got, ok, err)
+	}
+	if got.Score != 1.0 {
+		t.Fatalf("upsert did not resolve: score %v, want 1.0", got.Score)
+	}
+
+	// The planted pair must rank first on every executor, every replica.
+	for _, algo := range distExecutors {
+		res, err := d.TopK(dq, algo, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if len(res.Results) == 0 || res.Results[0].Score < 2.0-1e-9 {
+			t.Fatalf("%s is stale after replicated write: top %+v", algo, res.Results[:min(1, len(res.Results))])
+		}
+	}
+	for _, table := range d.NodeDB("node0").Cluster().TableNames() {
+		assertReplicasByteIdentical(t, d, table)
+	}
+}
+
+// TestDistributedOverTCP runs the same workload against region servers
+// reached over the real length-prefixed TCP transport — the rjnode
+// deployment shape — and requires the same answers as the oracle.
+func TestDistributedOverTCP(t *testing.T) {
+	left, right := distTuples(200)
+	db, q := oracleDB(t, left, right)
+
+	// Three rjnode-equivalent region servers on loopback TCP.
+	var specs []NodeSpec
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("tcp%d", i)
+		ndb, err := Open(Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ndb.Close() })
+		srv, err := transport.ListenAndServe("127.0.0.1:0", NewNodeService(name, ndb))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		specs = append(specs, NodeSpec{Name: name, Addr: srv.Addr()})
+	}
+	d, err := OpenDistributed(Config{Topology: &Topology{Nodes: specs}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	dq := loadCluster(t, d, left, right)
+
+	assertExecutorsMatchOracle(t, d, dq, db, q)
+
+	// Round-trip a replicated write over the wire.
+	lh := d.Relation("left")
+	if err := lh.Insert("dlwire", "jwire", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := lh.Get("dlwire")
+	if err != nil || !ok || got.JoinValue != "jwire" {
+		t.Fatalf("Get over TCP = %+v, %v, %v", got, ok, err)
+	}
+	if err := lh.DeleteKey("dlwire"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := lh.Get("dlwire"); ok {
+		t.Fatal("deleted tuple still visible over TCP")
+	}
+}
+
+// TestDistributedPageTokenFailover: follow-up pages are sticky to the
+// node holding the cursor; when that node dies the query re-runs deep
+// on a survivor and fast-forwards, so the client sees the exact same
+// page sequence as the single-process baseline.
+func TestDistributedPageTokenFailover(t *testing.T) {
+	left, right := distTuples(300)
+	db, q := oracleDB(t, left, right)
+	d := openLoopbackCluster(t, 3)
+	dq := loadCluster(t, d, left, right)
+
+	const k = 5
+	deep, err := db.TopK(q.WithK(4*k), AlgoISL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deep.Results) < 4*k {
+		t.Fatalf("oracle produced only %d results; need %d", len(deep.Results), 4*k)
+	}
+
+	page1, err := d.TopK(dq.WithK(k), AlgoISL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "page 1", page1.Results, deep.Results[:k])
+	if page1.NextPageToken == "" {
+		t.Fatal("full first page carries no token")
+	}
+	serving, pages, _, err := parseDistToken(page1.NextPageToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pages != 1 {
+		t.Fatalf("token pages = %d, want 1", pages)
+	}
+
+	// Kill the node holding the cursor, then keep paging.
+	if err := d.StopNode(serving); err != nil {
+		t.Fatal(err)
+	}
+	page2, err := d.TopK(dq.WithK(k), AlgoISL, &QueryOptions{PageToken: page1.NextPageToken})
+	if err != nil {
+		t.Fatalf("page 2 after killing %s: %v", serving, err)
+	}
+	assertSameResults(t, "page 2 (failed over)", page2.Results, deep.Results[k:2*k])
+	if page2.NextPageToken == "" {
+		t.Fatal("failed-over page carries no continuation token")
+	}
+	survivor, _, _, err := parseDistToken(page2.NextPageToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if survivor == serving {
+		t.Fatalf("continuation token still points at dead node %s", serving)
+	}
+
+	// The survivor's cursor serves page 3 at marginal cost.
+	page3, err := d.TopK(dq.WithK(k), AlgoISL, &QueryOptions{PageToken: page2.NextPageToken})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "page 3", page3.Results, deep.Results[2*k:3*k])
+}

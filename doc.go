@@ -142,4 +142,53 @@
 // injects deterministic faults in the tests), and the underlying
 // store's Scrub and Quarantined (via DB.Cluster) verify every on-disk
 // checksum proactively, quarantining tables that fail.
+//
+// # Distribution
+//
+// OpenDistributed fronts N region servers as one logical store behind
+// the transport seam (internal/transport): each node is either an
+// in-process DB reached over a zero-copy loopback, or an rjnode
+// process reached over length-prefixed TCP — the router cannot tell
+// the difference. The seam sits at node granularity, matching the
+// paper's compute-to-data design: whole queries ship to a replica and
+// execute next to its data; only results come back.
+//
+//	d, _ := rankjoin.OpenDistributed(rankjoin.Config{Topology: &rankjoin.Topology{
+//	    Nodes: []rankjoin.NodeSpec{
+//	        {Name: "a"},                          // in-process loopback
+//	        {Name: "b", Dir: "/data/b"},          // loopback, durable
+//	        {Name: "c", Addr: "10.0.0.3:7070"},   // remote rjnode over TCP
+//	    },
+//	}})
+//	rel, _ := d.DefineRelation("docs")
+//	rel.Insert("d1", "apple", 0.9)                // replicated upsert
+//	q, _ := d.NewQuery("docs", "imgs", rankjoin.Sum, 10)
+//	res, _ := d.TopK(q, rankjoin.AlgoAuto, nil)   // ships to one replica
+//
+// Replication is deterministic: the router resolves each upsert at the
+// replica group's leader, stamps one timestamp, and ships the same
+// resolved operation to every replica, where the write-through
+// maintenance pipeline applies it at that timestamp. Because the
+// store's logical clocks are deterministic under identical operation
+// sequences, replicas converge byte-identically — base tables and
+// every index — and any replica serves any executor with the exact
+// answer a single-process store would give. Writes ack at a quorum
+// (majority by default); a write that cannot reach it fails with a
+// typed *ReplicationError naming acks received versus required, and a
+// read with no live replica fails with a *NoReplicaError matching
+// ErrUnavailable. A node that missed acked writes is marked dirty and
+// excluded from leader, quorum, and repair-source duty until
+// anti-entropy re-converges it.
+//
+// Distributed.Repair runs Merkle anti-entropy (internal/merkle,
+// internal/topology): every table is summarized per replica as a
+// Merkle tree over hash-token-range row digests, trees are diffed
+// against the group's first clean replica, and only divergent leaves'
+// cells ship, applied at their original timestamps. A replica that
+// cannot even summarize a table — checksums failing, regions
+// quarantined — gets a full resync (drop, recreate, re-ingest),
+// since there is no trustworthy local state to diff against.
+// Page tokens survive node loss: the composite token pins the serving
+// node, and when that node dies the next page is recomputed exactly on
+// a survivor (determinism again) at the requested offset.
 package rankjoin

@@ -8,7 +8,7 @@ import (
 )
 
 func TestLockcheck(t *testing.T) {
-	results := analysistest.Run(t, "testdata", lockcheck.Analyzer, "lockbasic", "lockregress")
+	results := analysistest.Run(t, "testdata", lockcheck.Analyzer, "lockbasic", "lockregress", "lockreplica")
 
 	// The suppressed snapshot read in lockbasic must be accounted, not
 	// silently dropped.
@@ -24,5 +24,11 @@ func TestLockcheck(t *testing.T) {
 	// The regression fixture must flag both shipped race shapes.
 	if got := len(results["lockregress"].Kept); got != 2 {
 		t.Errorf("lockregress: findings = %d, want 2 (idxCfg + Table.regions)", got)
+	}
+
+	// The replica-map fixture must flag the unlocked dispatch read and
+	// cursor bump the distribution layer's router avoids.
+	if got := len(results["lockreplica"].Kept); got != 3 {
+		t.Errorf("lockreplica: findings = %d, want 3 (relations read + rr bump + rr read)", got)
 	}
 }

@@ -1,0 +1,50 @@
+// Package lockreplica pins the replica-map read path introduced with
+// the distribution layer: a router's relation→replicas map and its
+// round-robin dispatch cursor are written under mu at DDL/topology time
+// and read on every query dispatch. The racy shapes below are exactly
+// what an "it's read-mostly" shortcut would reintroduce; lockcheck must
+// flag both, and must accept the copy-under-lock discipline the real
+// topology.Router uses.
+package lockreplica
+
+import "sync"
+
+type router struct {
+	mu        sync.Mutex
+	relations map[string][]string // guarded by: mu — relation → replica node names
+	rr        uint64              // guarded by: mu — round-robin dispatch cursor
+}
+
+// defineRelation is the writer, correctly under the lock.
+func (r *router) defineRelation(name string, replicas []string) {
+	r.mu.Lock()
+	r.relations[name] = replicas
+	r.mu.Unlock()
+}
+
+// dispatchRacy is the tempting bug shape: picking a replica for a query
+// straight off the shared map and bumping the cursor, no lock — races
+// with defineRelation rewriting the map and with concurrent dispatches.
+func (r *router) dispatchRacy(relation string) string {
+	group := r.relations[relation] // want `read of "relations" without r\.mu held`
+	if len(group) == 0 {
+		return ""
+	}
+	r.rr++                             // want `write to "rr" without r\.mu held`
+	return group[int(r.rr)%len(group)] // want `read of "rr" without r\.mu held`
+}
+
+// dispatchFixed is the real router's discipline: snapshot the group and
+// advance the cursor under the lock, then dispatch lock-free on the
+// private copy.
+func (r *router) dispatchFixed(relation string) string {
+	r.mu.Lock()
+	group := append([]string(nil), r.relations[relation]...)
+	r.rr++
+	seq := r.rr
+	r.mu.Unlock()
+	if len(group) == 0 {
+		return ""
+	}
+	return group[int(seq)%len(group)]
+}

@@ -1,0 +1,318 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	rankjoin "repro"
+	"repro/internal/sim"
+	"repro/internal/tpch"
+)
+
+// Distributed evaluation: the same TPC-H workload served by a
+// replicated multi-node topology through the transport seam. The
+// distribution figure compares each executor's cost on a 3-node
+// replicated cluster against the single-process baseline (replicas are
+// byte-identical, so results must match exactly), then measures the
+// anti-entropy repair economy: how few cells a scoped Merkle repair
+// ships to re-converge a replica that missed writes, against the full
+// table a blind resync would copy.
+
+// DistEnv is one loaded distributed evaluation environment.
+type DistEnv struct {
+	Profile sim.Profile
+	SF      float64
+	D       *rankjoin.Distributed
+	Q1      rankjoin.Query // Part x Lineitem ON PartKey, product
+	Q2      rankjoin.Query // Orders x Lineitem ON OrderKey, sum
+	// ISLBatch mirrors Env: 1% of the lineitem row count.
+	ISLBatch int
+	// Data is the generated TPC-H instance.
+	Data *tpch.Data
+
+	counts struct{ parts, orders, lineitems int }
+}
+
+// distBatch chunks replicated bulk loads: each chunk is one group
+// WriteOp on the wire, and TCP frames carry whole chunks, so the size
+// keeps frames well under the transport cap while still amortizing the
+// replication round trip.
+const distBatch = 4000
+
+// SetupDistributed generates TPC-H data at the scale factor, loads it
+// through the replication protocol (every replica applies identical
+// resolved writes), and builds every index family on every covering
+// node — the distributed mirror of Setup.
+func SetupDistributed(profile sim.Profile, sf float64, seed int64, topo *rankjoin.Topology) (*DistEnv, error) {
+	d, err := rankjoin.OpenDistributed(rankjoin.Config{Profile: &profile, Topology: topo})
+	if err != nil {
+		return nil, err
+	}
+	env, err := loadDistributed(d, profile, sf, seed)
+	if err != nil {
+		_ = d.Close()
+		return nil, err
+	}
+	return env, nil
+}
+
+func loadDistributed(d *rankjoin.Distributed, profile sim.Profile, sf float64, seed int64) (*DistEnv, error) {
+	data := tpch.Generate(sf, seed)
+	env := &DistEnv{Profile: profile, SF: sf, D: d, Data: data}
+	env.counts.parts = len(data.Parts)
+	env.counts.orders = len(data.Orders)
+	env.counts.lineitems = len(data.Lineitems)
+	env.ISLBatch = len(data.Lineitems) / 100
+	if env.ISLBatch < 1 {
+		env.ISLBatch = 1
+	}
+
+	var pt, ot, lp, lo []rankjoin.Tuple
+	for i := range data.Parts {
+		r := &data.Parts[i]
+		pt = append(pt, rankjoin.Tuple{RowKey: tpch.RowKeyPart(r.PartKey), JoinValue: fmt.Sprint(r.PartKey), Score: r.Score})
+	}
+	for i := range data.Orders {
+		r := &data.Orders[i]
+		ot = append(ot, rankjoin.Tuple{RowKey: tpch.RowKeyOrder(r.OrderKey), JoinValue: fmt.Sprint(r.OrderKey), Score: r.Score})
+	}
+	for i := range data.Lineitems {
+		r := &data.Lineitems[i]
+		key := tpch.RowKeyLineitem(r.OrderKey, r.LineNumber)
+		lp = append(lp, rankjoin.Tuple{RowKey: key, JoinValue: fmt.Sprint(r.PartKey), Score: r.Score})
+		lo = append(lo, rankjoin.Tuple{RowKey: key, JoinValue: fmt.Sprint(r.OrderKey), Score: r.Score})
+	}
+	for _, ld := range []struct {
+		name string
+		t    []rankjoin.Tuple
+	}{{"part", pt}, {"orders", ot}, {"lineitem_pk", lp}, {"lineitem_ok", lo}} {
+		rel, err := d.DefineRelation(ld.name)
+		if err != nil {
+			return nil, err
+		}
+		for lo := 0; lo < len(ld.t); lo += distBatch {
+			hi := lo + distBatch
+			if hi > len(ld.t) {
+				hi = len(ld.t)
+			}
+			if err := rel.BatchInsert(ld.t[lo:hi]); err != nil {
+				return nil, fmt.Errorf("benchkit: load %s: %w", ld.name, err)
+			}
+		}
+	}
+
+	var err error
+	env.Q1, err = d.NewQuery("part", "lineitem_pk", rankjoin.Product, 10)
+	if err != nil {
+		return nil, err
+	}
+	env.Q2, err = d.NewQuery("orders", "lineitem_ok", rankjoin.Sum, 10)
+	if err != nil {
+		return nil, err
+	}
+	for _, algo := range []rankjoin.Algorithm{rankjoin.AlgoIJLMR, rankjoin.AlgoISL, rankjoin.AlgoBFHM, rankjoin.AlgoDRJN} {
+		if err := d.EnsureIndexes(env.Q1, algo); err != nil {
+			return nil, err
+		}
+		if err := d.EnsureIndexes(env.Q2, algo); err != nil {
+			return nil, err
+		}
+	}
+	return env, nil
+}
+
+// Counts reports the loaded table cardinalities.
+func (e *DistEnv) Counts() (parts, orders, lineitems int) {
+	return e.counts.parts, e.counts.orders, e.counts.lineitems
+}
+
+// Run executes one query configuration on the cluster.
+func (e *DistEnv) Run(q rankjoin.Query, algo rankjoin.Algorithm, k int) (*rankjoin.Result, error) {
+	return e.D.TopK(q.WithK(k), algo, &rankjoin.QueryOptions{ISLBatch: e.ISLBatch})
+}
+
+// DistPoint compares one (query, algorithm) cell between the
+// single-process baseline and the replicated cluster.
+type DistPoint struct {
+	Query        string  `json:"query"`
+	Algo         string  `json:"algo"`
+	K            int     `json:"k"`
+	SingleTimeMS float64 `json:"single_sim_time_ms"`
+	DistTimeMS   float64 `json:"dist_sim_time_ms"`
+	SingleReads  uint64  `json:"single_kv_reads"`
+	DistReads    uint64  `json:"dist_kv_reads"`
+	// Identical reports whether the cluster returned byte-identical
+	// results (rows, join values, scores, order) to the baseline.
+	Identical bool `json:"identical"`
+}
+
+// RepairEconomy measures one scoped anti-entropy repair against the
+// blind alternative.
+type RepairEconomy struct {
+	// MissedWrites is the number of acked upserts the stopped replica
+	// never saw.
+	MissedWrites int `json:"missed_writes"`
+	// ShippedCells is what the scoped Merkle repair actually moved
+	// (summed over repaired tables, base and index).
+	ShippedCells int `json:"shipped_cells"`
+	// TableCells is what a full resync of the repaired tables would
+	// have copied.
+	TableCells int `json:"table_cells"`
+	// Tables is how many tables the pass repaired.
+	Tables int `json:"tables_repaired"`
+	// Converged reports post-repair Merkle agreement across the group.
+	Converged bool `json:"converged"`
+}
+
+// DistributionSnapshot is the BENCH_<n>.json payload for the
+// distribution figure.
+type DistributionSnapshot struct {
+	ScaleFactor float64        `json:"scale_factor"`
+	Nodes       int            `json:"nodes"`
+	Replication string         `json:"replication"`
+	Points      []DistPoint    `json:"points"`
+	Repair      *RepairEconomy `json:"repair_economy,omitempty"`
+}
+
+// WriteFile writes the snapshot as indented JSON.
+func (s *DistributionSnapshot) WriteFile(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// sameResults reports byte-identical result lists.
+func sameResults(a, b []rankjoin.JoinResult) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Left != b[i].Left || a[i].Right != b[i].Right || a[i].Score != b[i].Score {
+			return false
+		}
+	}
+	return true
+}
+
+// DistributionReport runs the distribution figure: the same generated
+// instance loaded into a single-process DB and a 3-node fully
+// replicated loopback cluster, every executor run on both and checked
+// for identical output, then the repair-economy experiment (stop a
+// replica, keep writing, restart, scoped Merkle repair). Returns the
+// printed report and the JSON snapshot.
+func DistributionReport(profile sim.Profile, sf float64, seed int64) (string, *DistributionSnapshot, error) {
+	single, err := Setup(profile, sf, seed)
+	if err != nil {
+		return "", nil, fmt.Errorf("benchkit: single-node setup: %w", err)
+	}
+	defer single.DB.Close()
+	topo := &rankjoin.Topology{
+		Nodes: []rankjoin.NodeSpec{{Name: "node0"}, {Name: "node1"}, {Name: "node2"}},
+	}
+	dist, err := SetupDistributed(profile, sf, seed, topo)
+	if err != nil {
+		return "", nil, fmt.Errorf("benchkit: distributed setup: %w", err)
+	}
+	defer dist.D.Close()
+
+	snap := &DistributionSnapshot{ScaleFactor: sf, Nodes: len(topo.Nodes), Replication: "full"}
+	p, o, l := dist.Counts()
+	out := fmt.Sprintf("Distribution: 3-node replicated cluster vs single process (profile %s, SF %g: %d parts, %d orders, %d lineitems)\n",
+		profile.Name, sf, p, o, l)
+	out += fmt.Sprintf("%-5s %-6s %14s %14s %12s %12s  %s\n",
+		"query", "algo", "single ms", "cluster ms", "single rd", "cluster rd", "identical")
+	algos := append([]rankjoin.Algorithm{rankjoin.AlgoNaive}, Algorithms...)
+	for _, qc := range []struct {
+		name   string
+		sq, dq rankjoin.Query
+	}{{"q1", single.Q1, dist.Q1}, {"q2", single.Q2, dist.Q2}} {
+		for _, algo := range algos {
+			sres, err := single.Run(qc.sq, algo, 10)
+			if err != nil {
+				return "", nil, fmt.Errorf("benchkit: single %s/%s: %w", qc.name, algo, err)
+			}
+			dres, err := dist.Run(qc.dq, algo, 10)
+			if err != nil {
+				return "", nil, fmt.Errorf("benchkit: cluster %s/%s: %w", qc.name, algo, err)
+			}
+			pt := DistPoint{
+				Query:        qc.name,
+				Algo:         string(algo),
+				K:            10,
+				SingleTimeMS: float64(sres.Cost.SimTime.Microseconds()) / 1000,
+				DistTimeMS:   float64(dres.Cost.SimTime.Microseconds()) / 1000,
+				SingleReads:  sres.Cost.KVReads,
+				DistReads:    dres.Cost.KVReads,
+				Identical:    sameResults(sres.Results, dres.Results),
+			}
+			snap.Points = append(snap.Points, pt)
+			out += fmt.Sprintf("%-5s %-6s %14.3f %14.3f %12d %12d  %v\n",
+				pt.Query, pt.Algo, pt.SingleTimeMS, pt.DistTimeMS, pt.SingleReads, pt.DistReads, pt.Identical)
+		}
+	}
+
+	econ, err := repairEconomy(dist)
+	if err != nil {
+		return "", nil, err
+	}
+	snap.Repair = econ
+	out += fmt.Sprintf("\nRepair economy: replica down for %d acked writes; scoped Merkle repair shipped %d cells across %d tables (full resync: %d cells, %.1fx more); converged=%v\n",
+		econ.MissedWrites, econ.ShippedCells, econ.Tables, econ.TableCells,
+		safeRatio(econ.TableCells, econ.ShippedCells), econ.Converged)
+	return out, snap, nil
+}
+
+func safeRatio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// repairEconomy stops one replica, applies writes it misses, restarts
+// it, and measures what the scoped Merkle repair ships to re-converge
+// it versus the full tables a blind resync would copy.
+func repairEconomy(e *DistEnv) (*RepairEconomy, error) {
+	const missed = 20
+	orders := e.D.Relation("orders")
+	if orders == nil {
+		return nil, fmt.Errorf("benchkit: orders not defined on cluster")
+	}
+	down := e.D.Nodes()[len(e.D.Nodes())-1]
+	if err := e.D.StopNode(down); err != nil {
+		return nil, err
+	}
+	for i := 0; i < missed; i++ {
+		if err := orders.Insert(fmt.Sprintf("odist%04d", i), fmt.Sprintf("8%05d", i), float64(i%101)/101); err != nil {
+			return nil, fmt.Errorf("benchkit: divergence write %d: %w", i, err)
+		}
+	}
+	if err := e.D.StartNode(down); err != nil {
+		return nil, err
+	}
+	rep, err := e.D.Repair()
+	if err != nil {
+		return nil, fmt.Errorf("benchkit: repair: %w", err)
+	}
+	econ := &RepairEconomy{MissedWrites: missed, Converged: rep.Converged}
+	repaired := map[string]bool{}
+	for _, r := range rep.Repairs {
+		econ.ShippedCells += r.CellsApplied
+		repaired[r.Table] = true
+	}
+	econ.Tables = len(repaired)
+	// Price the blind alternative: every cell of every repaired table.
+	db := e.D.NodeDB(e.D.Nodes()[0])
+	if db != nil {
+		for t := range repaired {
+			cells, err := db.Cluster().TableCells(t)
+			if err == nil {
+				econ.TableCells += len(cells)
+			}
+		}
+	}
+	return econ, nil
+}

@@ -375,6 +375,18 @@ const insertBatchChunk = 256
 // InsertTuple it does not retire previous index entries for reused row
 // keys. Tuples within a chunk share one timestamp.
 func (m *Maintainer) InsertBatch(tuples []Tuple) error {
+	return m.insertBatch(tuples, m.C.Now, insertBatchChunk)
+}
+
+// InsertBatchAt is InsertBatch with ONE caller-supplied timestamp for
+// the whole batch, applied in a single group write. Replicated
+// topologies use it to apply a router-stamped bulk load identically on
+// every replica: same cells, same timestamps, byte-identical tables.
+func (m *Maintainer) InsertBatchAt(tuples []Tuple, ts int64) error {
+	return m.insertBatch(tuples, func() int64 { return ts }, len(tuples))
+}
+
+func (m *Maintainer) insertBatch(tuples []Tuple, stamp func() int64, chunk int) error {
 	// Validate the whole batch before ANY chunk applies: a bad tuple in
 	// a later chunk must not leave the earlier chunks silently committed
 	// behind a plain error.
@@ -383,12 +395,15 @@ func (m *Maintainer) InsertBatch(tuples []Tuple) error {
 			return fmt.Errorf("core: insert batch tuple %d needs row key and join value", i)
 		}
 	}
-	for start := 0; start < len(tuples); start += insertBatchChunk {
-		end := start + insertBatchChunk
+	if chunk < 1 {
+		chunk = 1
+	}
+	for start := 0; start < len(tuples); start += chunk {
+		end := start + chunk
 		if end > len(tuples) {
 			end = len(tuples)
 		}
-		ts := m.C.Now()
+		ts := stamp()
 		// Merge the per-tuple batches per table so the chunk stays one
 		// TableMutation per structure.
 		merged := map[string]*indexMutation{}

@@ -139,4 +139,33 @@
 // modeled: each operation bills one seek per actual block read
 // (OpStats.BlockReads), so a warm block cache genuinely cheapens
 // repeat reads.
+//
+// # The transport seam
+//
+// This package is strictly node-local: one Cluster is one region
+// server's storage, and nothing in it knows about peers, replication,
+// or the network. The multi-node layers sit above — internal/transport
+// defines the RegionService RPC surface (loopback and TCP), and
+// internal/topology routes, replicates, and repairs across Clusters it
+// can only reach through that seam. Three primitives here exist for
+// those layers and keep replication deterministic:
+//
+//   - ObserveClock folds a peer's timestamp into the local logical
+//     clock, so a router-stamped write applied everywhere lands with
+//     the SAME timestamp on every replica and later local stamps sort
+//     above it.
+//   - TableCells flattens a table's live cells in storage order — the
+//     payload of a Merkle row digest (RowDigestParts fixes the exact
+//     byte layout) and of a repair shipment.
+//   - RepairApply and RepairReplace land a repair payload at its
+//     ORIGINAL timestamps (scoped leaf overwrite + source-absent row
+//     deletion, or whole-table drop/recreate/re-ingest for corruption),
+//     charging the group write like any client mutation;
+//     ChargeMerkleScan meters the digest pass.
+//
+// Because every replica applies the identical resolved operation
+// sequence through the same deterministic clock, replicas of a table
+// are byte-identical — cell for cell, timestamp for timestamp — which
+// is what lets the layers above diff replicas with Merkle trees and
+// serve any query from any replica with the exact single-node answer.
 package kvstore

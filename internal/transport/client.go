@@ -1,0 +1,170 @@
+package transport
+
+import (
+	"encoding/json"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/merkle"
+)
+
+// Client implements RegionService over one TCP connection to a region
+// server. Calls are serialized on the connection; a broken connection
+// is redialed once per call before reporting the node unavailable, so a
+// restarted node is picked back up transparently.
+type Client struct {
+	addr        string
+	dialTimeout time.Duration
+
+	mu   sync.Mutex
+	conn net.Conn // guarded by: mu
+	seq  uint64   // guarded by: mu
+}
+
+// Dial returns a client for the region server at addr. The connection
+// is established lazily on first use.
+func Dial(addr string) *Client {
+	return &Client{addr: addr, dialTimeout: 5 * time.Second}
+}
+
+// Close drops the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+// ensureConnLocked dials if needed. Callers hold c.mu.
+func (c *Client) ensureConnLocked() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	if err != nil {
+		return Unavailable("dial %s: %v", c.addr, err)
+	}
+	c.conn = conn
+	return nil
+}
+
+// call performs one request/response exchange, retrying a broken
+// connection with one fresh dial.
+func (c *Client) call(method string, reqBody any, out any) error {
+	var body json.RawMessage
+	if reqBody != nil {
+		blob, err := json.Marshal(reqBody)
+		if err != nil {
+			return &Error{Kind: KindBadRequest, Msg: err.Error()}
+		}
+		body = blob
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		if err := c.ensureConnLocked(); err != nil {
+			return err
+		}
+		c.seq++
+		req := request{Seq: c.seq, Method: method, Body: body}
+		err := writeFrame(c.conn, &req)
+		var resp response
+		if err == nil {
+			err = readFrame(c.conn, &resp)
+		}
+		if err != nil {
+			_ = c.conn.Close()
+			c.conn = nil
+			if attempt == 0 {
+				continue // one redial: the server may have restarted
+			}
+			return ioOrUnavailable(err)
+		}
+		if resp.Err != nil {
+			return resp.Err
+		}
+		if out != nil && resp.Body != nil {
+			if err := json.Unmarshal(resp.Body, out); err != nil {
+				return &Error{Kind: KindInternal, Msg: "decode response: " + err.Error()}
+			}
+		}
+		return nil
+	}
+}
+
+// Health implements RegionService.
+func (c *Client) Health() (*HealthInfo, error) {
+	var out HealthInfo
+	if err := c.call("Health", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DefineRelation implements RegionService.
+func (c *Client) DefineRelation(name string) error {
+	return c.call("DefineRelation", map[string]string{"name": name}, nil)
+}
+
+// EnsureIndexes implements RegionService.
+func (c *Client) EnsureIndexes(req EnsureRequest) error {
+	return c.call("EnsureIndexes", req, nil)
+}
+
+// Apply implements RegionService.
+func (c *Client) Apply(op WriteOp) error {
+	return c.call("Apply", op, nil)
+}
+
+// GetTuple implements RegionService.
+func (c *Client) GetTuple(relation, rowKey string) (*GetResponse, error) {
+	var out GetResponse
+	if err := c.call("GetTuple", map[string]string{"relation": relation, "row_key": rowKey}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// TopK implements RegionService.
+func (c *Client) TopK(req QueryRequest) (*ResultData, error) {
+	var out ResultData
+	if err := c.call("TopK", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// MerkleTree implements RegionService.
+func (c *Client) MerkleTree(req TreeRequest) (*merkle.Tree, error) {
+	var out merkle.Tree
+	if err := c.call("MerkleTree", req, &out); err != nil {
+		return nil, err
+	}
+	out.Seal()
+	return &out, nil
+}
+
+// FetchRange implements RegionService.
+func (c *Client) FetchRange(req RangeRequest) (*RangeData, error) {
+	var out RangeData
+	if err := c.call("FetchRange", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Repair implements RegionService.
+func (c *Client) Repair(req RepairRequest) (*RepairStats, error) {
+	var out RepairStats
+	if err := c.call("Repair", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+var _ RegionService = (*Client)(nil)

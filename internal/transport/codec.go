@@ -1,0 +1,65 @@
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Wire framing: every message is [4-byte big-endian length][JSON
+// payload]. Requests and responses share one frame shape; the Seq field
+// pairs them on a connection.
+
+// maxFrame bounds one message (64 MiB): a hostile or corrupt length
+// prefix fails fast instead of allocating unbounded memory.
+const maxFrame = 64 << 20
+
+// request is one wire call.
+type request struct {
+	Seq    uint64          `json:"seq"`
+	Method string          `json:"method"`
+	Body   json.RawMessage `json:"body,omitempty"`
+}
+
+// response is one wire reply.
+type response struct {
+	Seq  uint64          `json:"seq"`
+	Err  *Error          `json:"err,omitempty"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// writeFrame sends one length-prefixed JSON message.
+func writeFrame(w io.Writer, v any) error {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(blob) > maxFrame {
+		return fmt.Errorf("transport: frame too large (%d bytes)", len(blob))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(blob)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(blob)
+	return err
+}
+
+// readFrame receives one length-prefixed JSON message into v.
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("transport: frame length %d exceeds limit", n)
+	}
+	blob := make([]byte, n)
+	if _, err := io.ReadFull(r, blob); err != nil {
+		return err
+	}
+	return json.Unmarshal(blob, v)
+}

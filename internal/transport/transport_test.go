@@ -1,0 +1,258 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/merkle"
+)
+
+// fakeService records calls and echoes canned responses.
+type fakeService struct {
+	mu      sync.Mutex
+	applied []WriteOp // guarded by: mu
+	failure error     // guarded by: mu
+}
+
+func (f *fakeService) fail(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failure = err
+}
+
+func (f *fakeService) err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failure
+}
+
+func (f *fakeService) Health() (*HealthInfo, error) {
+	if err := f.err(); err != nil {
+		return nil, err
+	}
+	return &HealthInfo{Node: "fake", Relations: []string{"r1"}, Tables: []string{"rel_r1"}}, nil
+}
+
+func (f *fakeService) DefineRelation(name string) error { return f.err() }
+
+func (f *fakeService) EnsureIndexes(req EnsureRequest) error { return f.err() }
+
+func (f *fakeService) Apply(op WriteOp) error {
+	if err := f.err(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.applied = append(f.applied, op)
+	return nil
+}
+
+func (f *fakeService) GetTuple(relation, rowKey string) (*GetResponse, error) {
+	if err := f.err(); err != nil {
+		return nil, err
+	}
+	if rowKey == "missing" {
+		return &GetResponse{}, nil
+	}
+	return &GetResponse{Tuple: &TupleData{RowKey: rowKey, JoinValue: "j", Score: 0.5}}, nil
+}
+
+func (f *fakeService) TopK(req QueryRequest) (*ResultData, error) {
+	if err := f.err(); err != nil {
+		return nil, err
+	}
+	out := &ResultData{Algorithm: req.Algo}
+	for i := 0; i < req.K; i++ {
+		out.Results = append(out.Results, JoinResultData{
+			Left:  TupleData{RowKey: fmt.Sprintf("l%d", i)},
+			Right: TupleData{RowKey: fmt.Sprintf("r%d", i)},
+			Score: 1 - float64(i)/10,
+		})
+	}
+	return out, nil
+}
+
+func (f *fakeService) MerkleTree(req TreeRequest) (*merkle.Tree, error) {
+	if err := f.err(); err != nil {
+		return nil, err
+	}
+	b := merkle.NewBuilder(req.Leaves)
+	b.Add("row1", merkle.HashRow("row1", []byte("v")))
+	return b.Build(), nil
+}
+
+func (f *fakeService) FetchRange(req RangeRequest) (*RangeData, error) {
+	if err := f.err(); err != nil {
+		return nil, err
+	}
+	return &RangeData{
+		Families: []string{"d"},
+		Rows:     []string{"row1"},
+		Cells:    []CellData{{Row: "row1", Family: "d", Qualifier: "q", Value: []byte("v"), Timestamp: 7}},
+	}, nil
+}
+
+func (f *fakeService) Repair(req RepairRequest) (*RepairStats, error) {
+	if err := f.err(); err != nil {
+		return nil, err
+	}
+	return &RepairStats{CellsApplied: len(req.Range.Cells)}, nil
+}
+
+func (f *fakeService) Close() error { return nil }
+
+func startServer(t *testing.T, svc RegionService) (*Server, *Client) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, svc)
+	t.Cleanup(func() { _ = srv.Close() })
+	cl := Dial(srv.Addr())
+	t.Cleanup(func() { _ = cl.Close() })
+	return srv, cl
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	fake := &fakeService{}
+	_, cl := startServer(t, fake)
+
+	h, err := cl.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Node != "fake" || len(h.Relations) != 1 {
+		t.Fatalf("health = %+v", h)
+	}
+
+	op := WriteOp{Relation: "r1", Kind: OpInsert, New: &TupleData{RowKey: "k", JoinValue: "j", Score: 0.25}, TS: 42}
+	if err := cl.Apply(op); err != nil {
+		t.Fatal(err)
+	}
+	fake.mu.Lock()
+	got := fake.applied[0]
+	fake.mu.Unlock()
+	if got.TS != 42 || got.New.Score != 0.25 || got.Kind != OpInsert {
+		t.Fatalf("applied op = %+v", got)
+	}
+
+	res, err := cl.TopK(QueryRequest{Left: "a", Right: "b", Score: "sum", K: 3, Algo: "isl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 3 || res.Algorithm != "isl" {
+		t.Fatalf("topk = %+v", res)
+	}
+
+	tree, err := cl.MerkleTree(TreeRequest{Table: "rel_r1", Leaves: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := fake.MerkleTree(TreeRequest{Leaves: 16})
+	if tree.Root() != want.Root() {
+		t.Fatal("merkle tree changed across the wire")
+	}
+
+	rng, err := cl.FetchRange(RangeRequest{Table: "rel_r1", Leaves: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rng.Cells) != 1 || !bytes.Equal(rng.Cells[0].Value, []byte("v")) || rng.Cells[0].Timestamp != 7 {
+		t.Fatalf("range = %+v", rng)
+	}
+
+	st, err := cl.Repair(RepairRequest{Table: "rel_r1", Leaves: 16, Range: *rng})
+	if err != nil || st.CellsApplied != 1 {
+		t.Fatalf("repair = %+v, %v", st, err)
+	}
+
+	g, err := cl.GetTuple("r1", "missing")
+	if err != nil || g.Tuple != nil {
+		t.Fatalf("GetTuple(missing) = %+v, %v", g, err)
+	}
+}
+
+func TestTypedErrorCrossesWire(t *testing.T) {
+	fake := &fakeService{}
+	fake.fail(&Error{Kind: KindCorruption, Msg: "checksum failed"})
+	_, cl := startServer(t, fake)
+
+	_, err := cl.TopK(QueryRequest{K: 1})
+	var te *Error
+	if !errors.As(err, &te) || te.Kind != KindCorruption {
+		t.Fatalf("err = %v, want corruption-kind *Error", err)
+	}
+}
+
+func TestServerDownIsUnavailable(t *testing.T) {
+	fake := &fakeService{}
+	srv, cl := startServer(t, fake)
+	if _, err := cl.Health(); err != nil {
+		t.Fatal(err)
+	}
+	_ = srv.Close()
+	_, err := cl.Health()
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+}
+
+func TestClientRedialsAfterRestart(t *testing.T) {
+	fake := &fakeService{}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	srv := Serve(ln, fake)
+	cl := Dial(addr)
+	defer cl.Close()
+	if _, err := cl.Health(); err != nil {
+		t.Fatal(err)
+	}
+	_ = srv.Close()
+	// Restart on the same port; the client's next call should redial.
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("port %s not immediately reusable: %v", addr, err)
+	}
+	srv2 := Serve(ln2, fake)
+	defer srv2.Close()
+	if _, err := cl.Health(); err != nil {
+		t.Fatalf("call after server restart = %v", err)
+	}
+}
+
+func TestGateStopsAndResumes(t *testing.T) {
+	fake := &fakeService{}
+	g := NewGate(fake)
+	if _, err := g.Health(); err != nil {
+		t.Fatal(err)
+	}
+	g.Stop()
+	if _, err := g.Health(); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("stopped gate err = %v, want ErrUnavailable", err)
+	}
+	if err := g.Apply(WriteOp{}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("stopped gate apply = %v", err)
+	}
+	g.Start()
+	if _, err := g.Health(); err != nil {
+		t.Fatalf("restarted gate err = %v", err)
+	}
+}
+
+func TestFrameLimit(t *testing.T) {
+	var buf bytes.Buffer
+	// A hostile 4 GiB length prefix must fail fast, not allocate.
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	var v request
+	if err := readFrame(&buf, &v); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}

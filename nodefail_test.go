@@ -1,0 +1,195 @@
+// Node-failure degradation tests: reads keep serving from surviving
+// replicas when a node dies mid-query, writes fail typed when the
+// quorum is lost, and a revived node is quarantined from leader duty
+// until anti-entropy re-converges it.
+package rankjoin
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// TestStreamSurvivesNodeLoss kills the replica serving a stream between
+// pages; the page-pulling failover path fast-forwards on a survivor and
+// the client sees the uninterrupted, exact result sequence.
+func TestStreamSurvivesNodeLoss(t *testing.T) {
+	left, right := distTuples(300)
+	db, q := oracleDB(t, left, right)
+	d := openLoopbackCluster(t, 3)
+	dq := loadCluster(t, d, left, right)
+
+	const total = 20
+	want, err := db.TopK(q.WithK(total), AlgoISL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Results) < total {
+		t.Fatalf("oracle produced %d results, need %d", len(want.Results), total)
+	}
+
+	rows, err := d.Stream(dq.WithK(5), AlgoISL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+
+	var got []JoinResult
+	killed := false
+	for len(got) < total {
+		if !rows.Next() {
+			break
+		}
+		got = append(got, rows.Result())
+		if len(got) == 3 && !killed {
+			// The stream's continuation token names the node holding the
+			// cursor; kill exactly that node mid-stream.
+			serving, _, _, perr := parseDistToken(rows.token)
+			if perr != nil {
+				t.Fatal(perr)
+			}
+			if err := d.StopNode(serving); err != nil {
+				t.Fatal(err)
+			}
+			killed = true
+		}
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatalf("stream failed after node loss: %v", err)
+	}
+	if !killed {
+		t.Fatal("stream ended before the kill point")
+	}
+	assertSameResults(t, "streamed across node loss", got, want.Results[:len(got)])
+}
+
+// TestAllReplicasDownTyped: queries and reads fail with the typed
+// NoReplicaError (unwrapping to transport.ErrUnavailable) only when
+// every replica is gone.
+func TestAllReplicasDownTyped(t *testing.T) {
+	left, right := distTuples(80)
+	d := openLoopbackCluster(t, 3)
+	dq := loadCluster(t, d, left, right)
+
+	// Two of three down: still serving.
+	for _, n := range []string{"node0", "node1"} {
+		if err := d.StopNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.TopK(dq, AlgoNaive, nil); err != nil {
+		t.Fatalf("one live replica should serve reads, got %v", err)
+	}
+
+	if err := d.StopNode("node2"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := d.TopK(dq, AlgoNaive, nil)
+	var nre *NoReplicaError
+	if !errors.As(err, &nre) {
+		t.Fatalf("err is %T (%v), want *NoReplicaError", err, err)
+	}
+	if !errors.Is(err, transport.ErrUnavailable) {
+		t.Fatalf("NoReplicaError %v does not unwrap to ErrUnavailable", err)
+	}
+	if _, _, err := d.Relation("left").Get(left[0].RowKey); !errors.As(err, &nre) {
+		t.Fatalf("Get err is %T (%v), want *NoReplicaError", err, err)
+	}
+}
+
+// TestQueryBoundsCrossSeam: QueryOptions deadlines and read budgets
+// must survive the trip across the transport seam and come back as the
+// same typed errors a local DB returns — a router that silently drops
+// the caller's bounds runs unbounded queries on the nodes.
+func TestQueryBoundsCrossSeam(t *testing.T) {
+	left, right := distTuples(200)
+	d := openLoopbackCluster(t, 3)
+	dq := loadCluster(t, d, left, right)
+
+	if _, err := d.TopK(dq, AlgoNaive, &QueryOptions{Deadline: time.Now().Add(time.Nanosecond)}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("spent deadline over the seam returned %T (%v), want ErrCanceled", err, err)
+	}
+	var be *BudgetExceededError
+	if _, err := d.TopK(dq, AlgoNaive, &QueryOptions{MaxReadUnits: 10}); !errors.As(err, &be) {
+		t.Fatalf("tripped budget over the seam returned %T (%v), want *BudgetExceededError", err, err)
+	}
+	if _, err := d.TopK(dq, AlgoNaive, nil); err != nil {
+		t.Fatalf("unbounded query failed: %v", err)
+	}
+}
+
+// TestWriteQuorumDegradation: with one replica down writes still reach
+// their majority quorum; with two down they fail typed, naming the
+// shortfall. A revived replica is dirty — excluded from leader duty —
+// until a repair pass converges and re-admits it with every acked
+// write.
+func TestWriteQuorumDegradation(t *testing.T) {
+	left, right := distTuples(80)
+	d := openLoopbackCluster(t, 3)
+	loadCluster(t, d, left, right)
+	lh := d.Relation("left")
+
+	// One down: quorum 2 of 3 still reachable.
+	if err := d.StopNode("node2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := lh.Insert("dlq1", "jq", 0.95); err != nil {
+		t.Fatalf("write with 2/3 replicas up failed: %v", err)
+	}
+
+	// Two down: quorum lost, typed failure.
+	if err := d.StopNode("node1"); err != nil {
+		t.Fatal(err)
+	}
+	err := lh.Insert("dlq2", "jq", 0.90)
+	var rpe *ReplicationError
+	if !errors.As(err, &rpe) {
+		t.Fatalf("err is %T (%v), want *ReplicationError", err, err)
+	}
+	if rpe.Acked >= rpe.Quorum {
+		t.Fatalf("ReplicationError reports acked %d >= quorum %d", rpe.Acked, rpe.Quorum)
+	}
+
+	// Revive everyone; the down nodes missed acked writes and must not
+	// serve as leaders until repaired.
+	for _, n := range []string{"node1", "node2"} {
+		if err := d.StartNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dirty := map[string]bool{}
+	for _, st := range d.Status() {
+		if st.Dirty {
+			dirty[st.Name] = true
+		}
+	}
+	if !dirty["node1"] || !dirty["node2"] {
+		t.Fatalf("revived nodes not quarantined as dirty: %v", dirty)
+	}
+
+	rep, err := d.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged {
+		t.Fatalf("repair did not converge: %+v", rep.Failures)
+	}
+	for _, st := range d.Status() {
+		if st.Dirty {
+			t.Fatalf("node %s still dirty after convergent repair", st.Name)
+		}
+	}
+
+	// Zero acked-write loss: the quorum-acked write survives everywhere,
+	// and every executor agrees with a fresh oracle holding the same
+	// acked state.
+	got, ok, err := lh.Get("dlq1")
+	if err != nil || !ok || got.Score != 0.95 {
+		t.Fatalf("acked write lost after repair: %+v, %v, %v", got, ok, err)
+	}
+	for _, table := range d.NodeDB("node0").Cluster().TableNames() {
+		assertReplicasByteIdentical(t, d, table)
+	}
+}

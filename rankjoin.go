@@ -139,6 +139,11 @@ type Config struct {
 	// through (nil = the real filesystem). Fault-injection tests point
 	// it at an internal/faultfs schedule. Ignored by Open.
 	VFS VFS
+	// Topology describes a multi-node deployment; only OpenDistributed
+	// reads it (Open/OpenAt build single-process stores and ignore it).
+	// Per-node storage lives in each NodeSpec, so Dir/VFS above do not
+	// apply to distributed opens.
+	Topology *Topology
 }
 
 // IndexConfig tunes index construction in EnsureIndexes.
