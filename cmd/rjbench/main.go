@@ -14,6 +14,9 @@
 //	                                 # engine: point gets (cold/warm),
 //	                                 # scans, merge drain, sustained
 //	                                 # load, Q1/Q2 wall-clock
+//	rjbench -fig chain               # any-k vs doubling-depth adapter
+//	                                 # on 3/4/5-relation band chains at
+//	                                 # k in {1,10,100}
 //	rjbench -sf 0.05 -lcsf 0.1       # larger scale factors
 //
 // Figures 7a-7f come from one EC2 measurement set (Q1 and Q2 series);
@@ -34,12 +37,14 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 7a..7f, 8a..8f, 9, sizes, mem, updates, mixed, paging, storage, distribution, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 7a..7f, 8a..8f, 9, sizes, mem, updates, mixed, paging, storage, distribution, chain, all")
 	sfEC2 := flag.Float64("sf", 0.02, "TPC-H scale factor for the EC2 profile runs")
 	sfLC := flag.Float64("lcsf", 0.04, "TPC-H scale factor for the LC profile runs")
 	distSF := flag.Float64("distsf", 0.005, "TPC-H scale factor for the distribution figure (loaded 3x: once per replica)")
 	snapshot := flag.String("snapshot", "", "write the measured Q1/Q2 series as JSON to this file (BENCH_<n>.json)")
 	distOut := flag.String("distout", "", "write the distribution figure's comparison as JSON to this file (BENCH_<n>.json)")
+	chainRows := flag.Int("chainrows", 2000, "rows per leaf relation for the chain figure")
+	chainOut := flag.String("chainout", "", "write the chain figure's any-k vs adapter series as JSON to this file (BENCH_<n>.json)")
 	flag.Parse()
 
 	want := func(names ...string) bool {
@@ -194,6 +199,20 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Fprintf(os.Stderr, "wrote distribution snapshot %s\n", *distOut)
+		}
+	}
+	if want("chain") {
+		fmt.Fprintln(os.Stderr, "measuring chain queries (any-k vs doubling-depth adapter)...")
+		report, chainSnap, err := benchkit.ChainReport(sim.LC(), *chainRows, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(report)
+		if *chainOut != "" {
+			if err := chainSnap.WriteFile(*chainOut); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote chain snapshot %s\n", *chainOut)
 		}
 	}
 	var storagePoints map[string]benchkit.StoragePoint

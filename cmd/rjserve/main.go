@@ -31,8 +31,20 @@
 // Endpoints:
 //
 //	GET /topk?query=q1&algo=auto&k=10[&parallelism=4][&objective=time][&page_token=...][&timeout=500ms][&max_read_units=N]
+//	GET /topk?tree=<url-encoded JSON tree spec>&...
+//	POST /topk      body (JSON): the same fields plus "tree"
 //	    Run one query; returns ranked results plus the per-query cost
 //	    metrics (simulated time, network bytes, KV read units, dollars).
+//	    Instead of a named preset, a request may carry an inline tree
+//	    spec describing a general acyclic join-tree query —
+//	    {"relations":["a","b","c"],
+//	     "edges":[{"a":0,"b":1},{"a":1,"b":2,"kind":"band","band":2}],
+//	     "score":"sum","k":10} — covering two-way, star (the multiway
+//	    StreamN shape), chain, and mixed shapes; results carry the third
+//	    and later leaves' rows in rest_rows. A cyclic or disconnected
+//	    tree is rejected with a 400 whose body carries the shape
+//	    diagnostic. algo=anyk (or auto) streams tree results in score
+//	    order.
 //	    algo defaults to "auto": the cost-based planner picks the
 //	    executor, and the response carries the chosen algorithm plus
 //	    the planner's estimate next to the measured cost. A full page
@@ -47,6 +59,7 @@
 //	    carrying partial_results/read_units in the error body), 503 for
 //	    a storage fault or (router mode) no live replica.
 //	GET/POST /stream?query=q1&algo=auto[&limit=100][&k=10]
+//	    Accepts the same tree parameter/field as /topk.
 //	    Stream results as NDJSON, one result object per line in
 //	    descending score order, closing with a summary line carrying
 //	    the totals ({"done":true,...}). limit caps the stream (default
@@ -134,6 +147,70 @@ func (s *server) query(name string) (rankjoin.Query, string, error) {
 	return rankjoin.Query{}, "", fmt.Errorf("unknown query %q (want q1 or q2)", name)
 }
 
+// resolveQuery resolves a request's query: an inline tree spec when one
+// was supplied (general acyclic join-tree queries, including the
+// multiway star shape StreamN serves in-process), a named preset
+// otherwise. Tree specs are validated structurally; a cyclic or
+// disconnected shape surfaces as a *rankjoin.ShapeError that
+// writeResolveError maps to a 400 carrying the diagnostic.
+func (s *server) resolveQuery(name string, tree *rankjoin.TreeSpec) (rankjoin.Query, string, error) {
+	if tree == nil {
+		return s.query(name)
+	}
+	var q rankjoin.Query
+	var err error
+	if s.dist != nil {
+		q, err = s.dist.NewTreeQueryFromSpec(tree)
+	} else {
+		q, err = s.db.NewTreeQueryFromSpec(tree)
+	}
+	if err != nil {
+		return rankjoin.Query{}, "", err
+	}
+	return q, "tree", nil
+}
+
+// ensureTreeIndexes builds a hand-picked executor's index for an
+// ad-hoc tree query on first use. Named presets are indexed at
+// startup, but a tree arrives with whatever shape the client sent, so
+// the server ensures lazily; once built the call is an idempotent
+// no-op. Errors are deliberately dropped: execution surfaces a clearer
+// one (unsupported shape, missing index) when the build failed.
+func (s *server) ensureTreeIndexes(q rankjoin.Query, algo rankjoin.Algorithm) {
+	if algo == rankjoin.AlgoAuto {
+		return
+	}
+	if s.dist != nil {
+		_ = s.dist.EnsureIndexes(q, algo)
+		return
+	}
+	_ = s.db.EnsureIndexes(q, algo)
+}
+
+// writeResolveError reports a query-resolution failure. Bad tree shapes
+// get a machine-readable diagnostic next to the error text so clients
+// can tell "fix your tree" from "no such preset".
+func writeResolveError(w http.ResponseWriter, err error) {
+	var se *rankjoin.ShapeError
+	if errors.As(err, &se) {
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": err.Error(),
+			"shape": se.Msg,
+		})
+		return
+	}
+	writeError(w, http.StatusBadRequest, "%v", err)
+}
+
+// parseTreeParam decodes an optional tree query parameter (URL-encoded
+// JSON tree spec on GET requests).
+func parseTreeParam(raw string) (*rankjoin.TreeSpec, error) {
+	if raw == "" {
+		return nil, nil
+	}
+	return rankjoin.ParseTreeSpec([]byte(raw))
+}
+
 // topK dispatches to whichever engine this server fronts.
 func (s *server) topK(q rankjoin.Query, algo rankjoin.Algorithm, opts *rankjoin.QueryOptions) (*rankjoin.Result, error) {
 	if s.dist != nil {
@@ -189,10 +266,26 @@ func toCostJSON(s sim.Snapshot) costJSON {
 }
 
 type resultJSON struct {
-	LeftRow   string  `json:"left_row"`
-	RightRow  string  `json:"right_row"`
-	JoinValue string  `json:"join_value"`
-	Score     float64 `json:"score"`
+	LeftRow   string `json:"left_row"`
+	RightRow  string `json:"right_row"`
+	JoinValue string `json:"join_value"`
+	// RestRows carries the third and later leaves' row keys, in leaf
+	// order, for tree queries over more than two relations.
+	RestRows []string `json:"rest_rows,omitempty"`
+	Score    float64  `json:"score"`
+}
+
+func toResultJSON(jr rankjoin.JoinResult) resultJSON {
+	out := resultJSON{
+		LeftRow:   jr.Left.RowKey,
+		RightRow:  jr.Right.RowKey,
+		JoinValue: jr.Left.JoinValue,
+		Score:     jr.Score,
+	}
+	for _, t := range jr.Rest {
+		out.RestRows = append(out.RestRows, t.RowKey)
+	}
+	return out
 }
 
 type topkResponse struct {
@@ -321,54 +414,120 @@ func (s *server) queryBounds(r *http.Request, timeoutParam, maxReadParam string,
 	return nil
 }
 
-func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
-	qv := r.URL.Query()
+// topkRequest carries /topk parameters (query string on GET, JSON body
+// on POST). Tree, when set, replaces the named preset with an inline
+// acyclic join-tree query.
+type topkRequest struct {
+	Query        string             `json:"query"`
+	Tree         *rankjoin.TreeSpec `json:"tree"`
+	Algo         string             `json:"algo"`
+	K            int                `json:"k"`
+	Parallelism  *int               `json:"parallelism"`
+	Objective    string             `json:"objective"`
+	PageToken    string             `json:"page_token"`
+	Timeout      string             `json:"timeout"`
+	MaxReadUnits uint64             `json:"max_read_units"`
+}
 
-	q, queryName, err := s.query(qv.Get("query"))
+func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var req topkRequest
+	if r.Method == http.MethodPost {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad topk body: %v", err)
+			return
+		}
+		if req.K < 0 {
+			writeError(w, http.StatusBadRequest, "bad k %d", req.K)
+			return
+		}
+		if req.Parallelism != nil && *req.Parallelism < 0 {
+			writeError(w, http.StatusBadRequest, "bad parallelism %d", *req.Parallelism)
+			return
+		}
+	} else {
+		qv := r.URL.Query()
+		req.Query = qv.Get("query")
+		req.Algo = qv.Get("algo")
+		req.Objective = qv.Get("objective")
+		req.PageToken = qv.Get("page_token")
+		req.Timeout = qv.Get("timeout")
+		if ks := qv.Get("k"); ks != "" {
+			n, err := strconv.Atoi(ks)
+			if err != nil || n < 1 {
+				writeError(w, http.StatusBadRequest, "bad k %q", ks)
+				return
+			}
+			req.K = n
+		}
+		if ps := qv.Get("parallelism"); ps != "" {
+			n, err := strconv.Atoi(ps)
+			if err != nil || n < 0 {
+				writeError(w, http.StatusBadRequest, "bad parallelism %q", ps)
+				return
+			}
+			req.Parallelism = &n
+		}
+		if v := qv.Get("max_read_units"); v != "" {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil || n == 0 {
+				writeError(w, http.StatusBadRequest, "bad max_read_units %q", v)
+				return
+			}
+			req.MaxReadUnits = n
+		}
+		tree, err := parseTreeParam(qv.Get("tree"))
+		if err != nil {
+			writeResolveError(w, err)
+			return
+		}
+		req.Tree = tree
+	}
+
+	q, queryName, err := s.resolveQuery(req.Query, req.Tree)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeResolveError(w, err)
 		return
 	}
 
 	// The planner is the default: with no algo parameter, auto picks
 	// the cheapest executor whose indexes are built.
-	algoName := strings.ToLower(qv.Get("algo"))
+	algoName := strings.ToLower(req.Algo)
 	if algoName == "" {
 		algoName = string(rankjoin.AlgoAuto)
 	}
 	algo := rankjoin.Algorithm(algoName)
 
-	objective := rankjoin.Objective(strings.ToLower(qv.Get("objective")))
+	objective := rankjoin.Objective(strings.ToLower(req.Objective))
 
-	k := 10
-	if ks := qv.Get("k"); ks != "" {
-		n, err := strconv.Atoi(ks)
-		if err != nil || n < 1 {
-			writeError(w, http.StatusBadRequest, "bad k %q", ks)
-			return
+	// k precedence: an explicit request k, then the tree spec's own k,
+	// then 10 for the named presets.
+	k := req.K
+	if k == 0 {
+		if req.Tree != nil {
+			k = q.K()
+		} else {
+			k = 10
 		}
-		k = n
 	}
 
 	parallelism := s.defaultParallelism
-	if ps := qv.Get("parallelism"); ps != "" {
-		n, err := strconv.Atoi(ps)
-		if err != nil || n < 0 {
-			writeError(w, http.StatusBadRequest, "bad parallelism %q", ps)
-			return
-		}
-		parallelism = n
+	if req.Parallelism != nil {
+		parallelism = *req.Parallelism
 	}
 
 	opts := rankjoin.QueryOptions{
-		ISLBatch:    s.islBatch,
-		Parallelism: parallelism,
-		Objective:   objective,
-		PageToken:   qv.Get("page_token"),
+		ISLBatch:     s.islBatch,
+		Parallelism:  parallelism,
+		Objective:    objective,
+		PageToken:    req.PageToken,
+		MaxReadUnits: req.MaxReadUnits,
 	}
-	if err := s.queryBounds(r, qv.Get("timeout"), qv.Get("max_read_units"), &opts); err != nil {
+	if err := s.queryBounds(r, req.Timeout, "", &opts); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	if req.Tree != nil {
+		s.ensureTreeIndexes(q, algo)
 	}
 
 	start := time.Now()
@@ -392,12 +551,7 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		resp.Estimate = toEstimateJSON(*res.Estimate)
 	}
 	for _, jr := range res.Results {
-		resp.Results = append(resp.Results, resultJSON{
-			LeftRow:   jr.Left.RowKey,
-			RightRow:  jr.Right.RowKey,
-			JoinValue: jr.Left.JoinValue,
-			Score:     jr.Score,
-		})
+		resp.Results = append(resp.Results, toResultJSON(jr))
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -405,11 +559,14 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 // streamRequest carries /stream parameters (query string on GET, JSON
 // body on POST).
 type streamRequest struct {
-	Query       string `json:"query"`
-	Algo        string `json:"algo"`
-	K           int    `json:"k"`     // page-size hint (default 10)
-	Limit       int    `json:"limit"` // max results to stream (default 100)
-	Parallelism *int   `json:"parallelism"`
+	Query string `json:"query"`
+	// Tree, when set, replaces the named preset with an inline acyclic
+	// join-tree query (same shape as /topk's tree field).
+	Tree        *rankjoin.TreeSpec `json:"tree"`
+	Algo        string             `json:"algo"`
+	K           int                `json:"k"`     // page-size hint (default 10)
+	Limit       int                `json:"limit"` // max results to stream (default 100)
+	Parallelism *int               `json:"parallelism"`
 	// Timeout (a Go duration string) and MaxReadUnits bound the stream;
 	// hitting either ends it with a typed error line instead of more
 	// results.
@@ -484,11 +641,17 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 			}
 			req.MaxReadUnits = n
 		}
+		tree, err := parseTreeParam(qv.Get("tree"))
+		if err != nil {
+			writeResolveError(w, err)
+			return
+		}
+		req.Tree = tree
 	}
 
-	q, queryName, err := s.query(req.Query)
+	q, queryName, err := s.resolveQuery(req.Query, req.Tree)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeResolveError(w, err)
 		return
 	}
 	algoName := strings.ToLower(req.Algo)
@@ -517,6 +680,9 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if req.Tree != nil {
+		s.ensureTreeIndexes(q, rankjoin.Algorithm(algoName))
+	}
 
 	start := time.Now()
 	rows, err := s.stream(q.WithK(k), rankjoin.Algorithm(algoName), &opts)
@@ -538,12 +704,7 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		jr := rows.Result()
-		if err := enc.Encode(resultJSON{
-			LeftRow:   jr.Left.RowKey,
-			RightRow:  jr.Right.RowKey,
-			JoinValue: jr.Left.JoinValue,
-			Score:     jr.Score,
-		}); err != nil {
+		if err := enc.Encode(toResultJSON(jr)); err != nil {
 			return // client went away; Close stops the cursor's spend
 		}
 		count++
@@ -577,11 +738,14 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 // a later /topk will use so the plan matches the execution. Stream
 // prices deep enumeration instead of the bounded top-k.
 type explainRequest struct {
-	Query       string `json:"query"`
-	K           int    `json:"k"`
-	Objective   string `json:"objective"`
-	Parallelism *int   `json:"parallelism"`
-	Stream      bool   `json:"stream"`
+	Query string `json:"query"`
+	// Tree, when set, plans an inline acyclic join-tree query instead
+	// of a named preset (same shape as /topk's tree field).
+	Tree        *rankjoin.TreeSpec `json:"tree"`
+	K           int                `json:"k"`
+	Objective   string             `json:"objective"`
+	Parallelism *int               `json:"parallelism"`
+	Stream      bool               `json:"stream"`
 }
 
 // candidateJSON is one ranked plan candidate.
@@ -623,14 +787,18 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad explain body: %v", err)
 		return
 	}
-	q, queryName, err := s.query(req.Query)
+	q, queryName, err := s.resolveQuery(req.Query, req.Tree)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeResolveError(w, err)
 		return
 	}
 	k := req.K
 	if k == 0 {
-		k = 10
+		if req.Tree != nil {
+			k = q.K()
+		} else {
+			k = 10
+		}
 	}
 	if k < 1 {
 		writeError(w, http.StatusBadRequest, "bad k %d", req.K)
@@ -1006,6 +1174,7 @@ func main() {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /topk", s.handleTopK)
+	mux.HandleFunc("POST /topk", s.handleTopK)
 	mux.HandleFunc("GET /stream", s.handleStream)
 	mux.HandleFunc("POST /stream", s.handleStream)
 	mux.HandleFunc("POST /explain", s.handleExplain)

@@ -296,7 +296,53 @@ func (d *Distributed) NewQuery(left, right string, f ScoreFunc, k int) (Query, e
 	if err := q.Validate(); err != nil {
 		return Query{}, err
 	}
-	return Query{q: q}, nil
+	return Query{t: core.TreeFromQuery(q)}, nil
+}
+
+// NewTreeQuery builds a general acyclic tree query over defined
+// relations — the distributed counterpart of DB.NewTreeQuery. Tree
+// queries route, page, and fail over exactly like two-way queries: the
+// same node-pinned tokens, the same deterministic deep-re-run failover.
+func (d *Distributed) NewTreeQuery(relations []string, edges []TreeEdge, f NScoreFunc, k int) (Query, error) {
+	seen := map[string]bool{}
+	rels := make([]core.Relation, 0, len(relations))
+	for _, name := range relations {
+		if d.router.ReplicasFor(name) == nil {
+			return Query{}, fmt.Errorf("rankjoin: relation %q not defined", name)
+		}
+		if seen[name] {
+			return Query{}, fmt.Errorf("rankjoin: relation %q listed twice in tree query", name)
+		}
+		seen[name] = true
+		rels = append(rels, relationFor(name))
+	}
+	t := &core.JoinTree{
+		Relations: rels,
+		Edges:     append([]TreeEdge(nil), edges...),
+		Score:     f,
+		K:         k,
+	}
+	if err := t.Validate(); err != nil {
+		return Query{}, err
+	}
+	return Query{t: t}, nil
+}
+
+// wireShape renders a query's join shape for the seam: binary equi
+// trees keep the legacy Left/Right fields (wire compatibility with
+// older nodes), everything else ships the explicit tree.
+func wireShape(q Query) (left, right, score string, tree *transport.TreeData) {
+	if bq, ok := q.t.Binary(); ok {
+		return bq.Left.Name, bq.Right.Name, bq.Score.Name, nil
+	}
+	td := &transport.TreeData{}
+	for i := range q.t.Relations {
+		td.Relations = append(td.Relations, q.t.Relations[i].Name)
+	}
+	for _, e := range q.t.Edges {
+		td.Edges = append(td.Edges, transport.TreeEdgeData{A: e.A, B: e.B, Kind: string(e.Kind), Band: e.Band})
+	}
+	return "", "", q.t.Score.Name, td
 }
 
 // EnsureIndexes builds the listed algorithms' indexes on every node
@@ -310,8 +356,9 @@ func (d *Distributed) EnsureIndexes(q Query, algos ...Algorithm) error {
 		}
 		names[i] = string(a)
 	}
+	left, right, score, tree := wireShape(q)
 	return d.router.EnsureIndexes(transport.EnsureRequest{
-		Left: q.q.Left.Name, Right: q.q.Right.Name, Score: q.q.Score.Name, Algos: names,
+		Left: left, Right: right, Score: score, Tree: tree, Algos: names,
 	})
 }
 
@@ -337,11 +384,13 @@ func parseDistToken(t string) (node string, pages int, token string, err error) 
 
 // wireRequest renders a query + options for the seam.
 func wireRequest(q Query, algo Algorithm, o QueryOptions) transport.QueryRequest {
+	left, right, score, tree := wireShape(q)
 	req := transport.QueryRequest{
-		Left:         q.q.Left.Name,
-		Right:        q.q.Right.Name,
-		Score:        q.q.Score.Name,
-		K:            q.q.K,
+		Left:         left,
+		Right:        right,
+		Score:        score,
+		Tree:         tree,
+		K:            q.t.K,
 		Algo:         string(algo),
 		Objective:    string(o.Objective),
 		ISLBatch:     o.ISLBatch,
@@ -367,7 +416,11 @@ func resultOf(res *transport.ResultData) *Result {
 		Algorithm: res.Algorithm,
 	}
 	for _, r := range res.Results {
-		out.Results = append(out.Results, JoinResult{Left: tupleOf(&r.Left), Right: tupleOf(&r.Right), Score: r.Score})
+		jr := JoinResult{Left: tupleOf(&r.Left), Right: tupleOf(&r.Right), Score: r.Score}
+		for i := range r.Rest {
+			jr.Rest = append(jr.Rest, tupleOf(&r.Rest[i]))
+		}
+		out.Results = append(out.Results, jr)
 	}
 	return out
 }

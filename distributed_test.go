@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"reflect"
 	"sort"
 	"testing"
 
@@ -121,7 +122,7 @@ func assertSameResults(t testing.TB, label string, got, want []JoinResult) {
 		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
 	}
 	for i := range got {
-		if got[i] != want[i] {
+		if !reflect.DeepEqual(got[i], want[i]) {
 			t.Fatalf("%s: result %d = %+v, want %+v", label, i, got[i], want[i])
 		}
 	}

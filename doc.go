@@ -1,6 +1,7 @@
 // Package rankjoin is a Go implementation of "Rank Join Queries in NoSQL
 // Databases" (Ntarmos, Patlakas, Triantafillou — PVLDB 7(7), 2014): top-k
-// equi-join processing over a BigTable/HBase-style NoSQL store.
+// join processing over a BigTable/HBase-style NoSQL store, generalized
+// from the paper's binary equi-joins to acyclic join trees.
 //
 // The library bundles an embedded, deterministic NoSQL cluster (sorted
 // key-value tables, column families, range-sharded regions, batched
@@ -13,6 +14,9 @@
 //   - BFHM — Bloom Filter Histogram Matrix rank join with a guaranteed
 //     100% recall (Section 5)
 //   - DRJN — the 2-D histogram comparator (Section 7.1)
+//   - Any-k — per-tree-node priority queues over partial solutions,
+//     enumerating any acyclic join tree in score order with no k
+//     fixed up front
 //
 // plus online index maintenance (Section 6) and a cost model reporting
 // the paper's three evaluation metrics for every query: simulated
@@ -79,6 +83,37 @@
 // per-page cost for incremental cursors, the doubling re-run schedule
 // for materializing ones — and can pick a different executor for deep
 // pagination than for a one-shot top-k.
+//
+// # Join trees
+//
+// The general query shape is an acyclic join tree: relations are the
+// leaves, the n-1 edges are join predicates — equi-predicates on the
+// join attributes, or band predicates |a-b| <= w over numeric join
+// values — and an n-ary monotonic aggregate (SumN, ProductN) scores
+// complete matches. NewQuery (binary) and NewMultiQuery (star) build
+// the two trivial tree shapes; NewTreeQuery builds chains and general
+// acyclic mixes:
+//
+//	q, _ := db.NewTreeQuery(
+//	    []string{"sensors", "readings", "alerts"},
+//	    []rankjoin.TreeEdge{
+//	        {A: 0, B: 1, Kind: rankjoin.PredEqui},
+//	        {A: 1, B: 2, Kind: rankjoin.PredBand, Band: 0.5},
+//	    },
+//	    rankjoin.SumN, 10)
+//	res, _ := db.TopK(q, rankjoin.AlgoAnyK, nil)
+//	rows, _ := db.StreamTree(q, rankjoin.AlgoAnyK, nil)
+//
+// Structurally invalid trees (cyclic, disconnected, self-loops,
+// out-of-range endpoints, duplicate edges, non-finite band widths)
+// fail with a typed *ShapeError. AlgoAnyK executes every tree shape
+// incrementally — per-leaf score-ordered streams feed priority queues
+// of partial solutions, and a generalized HRJN threshold releases a
+// match only when nothing unseen can beat it — so tree queries
+// stream, paginate, and respect budgets exactly like binary ones; the
+// other executors answer trees through the materializing adapter.
+// ParseTreeSpec and NewTreeQueryFromSpec decode the JSON wire form
+// the HTTP server accepts on /topk, /stream, and /explain.
 //
 // # Online updates
 //

@@ -1,6 +1,7 @@
 package rankjoin
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/core"
@@ -39,6 +40,63 @@ func FuzzPageTokens(f *testing.F) {
 		}
 		if _, err := cc.take(token); err == nil {
 			t.Fatalf("second take of single-use token %q succeeded", token)
+		}
+	})
+}
+
+// FuzzTreeQueryDecode feeds hostile JSON to the tree-query wire
+// decoder: every input must either produce a typed error or a spec
+// that validates into a well-formed acyclic tree — never a panic, and
+// never a structurally bad tree sneaking past with a nil error.
+func FuzzTreeQueryDecode(f *testing.F) {
+	f.Add(`{"relations":["a","b"],"score":"sum","k":10}`)
+	f.Add(`{"relations":["a","b","c"],"edges":[{"a":0,"b":1},{"a":1,"b":2,"kind":"band","band":0.5}],"score":"product"}`)
+	f.Add(`{"relations":["a","a"],"score":"sum"}`)
+	f.Add(`{"relations":["a","b","c"],"edges":[{"a":0,"b":1},{"a":0,"b":1}]}`)
+	f.Add(`{"relations":["a","b"],"edges":[{"a":0,"b":7}]}`)
+	f.Add(`{"relations":["a","b","c"],"edges":[{"a":1,"b":2,"kind":"band","band":1e999}]}`)
+	f.Add(`{"relations":[],"edges":null}`)
+	f.Add(`{"k":-3}`)
+	f.Add(`not json at all`)
+	f.Add(`{"relations":["a","b"],"score":"theta"}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		spec, err := ParseTreeSpec([]byte(data))
+		if err != nil {
+			if spec != nil {
+				t.Fatalf("ParseTreeSpec returned both a spec and error %v", err)
+			}
+			var se *ShapeError
+			// Non-shape errors (bad JSON, unknown edge kind or score
+			// name, undefined-relation shapes) must still be typed
+			// enough to carry a message.
+			if !errors.As(err, &se) && err.Error() == "" {
+				t.Fatalf("error with empty message for input %q", data)
+			}
+			return
+		}
+		if spec == nil {
+			t.Fatal("nil spec with nil error")
+		}
+		if len(spec.Relations) < 2 {
+			t.Fatalf("accepted spec with %d relations", len(spec.Relations))
+		}
+		if spec.K < 1 {
+			t.Fatalf("accepted spec with k=%d", spec.K)
+		}
+		// An accepted spec must decode into a query a DB with those
+		// relations defined would accept: edges resolve and validate.
+		db, err := Open(Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		for _, name := range spec.Relations {
+			if _, derr := db.DefineRelation(name); derr != nil {
+				t.Fatalf("accepted spec has undefinable relation %q: %v", name, derr)
+			}
+		}
+		if _, qerr := db.NewTreeQueryFromSpec(spec); qerr != nil {
+			t.Fatalf("validated spec rejected by NewTreeQueryFromSpec: %v", qerr)
 		}
 	})
 }

@@ -1,0 +1,73 @@
+package benchkit
+
+import (
+	"testing"
+
+	rankjoin "repro"
+	"repro/internal/sim"
+)
+
+// TestChainAnyKBeatsAdapterReadUnits pins the acceptance criterion of
+// the any-k executor: on a 4-relation band chain at k=10 it must spend
+// strictly fewer read units than the doubling-depth adapter, because
+// any-k touches only the ISL prefixes the top results need while the
+// adapter's materializing re-runs scan every leaf in full.
+func TestChainAnyKBeatsAdapterReadUnits(t *testing.T) {
+	env, err := SetupChain(sim.LC(), 400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+
+	cells, err := env.ChainSeries(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := map[rankjoin.Algorithm]uint64{}
+	for _, c := range cells {
+		if c.K == 10 {
+			reads[c.Algo] = c.Cost.KVReads
+		}
+	}
+	anyk, ok := reads[rankjoin.AlgoAnyK]
+	if !ok {
+		t.Fatal("no anyk cell at k=10")
+	}
+	adapter, ok := reads[rankjoin.AlgoNaive]
+	if !ok {
+		t.Fatal("no adapter cell at k=10")
+	}
+	t.Logf("4-relation chain k=10: anyk=%d read units, adapter=%d", anyk, adapter)
+	if anyk >= adapter {
+		t.Fatalf("anyk spent %d read units, adapter %d: want anyk strictly fewer", anyk, adapter)
+	}
+}
+
+// TestChainReportShape runs the full chain figure at a small scale and
+// checks the snapshot carries every chain<n> series with both
+// executors at every k.
+func TestChainReportShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chain figure is slow in -short mode")
+	}
+	report, snap, err := ChainReport(sim.LC(), 300, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report == "" {
+		t.Fatal("empty chain report")
+	}
+	for _, n := range ChainLengths {
+		key := "chain" + string(rune('0'+n))
+		pts := snap.Series[key]
+		want := 2 * len(ChainKValues)
+		if len(pts) != want {
+			t.Errorf("series %s has %d points, want %d", key, len(pts), want)
+		}
+		for _, p := range pts {
+			if p.KVReads == 0 {
+				t.Errorf("series %s %s k=%d: zero read units", key, p.Algo, p.K)
+			}
+		}
+	}
+}

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/kvstore"
+)
+
+// This file implements the any-k executor: ranked enumeration over an
+// acyclic join tree with no k fixed up front (the ANYK/QUICK family of
+// Tziavelis et al., adapted to the paper's inverse-score-list storage).
+// Each leaf's tuples arrive in descending score order from its inverse
+// score list; arriving tuples join against the already-seen tuples of
+// neighboring leaves (so every complete result is assembled exactly
+// once, when its last tuple arrives), and a priority queue releases a
+// result only once its score provably precedes every result not yet
+// assembled — the same threshold bound HRJN uses, generalized over the
+// tree's leaves.
+
+// EnsureISLN idempotently builds the shared n-way inverse-score-list
+// index for a tree's leaf set: one table keyed by LeafID with one
+// column family per relation. Edge predicates never change the indexed
+// content, so every tree over the same leaves and aggregate shares one
+// physical index (and the star ISLN executor reads the same table).
+func EnsureISLN(c *kvstore.Cluster, t *JoinTree, store *IndexStore) error {
+	leafID := t.LeafID()
+	lock := store.BuildScope("isln/" + leafID)
+	lock.Lock()
+	defer lock.Unlock()
+	if _, ok := store.ISLN(leafID); ok {
+		return nil
+	}
+	star := MultiQuery{Relations: t.Relations, Score: t.Score, K: t.K}
+	if star.K < 1 {
+		star.K = 1
+	}
+	idx, _, err := BuildISLN(c, star)
+	if err != nil {
+		return err
+	}
+	store.PutISLN(leafID, idx)
+	return nil
+}
+
+// anykExec is the registry executor behind AlgoAnyK. It supports every
+// valid tree shape, including band predicates.
+type anykExec struct{}
+
+func (anykExec) Name() string                        { return "anyk" }
+func (anykExec) NeedsIndex() bool                    { return true }
+func (anykExec) Incremental() bool                   { return true }
+func (anykExec) Supports(t *JoinTree) bool           { return true }
+func (anykExec) Estimate(st *PlanStats) CostEstimate { return estimateAnyK(st) }
+
+func (anykExec) EnsureIndex(c *kvstore.Cluster, t *JoinTree, store *IndexStore, _ IndexBuildConfig) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	return EnsureISLN(c, t, store)
+}
+
+func (anykExec) HasIndex(t *JoinTree, store *IndexStore) bool {
+	_, ok := store.ISLN(t.LeafID())
+	return ok
+}
+
+func (anykExec) IndexSize(c *kvstore.Cluster, t *JoinTree, store *IndexStore) uint64 {
+	idx, ok := store.ISLN(t.LeafID())
+	if !ok {
+		return 0
+	}
+	return tableSize(c, idx.Table)
+}
+
+func (anykExec) Run(c *kvstore.Cluster, t *JoinTree, store *IndexStore, opts ExecOptions) (*Result, error) {
+	return RunCursor(c, t.K, func() (Cursor, error) { return anykExec{}.Open(c, t, store, opts) })
+}
+
+func (anykExec) Open(c *kvstore.Cluster, t *JoinTree, store *IndexStore, opts ExecOptions) (Cursor, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	idx, ok := store.ISLN(t.LeafID())
+	if !ok {
+		return nil, fmt.Errorf("rankjoin: no any-k index for %s; call EnsureIndexes first", t.LeafID())
+	}
+	if len(idx.Families) != len(t.Relations) {
+		return nil, fmt.Errorf("core: any-k index for %s has %d families, tree has %d leaves",
+			t.LeafID(), len(idx.Families), len(t.Relations))
+	}
+	opts = opts.WithDefaults()
+	streams := make([]*islStream, len(t.Relations))
+	for i := range t.Relations {
+		s, err := newISLStream(c, idx.Table, idx.Families[i], opts.ISLBatch, opts.Parallelism >= 2)
+		if err != nil {
+			return nil, err
+		}
+		streams[i] = s
+	}
+	cur := &anyKCursor{op: newAnyKOp(t), streams: streams, batch: opts.ISLBatch}
+	return WrapBudget(cur, opts.Budget), nil
+}
+
+// anyKOp is the tree-generalized ranked-enumeration operator.
+type anyKOp struct {
+	tree   *JoinTree
+	n      int
+	orders [][]walkStep // expansion order rooted at each leaf
+	seen   []*leafIndex // per-leaf tuples pulled so far
+	ready  nresultHeap  // assembled results awaiting release
+	maxS   []float64    // first (highest) score seen per leaf
+	minS   []float64    // last (lowest) score seen per leaf
+	got    []bool       // leaf has yielded at least one tuple
+	done   []bool       // leaf's list is exhausted
+	combo  []Tuple      // scratch assignment during assembly
+	scores []float64    // scratch score vector
+}
+
+func newAnyKOp(t *JoinTree) *anyKOp {
+	n := len(t.Relations)
+	op := &anyKOp{
+		tree:   t,
+		n:      n,
+		orders: make([][]walkStep, n),
+		seen:   make([]*leafIndex, n),
+		maxS:   make([]float64, n),
+		minS:   make([]float64, n),
+		got:    make([]bool, n),
+		done:   make([]bool, n),
+		combo:  make([]Tuple, n),
+		scores: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		op.orders[i] = t.walkOrder(i)
+		op.seen[i] = newLeafIndex(t, i)
+		op.maxS[i] = math.Inf(-1)
+		op.minS[i] = math.Inf(1)
+	}
+	return op
+}
+
+// push feeds one tuple from leaf i into the operator and assembles
+// every new complete result it closes. Rooting the expansion at the
+// arriving leaf means a result is formed exactly once — by the last of
+// its tuples to arrive.
+func (o *anyKOp) push(i int, t Tuple) {
+	o.got[i] = true
+	if t.Score > o.maxS[i] {
+		o.maxS[i] = t.Score
+	}
+	if t.Score < o.minS[i] {
+		o.minS[i] = t.Score
+	}
+	o.seen[i].add(t)
+	o.combo[i] = t
+	o.assemble(o.orders[i], 0)
+}
+
+func (o *anyKOp) assemble(steps []walkStep, d int) {
+	if d == len(steps) {
+		for j := 0; j < o.n; j++ {
+			o.scores[j] = o.combo[j].Score
+		}
+		heap.Push(&o.ready, NJoinResult{
+			Tuples: append([]Tuple(nil), o.combo...),
+			Score:  o.tree.Score.Fn(o.scores),
+		})
+		return
+	}
+	s := steps[d]
+	for _, cand := range o.seen[s.leaf].candidates(s.edge, o.combo[s.from].JoinValue) {
+		o.combo[s.leaf] = cand
+		o.assemble(steps, d+1)
+	}
+}
+
+// exhaust marks leaf i's inverse score list drained.
+func (o *anyKOp) exhaust(i int) { o.done[i] = true }
+
+func (o *anyKOp) allDone() bool {
+	for _, d := range o.done {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+// threshold bounds the score of every result not yet assembled: any
+// such result takes its next tuple from some non-exhausted leaf i at
+// score <= minS[i] and every other leaf at score <= maxS[j]; monotonic
+// aggregation makes f over that vector an upper bound, maximized over
+// the candidate leaves (the HRJN bound, over n lists).
+func (o *anyKOp) threshold() float64 {
+	allDone := true
+	for i := 0; i < o.n; i++ {
+		if !o.done[i] {
+			allDone = false
+		}
+		if !o.got[i] {
+			if o.done[i] {
+				// An empty leaf means no complete result can exist.
+				return math.Inf(-1)
+			}
+			// An unseen leaf could still hold arbitrarily good tuples.
+			return math.Inf(1)
+		}
+	}
+	if allDone {
+		return math.Inf(-1)
+	}
+	best := math.Inf(-1)
+	for i := 0; i < o.n; i++ {
+		if o.done[i] {
+			continue
+		}
+		for j := 0; j < o.n; j++ {
+			if j == i {
+				o.scores[j] = o.minS[j]
+			} else {
+				o.scores[j] = o.maxS[j]
+			}
+		}
+		if s := o.tree.Score.Fn(o.scores); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// releasable reports whether the best assembled result may be emitted:
+// strictly above the threshold (a tied future result could tie-break
+// earlier, so ties wait) or anything once every list is exhausted.
+func (o *anyKOp) releasable() bool {
+	if o.ready.Len() == 0 {
+		return false
+	}
+	th := o.threshold()
+	return o.ready.rs[0].Score > th || math.IsInf(th, -1)
+}
+
+// pop releases the best result if releasable.
+func (o *anyKOp) pop() (NJoinResult, bool) {
+	if !o.releasable() {
+		return NJoinResult{}, false
+	}
+	return heap.Pop(&o.ready).(NJoinResult), true
+}
+
+// anyKCursor drives the operator from the per-leaf inverse score
+// lists, pulling batches round-robin from the non-exhausted leaves.
+type anyKCursor struct {
+	op      *anyKOp
+	streams []*islStream
+	batch   int
+	next    int // round-robin position
+	closed  bool
+}
+
+// Next implements Cursor.
+func (a *anyKCursor) Next() (*JoinResult, error) {
+	if a.closed {
+		return nil, ErrCursorClosed
+	}
+	for {
+		if r, ok := a.op.pop(); ok {
+			jr := toJoinResult(r)
+			return &jr, nil
+		}
+		if a.op.allDone() {
+			return nil, nil
+		}
+		if err := a.fill(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// fill pulls up to one batch from the next non-exhausted leaf,
+// stopping early the moment a result becomes releasable so the cursor
+// never consumes read units past what the next result needs.
+func (a *anyKCursor) fill() error {
+	n := len(a.streams)
+	for tries := 0; tries < n; tries++ {
+		i := a.next % n
+		a.next++
+		if a.op.done[i] {
+			continue
+		}
+		for pulled := 0; pulled < a.batch; pulled++ {
+			t, err := a.streams[i].Next()
+			if err != nil {
+				return err
+			}
+			if t == nil {
+				a.op.exhaust(i)
+				break
+			}
+			a.op.push(i, *t)
+			if a.op.releasable() {
+				return nil
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+// Close implements Cursor. An early close abandons the scanners, so no
+// further read units accrue.
+func (a *anyKCursor) Close() error {
+	a.closed = true
+	return nil
+}
+
+// nresultHeap orders assembled results best-first under the n-way
+// result precedence (score descending, row keys ascending in leaf
+// order for ties).
+type nresultHeap struct {
+	rs []NJoinResult
+}
+
+func (h *nresultHeap) Len() int           { return len(h.rs) }
+func (h *nresultHeap) Less(i, j int) bool { return h.rs[i].less(&h.rs[j]) }
+func (h *nresultHeap) Swap(i, j int)      { h.rs[i], h.rs[j] = h.rs[j], h.rs[i] }
+func (h *nresultHeap) Push(x any)         { h.rs = append(h.rs, x.(NJoinResult)) }
+func (h *nresultHeap) Pop() any {
+	old := h.rs
+	n := len(old)
+	r := old[n-1]
+	old[n-1] = NJoinResult{}
+	h.rs = old[:n-1]
+	return r
+}

@@ -92,6 +92,25 @@ func (b *Budget) Attach(lane *sim.Metrics) {
 	b.baseReads = lane.KVReads()
 }
 
+// Rebind points the budget at a resuming page's bounds: the context
+// and deadline of the new request replace the originals — which may
+// have expired with the request that opened the cursor — and the
+// read-unit cap re-baselines at the lane's current spend, so it caps
+// this page rather than the cursor's lifetime. Nil-safe; a cursor
+// opened with no budget stays unbounded (there is nothing to rebind
+// the guard seam to).
+func (b *Budget) Rebind(ctx context.Context, deadline time.Time, maxReadUnits uint64) {
+	if b == nil {
+		return
+	}
+	b.Ctx = ctx
+	b.Deadline = deadline
+	b.MaxReadUnits = maxReadUnits
+	if b.lane != nil {
+		b.baseReads = b.lane.KVReads()
+	}
+}
+
 // Spent returns the read units consumed since Attach. Nil-safe.
 func (b *Budget) Spent() uint64 {
 	if b == nil || b.lane == nil {

@@ -21,7 +21,7 @@ func newCursorEnv(t *testing.T, n, joinCard, k int, seed int64) (*kvstore.Cluste
 	cfg := IndexBuildConfig{BFHMBuckets: 8, DRJNBuckets: 8, DRJNJoinParts: 16}.WithDefaults()
 	for _, ex := range Executors() {
 		if ex.NeedsIndex() {
-			if err := ex.EnsureIndex(c, q, store, cfg); err != nil {
+			if err := ex.EnsureIndex(c, TreeFromQuery(q), store, cfg); err != nil {
 				t.Fatalf("%s: EnsureIndex: %v", ex.Name(), err)
 			}
 		}
@@ -65,12 +65,12 @@ func TestCursorPagesMatchBatch(t *testing.T) {
 	for _, ex := range Executors() {
 		batchQ := q
 		batchQ.K = total
-		batch, err := ex.Run(c, batchQ, store, opts)
+		batch, err := ex.Run(c, TreeFromQuery(batchQ), store, opts)
 		if err != nil {
 			t.Fatalf("%s: Run: %v", ex.Name(), err)
 		}
 
-		cur, err := ex.Open(c, q, store, opts) // q.K = page hint
+		cur, err := ex.Open(c, TreeFromQuery(q), store, opts) // q.K = page hint
 		if err != nil {
 			t.Fatalf("%s: Open: %v", ex.Name(), err)
 		}
@@ -106,7 +106,7 @@ func TestCursorDrainsToExhaustion(t *testing.T) {
 
 	opts := ExecOptions{}.WithDefaults()
 	for _, ex := range Executors() {
-		cur, err := ex.Open(c, q, store, opts)
+		cur, err := ex.Open(c, TreeFromQuery(q), store, opts)
 		if err != nil {
 			t.Fatalf("%s: Open: %v", ex.Name(), err)
 		}
@@ -133,7 +133,7 @@ func TestCursorEarlyCloseChargesNothing(t *testing.T) {
 	c, q, store := newCursorEnv(t, 200, 10, 3, 99)
 	opts := ExecOptions{ISLBatch: 5}.WithDefaults()
 	for _, ex := range Executors() {
-		cur, err := ex.Open(c, q, store, opts)
+		cur, err := ex.Open(c, TreeFromQuery(q), store, opts)
 		if err != nil {
 			t.Fatalf("%s: Open: %v", ex.Name(), err)
 		}

@@ -119,10 +119,17 @@ func (a *estAccum) jobStart() { a.t += a.p.MRJobStartup }
 
 func estimateNaive(st *PlanStats) CostEstimate {
 	a := estAccum{p: st.Profile}
-	a.clientScan(st.Left.Rows, st.Left.Bytes, 2*st.Left.Rows)
-	a.clientScan(st.Right.Rows, st.Right.Bytes, 2*st.Right.Rows)
+	leaves := st.Leaves
+	if len(leaves) == 0 {
+		leaves = []RelStats{st.Left, st.Right}
+	}
+	var tuples uint64
+	for _, l := range leaves {
+		a.clientScan(l.Rows, l.Bytes, 2*l.Rows)
+		tuples += l.Rows
+	}
 	// Coordinator hash join over everything.
-	a.t += a.p.CPUTime(st.Left.Rows + st.Right.Rows + uint64(st.JoinPairs))
+	a.t += a.p.CPUTime(tuples + uint64(st.JoinPairs))
 	return a.est()
 }
 
@@ -201,6 +208,11 @@ func estimateIJLMR(st *PlanStats) CostEstimate {
 }
 
 func estimateISL(st *PlanStats) CostEstimate {
+	if len(st.LeafDepths) > 2 {
+		// The n-way coordinator has the any-k cost shape: one batched
+		// inverse-score-list scan per leaf down to its termination depth.
+		return estimateAnyK(st)
+	}
 	a := estAccum{p: st.Profile}
 	batch := uint64(st.Exec.WithDefaults().ISLBatch)
 	dL, dR := uint64(st.LeftDepth), uint64(st.RightDepth)
@@ -228,6 +240,46 @@ func estimateISL(st *PlanStats) CostEstimate {
 	a.net += (dL+dR)*cellBytes + batches*estRPCOver
 	// HRJN hash-join work: every consumed tuple probes, ~k pairs form.
 	a.t += a.p.CPUTime(dL + dR + uint64(st.K))
+	return a.est()
+}
+
+// estimateAnyK prices the any-k tree executor: one batched
+// inverse-score-list scan per leaf down to its estimated termination
+// depth (the per-node queue depths of PlanStats.LeafDepths), plus the
+// per-tuple probe and candidate-queue CPU.
+func estimateAnyK(st *PlanStats) CostEstimate {
+	a := estAccum{p: st.Profile}
+	batch := uint64(st.Exec.WithDefaults().ISLBatch)
+	cellBytes := uint64(estCellMeta + 10)
+	depths := st.LeafDepths
+	if len(depths) == 0 {
+		depths = []float64{st.LeftDepth, st.RightDepth}
+	}
+	var total, batches, maxBatches uint64
+	for _, d := range depths {
+		du := uint64(d)
+		b := du/batch + 1
+		total += du
+		batches += b
+		if b > maxBatches {
+			maxBatches = b
+		}
+	}
+	perBatch := a.p.RPCLatency +
+		a.p.ScanTime(batch*cellBytes) +
+		a.p.TransferTime(batch*cellBytes+estRPCOver)
+	seqBatches := batches
+	if st.Exec.Parallelism >= 2 {
+		// Prefetching overlaps the leaves' round trips; the slowest
+		// stream dominates.
+		seqBatches = maxBatches
+	}
+	a.t += time.Duration(seqBatches) * perBatch
+	a.reads += total
+	a.net += total*cellBytes + batches*estRPCOver
+	// Each consumed tuple probes its neighbor leaves' seen sets; each
+	// released result pays heap assembly over n leaves.
+	a.t += a.p.CPUTime(total + uint64(st.K)*uint64(len(depths)))
 	return a.est()
 }
 

@@ -102,6 +102,9 @@ type PlanStats struct {
 	K       int
 	Left    RelStats
 	Right   RelStats
+	// Leaves holds the statistics of every tree leaf in leaf order;
+	// for two-way queries it mirrors {Left, Right}.
+	Leaves []RelStats
 
 	// JoinPairs estimates the full join-result cardinality.
 	JoinPairs float64
@@ -110,6 +113,10 @@ type PlanStats struct {
 	// complete (the HRJN early-termination depth).
 	LeftDepth  float64
 	RightDepth float64
+	// LeafDepths generalizes the termination depths over every tree
+	// leaf (any-k per-node queue depths); for two-way queries it
+	// mirrors {LeftDepth, RightDepth}.
+	LeafDepths []float64
 	// StatBands is how many leading histogram bands per side the stats
 	// walk consumed to cover k; it drives DRJN/BFHM fetch-count
 	// estimates. Zero when no histogram statistics were available.
@@ -163,36 +170,43 @@ func RelativeError(est, actual float64) float64 {
 	return d / actual
 }
 
-// Executor is one rank-join strategy behind the registry.
+// Executor is one rank-join strategy behind the registry. Every
+// executor consumes the JoinTree query form; two-way-only strategies
+// project the tree back to a binary Query via JoinTree.Binary and
+// reject other shapes (see Supports).
 type Executor interface {
 	// Name is the stable identifier ("isl", "bfhm", ...), matching the
 	// public Algorithm constants.
 	Name() string
 	// NeedsIndex reports whether Run requires a prior EnsureIndex.
 	NeedsIndex() bool
+	// Supports reports whether this executor can run the tree's shape
+	// (leaf count and edge predicates). The planner skips unsupported
+	// candidates; direct dispatch surfaces a shape error instead.
+	Supports(t *JoinTree) bool
 	// EnsureIndex idempotently builds the executor's index structures
-	// for q. Concurrent calls for overlapping scopes serialize
+	// for the tree. Concurrent calls for overlapping scopes serialize
 	// (single-flight): exactly one caller builds, the rest observe the
 	// finished index.
-	EnsureIndex(c *kvstore.Cluster, q Query, store *IndexStore, cfg IndexBuildConfig) error
+	EnsureIndex(c *kvstore.Cluster, t *JoinTree, store *IndexStore, cfg IndexBuildConfig) error
 	// HasIndex reports whether Run's index requirements are met.
-	HasIndex(q Query, store *IndexStore) bool
+	HasIndex(t *JoinTree, store *IndexStore) bool
 	// IndexSize returns the stored bytes of the executor's index(es)
-	// for q (0 for index-free executors or unbuilt indexes).
-	IndexSize(c *kvstore.Cluster, q Query, store *IndexStore) uint64
+	// for the tree (0 for index-free executors or unbuilt indexes).
+	IndexSize(c *kvstore.Cluster, t *JoinTree, store *IndexStore) uint64
 	// Estimate predicts the query's execution cost from planner
 	// statistics. It must return non-zero costs for any non-empty
 	// input, whether or not the index exists yet.
 	Estimate(st *PlanStats) CostEstimate
-	// Run executes the bounded query (a drain of Open's cursor to q.K
+	// Run executes the bounded query (a drain of Open's cursor to t.K
 	// results).
-	Run(c *kvstore.Cluster, q Query, store *IndexStore, opts ExecOptions) (*Result, error)
+	Run(c *kvstore.Cluster, t *JoinTree, store *IndexStore, opts ExecOptions) (*Result, error)
 	// Open starts a streaming execution: the cursor yields join results
 	// one at a time in descending score order, with no fixed k. For
-	// incremental executors q.K is irrelevant beyond validation; for
+	// incremental executors t.K is irrelevant beyond validation; for
 	// materializing ones it is the initial batch depth (the page-size
 	// hint), with deeper pulls re-running at doubled depths.
-	Open(c *kvstore.Cluster, q Query, store *IndexStore, opts ExecOptions) (Cursor, error)
+	Open(c *kvstore.Cluster, t *JoinTree, store *IndexStore, opts ExecOptions) (Cursor, error)
 	// Incremental reports whether Open enumerates natively — each Next
 	// pays only marginal work — as opposed to materializing bounded
 	// re-runs. The planner charges materializing executors the re-run

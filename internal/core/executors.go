@@ -6,10 +6,12 @@ import (
 	"repro/internal/kvstore"
 )
 
-// The seven paper algorithms as registry executors. This file is the
-// single dispatch surface: what used to be three parallel switch
-// statements (TopK, EnsureIndexes, IndexDiskSize) is now one Executor
-// implementation per strategy.
+// The paper's seven algorithms plus the any-k tree executor as registry
+// executors. This file is the single dispatch surface: what used to be
+// three parallel switch statements (TopK, EnsureIndexes, IndexDiskSize)
+// is now one Executor implementation per strategy. Every executor
+// consumes the JoinTree form; the two-way-only strategies project it
+// back to a binary Query through requireBinary.
 
 func init() {
 	Register(naiveExec{})
@@ -19,6 +21,7 @@ func init() {
 	Register(islExec{})
 	Register(bfhmExec{})
 	Register(drjnExec{})
+	Register(anykExec{})
 }
 
 // tableSize returns a table's stored bytes, 0 when it does not exist.
@@ -27,40 +30,70 @@ func tableSize(c *kvstore.Cluster, table string) uint64 {
 	return sz
 }
 
+// unsupportedShape is the dispatch error for a hand-picked executor
+// that cannot run the tree's shape.
+func unsupportedShape(name string, t *JoinTree) error {
+	return fmt.Errorf("rankjoin: algorithm %q does not support join shape %s (try %s or %s)",
+		name, t.ID(), "naive", "anyk")
+}
+
+// requireBinary projects the tree onto the two-way Query form the
+// binary-only executors consume, or fails with a shape diagnostic.
+func requireBinary(name string, t *JoinTree) (Query, error) {
+	q, ok := t.Binary()
+	if !ok {
+		return Query{}, unsupportedShape(name, t)
+	}
+	return q, nil
+}
+
+// isBinary reports the two-leaf all-equi shape.
+func isBinary(t *JoinTree) bool {
+	_, ok := t.Binary()
+	return ok
+}
+
 // materialize adapts a batch-shaped top-k function to Open's streaming
-// contract: the cursor materializes the top q.K, then re-runs at
+// contract: the cursor materializes the top t.K, then re-runs at
 // doubled depths when drained deeper. The budget wrap makes Next
 // enforce the query's deadline/read cap between results; the budget
 // also fires inside run itself via the cluster guard, since a
 // materializing executor does nearly all its work there.
-func materialize(q Query, b *Budget, run func(k int) (*Result, error)) (Cursor, error) {
-	if err := q.Validate(); err != nil {
+func materialize(t *JoinTree, b *Budget, run func(k int) (*Result, error)) (Cursor, error) {
+	if err := t.Validate(); err != nil {
 		return nil, err
 	}
-	return WrapBudget(NewMaterializedCursor(q.K, run), b), nil
+	return WrapBudget(NewMaterializedCursor(t.K, run), b), nil
 }
 
 // ---- Naive ----
 
 type naiveExec struct{}
 
-func (naiveExec) Name() string     { return "naive" }
-func (naiveExec) NeedsIndex() bool { return false }
-func (naiveExec) EnsureIndex(*kvstore.Cluster, Query, *IndexStore, IndexBuildConfig) error {
+func (naiveExec) Name() string            { return "naive" }
+func (naiveExec) NeedsIndex() bool        { return false }
+func (naiveExec) Supports(*JoinTree) bool { return true }
+func (naiveExec) EnsureIndex(*kvstore.Cluster, *JoinTree, *IndexStore, IndexBuildConfig) error {
 	return nil
 }
-func (naiveExec) HasIndex(Query, *IndexStore) bool                      { return true }
-func (naiveExec) IndexSize(*kvstore.Cluster, Query, *IndexStore) uint64 { return 0 }
-func (naiveExec) Estimate(st *PlanStats) CostEstimate                   { return estimateNaive(st) }
-func (naiveExec) Incremental() bool                                     { return false }
-func (naiveExec) Run(c *kvstore.Cluster, q Query, _ *IndexStore, _ ExecOptions) (*Result, error) {
-	return NaiveTopK(c, q)
+func (naiveExec) HasIndex(*JoinTree, *IndexStore) bool                      { return true }
+func (naiveExec) IndexSize(*kvstore.Cluster, *JoinTree, *IndexStore) uint64 { return 0 }
+func (naiveExec) Estimate(st *PlanStats) CostEstimate                       { return estimateNaive(st) }
+func (naiveExec) Incremental() bool                                         { return false }
+func (naiveExec) Run(c *kvstore.Cluster, t *JoinTree, _ *IndexStore, _ ExecOptions) (*Result, error) {
+	if q, ok := t.Binary(); ok {
+		return NaiveTopK(c, q)
+	}
+	return NaiveTreeTopK(c, t)
 }
-func (naiveExec) Open(c *kvstore.Cluster, q Query, _ *IndexStore, opts ExecOptions) (Cursor, error) {
-	return materialize(q, opts.Budget, func(k int) (*Result, error) {
-		qq := q
-		qq.K = k
-		return NaiveTopK(c, qq)
+func (naiveExec) Open(c *kvstore.Cluster, t *JoinTree, _ *IndexStore, opts ExecOptions) (Cursor, error) {
+	return materialize(t, opts.Budget, func(k int) (*Result, error) {
+		tt := *t
+		tt.K = k
+		if q, ok := tt.Binary(); ok {
+			return NaiveTopK(c, q)
+		}
+		return NaiveTreeTopK(c, &tt)
 	})
 }
 
@@ -68,20 +101,32 @@ func (naiveExec) Open(c *kvstore.Cluster, q Query, _ *IndexStore, opts ExecOptio
 
 type hiveExec struct{}
 
-func (hiveExec) Name() string     { return "hive" }
-func (hiveExec) NeedsIndex() bool { return false }
-func (hiveExec) EnsureIndex(*kvstore.Cluster, Query, *IndexStore, IndexBuildConfig) error {
+func (hiveExec) Name() string              { return "hive" }
+func (hiveExec) NeedsIndex() bool          { return false }
+func (hiveExec) Supports(t *JoinTree) bool { return isBinary(t) }
+func (hiveExec) EnsureIndex(_ *kvstore.Cluster, t *JoinTree, _ *IndexStore, _ IndexBuildConfig) error {
+	if !isBinary(t) {
+		return unsupportedShape("hive", t)
+	}
 	return nil
 }
-func (hiveExec) HasIndex(Query, *IndexStore) bool                      { return true }
-func (hiveExec) IndexSize(*kvstore.Cluster, Query, *IndexStore) uint64 { return 0 }
-func (hiveExec) Estimate(st *PlanStats) CostEstimate                   { return estimateHive(st) }
-func (hiveExec) Incremental() bool                                     { return false }
-func (hiveExec) Run(c *kvstore.Cluster, q Query, _ *IndexStore, _ ExecOptions) (*Result, error) {
+func (hiveExec) HasIndex(t *JoinTree, _ *IndexStore) bool                  { return isBinary(t) }
+func (hiveExec) IndexSize(*kvstore.Cluster, *JoinTree, *IndexStore) uint64 { return 0 }
+func (hiveExec) Estimate(st *PlanStats) CostEstimate                       { return estimateHive(st) }
+func (hiveExec) Incremental() bool                                         { return false }
+func (hiveExec) Run(c *kvstore.Cluster, t *JoinTree, _ *IndexStore, _ ExecOptions) (*Result, error) {
+	q, err := requireBinary("hive", t)
+	if err != nil {
+		return nil, err
+	}
 	return QueryHive(c, q)
 }
-func (hiveExec) Open(c *kvstore.Cluster, q Query, _ *IndexStore, opts ExecOptions) (Cursor, error) {
-	return materialize(q, opts.Budget, func(k int) (*Result, error) {
+func (hiveExec) Open(c *kvstore.Cluster, t *JoinTree, _ *IndexStore, opts ExecOptions) (Cursor, error) {
+	q, err := requireBinary("hive", t)
+	if err != nil {
+		return nil, err
+	}
+	return materialize(t, opts.Budget, func(k int) (*Result, error) {
 		qq := q
 		qq.K = k
 		return QueryHive(c, qq)
@@ -92,20 +137,32 @@ func (hiveExec) Open(c *kvstore.Cluster, q Query, _ *IndexStore, opts ExecOption
 
 type pigExec struct{}
 
-func (pigExec) Name() string     { return "pig" }
-func (pigExec) NeedsIndex() bool { return false }
-func (pigExec) EnsureIndex(*kvstore.Cluster, Query, *IndexStore, IndexBuildConfig) error {
+func (pigExec) Name() string              { return "pig" }
+func (pigExec) NeedsIndex() bool          { return false }
+func (pigExec) Supports(t *JoinTree) bool { return isBinary(t) }
+func (pigExec) EnsureIndex(_ *kvstore.Cluster, t *JoinTree, _ *IndexStore, _ IndexBuildConfig) error {
+	if !isBinary(t) {
+		return unsupportedShape("pig", t)
+	}
 	return nil
 }
-func (pigExec) HasIndex(Query, *IndexStore) bool                      { return true }
-func (pigExec) IndexSize(*kvstore.Cluster, Query, *IndexStore) uint64 { return 0 }
-func (pigExec) Estimate(st *PlanStats) CostEstimate                   { return estimatePig(st) }
-func (pigExec) Incremental() bool                                     { return false }
-func (pigExec) Run(c *kvstore.Cluster, q Query, _ *IndexStore, _ ExecOptions) (*Result, error) {
+func (pigExec) HasIndex(t *JoinTree, _ *IndexStore) bool                  { return isBinary(t) }
+func (pigExec) IndexSize(*kvstore.Cluster, *JoinTree, *IndexStore) uint64 { return 0 }
+func (pigExec) Estimate(st *PlanStats) CostEstimate                       { return estimatePig(st) }
+func (pigExec) Incremental() bool                                         { return false }
+func (pigExec) Run(c *kvstore.Cluster, t *JoinTree, _ *IndexStore, _ ExecOptions) (*Result, error) {
+	q, err := requireBinary("pig", t)
+	if err != nil {
+		return nil, err
+	}
 	return QueryPig(c, q)
 }
-func (pigExec) Open(c *kvstore.Cluster, q Query, _ *IndexStore, opts ExecOptions) (Cursor, error) {
-	return materialize(q, opts.Budget, func(k int) (*Result, error) {
+func (pigExec) Open(c *kvstore.Cluster, t *JoinTree, _ *IndexStore, opts ExecOptions) (Cursor, error) {
+	q, err := requireBinary("pig", t)
+	if err != nil {
+		return nil, err
+	}
+	return materialize(t, opts.Budget, func(k int) (*Result, error) {
 		qq := q
 		qq.K = k
 		return QueryPig(c, qq)
@@ -116,10 +173,15 @@ func (pigExec) Open(c *kvstore.Cluster, q Query, _ *IndexStore, opts ExecOptions
 
 type ijlmrExec struct{}
 
-func (ijlmrExec) Name() string     { return "ijlmr" }
-func (ijlmrExec) NeedsIndex() bool { return true }
+func (ijlmrExec) Name() string              { return "ijlmr" }
+func (ijlmrExec) NeedsIndex() bool          { return true }
+func (ijlmrExec) Supports(t *JoinTree) bool { return isBinary(t) }
 
-func (ijlmrExec) EnsureIndex(c *kvstore.Cluster, q Query, store *IndexStore, _ IndexBuildConfig) error {
+func (ijlmrExec) EnsureIndex(c *kvstore.Cluster, t *JoinTree, store *IndexStore, _ IndexBuildConfig) error {
+	q, err := requireBinary("ijlmr", t)
+	if err != nil {
+		return err
+	}
 	lock := store.BuildScope("ijlmr/" + q.ID())
 	lock.Lock()
 	defer lock.Unlock()
@@ -134,12 +196,20 @@ func (ijlmrExec) EnsureIndex(c *kvstore.Cluster, q Query, store *IndexStore, _ I
 	return nil
 }
 
-func (ijlmrExec) HasIndex(q Query, store *IndexStore) bool {
-	_, ok := store.IJLMR(q.ID())
+func (ijlmrExec) HasIndex(t *JoinTree, store *IndexStore) bool {
+	q, ok := t.Binary()
+	if !ok {
+		return false
+	}
+	_, ok = store.IJLMR(q.ID())
 	return ok
 }
 
-func (ijlmrExec) IndexSize(c *kvstore.Cluster, q Query, store *IndexStore) uint64 {
+func (ijlmrExec) IndexSize(c *kvstore.Cluster, t *JoinTree, store *IndexStore) uint64 {
+	q, ok := t.Binary()
+	if !ok {
+		return 0
+	}
 	idx, ok := store.IJLMR(q.ID())
 	if !ok {
 		return 0
@@ -150,7 +220,11 @@ func (ijlmrExec) IndexSize(c *kvstore.Cluster, q Query, store *IndexStore) uint6
 func (ijlmrExec) Estimate(st *PlanStats) CostEstimate { return estimateIJLMR(st) }
 func (ijlmrExec) Incremental() bool                   { return false }
 
-func (ijlmrExec) Run(c *kvstore.Cluster, q Query, store *IndexStore, _ ExecOptions) (*Result, error) {
+func (ijlmrExec) Run(c *kvstore.Cluster, t *JoinTree, store *IndexStore, _ ExecOptions) (*Result, error) {
+	q, err := requireBinary("ijlmr", t)
+	if err != nil {
+		return nil, err
+	}
 	idx, ok := store.IJLMR(q.ID())
 	if !ok {
 		return nil, fmt.Errorf("rankjoin: no IJLMR index for %s; call EnsureIndexes first", q.ID())
@@ -158,12 +232,16 @@ func (ijlmrExec) Run(c *kvstore.Cluster, q Query, store *IndexStore, _ ExecOptio
 	return QueryIJLMR(c, q, idx)
 }
 
-func (ijlmrExec) Open(c *kvstore.Cluster, q Query, store *IndexStore, opts ExecOptions) (Cursor, error) {
+func (ijlmrExec) Open(c *kvstore.Cluster, t *JoinTree, store *IndexStore, opts ExecOptions) (Cursor, error) {
+	q, err := requireBinary("ijlmr", t)
+	if err != nil {
+		return nil, err
+	}
 	idx, ok := store.IJLMR(q.ID())
 	if !ok {
 		return nil, fmt.Errorf("rankjoin: no IJLMR index for %s; call EnsureIndexes first", q.ID())
 	}
-	return materialize(q, opts.Budget, func(k int) (*Result, error) {
+	return materialize(t, opts.Budget, func(k int) (*Result, error) {
 		qq := q
 		qq.K = k
 		return QueryIJLMR(c, qq, idx)
@@ -172,33 +250,58 @@ func (ijlmrExec) Open(c *kvstore.Cluster, q Query, store *IndexStore, opts ExecO
 
 // ---- ISL ----
 
+// islExec runs the binary inverse-score-list coordinator for two-way
+// trees and the n-way ISLN generalization for larger all-equi trees
+// (any connected all-equi tree is semantically a star). Band-predicate
+// trees are out of scope — use any-k.
 type islExec struct{}
 
-func (islExec) Name() string     { return "isl" }
-func (islExec) NeedsIndex() bool { return true }
+func (islExec) Name() string              { return "isl" }
+func (islExec) NeedsIndex() bool          { return true }
+func (islExec) Supports(t *JoinTree) bool { return t.AllEqui() }
 
-func (islExec) EnsureIndex(c *kvstore.Cluster, q Query, store *IndexStore, _ IndexBuildConfig) error {
-	lock := store.BuildScope("isl/" + q.ID())
-	lock.Lock()
-	defer lock.Unlock()
-	if _, ok := store.ISL(q.ID()); ok {
+func (islExec) EnsureIndex(c *kvstore.Cluster, t *JoinTree, store *IndexStore, _ IndexBuildConfig) error {
+	if q, ok := t.Binary(); ok {
+		lock := store.BuildScope("isl/" + q.ID())
+		lock.Lock()
+		defer lock.Unlock()
+		if _, ok := store.ISL(q.ID()); ok {
+			return nil
+		}
+		idx, _, err := BuildISL(c, q)
+		if err != nil {
+			return err
+		}
+		store.PutISL(q.ID(), idx)
 		return nil
 	}
-	idx, _, err := BuildISL(c, q)
-	if err != nil {
-		return err
+	if !t.AllEqui() {
+		return unsupportedShape("isl", t)
 	}
-	store.PutISL(q.ID(), idx)
-	return nil
+	return EnsureISLN(c, t, store)
 }
 
-func (islExec) HasIndex(q Query, store *IndexStore) bool {
-	_, ok := store.ISL(q.ID())
+func (islExec) HasIndex(t *JoinTree, store *IndexStore) bool {
+	if q, ok := t.Binary(); ok {
+		_, ok = store.ISL(q.ID())
+		return ok
+	}
+	if !t.AllEqui() {
+		return false
+	}
+	_, ok := store.ISLN(t.LeafID())
 	return ok
 }
 
-func (islExec) IndexSize(c *kvstore.Cluster, q Query, store *IndexStore) uint64 {
-	idx, ok := store.ISL(q.ID())
+func (islExec) IndexSize(c *kvstore.Cluster, t *JoinTree, store *IndexStore) uint64 {
+	if q, ok := t.Binary(); ok {
+		idx, ok := store.ISL(q.ID())
+		if !ok {
+			return 0
+		}
+		return tableSize(c, idx.Table)
+	}
+	idx, ok := store.ISLN(t.LeafID())
 	if !ok {
 		return 0
 	}
@@ -208,33 +311,55 @@ func (islExec) IndexSize(c *kvstore.Cluster, q Query, store *IndexStore) uint64 
 func (islExec) Estimate(st *PlanStats) CostEstimate { return estimateISL(st) }
 func (islExec) Incremental() bool                   { return true }
 
-func (islExec) Run(c *kvstore.Cluster, q Query, store *IndexStore, opts ExecOptions) (*Result, error) {
-	return RunCursor(c, q.K, func() (Cursor, error) { return islExec{}.Open(c, q, store, opts) })
+func (islExec) Run(c *kvstore.Cluster, t *JoinTree, store *IndexStore, opts ExecOptions) (*Result, error) {
+	return RunCursor(c, t.K, func() (Cursor, error) { return islExec{}.Open(c, t, store, opts) })
 }
 
-func (islExec) Open(c *kvstore.Cluster, q Query, store *IndexStore, opts ExecOptions) (Cursor, error) {
-	idx, ok := store.ISL(q.ID())
-	if !ok {
-		return nil, fmt.Errorf("rankjoin: no ISL index for %s; call EnsureIndexes first", q.ID())
-	}
+func (islExec) Open(c *kvstore.Cluster, t *JoinTree, store *IndexStore, opts ExecOptions) (Cursor, error) {
 	opts = opts.WithDefaults()
-	cur, err := OpenISL(c, q, idx, ISLOptions{
-		BatchLeft:   opts.ISLBatch,
-		BatchRight:  opts.ISLBatch,
-		Parallelism: opts.Parallelism,
-	})
-	if err != nil {
-		return nil, err
+	if q, ok := t.Binary(); ok {
+		idx, ok := store.ISL(q.ID())
+		if !ok {
+			return nil, fmt.Errorf("rankjoin: no ISL index for %s; call EnsureIndexes first", q.ID())
+		}
+		cur, err := OpenISL(c, q, idx, ISLOptions{
+			BatchLeft:   opts.ISLBatch,
+			BatchRight:  opts.ISLBatch,
+			Parallelism: opts.Parallelism,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return WrapBudget(cur, opts.Budget), nil
 	}
-	return WrapBudget(cur, opts.Budget), nil
+	star, ok := t.Star()
+	if !ok {
+		return nil, unsupportedShape("isl", t)
+	}
+	idx, ok := store.ISLN(t.LeafID())
+	if !ok {
+		return nil, fmt.Errorf("rankjoin: no n-way ISL index for %s; call EnsureMultiIndexes first", t.LeafID())
+	}
+	// The n-ary coordinator targets a fixed k, so the stream
+	// materializes pages through the doubling schedule.
+	return materialize(t, opts.Budget, func(k int) (*Result, error) {
+		s := star
+		s.K = k
+		nres, err := QueryISLN(c, s, idx, opts.ISLBatch)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Results: treeResults(nres.Results), Cost: nres.Cost, Algorithm: "isl"}, nil
+	})
 }
 
 // ---- BFHM ----
 
 type bfhmExec struct{}
 
-func (bfhmExec) Name() string     { return "bfhm" }
-func (bfhmExec) NeedsIndex() bool { return true }
+func (bfhmExec) Name() string              { return "bfhm" }
+func (bfhmExec) NeedsIndex() bool          { return true }
+func (bfhmExec) Supports(t *JoinTree) bool { return isBinary(t) }
 
 // EnsureIndex builds both relations' BFHM indexes with a shared filter
 // width (intersection requires equal widths; the first build auto-sizes
@@ -242,7 +367,11 @@ func (bfhmExec) NeedsIndex() bool { return true }
 // serialize on one family-wide scope: concurrent EnsureIndex calls for
 // overlapping relation pairs would otherwise race the width handshake
 // and persist filters that can never be intersected.
-func (bfhmExec) EnsureIndex(c *kvstore.Cluster, q Query, store *IndexStore, cfg IndexBuildConfig) error {
+func (bfhmExec) EnsureIndex(c *kvstore.Cluster, t *JoinTree, store *IndexStore, cfg IndexBuildConfig) error {
+	q, err := requireBinary("bfhm", t)
+	if err != nil {
+		return err
+	}
 	cfg = cfg.WithDefaults()
 	lock := store.BuildScope("bfhm")
 	lock.Lock()
@@ -271,13 +400,21 @@ func (bfhmExec) EnsureIndex(c *kvstore.Cluster, q Query, store *IndexStore, cfg 
 	return nil
 }
 
-func (bfhmExec) HasIndex(q Query, store *IndexStore) bool {
+func (bfhmExec) HasIndex(t *JoinTree, store *IndexStore) bool {
+	q, ok := t.Binary()
+	if !ok {
+		return false
+	}
 	_, okA := store.BFHM(q.Left.Name)
 	_, okB := store.BFHM(q.Right.Name)
 	return okA && okB
 }
 
-func (bfhmExec) IndexSize(c *kvstore.Cluster, q Query, store *IndexStore) uint64 {
+func (bfhmExec) IndexSize(c *kvstore.Cluster, t *JoinTree, store *IndexStore) uint64 {
+	q, ok := t.Binary()
+	if !ok {
+		return 0
+	}
 	var total uint64
 	for _, name := range []string{q.Left.Name, q.Right.Name} {
 		if idx, ok := store.BFHM(name); ok {
@@ -290,7 +427,11 @@ func (bfhmExec) IndexSize(c *kvstore.Cluster, q Query, store *IndexStore) uint64
 func (bfhmExec) Estimate(st *PlanStats) CostEstimate { return estimateBFHM(st) }
 func (bfhmExec) Incremental() bool                   { return false }
 
-func (bfhmExec) Run(c *kvstore.Cluster, q Query, store *IndexStore, opts ExecOptions) (*Result, error) {
+func (bfhmExec) Run(c *kvstore.Cluster, t *JoinTree, store *IndexStore, opts ExecOptions) (*Result, error) {
+	q, err := requireBinary("bfhm", t)
+	if err != nil {
+		return nil, err
+	}
 	idxA, okA := store.BFHM(q.Left.Name)
 	idxB, okB := store.BFHM(q.Right.Name)
 	if !okA || !okB {
@@ -305,13 +446,17 @@ func (bfhmExec) Run(c *kvstore.Cluster, q Query, store *IndexStore, opts ExecOpt
 // Open materializes: BFHM's estimation/reverse-mapping pipeline is
 // k-driven end to end (the histogram walk targets the k'th estimate),
 // so deeper pulls re-run the bounded query at doubled k.
-func (bfhmExec) Open(c *kvstore.Cluster, q Query, store *IndexStore, opts ExecOptions) (Cursor, error) {
+func (bfhmExec) Open(c *kvstore.Cluster, t *JoinTree, store *IndexStore, opts ExecOptions) (Cursor, error) {
+	q, err := requireBinary("bfhm", t)
+	if err != nil {
+		return nil, err
+	}
 	idxA, okA := store.BFHM(q.Left.Name)
 	idxB, okB := store.BFHM(q.Right.Name)
 	if !okA || !okB {
 		return nil, fmt.Errorf("rankjoin: missing BFHM index for %s; call EnsureIndexes first", q.ID())
 	}
-	return materialize(q, opts.Budget, func(k int) (*Result, error) {
+	return materialize(t, opts.Budget, func(k int) (*Result, error) {
 		qq := q
 		qq.K = k
 		return QueryBFHM(c, qq, idxA, idxB, BFHMQueryOptions{
@@ -325,10 +470,15 @@ func (bfhmExec) Open(c *kvstore.Cluster, q Query, store *IndexStore, opts ExecOp
 
 type drjnExec struct{}
 
-func (drjnExec) Name() string     { return "drjn" }
-func (drjnExec) NeedsIndex() bool { return true }
+func (drjnExec) Name() string              { return "drjn" }
+func (drjnExec) NeedsIndex() bool          { return true }
+func (drjnExec) Supports(t *JoinTree) bool { return isBinary(t) }
 
-func (drjnExec) EnsureIndex(c *kvstore.Cluster, q Query, store *IndexStore, cfg IndexBuildConfig) error {
+func (drjnExec) EnsureIndex(c *kvstore.Cluster, t *JoinTree, store *IndexStore, cfg IndexBuildConfig) error {
+	q, err := requireBinary("drjn", t)
+	if err != nil {
+		return err
+	}
 	cfg = cfg.WithDefaults()
 	// One family-wide scope: both relations' matrices must agree on the
 	// join-partition count for the band dot products.
@@ -351,13 +501,21 @@ func (drjnExec) EnsureIndex(c *kvstore.Cluster, q Query, store *IndexStore, cfg 
 	return nil
 }
 
-func (drjnExec) HasIndex(q Query, store *IndexStore) bool {
+func (drjnExec) HasIndex(t *JoinTree, store *IndexStore) bool {
+	q, ok := t.Binary()
+	if !ok {
+		return false
+	}
 	_, okA := store.DRJN(q.Left.Name)
 	_, okB := store.DRJN(q.Right.Name)
 	return okA && okB
 }
 
-func (drjnExec) IndexSize(c *kvstore.Cluster, q Query, store *IndexStore) uint64 {
+func (drjnExec) IndexSize(c *kvstore.Cluster, t *JoinTree, store *IndexStore) uint64 {
+	q, ok := t.Binary()
+	if !ok {
+		return 0
+	}
 	var total uint64
 	for _, name := range []string{q.Left.Name, q.Right.Name} {
 		if idx, ok := store.DRJN(name); ok {
@@ -370,11 +528,15 @@ func (drjnExec) IndexSize(c *kvstore.Cluster, q Query, store *IndexStore) uint64
 func (drjnExec) Estimate(st *PlanStats) CostEstimate { return estimateDRJN(st) }
 func (drjnExec) Incremental() bool                   { return true }
 
-func (drjnExec) Run(c *kvstore.Cluster, q Query, store *IndexStore, opts ExecOptions) (*Result, error) {
-	return RunCursor(c, q.K, func() (Cursor, error) { return drjnExec{}.Open(c, q, store, opts) })
+func (drjnExec) Run(c *kvstore.Cluster, t *JoinTree, store *IndexStore, opts ExecOptions) (*Result, error) {
+	return RunCursor(c, t.K, func() (Cursor, error) { return drjnExec{}.Open(c, t, store, opts) })
 }
 
-func (drjnExec) Open(c *kvstore.Cluster, q Query, store *IndexStore, opts ExecOptions) (Cursor, error) {
+func (drjnExec) Open(c *kvstore.Cluster, t *JoinTree, store *IndexStore, opts ExecOptions) (Cursor, error) {
+	q, err := requireBinary("drjn", t)
+	if err != nil {
+		return nil, err
+	}
 	idxA, okA := store.DRJN(q.Left.Name)
 	idxB, okB := store.DRJN(q.Right.Name)
 	if !okA || !okB {

@@ -19,6 +19,7 @@ type IndexStore struct {
 	isl   map[string]*ISLIndex   // query ID -> index; guarded by: mu
 	bfhm  map[string]*BFHMIndex  // relation name -> index; guarded by: mu
 	drjn  map[string]*DRJNIndex  // relation name -> index; guarded by: mu
+	isln  map[string]*ISLNIndex  // tree leaf ID -> index; guarded by: mu
 
 	buildMu sync.Mutex
 	builds  map[string]*sync.Mutex // build scope -> serialization lock; guarded by: buildMu
@@ -31,6 +32,7 @@ func NewIndexStore() *IndexStore {
 		isl:    map[string]*ISLIndex{},
 		bfhm:   map[string]*BFHMIndex{},
 		drjn:   map[string]*DRJNIndex{},
+		isln:   map[string]*ISLNIndex{},
 		builds: map[string]*sync.Mutex{},
 	}
 }
@@ -110,6 +112,22 @@ func (s *IndexStore) PutDRJN(relation string, idx *DRJNIndex) {
 	s.drjn[relation] = idx
 }
 
+// ISLN returns the n-way inverse-score-list index for a tree leaf ID
+// (JoinTree.LeafID — trees over the same leaves share one index).
+func (s *IndexStore) ISLN(leafID string) (*ISLNIndex, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx, ok := s.isln[leafID]
+	return idx, ok
+}
+
+// PutISLN stores an n-way inverse-score-list index.
+func (s *IndexStore) PutISLN(leafID string, idx *ISLNIndex) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.isln[leafID] = idx
+}
+
 // EachIJLMR calls f for every stored IJLMR index (snapshot; f runs
 // without the store lock held).
 func (s *IndexStore) EachIJLMR(f func(queryID string, idx *IJLMRIndex)) {
@@ -155,6 +173,19 @@ func (s *IndexStore) EachDRJN(f func(relation string, idx *DRJNIndex)) {
 	s.mu.Lock()
 	cp := make(map[string]*DRJNIndex, len(s.drjn))
 	for k, v := range s.drjn {
+		cp[k] = v
+	}
+	s.mu.Unlock()
+	for k, v := range cp {
+		f(k, v)
+	}
+}
+
+// EachISLN calls f for every stored n-way index (snapshot).
+func (s *IndexStore) EachISLN(f func(leafID string, idx *ISLNIndex)) {
+	s.mu.Lock()
+	cp := make(map[string]*ISLNIndex, len(s.isln))
+	for k, v := range s.isln {
 		cp[k] = v
 	}
 	s.mu.Unlock()

@@ -1,0 +1,498 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/kvstore"
+)
+
+// This file defines the acyclic join-tree query model. A JoinTree
+// generalizes the paper's two shapes — the binary Query and the star
+// MultiQuery — into one representation: relations are leaves, join
+// predicates are tree edges (equality or numeric band), and one
+// monotonic aggregate ranks complete assignments over all leaves.
+// Binary and star queries are trivial trees (see TreeFromQuery /
+// TreeFromMulti), so every executor runs against trees and the legacy
+// shapes survive as views.
+
+// PredKind names a join-edge predicate family.
+type PredKind string
+
+const (
+	// PredEqui joins two leaves whose join values are equal strings.
+	PredEqui PredKind = "equi"
+	// PredBand joins two leaves whose join values both parse as
+	// numbers within Band of each other (|a-b| <= Band). Unparseable
+	// values never band-match; Band 0 is exact numeric equality.
+	PredBand PredKind = "band"
+)
+
+// TreeEdge is one join predicate between the leaves at indexes A and B.
+type TreeEdge struct {
+	A, B int
+	Kind PredKind
+	// Band is the half-width of a PredBand predicate; ignored for equi.
+	Band float64
+}
+
+// Match evaluates the edge predicate over two join values.
+func (e *TreeEdge) Match(va, vb string) bool {
+	if e.Kind != PredBand {
+		return va == vb
+	}
+	fa, errA := strconv.ParseFloat(va, 64)
+	fb, errB := strconv.ParseFloat(vb, 64)
+	if errA != nil || errB != nil {
+		return false
+	}
+	d := fa - fb
+	if d < 0 {
+		d = -d
+	}
+	return d <= e.Band
+}
+
+// ShapeError reports a join-tree whose shape is malformed — cyclic,
+// disconnected, self-looping, or referencing leaves that don't exist.
+// Serving layers map it to a client error (HTTP 400) since retrying
+// cannot help.
+type ShapeError struct {
+	Msg string
+}
+
+func (e *ShapeError) Error() string { return "core: bad join tree: " + e.Msg }
+
+// NewShapeError builds a ShapeError for layers above core that
+// validate tree shapes before a JoinTree exists (e.g. JSON decoding).
+func NewShapeError(msg string) error { return &ShapeError{Msg: msg} }
+
+func shapeErrf(format string, args ...any) error {
+	return &ShapeError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// JoinTree is a top-k rank join over an acyclic tree of relations:
+// len(Relations) leaves joined pairwise by exactly len(Relations)-1
+// edges forming a connected acyclic graph, ranked by the monotonic
+// aggregate Score over every leaf's score, keeping K results.
+type JoinTree struct {
+	Relations []Relation
+	Edges     []TreeEdge
+	Score     NScoreFunc
+	K         int
+
+	// score2, when non-nil, is the two-way aggregate this tree was
+	// lifted from; Binary() hands it back unwrapped so the binary
+	// executors' hot loops skip the slice-building shim.
+	score2 *ScoreFunc
+}
+
+// Validate checks the tree is well-formed, returning a *ShapeError for
+// structural problems (wrong edge count, out-of-range or duplicate
+// edges, disconnection) and plain errors for parameter problems.
+func (t *JoinTree) Validate() error {
+	if t.K < 1 {
+		return fmt.Errorf("core: k = %d, want >= 1", t.K)
+	}
+	if t.Score.Fn == nil {
+		return fmt.Errorf("core: join tree has no score function")
+	}
+	n := len(t.Relations)
+	if n < 2 {
+		return shapeErrf("%d relations, want >= 2", n)
+	}
+	for i := range t.Relations {
+		r := &t.Relations[i]
+		if r.Name == "" || r.Table == "" || r.Family == "" || r.JoinQual == "" || r.ScoreQual == "" {
+			return fmt.Errorf("core: relation %q underspecified", r.Name)
+		}
+	}
+	if len(t.Edges) != n-1 {
+		return shapeErrf("%d edges for %d relations; an acyclic connected tree needs exactly %d",
+			len(t.Edges), n, n-1)
+	}
+	seen := map[[2]int]bool{}
+	uf := newUnionFind(n)
+	for i := range t.Edges {
+		e := &t.Edges[i]
+		if e.A < 0 || e.A >= n || e.B < 0 || e.B >= n {
+			return shapeErrf("edge %d joins leaves (%d, %d), want both in [0, %d)", i, e.A, e.B, n)
+		}
+		if e.A == e.B {
+			return shapeErrf("edge %d is a self-loop on leaf %d", i, e.A)
+		}
+		switch e.Kind {
+		case PredEqui, "":
+		case PredBand:
+			if e.Band < 0 || math.IsNaN(e.Band) || math.IsInf(e.Band, 0) {
+				return shapeErrf("edge %d has band width %v, want a finite value >= 0", i, e.Band)
+			}
+		default:
+			return shapeErrf("edge %d has unknown predicate kind %q (want %s or %s)", i, e.Kind, PredEqui, PredBand)
+		}
+		key := [2]int{e.A, e.B}
+		if key[0] > key[1] {
+			key[0], key[1] = key[1], key[0]
+		}
+		if seen[key] {
+			return shapeErrf("duplicate edge between leaves %d and %d", key[0], key[1])
+		}
+		seen[key] = true
+		uf.union(e.A, e.B)
+	}
+	for i := 1; i < n; i++ {
+		if uf.find(i) != uf.find(0) {
+			return shapeErrf("leaf %d (%s) is disconnected from leaf 0 — the edge set forms a cycle elsewhere",
+				i, t.Relations[i].Name)
+		}
+	}
+	return nil
+}
+
+// AllEqui reports whether every edge is an equality predicate. Since a
+// tuple carries a single join value, a connected all-equi tree forces
+// one shared value across every leaf — semantically a star — so tree
+// shape only matters once a band edge appears.
+func (t *JoinTree) AllEqui() bool {
+	for i := range t.Edges {
+		if t.Edges[i].Kind == PredBand {
+			return false
+		}
+	}
+	return true
+}
+
+// LeafID identifies the tree's leaf set and aggregate, ignoring edge
+// predicates. Index content (inverse score lists per leaf) depends only
+// on the leaves, so trees sharing a LeafID share physical indexes.
+func (t *JoinTree) LeafID() string {
+	var b strings.Builder
+	for i := range t.Relations {
+		b.WriteString(t.Relations[i].Name)
+		b.WriteByte('_')
+	}
+	b.WriteString(t.Score.Name)
+	return b.String()
+}
+
+// ID returns the tree's deterministic identifier. All-equi trees take
+// the legacy form (it matches Query.ID() / MultiQuery.ID(), and every
+// connected all-equi edge set over the same leaves is semantically
+// identical); trees with band edges append a canonical sorted edge
+// list, so shapes that can return different results can never share a
+// planner-cache or page-token entry.
+func (t *JoinTree) ID() string {
+	if t.AllEqui() {
+		return t.LeafID()
+	}
+	descs := make([]string, 0, len(t.Edges))
+	for i := range t.Edges {
+		e := &t.Edges[i]
+		a, b := e.A, e.B
+		if a > b {
+			a, b = b, a
+		}
+		if e.Kind == PredBand {
+			descs = append(descs, fmt.Sprintf("b%d-%d~%s", a, b, strconv.FormatFloat(e.Band, 'g', -1, 64)))
+		} else {
+			descs = append(descs, fmt.Sprintf("e%d-%d", a, b))
+		}
+	}
+	sort.Strings(descs)
+	return t.LeafID() + "@" + strings.Join(descs, ".")
+}
+
+// TreeFromQuery lifts a two-way query into its tree form.
+func TreeFromQuery(q Query) *JoinTree {
+	f := q.Score
+	return &JoinTree{
+		Relations: []Relation{q.Left, q.Right},
+		Edges:     []TreeEdge{{A: 0, B: 1, Kind: PredEqui}},
+		Score: NScoreFunc{
+			Name: f.Name,
+			Fn:   func(s []float64) float64 { return f.Fn(s[0], s[1]) },
+		},
+		K:      q.K,
+		score2: &f,
+	}
+}
+
+// TreeFromMulti lifts an n-way star query into its tree form.
+func TreeFromMulti(q MultiQuery) *JoinTree {
+	edges := make([]TreeEdge, 0, len(q.Relations)-1)
+	for i := 1; i < len(q.Relations); i++ {
+		edges = append(edges, TreeEdge{A: 0, B: i, Kind: PredEqui})
+	}
+	return &JoinTree{
+		Relations: append([]Relation(nil), q.Relations...),
+		Edges:     edges,
+		Score:     q.Score,
+		K:         q.K,
+	}
+}
+
+// Binary projects a two-leaf all-equi tree back onto the Query form the
+// paper's two-way executors consume; ok is false for any other shape.
+func (t *JoinTree) Binary() (Query, bool) {
+	if len(t.Relations) != 2 || !t.AllEqui() {
+		return Query{}, false
+	}
+	q := Query{Left: t.Relations[0], Right: t.Relations[1], K: t.K}
+	if t.score2 != nil {
+		q.Score = *t.score2
+	} else {
+		f := t.Score
+		q.Score = ScoreFunc{
+			Name: f.Name,
+			Fn:   func(a, b float64) float64 { return f.Fn([]float64{a, b}) },
+		}
+	}
+	return q, true
+}
+
+// Star projects an all-equi tree onto the MultiQuery form (any
+// connected all-equi tree is semantically a star — one shared join
+// value); ok is false once a band edge appears.
+func (t *JoinTree) Star() (MultiQuery, bool) {
+	if !t.AllEqui() {
+		return MultiQuery{}, false
+	}
+	return MultiQuery{
+		Relations: append([]Relation(nil), t.Relations...),
+		Score:     t.Score,
+		K:         t.K,
+	}, true
+}
+
+// ---- Tree walking ----
+
+// walkStep assigns one leaf during result assembly: leaf is matched
+// through edge against the join value already bound at from.
+type walkStep struct {
+	leaf int
+	from int
+	edge *TreeEdge
+}
+
+// walkOrder computes a breadth-first expansion order rooted at the
+// given leaf. Because the graph is a tree, each later leaf attaches to
+// the already-assigned prefix through exactly one edge.
+func (t *JoinTree) walkOrder(root int) []walkStep {
+	n := len(t.Relations)
+	adj := make([][]int, n)
+	for ei := range t.Edges {
+		e := &t.Edges[ei]
+		adj[e.A] = append(adj[e.A], ei)
+		adj[e.B] = append(adj[e.B], ei)
+	}
+	steps := make([]walkStep, 0, n-1)
+	used := make([]bool, n)
+	used[root] = true
+	queue := []int{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, ei := range adj[u] {
+			e := &t.Edges[ei]
+			v := e.A + e.B - u
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			steps = append(steps, walkStep{leaf: v, from: u, edge: e})
+			queue = append(queue, v)
+		}
+	}
+	return steps
+}
+
+// leafIndex holds one leaf's available tuples, indexed for the
+// predicates of its incident edges: a hash map on the join value for
+// equi probes and a value-sorted list for band range probes.
+type leafIndex struct {
+	hasEqui bool
+	hasBand bool
+	byJoin  map[string][]Tuple
+	nums    []numTuple // ascending by (value, RowKey)
+}
+
+type numTuple struct {
+	v float64
+	t Tuple
+}
+
+// newLeafIndex prepares the index structures leaf needs given the
+// predicates that can probe it.
+func newLeafIndex(t *JoinTree, leaf int) *leafIndex {
+	li := &leafIndex{}
+	for i := range t.Edges {
+		e := &t.Edges[i]
+		if e.A != leaf && e.B != leaf {
+			continue
+		}
+		if e.Kind == PredBand {
+			li.hasBand = true
+		} else {
+			li.hasEqui = true
+		}
+	}
+	if li.hasEqui {
+		li.byJoin = map[string][]Tuple{}
+	}
+	return li
+}
+
+// add indexes one tuple. Tuples whose join value does not parse as a
+// number stay out of the band structure — they can never band-match.
+func (li *leafIndex) add(t Tuple) {
+	if li.hasEqui {
+		li.byJoin[t.JoinValue] = append(li.byJoin[t.JoinValue], t)
+	}
+	if li.hasBand {
+		v, err := strconv.ParseFloat(t.JoinValue, 64)
+		if err != nil {
+			return
+		}
+		pos := sort.Search(len(li.nums), func(i int) bool {
+			if li.nums[i].v != v {
+				return li.nums[i].v > v
+			}
+			return li.nums[i].t.RowKey > t.RowKey
+		})
+		li.nums = append(li.nums, numTuple{})
+		copy(li.nums[pos+1:], li.nums[pos:])
+		li.nums[pos] = numTuple{v: v, t: t}
+	}
+}
+
+// candidates returns this leaf's indexed tuples matching edge e against
+// the join value v bound at the edge's other endpoint.
+func (li *leafIndex) candidates(e *TreeEdge, v string) []Tuple {
+	if e.Kind != PredBand {
+		return li.byJoin[v]
+	}
+	fv, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return nil
+	}
+	lo := sort.Search(len(li.nums), func(i int) bool { return li.nums[i].v >= fv-e.Band })
+	hi := sort.Search(len(li.nums), func(i int) bool { return li.nums[i].v > fv+e.Band })
+	if lo >= hi {
+		return nil
+	}
+	out := make([]Tuple, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, li.nums[i].t)
+	}
+	return out
+}
+
+// toJoinResult projects an n-way result onto the JoinResult shape: the
+// first two leaves fill Left/Right, later leaves Rest.
+func toJoinResult(r NJoinResult) JoinResult {
+	jr := JoinResult{Left: r.Tuples[0], Right: r.Tuples[1], Score: r.Score}
+	if len(r.Tuples) > 2 {
+		jr.Rest = append([]Tuple(nil), r.Tuples[2:]...)
+	}
+	return jr
+}
+
+// treeResults converts a ranked n-way result list.
+func treeResults(rs []NJoinResult) []JoinResult {
+	out := make([]JoinResult, 0, len(rs))
+	for _, r := range rs {
+		out = append(out, toJoinResult(r))
+	}
+	return out
+}
+
+// NaiveTreeTopK is the reference executor for arbitrary join trees: it
+// scans every leaf in full, indexes each for its incident predicates,
+// enumerates every assignment over the tree edges, and ranks exactly.
+// It is the oracle the any-k executor is checked against and the base
+// of the doubling-depth streaming adapter.
+func NaiveTreeTopK(c *kvstore.Cluster, t *JoinTree) (*Result, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	before := c.Metrics().Snapshot()
+	n := len(t.Relations)
+	idx := make([]*leafIndex, n)
+	var roots []Tuple
+	for i := 0; i < n; i++ {
+		tuples, err := scanRelation(c, &t.Relations[i])
+		if err != nil {
+			return nil, fmt.Errorf("core: tree scan of %s: %w", t.Relations[i].Name, err)
+		}
+		if i == 0 {
+			roots = tuples
+			continue
+		}
+		li := newLeafIndex(t, i)
+		for _, tp := range tuples {
+			li.add(tp)
+		}
+		idx[i] = li
+	}
+	steps := t.walkOrder(0)
+	top := NewNTopKList(t.K)
+	combo := make([]Tuple, n)
+	scores := make([]float64, n)
+	var rec func(d int)
+	rec = func(d int) {
+		if d == len(steps) {
+			for j := 0; j < n; j++ {
+				scores[j] = combo[j].Score
+			}
+			score := t.Score.Fn(scores)
+			if top.Full() && score < top.KthScore() {
+				return
+			}
+			top.Add(NJoinResult{Tuples: append([]Tuple(nil), combo...), Score: score})
+			return
+		}
+		s := steps[d]
+		for _, cand := range idx[s.leaf].candidates(s.edge, combo[s.from].JoinValue) {
+			combo[s.leaf] = cand
+			rec(d + 1)
+		}
+	}
+	for _, rt := range roots {
+		combo[0] = rt
+		rec(0)
+	}
+	return &Result{Results: treeResults(top.Results()), Cost: c.Metrics().Snapshot().Sub(before)}, nil
+}
+
+// ---- Small helpers ----
+
+// unionFind is the connectivity check behind Validate.
+type unionFind struct {
+	parent []int
+}
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}

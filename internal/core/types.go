@@ -6,16 +6,21 @@
 //   - ISL: Inverse Score List rank join, an HRJN adaptation (Section 4.2)
 //   - BFHM: the Bloom Filter Histogram Matrix rank join (Section 5)
 //   - DRJN: the 2-D histogram comparator of Doulkeridis et al. (Section 7.1)
+//   - AnyK: any-k ranked enumeration over acyclic join trees
 //
 // plus online index maintenance for all of them (Section 6).
 //
-// All algorithms answer the same query form (Section 1.1):
+// The general query form is an acyclic join tree (JoinTree): n
+// relations as leaves, n-1 equi- or band-predicate edges, and an
+// n-ary monotonic aggregate f over the leaf scores:
 //
-//	SELECT * FROM R1, R2 WHERE R1.join = R2.join
-//	ORDER BY f(R1.score, R2.score) STOP AFTER k
+//	SELECT * FROM R1, ..., Rn WHERE <tree edges hold>
+//	ORDER BY f(R1.score, ..., Rn.score) STOP AFTER k
 //
-// with f a monotonic aggregate. Results are returned highest-score first
-// with deterministic tie-breaking on (left row key, right row key).
+// The paper's binary equi-join (Section 1.1) and the star query are
+// the two trivial tree shapes (TreeFromQuery, TreeFromMulti). Results
+// are returned highest-score first with deterministic tie-breaking on
+// row keys in leaf order.
 package core
 
 import (
@@ -65,14 +70,19 @@ func TupleFromRow(rel *Relation, r *kvstore.Row) (Tuple, bool) {
 	return Tuple{RowKey: r.Key, JoinValue: string(jc.Value), Score: score}, true
 }
 
-// JoinResult is one joined pair with its aggregate score.
+// JoinResult is one joined result with its aggregate score. Two-way
+// joins fill Left and Right only; tree queries over more than two
+// leaves carry the third and later leaves' tuples in Rest, in leaf
+// order.
 type JoinResult struct {
 	Left  Tuple
 	Right Tuple
+	Rest  []Tuple
 	Score float64
 }
 
-// less orders results descending by score with deterministic tie-breaks.
+// less orders results descending by score with deterministic tie-breaks
+// on the row keys in leaf order.
 func (a *JoinResult) less(b *JoinResult) bool {
 	if a.Score != b.Score {
 		return a.Score > b.Score
@@ -80,7 +90,15 @@ func (a *JoinResult) less(b *JoinResult) bool {
 	if a.Left.RowKey != b.Left.RowKey {
 		return a.Left.RowKey < b.Left.RowKey
 	}
-	return a.Right.RowKey < b.Right.RowKey
+	if a.Right.RowKey != b.Right.RowKey {
+		return a.Right.RowKey < b.Right.RowKey
+	}
+	for i := 0; i < len(a.Rest) && i < len(b.Rest); i++ {
+		if a.Rest[i].RowKey != b.Rest[i].RowKey {
+			return a.Rest[i].RowKey < b.Rest[i].RowKey
+		}
+	}
+	return false
 }
 
 // ScoreFunc is a named monotonic aggregate over two tuple scores.
@@ -262,7 +280,9 @@ func DecodeTuple(b []byte) (Tuple, error) {
 	return t, err
 }
 
-// EncodeJoinResult serializes a JoinResult.
+// EncodeJoinResult serializes a JoinResult. The codec is the MR temp
+// value format of the two-way executors, so it carries Left/Right only;
+// tree results (Rest) never flow through MapReduce temp tables.
 func EncodeJoinResult(r JoinResult) []byte {
 	buf := EncodeTuple(r.Left)
 	buf = append(buf, EncodeTuple(r.Right)...)

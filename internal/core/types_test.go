@@ -93,7 +93,7 @@ func TestJoinResultCodecRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out != in {
+	if out.Left != in.Left || out.Right != in.Right || out.Score != in.Score || len(out.Rest) != 0 {
 		t.Fatalf("round trip: %+v != %+v", out, in)
 	}
 	buf := EncodeJoinResult(in)

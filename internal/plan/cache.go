@@ -12,21 +12,24 @@ import (
 // not grow without limit.
 const maxCacheEntries = 1024
 
-// Cache memoizes gathered PlanStats per (query, k) so a hot query path
+// Cache memoizes gathered PlanStats per (tree, k) so a hot query path
 // (e.g. the HTTP server defaulting to AlgoAuto) does not re-read
 // histogram statistics on every request. Entries are keyed on each
 // input table's mutation sequence — TableStats is free cluster metadata
 // — so ANY write (insert, delete, or update; the latter used to be able
 // to slip past a count-based check) invalidates the entry and the next
-// plan sees fresh statistics.
+// plan sees fresh statistics. The tree's ID encodes its edge predicates
+// (JoinTree.ID), so same-leaf queries of different shapes never share
+// an entry.
 type Cache struct {
 	mu      sync.Mutex
 	entries map[string]cacheEntry // guarded by: mu
 }
 
 type cacheEntry struct {
-	leftSeq  uint64
-	rightSeq uint64
+	// seqs holds the mutation sequence of every leaf's table, in leaf
+	// order.
+	seqs []uint64
 	// sources fingerprints which statistics structures existed when
 	// the entry was gathered — building a DRJN or BFHM index upgrades
 	// the available statistics without touching the input tables, and
@@ -40,44 +43,62 @@ func NewCache() *Cache {
 	return &Cache{entries: map[string]cacheEntry{}}
 }
 
-func cacheKey(q core.Query) string {
-	return fmt.Sprintf("%s|%d", q.ID(), q.K)
+func cacheKey(t *core.JoinTree) string {
+	return fmt.Sprintf("%s|%d", t.ID(), t.K)
 }
 
 // sourceFingerprint describes which statistics structures the store
-// currently offers for q.
-func sourceFingerprint(q core.Query, store *core.IndexStore) string {
-	fp := ""
-	if _, ok := store.DRJN(q.Left.Name); ok {
-		if _, ok := store.DRJN(q.Right.Name); ok {
-			fp += "d"
+// currently offers for the tree: "d" when every leaf has a DRJN matrix,
+// "b" when every leaf has a BFHM index.
+func sourceFingerprint(t *core.JoinTree, store *core.IndexStore) string {
+	allDRJN, allBFHM := true, true
+	for i := range t.Relations {
+		if _, ok := store.DRJN(t.Relations[i].Name); !ok {
+			allDRJN = false
+		}
+		if _, ok := store.BFHM(t.Relations[i].Name); !ok {
+			allBFHM = false
 		}
 	}
-	if _, ok := store.BFHM(q.Left.Name); ok {
-		if _, ok := store.BFHM(q.Right.Name); ok {
-			fp += "b"
-		}
+	fp := ""
+	if allDRJN {
+		fp += "d"
+	}
+	if allBFHM {
+		fp += "b"
 	}
 	return fp
 }
 
+func seqsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // lookup returns a cached stats snapshot still matching the live tables'
 // mutation sequences and the available statistics structures.
-func (c *Cache) lookup(q core.Query, leftSeq, rightSeq uint64, sources string) (core.PlanStats, bool) {
+func (c *Cache) lookup(t *core.JoinTree, seqs []uint64, sources string) (core.PlanStats, bool) {
 	if c == nil {
 		return core.PlanStats{}, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e, ok := c.entries[cacheKey(q)]
-	if !ok || e.leftSeq != leftSeq || e.rightSeq != rightSeq || e.sources != sources {
+	e, ok := c.entries[cacheKey(t)]
+	if !ok || !seqsEqual(e.seqs, seqs) || e.sources != sources {
 		return core.PlanStats{}, false
 	}
 	return e.stats, true
 }
 
 // put stores a stats snapshot.
-func (c *Cache) put(q core.Query, leftSeq, rightSeq uint64, sources string, st core.PlanStats) {
+func (c *Cache) put(t *core.JoinTree, seqs []uint64, sources string, st core.PlanStats) {
 	if c == nil {
 		return
 	}
@@ -93,10 +114,9 @@ func (c *Cache) put(q core.Query, leftSeq, rightSeq uint64, sources string, st c
 			}
 		}
 	}
-	c.entries[cacheKey(q)] = cacheEntry{
-		leftSeq:  leftSeq,
-		rightSeq: rightSeq,
-		sources:  sources,
-		stats:    st,
+	c.entries[cacheKey(t)] = cacheEntry{
+		seqs:    append([]uint64(nil), seqs...),
+		sources: sources,
+		stats:   st,
 	}
 }

@@ -113,11 +113,12 @@ func (o Objective) metric(e core.CostEstimate) float64 {
 	}
 }
 
-// Explain gathers statistics for q and costs every registered executor,
-// returning the ranked candidate plans. The statistics reads charge c's
-// metric collector and are reported in Plan.PlannerCost.
-func Explain(c *kvstore.Cluster, q core.Query, store *core.IndexStore, opts Options) (*Plan, error) {
-	if err := q.Validate(); err != nil {
+// Explain gathers statistics for the join tree and costs every
+// registered executor that supports its shape, returning the ranked
+// candidate plans. The statistics reads charge c's metric collector and
+// are reported in Plan.PlannerCost.
+func Explain(c *kvstore.Cluster, t *core.JoinTree, store *core.IndexStore, opts Options) (*Plan, error) {
+	if err := t.Validate(); err != nil {
 		return nil, err
 	}
 	obj := opts.Objective
@@ -130,7 +131,7 @@ func Explain(c *kvstore.Cluster, q core.Query, store *core.IndexStore, opts Opti
 			obj, ObjectiveTime, ObjectiveNetwork, ObjectiveDollars)
 	}
 	before := c.Metrics().Snapshot()
-	st, err := gatherStats(c, q, store, opts.Exec.WithDefaults(), opts.Cache)
+	st, err := gatherStats(c, t, store, opts.Exec.WithDefaults(), opts.Cache)
 	if err != nil {
 		return nil, err
 	}
@@ -139,8 +140,13 @@ func Explain(c *kvstore.Cluster, q core.Query, store *core.IndexStore, opts Opti
 	execs := core.Executors()
 	cands := make([]Candidate, 0, len(execs))
 	for _, ex := range execs {
-		ready := ex.HasIndex(q, store)
-		idxBytes := ex.IndexSize(c, q, store)
+		// Shape-incapable executors (two-way-only strategies on a tree
+		// with band edges or >2 leaves) are not candidates at all.
+		if !ex.Supports(t) {
+			continue
+		}
+		ready := ex.HasIndex(t, store)
+		idxBytes := ex.IndexSize(c, t, store)
 		// Estimate sees the candidate's own index context.
 		est := *st
 		est.IndexReady = ready
@@ -180,14 +186,14 @@ func Explain(c *kvstore.Cluster, q core.Query, store *core.IndexStore, opts Opti
 		}
 	}
 	if p.Chosen == "" {
-		return nil, fmt.Errorf("plan: no runnable executor for %s", q.ID())
+		return nil, fmt.Errorf("plan: no runnable executor for %s", t.ID())
 	}
 	return p, nil
 }
 
 // stretchStats re-targets a statistics snapshot to a different k under
 // the sqrt-depth model of scaleDepths: covering k2 instead of k scales
-// the per-side termination depths (and the band walk) by sqrt(k2/k),
+// the per-leaf termination depths (and the band walk) by sqrt(k2/k),
 // capped at the relation sizes.
 func stretchStats(st *core.PlanStats, k2 int) *core.PlanStats {
 	out := *st
@@ -195,6 +201,16 @@ func stretchStats(st *core.PlanStats, k2 int) *core.PlanStats {
 		ratio := math.Sqrt(float64(k2) / float64(st.K))
 		out.LeftDepth = math.Min(st.LeftDepth*ratio, float64(st.Left.Rows))
 		out.RightDepth = math.Min(st.RightDepth*ratio, float64(st.Right.Rows))
+		if len(st.LeafDepths) > 0 {
+			out.LeafDepths = make([]float64, len(st.LeafDepths))
+			for i, d := range st.LeafDepths {
+				limit := float64(st.Left.Rows)
+				if i < len(st.Leaves) {
+					limit = float64(st.Leaves[i].Rows)
+				}
+				out.LeafDepths[i] = math.Min(d*ratio, limit)
+			}
+		}
 		if st.StatBands > 0 {
 			out.StatBands = int(math.Ceil(float64(st.StatBands) * ratio))
 		}
@@ -260,10 +276,10 @@ func streamEstimate(ex core.Executor, st *core.PlanStats, bounded core.CostEstim
 	return total
 }
 
-// Choose plans q and returns the executor AlgoAuto should run plus the
-// plan that picked it.
-func Choose(c *kvstore.Cluster, q core.Query, store *core.IndexStore, opts Options) (core.Executor, *Plan, error) {
-	p, err := Explain(c, q, store, opts)
+// Choose plans the tree and returns the executor AlgoAuto should run
+// plus the plan that picked it.
+func Choose(c *kvstore.Cluster, t *core.JoinTree, store *core.IndexStore, opts Options) (core.Executor, *Plan, error) {
+	p, err := Explain(c, t, store, opts)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -44,7 +44,7 @@ func setupCluster(t *testing.T, n int) (*kvstore.Cluster, core.Query, *core.Inde
 
 func TestExplainUniformFallback(t *testing.T) {
 	c, q, store := setupCluster(t, 400)
-	p, err := Explain(c, q, store, Options{})
+	p, err := Explain(c, core.TreeFromQuery(q), store, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,11 +80,11 @@ func TestExplainUniformFallback(t *testing.T) {
 func TestExplainUsesDRJNStatistics(t *testing.T) {
 	c, q, store := setupCluster(t, 400)
 	ex, _ := core.Lookup("drjn")
-	if err := ex.EnsureIndex(c, q, store, core.IndexBuildConfig{}); err != nil {
+	if err := ex.EnsureIndex(c, core.TreeFromQuery(q), store, core.IndexBuildConfig{}); err != nil {
 		t.Fatal(err)
 	}
 	before := c.Metrics().Snapshot()
-	p, err := Explain(c, q, store, Options{})
+	p, err := Explain(c, core.TreeFromQuery(q), store, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestExplainUsesDRJNStatistics(t *testing.T) {
 func TestExplainObjectives(t *testing.T) {
 	c, q, store := setupCluster(t, 300)
 	for _, obj := range []Objective{ObjectiveTime, ObjectiveNetwork, ObjectiveDollars} {
-		p, err := Explain(c, q, store, Options{Objective: obj})
+		p, err := Explain(c, core.TreeFromQuery(q), store, Options{Objective: obj})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -126,24 +126,24 @@ func TestExplainObjectives(t *testing.T) {
 
 func TestExplainRejectsUnknownObjective(t *testing.T) {
 	c, q, store := setupCluster(t, 100)
-	if _, err := Explain(c, q, store, Options{Objective: "dollar"}); err == nil {
+	if _, err := Explain(c, core.TreeFromQuery(q), store, Options{Objective: "dollar"}); err == nil {
 		t.Fatal("Explain accepted unknown objective \"dollar\"")
 	}
 }
 
 func TestChooseRunnable(t *testing.T) {
 	c, q, store := setupCluster(t, 200)
-	ex, p, err := Choose(c, q, store, Options{})
+	ex, p, err := Choose(c, core.TreeFromQuery(q), store, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ex.Name() != p.Chosen {
 		t.Fatalf("Choose returned %q but plan chose %q", ex.Name(), p.Chosen)
 	}
-	if ex.NeedsIndex() && !ex.HasIndex(q, store) {
+	if ex.NeedsIndex() && !ex.HasIndex(core.TreeFromQuery(q), store) {
 		t.Fatalf("Choose picked %q whose index is missing", ex.Name())
 	}
-	res, err := ex.Run(c, q, store, core.ExecOptions{}.WithDefaults())
+	res, err := ex.Run(c, core.TreeFromQuery(q), store, core.ExecOptions{}.WithDefaults())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +188,7 @@ func TestStatsUseLiveRows(t *testing.T) {
 		t.Fatalf("update-heavy table should hold more versions (%d) than live cells (%d)", st.Cells, st.LiveCells)
 	}
 
-	p, err := Explain(c, q, store, Options{})
+	p, err := Explain(c, core.TreeFromQuery(q), store, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,11 +208,11 @@ func TestStreamPlanning(t *testing.T) {
 	c, q, store := setupCluster(t, 400)
 	for _, name := range []string{"isl", "bfhm", "drjn", "ijlmr"} {
 		ex, _ := core.Lookup(name)
-		if err := ex.EnsureIndex(c, q, store, core.IndexBuildConfig{}); err != nil {
+		if err := ex.EnsureIndex(c, core.TreeFromQuery(q), store, core.IndexBuildConfig{}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	p, err := Explain(c, q, store, Options{Stream: true})
+	p, err := Explain(c, core.TreeFromQuery(q), store, Options{Stream: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +249,7 @@ func TestStreamPlanning(t *testing.T) {
 	}
 	// Bounded-mode plans on the same state must rank by the bounded
 	// estimate instead.
-	pb, err := Explain(c, q, store, Options{})
+	pb, err := Explain(c, core.TreeFromQuery(q), store, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,14 +262,15 @@ func TestStreamPlanning(t *testing.T) {
 
 func TestStatsCacheInvalidatedByWrites(t *testing.T) {
 	c, q, store := setupCluster(t, 200)
+	tq := core.TreeFromQuery(q)
 	cache := NewCache()
 
-	st1, err := gatherStats(c, q, store, core.ExecOptions{}, cache)
+	st1, err := gatherStats(c, core.TreeFromQuery(q), store, core.ExecOptions{}, cache)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Unchanged tables: the cache serves the entry.
-	st2, err := gatherStats(c, q, store, core.ExecOptions{}, cache)
+	st2, err := gatherStats(c, core.TreeFromQuery(q), store, core.ExecOptions{}, cache)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,13 +294,13 @@ func TestStatsCacheInvalidatedByWrites(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := cache.lookup(q, lt.MutSeq, rt.MutSeq, sourceFingerprint(q, store)); ok {
+	if _, ok := cache.lookup(tq, []uint64{lt.MutSeq, rt.MutSeq}, sourceFingerprint(tq, store)); ok {
 		t.Fatal("stats cache served a stale entry after a write")
 	}
-	if _, err := gatherStats(c, q, store, core.ExecOptions{}, cache); err != nil {
+	if _, err := gatherStats(c, core.TreeFromQuery(q), store, core.ExecOptions{}, cache); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := cache.lookup(q, lt.MutSeq, rt.MutSeq, sourceFingerprint(q, store)); !ok {
+	if _, ok := cache.lookup(tq, []uint64{lt.MutSeq, rt.MutSeq}, sourceFingerprint(tq, store)); !ok {
 		t.Fatal("re-gathered stats not cached under the new mutation seq")
 	}
 }

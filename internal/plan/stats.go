@@ -24,68 +24,138 @@ import (
 // — it reads the whole tiny matrix with one scan.
 const maxStatBands = 16
 
-// gatherStats assembles the PlanStats for one query. Reads it issues
-// (DRJN bands, BFHM blobs) charge c's metric collector — planning is
-// real work and is metered like any other client access. A non-nil
-// cache short-circuits the statistics walks while the input tables'
-// mutation sequences are unchanged; any online write moves them, so
-// estimates always track live data.
-func gatherStats(c *kvstore.Cluster, q core.Query, store *core.IndexStore, exec core.ExecOptions, cache *Cache) (*core.PlanStats, error) {
-	lt, err := c.TableStats(q.Left.Table)
-	if err != nil {
-		return nil, err
-	}
-	rt, err := c.TableStats(q.Right.Table)
-	if err != nil {
-		return nil, err
-	}
-	sources := sourceFingerprint(q, store)
-	if hit, ok := cache.lookup(q, lt.MutSeq, rt.MutSeq, sources); ok {
-		hit.Exec = exec
-		return &hit, nil
-	}
-	st := &core.PlanStats{
-		Profile: c.Profile(),
-		K:       q.K,
-		Exec:    exec,
-	}
+// gatherStats assembles the PlanStats for one join tree. Reads it
+// issues (DRJN bands, BFHM blobs) charge c's metric collector —
+// planning is real work and is metered like any other client access. A
+// non-nil cache short-circuits the statistics walks while the input
+// tables' mutation sequences are unchanged; any online write moves
+// them, so estimates always track live data.
+func gatherStats(c *kvstore.Cluster, t *core.JoinTree, store *core.IndexStore, exec core.ExecOptions, cache *Cache) (*core.PlanStats, error) {
 	// Relation rows carry two cells each (join value + score). LiveCells
 	// counts distinct live columns — not stored versions — so row
 	// estimates stay accurate on update-heavy tables, where version
 	// churn between compactions used to inflate cardinalities (and could
 	// flip AlgoAuto's choice).
-	st.Left = core.RelStats{Rows: lt.LiveCells / 2, Bytes: lt.Bytes, Regions: lt.Regions}
-	st.Right = core.RelStats{Rows: rt.LiveCells / 2, Bytes: rt.Bytes, Regions: rt.Regions}
-
-	if idxA, ok := store.DRJN(q.Left.Name); ok {
-		if idxB, ok := store.DRJN(q.Right.Name); ok && idxA.JoinParts == idxB.JoinParts {
-			if drjnWalk(c, st, idxA, idxB) {
-				st.Source = "drjn"
-				st.DRJNJoinParts = idxA.JoinParts
-			}
+	seqs := make([]uint64, len(t.Relations))
+	leaves := make([]core.RelStats, len(t.Relations))
+	for i := range t.Relations {
+		ts, err := c.TableStats(t.Relations[i].Table)
+		if err != nil {
+			return nil, err
 		}
+		seqs[i] = ts.MutSeq
+		leaves[i] = core.RelStats{Rows: ts.LiveCells / 2, Bytes: ts.Bytes, Regions: ts.Regions}
 	}
-	if st.Source == "" {
-		if idxA, ok := store.BFHM(q.Left.Name); ok {
-			if idxB, ok := store.BFHM(q.Right.Name); ok {
-				if bfhmWalk(c, st, idxA, idxB) {
-					st.Source = "bfhm"
-					st.BFHMBuckets = idxA.Layout.Buckets
+	sources := sourceFingerprint(t, store)
+	if hit, ok := cache.lookup(t, seqs, sources); ok {
+		hit.Exec = exec
+		return &hit, nil
+	}
+	st := &core.PlanStats{
+		Profile: c.Profile(),
+		K:       t.K,
+		Exec:    exec,
+	}
+	st.Leaves = leaves
+	st.Left, st.Right = leaves[0], leaves[1]
+
+	if q, ok := t.Binary(); ok {
+		// Two-way queries keep the full statistics ladder: DRJN 2-D
+		// histograms, then BFHM filter walks, then uniform assumptions.
+		if idxA, ok := store.DRJN(q.Left.Name); ok {
+			if idxB, ok := store.DRJN(q.Right.Name); ok && idxA.JoinParts == idxB.JoinParts {
+				if drjnWalk(c, st, idxA, idxB) {
+					st.Source = "drjn"
+					st.DRJNJoinParts = idxA.JoinParts
 				}
 			}
 		}
-	}
-	if st.Source == "" {
-		uniformFallback(st)
+		if st.Source == "" {
+			if idxA, ok := store.BFHM(q.Left.Name); ok {
+				if idxB, ok := store.BFHM(q.Right.Name); ok {
+					if bfhmWalk(c, st, idxA, idxB) {
+						st.Source = "bfhm"
+						st.BFHMBuckets = idxA.Layout.Buckets
+					}
+				}
+			}
+		}
+		if st.Source == "" {
+			uniformFallback(st)
+			st.Source = "uniform"
+		}
+		if st.BFHMBuckets == 0 {
+			if idx, ok := store.BFHM(q.Left.Name); ok {
+				st.BFHMBuckets = idx.Layout.Buckets
+			}
+		}
+		st.LeafDepths = []float64{st.LeftDepth, st.RightDepth}
+	} else {
+		// Trees beyond two leaves: the pairwise histogram walks don't
+		// compose across a tree yet, so derive per-leaf depths from the
+		// uniform model.
+		uniformTree(st)
 		st.Source = "uniform"
-	}
-	if st.BFHMBuckets == 0 {
-		if idx, ok := store.BFHM(q.Left.Name); ok {
+		if idx, ok := store.BFHM(t.Relations[0].Name); ok {
 			st.BFHMBuckets = idx.Layout.Buckets
 		}
 	}
-	cache.put(q, lt.MutSeq, rt.MutSeq, sources, *st)
+	cache.put(t, seqs, sources, *st)
 	return st, nil
+}
+
+// uniformTree is the no-statistics model for trees over n > 2 leaves:
+// join cardinality from the foreign-key shape (distinct join values ~
+// the smallest leaf), per-leaf termination depths from the symmetric
+// depth model — consuming fraction f of every leaf yields ~J·fⁿ
+// results, so covering k needs f = (k/J)^(1/n).
+func uniformTree(st *core.PlanStats) {
+	n := len(st.Leaves)
+	dMin := math.Inf(1)
+	prod := 1.0
+	for _, l := range st.Leaves {
+		rows := float64(l.Rows)
+		if rows == 0 {
+			st.JoinPairs = 0
+			st.LeafDepths = make([]float64, n)
+			st.LeftDepth, st.RightDepth = 0, 0
+			if st.StatBands == 0 {
+				st.StatBands = 1
+			}
+			return
+		}
+		prod *= rows
+		if rows < dMin {
+			dMin = rows
+		}
+	}
+	// Every leaf's join column draws from ~dMin distinct values, so the
+	// expected join size is Π|Rᵢ| / dMin^(n-1), at least 1.
+	j := prod / math.Pow(dMin, float64(n-1))
+	if j < 1 {
+		j = 1
+	}
+	st.JoinPairs = j
+	f := math.Pow(float64(st.K)/j, 1/float64(n))
+	if f > 1 {
+		f = 1
+	}
+	st.LeafDepths = make([]float64, n)
+	maxFrac := 0.0
+	for i, l := range st.Leaves {
+		d := f * float64(l.Rows)
+		if d < 1 {
+			d = 1
+		}
+		st.LeafDepths[i] = d
+		if frac := d / float64(l.Rows); frac > maxFrac {
+			maxFrac = frac
+		}
+	}
+	st.LeftDepth, st.RightDepth = st.LeafDepths[0], st.LeafDepths[1]
+	if st.StatBands == 0 {
+		st.StatBands = int(math.Ceil(maxFrac*100)) + 1
+	}
 }
 
 // bandTotal sums one decoded band's partition counts.

@@ -110,6 +110,24 @@ type CostData struct {
 	TuplesShipped uint64 `json:"tuples_shipped"`
 }
 
+// TreeEdgeData is the wire form of one join-tree edge.
+type TreeEdgeData struct {
+	A    int     `json:"a"`
+	B    int     `json:"b"`
+	Kind string  `json:"kind,omitempty"` // "equi" (default) or "band"
+	Band float64 `json:"band,omitempty"`
+}
+
+// TreeData is the wire form of a join-tree query shape: relations by
+// name (each node rebuilds the canonical Relation mapping locally) plus
+// the edge predicates. Binary equi-joins keep shipping through the
+// legacy Left/Right fields for wire compatibility; TreeData covers
+// every other acyclic shape.
+type TreeData struct {
+	Relations []string       `json:"relations"`
+	Edges     []TreeEdgeData `json:"edges"`
+}
+
 // QueryRequest ships one top-k (or next-page) execution to a replica.
 type QueryRequest struct {
 	Left      string `json:"left"`
@@ -118,6 +136,9 @@ type QueryRequest struct {
 	K         int    `json:"k"`
 	Algo      string `json:"algo"`
 	Objective string `json:"objective,omitempty"`
+	// Tree, when set, describes a general acyclic join-tree query and
+	// takes precedence over Left/Right.
+	Tree *TreeData `json:"tree,omitempty"`
 	// ISLBatch / Parallelism mirror QueryOptions.
 	ISLBatch    int    `json:"isl_batch,omitempty"`
 	Parallelism int    `json:"parallelism,omitempty"`
@@ -129,11 +150,14 @@ type QueryRequest struct {
 	MaxReadUnits uint64 `json:"max_read_units,omitempty"`
 }
 
-// JoinResultData is the wire form of one ranked join result.
+// JoinResultData is the wire form of one ranked join result. Tree
+// queries over more than two leaves carry the third and later leaves'
+// tuples in Rest, in leaf order.
 type JoinResultData struct {
-	Left  TupleData `json:"left"`
-	Right TupleData `json:"right"`
-	Score float64   `json:"score"`
+	Left  TupleData   `json:"left"`
+	Right TupleData   `json:"right"`
+	Rest  []TupleData `json:"rest,omitempty"`
+	Score float64     `json:"score"`
 }
 
 // ResultData is a completed node-side query.
@@ -148,10 +172,13 @@ type ResultData struct {
 // query (each replica builds its own indexes from its replicated base
 // data; determinism keeps them byte-identical across replicas).
 type EnsureRequest struct {
-	Left  string   `json:"left"`
-	Right string   `json:"right"`
-	Score string   `json:"score"`
-	Algos []string `json:"algos"`
+	Left  string `json:"left"`
+	Right string `json:"right"`
+	Score string `json:"score"`
+	// Tree, when set, names a tree-query shape (takes precedence over
+	// Left/Right, like QueryRequest.Tree).
+	Tree  *TreeData `json:"tree,omitempty"`
+	Algos []string  `json:"algos"`
 }
 
 // GetResponse carries a point read's resolution (Tuple nil = absent).

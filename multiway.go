@@ -4,14 +4,17 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/kvstore"
 	"repro/internal/sim"
 )
 
 // Multi-way rank joins (the Section 3 generalization): n relations
 // equi-joined on a common attribute, ranked by an n-ary monotonic
-// aggregate. Supported algorithms: AlgoNaive and AlgoISL (the
-// coordinator-based HRJN generalization).
+// aggregate. A MultiQuery is the star-shaped special case of the
+// general JoinTree query model (NewTreeQuery): every relation shares
+// one join attribute, which is exactly a tree whose equi-edges all
+// meet at leaf 0. Supported algorithms: AlgoNaive, AlgoISL (the
+// coordinator-based HRJN generalization), AlgoAnyK (the streaming tree
+// executor), and AlgoAuto.
 
 // N-ary re-exports.
 type (
@@ -33,7 +36,7 @@ var (
 
 // MultiQuery is an n-way top-k equi-join over defined relations.
 type MultiQuery struct {
-	q core.MultiQuery
+	t *core.JoinTree
 }
 
 // NewMultiQuery builds an n-way query over previously defined relations.
@@ -53,104 +56,88 @@ func (db *DB) NewMultiQuery(relations []string, f NScoreFunc, k int) (MultiQuery
 	if err := q.Validate(); err != nil {
 		return MultiQuery{}, err
 	}
-	return MultiQuery{q: q}, nil
+	return MultiQuery{t: core.TreeFromMulti(q)}, nil
 }
 
-// WithK derives a query with a different k.
+// WithK derives a query with a different k (indexes are shared).
 func (q MultiQuery) WithK(k int) MultiQuery {
-	out := q
-	out.q.K = k
-	return out
+	nt := *q.t
+	nt.K = k
+	return MultiQuery{t: &nt}
 }
 
 // ID returns the query's deterministic identifier.
-func (q MultiQuery) ID() string { return q.q.ID() }
+func (q MultiQuery) ID() string { return q.t.ID() }
+
+// Tree converts to the general tree-query form, so every Query entry
+// point (TopK, Stream, Explain, page tokens) works on a MultiQuery.
+func (q MultiQuery) Tree() Query { return Query{t: q.t} }
 
 // EnsureMultiIndexes builds the n-way ISL index for the query
-// (idempotent).
+// (idempotent; shared by AlgoISL and AlgoAnyK, and by every tree query
+// over the same relations and score).
 func (db *DB) EnsureMultiIndexes(q MultiQuery) error {
-	db.mu.Lock()
-	_, ok := db.isln[q.ID()]
-	db.mu.Unlock()
-	if ok {
-		return nil
-	}
-	idx, _, err := core.BuildISLN(db.cluster, q.q)
-	if err != nil {
+	if err := core.EnsureISLN(db.cluster, q.t, db.store); err != nil {
 		return err
 	}
-	db.mu.Lock()
-	db.isln[q.ID()] = idx
-	db.mu.Unlock()
 	return db.saveCatalog()
 }
 
-// TopKN executes the n-way query. AlgoNaive needs no index; AlgoISL
-// requires a prior EnsureMultiIndexes call. Like TopK, it meters a
-// private per-query collector, so concurrent callers get isolated costs.
+// nresultOf converts a tree-query result to the n-ary form.
+func nresultOf(res *Result) *NResult {
+	out := &NResult{Results: make([]NJoinResult, 0, len(res.Results)), Cost: res.Cost}
+	for _, r := range res.Results {
+		tuples := make([]Tuple, 0, 2+len(r.Rest))
+		tuples = append(tuples, r.Left, r.Right)
+		tuples = append(tuples, r.Rest...)
+		out.Results = append(out.Results, NJoinResult{Tuples: tuples, Score: r.Score})
+	}
+	return out
+}
+
+// TopKN executes the n-way query. AlgoNaive needs no index; AlgoISL and
+// AlgoAnyK require a prior EnsureMultiIndexes call. Like TopK, it meters
+// a private per-query collector, so concurrent callers get isolated
+// costs. It dispatches through the same tree-query path as TopK, so
+// AlgoAuto plans n-way queries too.
 func (db *DB) TopKN(q MultiQuery, algo Algorithm, opts *QueryOptions) (*NResult, error) {
-	qm := sim.NewLane(db.cluster.Metrics())
-	qc := db.cluster.WithMetrics(qm)
-	res, err := db.topKNOn(qc, q, algo, opts)
+	res, err := db.TopK(q.Tree(), algo, opts)
 	if err != nil {
-		db.cluster.Metrics().Advance(qm.SimTime())
 		return nil, err
 	}
-	db.cluster.Metrics().Advance(res.Cost.SimTime)
-	return res, nil
+	return nresultOf(res), nil
 }
 
-// NRows streams an n-way query's results in descending score order.
-// Multi-way execution is batch-shaped (the n-ary coordinator targets a
-// fixed k), so the stream materializes pages through the same doubling
-// core.Pager schedule batch-shaped two-way executors use: it runs
-// TopKN at the query's k and transparently re-runs at doubled depths
-// when drained deeper.
+// NRows streams an n-way query's results in descending score order: the
+// n-ary view over DB.Stream's Rows. With AlgoAnyK (or AlgoAuto picking
+// it) the enumeration is native — each result pays marginal work; batch
+// shaped executors (AlgoNaive, AlgoISL) materialize deepening re-runs
+// behind the same interface.
 type NRows struct {
-	pager  *core.Pager[NJoinResult]
-	cost   sim.Snapshot
-	closed bool
-	res    NJoinResult
-	err    error
+	rows *Rows
+	res  NJoinResult
 }
 
-// StreamN starts a streaming n-way execution (AlgoNaive or AlgoISL,
-// like TopKN).
+// StreamN starts a streaming n-way execution.
 func (db *DB) StreamN(q MultiQuery, algo Algorithm, opts *QueryOptions) (*NRows, error) {
-	// Validate the algorithm up front with a zero-cost dispatch check.
-	switch algo {
-	case AlgoNaive, AlgoISL:
-	default:
-		return nil, fmt.Errorf("rankjoin: algorithm %q does not support multi-way joins (use %s or %s)",
-			algo, AlgoNaive, AlgoISL)
+	rows, err := db.Stream(q.Tree(), algo, opts)
+	if err != nil {
+		return nil, err
 	}
-	rows := &NRows{}
-	rows.pager = core.NewPager(q.q.K, func(k int) ([]NJoinResult, error) {
-		res, err := db.TopKN(q.WithK(k), algo, opts)
-		if err != nil {
-			return nil, err
-		}
-		rows.cost = rows.cost.Add(res.Cost)
-		return res.Results, nil
-	})
-	return rows, nil
+	return &NRows{rows: rows}, nil
 }
 
 // Next advances to the next result, reporting false at exhaustion or
 // error.
 func (r *NRows) Next() bool {
-	if r.closed || r.err != nil {
+	if !r.rows.Next() {
 		return false
 	}
-	res, err := r.pager.Next()
-	if err != nil {
-		r.err = err
-		return false
-	}
-	if res == nil {
-		return false
-	}
-	r.res = *res
+	jr := r.rows.Result()
+	tuples := make([]Tuple, 0, 2+len(jr.Rest))
+	tuples = append(tuples, jr.Left, jr.Right)
+	tuples = append(tuples, jr.Rest...)
+	r.res = NJoinResult{Tuples: tuples, Score: jr.Score}
 	return true
 }
 
@@ -158,36 +145,10 @@ func (r *NRows) Next() bool {
 func (r *NRows) Result() NJoinResult { return r.res }
 
 // Err returns the first error the stream hit, if any.
-func (r *NRows) Err() error { return r.err }
+func (r *NRows) Err() error { return r.rows.Err() }
 
-// Cost reports the cumulative resources the stream's runs consumed.
-func (r *NRows) Cost() sim.Snapshot { return r.cost }
+// Cost reports the cumulative resources the stream consumed.
+func (r *NRows) Cost() sim.Snapshot { return r.rows.Cost() }
 
 // Close releases the stream.
-func (r *NRows) Close() error {
-	r.closed = true
-	r.pager.Release()
-	return nil
-}
-
-func (db *DB) topKNOn(c *kvstore.Cluster, q MultiQuery, algo Algorithm, opts *QueryOptions) (*NResult, error) {
-	switch algo {
-	case AlgoNaive:
-		return core.NaiveTopKN(c, q.q)
-	case AlgoISL:
-		db.mu.Lock()
-		idx, ok := db.isln[q.ID()]
-		db.mu.Unlock()
-		if !ok {
-			return nil, fmt.Errorf("rankjoin: no n-way ISL index for %s; call EnsureMultiIndexes first", q.ID())
-		}
-		batch := 100
-		if opts != nil && opts.ISLBatch > 0 {
-			batch = opts.ISLBatch
-		}
-		return core.QueryISLN(c, q.q, idx, batch)
-	default:
-		return nil, fmt.Errorf("rankjoin: algorithm %q does not support multi-way joins (use %s or %s)",
-			algo, AlgoNaive, AlgoISL)
-	}
-}
+func (r *NRows) Close() error { return r.rows.Close() }

@@ -80,6 +80,55 @@ func scoreByName(name string) (ScoreFunc, error) {
 	}
 }
 
+// nScoreByName resolves a wire score-aggregate name to its n-ary form
+// (tree queries aggregate over every leaf).
+func nScoreByName(name string) (NScoreFunc, error) {
+	switch name {
+	case SumN.Name:
+		return SumN, nil
+	case ProductN.Name:
+		return ProductN, nil
+	default:
+		return NScoreFunc{}, &transport.Error{Kind: transport.KindBadRequest,
+			Msg: fmt.Sprintf("unknown score aggregate %q", name)}
+	}
+}
+
+// treeEdgesOf converts wire edges to the public edge form. Unknown
+// kinds pass through and fail tree validation with a typed ShapeError.
+func treeEdgesOf(wire []transport.TreeEdgeData) []TreeEdge {
+	edges := make([]TreeEdge, len(wire))
+	for i, e := range wire {
+		edges[i] = TreeEdge{A: e.A, B: e.B, Kind: PredKind(e.Kind), Band: e.Band}
+	}
+	return edges
+}
+
+// queryFromWire rebuilds the query a request describes: the Tree shape
+// when present, the legacy two-way Left/Right fields otherwise.
+func (n *NodeService) queryFromWire(tree *transport.TreeData, left, right, score string, k int) (Query, error) {
+	if tree != nil {
+		f, err := nScoreByName(score)
+		if err != nil {
+			return Query{}, err
+		}
+		q, err := n.db.NewTreeQuery(tree.Relations, treeEdgesOf(tree.Edges), f, k)
+		if err != nil {
+			return Query{}, badRequest("%v", err)
+		}
+		return q, nil
+	}
+	f, err := scoreByName(score)
+	if err != nil {
+		return Query{}, err
+	}
+	q, err := n.db.NewQuery(left, right, f, k)
+	if err != nil {
+		return Query{}, badRequest("%v", err)
+	}
+	return q, nil
+}
+
 // wrapNodeErr types a node-side failure for the wire: corruption keeps
 // its kind (the router schedules a resync), a local disk I/O failure
 // makes this replica unavailable for the request (the router fails over
@@ -150,13 +199,9 @@ func (n *NodeService) DefineRelation(name string) error {
 // deterministic given identical base tables, so replicas converge on
 // byte-identical index tables too.
 func (n *NodeService) EnsureIndexes(req transport.EnsureRequest) error {
-	f, err := scoreByName(req.Score)
+	q, err := n.queryFromWire(req.Tree, req.Left, req.Right, req.Score, 1)
 	if err != nil {
 		return err
-	}
-	q, err := n.db.NewQuery(req.Left, req.Right, f, 1)
-	if err != nil {
-		return badRequest("%v", err)
 	}
 	algos := make([]Algorithm, len(req.Algos))
 	for i, a := range req.Algos {
@@ -234,13 +279,9 @@ func (n *NodeService) GetTuple(relation, rowKey string) (*transport.GetResponse,
 // this node's local engine and only the ranked results (plus the cost
 // actually consumed) cross the wire back.
 func (n *NodeService) TopK(req transport.QueryRequest) (*transport.ResultData, error) {
-	f, err := scoreByName(req.Score)
+	q, err := n.queryFromWire(req.Tree, req.Left, req.Right, req.Score, req.K)
 	if err != nil {
 		return nil, err
-	}
-	q, err := n.db.NewQuery(req.Left, req.Right, f, req.K)
-	if err != nil {
-		return nil, badRequest("%v", err)
 	}
 	opts := &QueryOptions{
 		ISLBatch:     req.ISLBatch,
@@ -266,11 +307,15 @@ func (n *NodeService) TopK(req transport.QueryRequest) (*transport.ResultData, e
 		NextPageToken: res.NextPageToken,
 	}
 	for _, r := range res.Results {
-		out.Results = append(out.Results, transport.JoinResultData{
+		jr := transport.JoinResultData{
 			Left:  *TupleData(r.Left),
 			Right: *TupleData(r.Right),
 			Score: r.Score,
-		})
+		}
+		for _, t := range r.Rest {
+			jr.Rest = append(jr.Rest, *TupleData(t))
+		}
+		out.Results = append(out.Results, jr)
 	}
 	return out, nil
 }

@@ -90,11 +90,11 @@ func (db *DB) loadCatalog() error {
 	for _, name := range cat.Relations {
 		db.relations[name] = &RelationHandle{db: db, rel: relationFor(name)}
 	}
-	for id, idx := range cat.ISLN {
-		db.isln[id] = idx
-	}
 	db.idxCfg = cat.IdxCfg
 	db.mu.Unlock()
+	for id, idx := range cat.ISLN {
+		db.store.PutISLN(id, idx)
+	}
 	for id, idx := range cat.IJLMR {
 		db.store.PutIJLMR(id, idx)
 	}
@@ -130,12 +130,10 @@ func (db *DB) saveCatalog() error {
 	for name := range db.relations {
 		cat.Relations = append(cat.Relations, name)
 	}
-	for id, idx := range db.isln {
-		cat.ISLN[id] = idx
-	}
 	cat.IdxCfg = db.idxCfg
 	db.mu.Unlock()
 	sort.Strings(cat.Relations)
+	db.store.EachISLN(func(id string, idx *core.ISLNIndex) { cat.ISLN[id] = idx })
 	db.store.EachIJLMR(func(id string, idx *core.IJLMRIndex) { cat.IJLMR[id] = idx })
 	db.store.EachISL(func(id string, idx *core.ISLIndex) { cat.ISL[id] = idx })
 	db.store.EachBFHM(func(rel string, idx *core.BFHMIndex) { cat.BFHM[rel] = idx })

@@ -109,8 +109,8 @@ func TestExplainAllCandidates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(p.Candidates) != 7 {
-		t.Fatalf("Explain returned %d candidates, want 7", len(p.Candidates))
+	if len(p.Candidates) != 8 {
+		t.Fatalf("Explain returned %d candidates, want 8", len(p.Candidates))
 	}
 	seen := map[string]bool{}
 	for _, cand := range p.Candidates {
@@ -119,7 +119,7 @@ func TestExplainAllCandidates(t *testing.T) {
 			t.Errorf("candidate %s has a zero cost estimate: %+v", cand.Executor, cand.Estimate)
 		}
 	}
-	for _, name := range []string{"naive", "hive", "pig", "ijlmr", "isl", "bfhm", "drjn"} {
+	for _, name := range []string{"naive", "hive", "pig", "ijlmr", "isl", "bfhm", "drjn", "anyk"} {
 		if !seen[name] {
 			t.Errorf("Explain is missing executor %s", name)
 		}
@@ -148,7 +148,7 @@ func TestExplainAllCandidates(t *testing.T) {
 
 	// After building indexes, Explain marks them ready and the planner
 	// may now pick them.
-	if err := db.EnsureIndexes(q, rankjoin.AlgoISL, rankjoin.AlgoBFHM, rankjoin.AlgoDRJN, rankjoin.AlgoIJLMR); err != nil {
+	if err := db.EnsureIndexes(q, rankjoin.AlgoISL, rankjoin.AlgoBFHM, rankjoin.AlgoDRJN, rankjoin.AlgoIJLMR, rankjoin.AlgoAnyK); err != nil {
 		t.Fatal(err)
 	}
 	p2, err := db.Explain(q, &rankjoin.ExplainOptions{Objective: rankjoin.ObjectiveDollars})

@@ -10,9 +10,13 @@ import (
 	"repro/internal/sim"
 )
 
-// Query is a two-way top-k equi-join over two defined relations.
+// Query is a top-k rank-join over defined relations. Internally every
+// query — the two-way form NewQuery builds, the star form NewMultiQuery
+// builds, and general acyclic shapes from NewTreeQuery — is one
+// JoinTree; executors that only handle a subset of shapes reject the
+// rest with a shape error.
 type Query struct {
-	q core.Query
+	t *core.JoinTree
 }
 
 // NewQuery builds a query joining two defined relations on their join
@@ -32,21 +36,25 @@ func (db *DB) NewQuery(left, right string, f ScoreFunc, k int) (Query, error) {
 	if err := q.Validate(); err != nil {
 		return Query{}, err
 	}
-	return Query{q: q}, nil
+	return Query{t: core.TreeFromQuery(q)}, nil
 }
 
-// WithK derives a query with a different k (indexes are shared).
+// WithK derives a query with a different k (indexes are shared; the
+// derived query's identity — and so its planner-cache and page-token
+// keys — still carries the new k).
 func (q Query) WithK(k int) Query {
-	out := q
-	out.q.K = k
-	return out
+	nt := *q.t
+	nt.K = k
+	return Query{t: &nt}
 }
 
 // K returns the query's result size target.
-func (q Query) K() int { return q.q.K }
+func (q Query) K() int { return q.t.K }
 
-// ID returns the query's deterministic identifier.
-func (q Query) ID() string { return q.q.ID() }
+// ID returns the query's deterministic identifier. Distinct join
+// shapes over the same relations get distinct IDs (band/theta edges
+// are encoded), so cache entries never collide across shapes.
+func (q Query) ID() string { return q.t.ID() }
 
 // executorFor resolves a concrete (non-auto) algorithm to its executor.
 func executorFor(algo Algorithm) (core.Executor, error) {
@@ -55,6 +63,16 @@ func executorFor(algo Algorithm) (core.Executor, error) {
 		return nil, fmt.Errorf("rankjoin: unknown algorithm %q", algo)
 	}
 	return ex, nil
+}
+
+// checkShape rejects a hand-picked executor that cannot run the tree's
+// shape, before any work is spent on it.
+func checkShape(ex core.Executor, t *core.JoinTree) error {
+	if !ex.Supports(t) {
+		return fmt.Errorf("rankjoin: algorithm %q does not support join shape %s (try %s or %s)",
+			ex.Name(), t.ID(), AlgoNaive, AlgoAnyK)
+	}
+	return nil
 }
 
 // indexConfig snapshots the DB's index-construction defaults under the
@@ -88,7 +106,7 @@ func (db *DB) EnsureIndexes(q Query, algos ...Algorithm) error {
 		if err != nil {
 			return err
 		}
-		if err := ex.EnsureIndex(db.cluster, q.q, db.store, cfg); err != nil {
+		if err := ex.EnsureIndex(db.cluster, q.t, db.store, cfg); err != nil {
 			return err
 		}
 	}
@@ -111,7 +129,7 @@ func (db *DB) IndexDiskSize(q Query, algo Algorithm) uint64 {
 	if err != nil {
 		return 0
 	}
-	return ex.IndexSize(db.cluster, q.q, db.store)
+	return ex.IndexSize(db.cluster, q.t, db.store)
 }
 
 // Explain plans the query without running it: it gathers statistics
@@ -133,7 +151,7 @@ func (db *DB) Explain(q Query, opts *ExplainOptions) (*Plan, error) {
 	// per-query even when concurrent queries share the DB, and the
 	// planning work still folds into the DB-wide clock.
 	qm := sim.NewLane(db.cluster.Metrics())
-	p, err := plan.Explain(db.cluster.WithMetrics(qm), q.q, db.store, plan.Options{
+	p, err := plan.Explain(db.cluster.WithMetrics(qm), q.t, db.store, plan.Options{
 		Objective: o.Objective,
 		Exec:      o.Query.withDefaults().execOptions(),
 		Cache:     db.planCache,
@@ -179,20 +197,20 @@ func (db *DB) TopK(q Query, algo Algorithm, opts *QueryOptions) (*Result, error)
 	// busy-time total even when queries overlap.
 	qm := sim.NewLane(db.cluster.Metrics())
 	qc := db.cluster.WithMetrics(qm)
-	res, cur, err := db.topKOn(qc, q, algo, o)
+	res, cur, budget, err := db.topKOn(qc, q, algo, o)
 	if err != nil {
 		db.cluster.Metrics().Advance(qm.SimTime())
 		return nil, err
 	}
 	db.cluster.Metrics().Advance(res.Cost.SimTime)
-	db.stashOrClose(res, cur, qm, q)
+	db.stashOrClose(res, cur, qm, q, budget)
 	return res, nil
 }
 
 // stashOrClose retains the drained cursor behind a fresh page token
 // when more results may exist (the page came back full), else closes
 // it.
-func (db *DB) stashOrClose(res *Result, cur core.Cursor, lane *sim.Metrics, q Query) {
+func (db *DB) stashOrClose(res *Result, cur core.Cursor, lane *sim.Metrics, q Query, budget *core.Budget) {
 	if len(res.Results) == q.K() && q.K() > 0 {
 		res.NextPageToken = db.cursors.put(&pagedCursor{
 			cur:     cur,
@@ -200,6 +218,7 @@ func (db *DB) stashOrClose(res *Result, cur core.Cursor, lane *sim.Metrics, q Qu
 			algo:    res.Algorithm,
 			queryID: q.ID(),
 			folded:  lane.SimTime(),
+			budget:  budget,
 		})
 		return
 	}
@@ -220,6 +239,11 @@ func (db *DB) nextPage(q Query, algo Algorithm, o QueryOptions) (*Result, error)
 		_ = pc.cur.Close()
 		return nil, fmt.Errorf("rankjoin: page token was produced by %s, not %s", pc.algo, algo)
 	}
+	// This page runs under the resuming request's bounds, not the
+	// (possibly long-dead) context of the request that opened the
+	// cursor — an HTTP caller's first request context is canceled the
+	// moment its response is written.
+	pc.budget.Rebind(o.Context, o.Deadline, o.MaxReadUnits)
 	before := pc.lane.Snapshot()
 	results, err := drainCursor(pc.cur, q.K())
 	if err != nil {
@@ -242,7 +266,7 @@ func (db *DB) nextPage(q Query, algo Algorithm, o QueryOptions) (*Result, error)
 		db.cluster.Metrics().Advance(d)
 		pc.folded += d
 	}
-	db.stashOrClose(res, pc.cur, pc.lane, q)
+	db.stashOrClose(res, pc.cur, pc.lane, q, pc.budget)
 	return res, nil
 }
 
@@ -279,8 +303,10 @@ func attachPartials(err error, partial []JoinResult) error {
 }
 
 // topKOn dispatches the query on the given cluster view, returning the
-// result plus the still-open cursor that produced it (for pagination).
-func (db *DB) topKOn(c *kvstore.Cluster, q Query, algo Algorithm, o QueryOptions) (*Result, core.Cursor, error) {
+// result plus the still-open cursor that produced it (for pagination)
+// and the budget the cursor runs under (for per-page rebinding; nil
+// when the query is unbounded).
+func (db *DB) topKOn(c *kvstore.Cluster, q Query, algo Algorithm, o QueryOptions) (*Result, core.Cursor, *core.Budget, error) {
 	// One ExecOptions (and so one Budget) for the whole query: the same
 	// instance drives the executor's per-result checks and, via the
 	// guarded view, every metered RPC underneath — scans, index builds,
@@ -295,26 +321,29 @@ func (db *DB) topKOn(c *kvstore.Cluster, q Query, algo Algorithm, o QueryOptions
 		// per-query lane as the execution, so Result.Cost covers the
 		// whole planned query; the planning share is reported
 		// separately in Result.PlannerCost.
-		ex, p, err = plan.Choose(c, q.q, db.store, plan.Options{
+		ex, p, err = plan.Choose(c, q.t, db.store, plan.Options{
 			Objective: o.Objective,
 			Exec:      eo,
 			Cache:     db.planCache,
 		})
 	} else {
 		ex, err = executorFor(algo)
+		if err == nil {
+			err = checkShape(ex, q.t)
+		}
 	}
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	before := c.Metrics().Snapshot()
-	cur, err := ex.Open(c, q.q, db.store, eo)
+	cur, err := ex.Open(c, q.t, db.store, eo)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	results, err := drainCursor(cur, q.K())
 	if err != nil {
 		_ = cur.Close()
-		return nil, nil, attachPartials(err, results)
+		return nil, nil, nil, attachPartials(err, results)
 	}
 	res := &Result{
 		Results:   results,
@@ -329,5 +358,5 @@ func (db *DB) topKOn(c *kvstore.Cluster, q Query, algo Algorithm, o QueryOptions
 		// cursor's cost delta started; fold them into the total.
 		res.Cost = res.Cost.Add(p.PlannerCost)
 	}
-	return res, cur, nil
+	return res, cur, eo.Budget, nil
 }

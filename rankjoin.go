@@ -112,6 +112,14 @@ const (
 	AlgoISL   Algorithm = "isl"
 	AlgoBFHM  Algorithm = "bfhm"
 	AlgoDRJN  Algorithm = "drjn"
+	// AlgoAnyK is the any-k streaming tree executor: it enumerates the
+	// results of an acyclic join tree (chains, stars, general shapes —
+	// see NewTreeQuery) in descending score order with no k fixed up
+	// front, maintaining HRJN-style bounds per tree node. It requires
+	// the n-way inverse score lists (EnsureIndexes / EnsureMultiIndexes
+	// build them) and is the only index-backed executor for trees with
+	// band-predicate edges.
+	AlgoAnyK Algorithm = "anyk"
 	// AlgoAuto is not an algorithm but a planner mode: TopK runs the
 	// cost-based planner and executes the cheapest strategy whose
 	// indexes are already built (or which needs none). It works with no
@@ -122,7 +130,7 @@ const (
 
 // Algorithms lists every implemented strategy in evaluation order.
 func Algorithms() []Algorithm {
-	return []Algorithm{AlgoHive, AlgoPig, AlgoIJLMR, AlgoISL, AlgoBFHM, AlgoDRJN}
+	return []Algorithm{AlgoHive, AlgoPig, AlgoIJLMR, AlgoISL, AlgoBFHM, AlgoDRJN, AlgoAnyK}
 }
 
 // Config configures a DB.
@@ -238,8 +246,10 @@ type DB struct {
 	mu        sync.Mutex
 	cluster   *kvstore.Cluster
 	relations map[string]*RelationHandle // guarded by: mu
-	// store holds every built two-way index behind the executor
-	// registry, including the single-flight build serialization.
+	// store holds every built index behind the executor registry —
+	// per-query two-way indexes, per-relation statistics structures,
+	// and the shared n-way inverse score lists — including the
+	// single-flight build serialization.
 	store *core.IndexStore
 	// planCache memoizes the planner's statistics walks per (query, k)
 	// until the input tables change.
@@ -247,8 +257,7 @@ type DB struct {
 	// cursors retains paused query cursors between pages, keyed by
 	// page token (see QueryOptions.PageToken).
 	cursors *cursorCache
-	isln    map[string]*core.ISLNIndex // guarded by: mu
-	idxCfg  IndexConfig                // guarded by: mu
+	idxCfg  IndexConfig // guarded by: mu
 }
 
 // Open creates a DB over a fresh simulated cluster. For a durable DB
@@ -275,7 +284,6 @@ func newDB(cluster *kvstore.Cluster) *DB {
 		store:     core.NewIndexStore(),
 		planCache: plan.NewCache(),
 		cursors:   newCursorCache(),
-		isln:      map[string]*core.ISLNIndex{},
 	}
 }
 
@@ -383,17 +391,15 @@ func (h *RelationHandle) maintainer() *core.Maintainer {
 // relation — each n-way index table carries one column family per
 // member relation, and every one of them is maintained on writes.
 func (db *DB) islnBindings(relName string) []core.BoundISLN {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	var out []core.BoundISLN
-	for _, idx := range db.isln {
+	db.store.EachISLN(func(_ string, idx *core.ISLNIndex) {
 		for _, fam := range idx.Families {
 			if fam == relName {
 				out = append(out, core.BoundISLN{Idx: idx, Family: fam})
 				break
 			}
 		}
-	}
+	})
 	return out
 }
 

@@ -66,7 +66,7 @@ func (db *DB) Stream(q Query, algo Algorithm, opts *QueryOptions) (*Rows, error)
 	var ex core.Executor
 	var err error
 	if algo == AlgoAuto {
-		ex, _, err = plan.Choose(qc, q.q, db.store, plan.Options{
+		ex, _, err = plan.Choose(qc, q.t, db.store, plan.Options{
 			Objective: o.Objective,
 			Exec:      eo,
 			Cache:     db.planCache,
@@ -74,12 +74,15 @@ func (db *DB) Stream(q Query, algo Algorithm, opts *QueryOptions) (*Rows, error)
 		})
 	} else {
 		ex, err = executorFor(algo)
+		if err == nil {
+			err = checkShape(ex, q.t)
+		}
 	}
 	if err != nil {
 		db.cluster.Metrics().Advance(qm.SimTime())
 		return nil, err
 	}
-	cur, err := ex.Open(qc, q.q, db.store, eo)
+	cur, err := ex.Open(qc, q.t, db.store, eo)
 	if err != nil {
 		db.cluster.Metrics().Advance(qm.SimTime())
 		return nil, err
@@ -155,6 +158,10 @@ type pagedCursor struct {
 	algo    string
 	queryID string
 	folded  time.Duration
+	// budget is the query's shared bound instance (nil when the cursor
+	// was opened unbounded); each resuming page rebinds it to its own
+	// request's context, deadline, and read-unit cap.
+	budget *core.Budget
 }
 
 // cursorCache maps single-use page tokens to paused cursors.

@@ -1,0 +1,227 @@
+package rankjoin
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kvstore"
+)
+
+// This file is the public surface of the general query model: acyclic
+// join trees. A tree query names n relations (the leaves) and n-1 join
+// predicates (the edges), each either an equi-predicate on the join
+// attributes or a band predicate |a-b| <= width over numeric join
+// values, ranked by an n-ary monotonic aggregate over all leaf scores.
+// Two-way queries (NewQuery) and star queries (NewMultiQuery) are the
+// trivial tree shapes; NewTreeQuery admits chains and general acyclic
+// shapes, and the AlgoAnyK executor enumerates any of them in score
+// order without fixing k up front.
+
+// Tree-edge re-exports.
+type (
+	// TreeEdge is one join predicate between two leaves of a tree query.
+	TreeEdge = core.TreeEdge
+	// PredKind discriminates edge predicates ("equi" or "band").
+	PredKind = core.PredKind
+	// ShapeError reports a structurally invalid join tree (cyclic,
+	// disconnected, out-of-range edge endpoints, ...).
+	ShapeError = core.ShapeError
+)
+
+// Edge predicate kinds.
+const (
+	// PredEqui joins two leaves on equal join values.
+	PredEqui = core.PredEqui
+	// PredBand joins two leaves whose numeric join values differ by at
+	// most TreeEdge.Band.
+	PredBand = core.PredBand
+)
+
+// NewTreeQuery builds a query over an acyclic join tree: relations are
+// the leaves, edges the join predicates (indices into relations), f the
+// monotonic aggregate over all leaf scores, k the result target. The
+// tree must be connected and acyclic — exactly len(relations)-1 edges —
+// or a *ShapeError is returned.
+func (db *DB) NewTreeQuery(relations []string, edges []TreeEdge, f NScoreFunc, k int) (Query, error) {
+	rels := make([]core.Relation, 0, len(relations))
+	seen := map[string]bool{}
+	db.mu.Lock()
+	for _, name := range relations {
+		h, ok := db.relations[name]
+		if !ok {
+			db.mu.Unlock()
+			return Query{}, fmt.Errorf("rankjoin: relation %q not defined", name)
+		}
+		if seen[name] {
+			db.mu.Unlock()
+			return Query{}, fmt.Errorf("rankjoin: relation %q listed twice in tree query", name)
+		}
+		seen[name] = true
+		rels = append(rels, h.rel)
+	}
+	db.mu.Unlock()
+	t := &core.JoinTree{
+		Relations: rels,
+		Edges:     append([]TreeEdge(nil), edges...),
+		Score:     f,
+		K:         k,
+	}
+	if err := t.Validate(); err != nil {
+		return Query{}, err
+	}
+	return Query{t: t}, nil
+}
+
+// StreamTree starts a streaming execution of a tree query: sugar for
+// DB.Stream that reads naturally next to NewTreeQuery. AlgoAnyK (or
+// AlgoAuto picking it) enumerates results in score order natively.
+func (db *DB) StreamTree(q Query, algo Algorithm, opts *QueryOptions) (*Rows, error) {
+	return db.Stream(q, algo, opts)
+}
+
+// ---- JSON tree-query shape (the HTTP server's wire form) ----
+
+// TreeEdgeSpec is the JSON form of one tree edge.
+type TreeEdgeSpec struct {
+	// A and B index the tree's relation list.
+	A int `json:"a"`
+	B int `json:"b"`
+	// Kind is "equi" (default when empty) or "band".
+	Kind string `json:"kind,omitempty"`
+	// Band is the band width for kind "band".
+	Band float64 `json:"band,omitempty"`
+}
+
+// TreeSpec is the JSON form of a tree query.
+type TreeSpec struct {
+	// Relations lists the tree's leaves by defined relation name.
+	Relations []string `json:"relations"`
+	// Edges lists the n-1 join predicates. Empty with exactly two
+	// relations means the single equi-edge {0,1} (the two-way shape).
+	Edges []TreeEdgeSpec `json:"edges,omitempty"`
+	// Score names the aggregate: "sum" or "product".
+	Score string `json:"score"`
+	// K is the result target.
+	K int `json:"k"`
+}
+
+// edges converts the spec's edge list to core edges, defaulting an
+// empty list on a two-leaf spec to the single equi-edge.
+func (s *TreeSpec) edges() ([]TreeEdge, error) {
+	if len(s.Edges) == 0 && len(s.Relations) == 2 {
+		return []TreeEdge{{A: 0, B: 1, Kind: PredEqui}}, nil
+	}
+	out := make([]TreeEdge, 0, len(s.Edges))
+	for i, e := range s.Edges {
+		var kind PredKind
+		switch e.Kind {
+		case "", string(PredEqui):
+			kind = PredEqui
+		case string(PredBand):
+			kind = PredBand
+		default:
+			return nil, fmt.Errorf("rankjoin: tree edge %d has unknown kind %q (want %q or %q)",
+				i, e.Kind, PredEqui, PredBand)
+		}
+		out = append(out, TreeEdge{A: e.A, B: e.B, Kind: kind, Band: e.Band})
+	}
+	return out, nil
+}
+
+// scoreFor resolves a spec's aggregate name.
+func scoreFor(name string) (NScoreFunc, error) {
+	switch name {
+	case "", "sum":
+		return SumN, nil
+	case "product":
+		return ProductN, nil
+	default:
+		return NScoreFunc{}, fmt.Errorf("rankjoin: unknown score aggregate %q (want sum or product)", name)
+	}
+}
+
+// ParseTreeSpec decodes and structurally validates a JSON tree spec
+// without needing a DB: relation names are checked for validity and
+// uniqueness only (definedness is the DB's concern), edges for shape.
+// It never panics on hostile input; malformed specs return typed
+// errors (*ShapeError for structural problems).
+func ParseTreeSpec(data []byte) (*TreeSpec, error) {
+	var spec TreeSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return nil, fmt.Errorf("rankjoin: bad tree query JSON: %w", err)
+	}
+	if len(spec.Relations) < 2 {
+		return nil, core.NewShapeError(fmt.Sprintf("tree query needs >= 2 relations, got %d", len(spec.Relations)))
+	}
+	seen := map[string]bool{}
+	rels := make([]core.Relation, 0, len(spec.Relations))
+	for _, name := range spec.Relations {
+		if name == "" {
+			return nil, core.NewShapeError("tree query has an empty relation name")
+		}
+		if err := kvstore.ValidateKeyComponent(name); err != nil {
+			return nil, core.NewShapeError(fmt.Sprintf("bad relation name: %v", err))
+		}
+		if seen[name] {
+			return nil, core.NewShapeError(fmt.Sprintf("relation %q listed twice", name))
+		}
+		seen[name] = true
+		rels = append(rels, relationFor(name))
+	}
+	edges, err := spec.edges()
+	if err != nil {
+		return nil, err
+	}
+	f, err := scoreFor(spec.Score)
+	if err != nil {
+		return nil, err
+	}
+	k := spec.K
+	if k == 0 {
+		k = 10
+	}
+	t := &core.JoinTree{Relations: rels, Edges: edges, Score: f, K: k}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	spec.K = k
+	return &spec, nil
+}
+
+// NewTreeQueryFromSpec builds a tree query from a decoded spec against
+// this DB's defined relations.
+func (db *DB) NewTreeQueryFromSpec(spec *TreeSpec) (Query, error) {
+	edges, err := spec.edges()
+	if err != nil {
+		return Query{}, err
+	}
+	f, err := scoreFor(spec.Score)
+	if err != nil {
+		return Query{}, err
+	}
+	k := spec.K
+	if k == 0 {
+		k = 10
+	}
+	return db.NewTreeQuery(spec.Relations, edges, f, k)
+}
+
+// NewTreeQueryFromSpec builds a tree query from a decoded spec against
+// the cluster's defined relations; the query routes, pages, and fails
+// over exactly like every other distributed query.
+func (d *Distributed) NewTreeQueryFromSpec(spec *TreeSpec) (Query, error) {
+	edges, err := spec.edges()
+	if err != nil {
+		return Query{}, err
+	}
+	f, err := scoreFor(spec.Score)
+	if err != nil {
+		return Query{}, err
+	}
+	k := spec.K
+	if k == 0 {
+		k = 10
+	}
+	return d.NewTreeQuery(spec.Relations, edges, f, k)
+}
